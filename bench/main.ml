@@ -1,0 +1,273 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation on the synthetic substrate, plus bechamel
+   microbenchmarks of the core operations.
+
+   Usage:
+     dune exec bench/main.exe                  # everything, full scale
+     dune exec bench/main.exe fig3 table2      # selected experiments
+     dune exec bench/main.exe -- --quick       # smoke-test scale
+     OPPSLA_BENCH_QUICK=1 dune exec bench/main.exe
+
+   Expensive artifacts (trained weights, synthesized programs) are cached
+   under _artifacts/, so re-runs only pay for the attack phases.  Paper
+   vs. measured numbers are recorded in EXPERIMENTS.md. *)
+
+module Workbench = Evalharness.Workbench
+module Experiments = Evalharness.Experiments
+module Report = Evalharness.Report
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s finished in %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0)
+
+(* Experiments *)
+
+let experiment_config quick =
+  let base =
+    { Workbench.default_config with log = (fun m -> Printf.eprintf "%s\n%!" m) }
+  in
+  if quick then
+    { base with Workbench.test_per_class = 4; synth_per_class = 4 }
+  else base
+
+let run_experiment quick name =
+  let config = experiment_config quick in
+  let scale =
+    if quick then Experiments.quick_scale else Experiments.default_scale
+  in
+  match name with
+  | "fig3" ->
+      timed "fig3" (fun () ->
+          print_endline (Report.render_fig3 (Experiments.fig3 ~scale config)))
+  | "fig3cifar" ->
+      timed "fig3cifar" (fun () ->
+          print_endline
+            (Report.render_fig3 (Experiments.fig3_cifar ~scale config)))
+  | "fig3imagenet" ->
+      timed "fig3imagenet" (fun () ->
+          print_endline
+            (Report.render_fig3 (Experiments.fig3_imagenet ~scale config)))
+  | "table1" ->
+      timed "table1" (fun () ->
+          print_endline
+            (Report.render_table1 (Experiments.table1 ~scale config)))
+  | "fig4" ->
+      timed "fig4" (fun () ->
+          print_endline (Report.render_fig4 (Experiments.fig4 ~scale config)))
+  | "table2" ->
+      timed "table2" (fun () ->
+          print_endline
+            (Report.render_table2 (Experiments.table2 ~scale config)))
+  | other -> failwith ("unknown experiment: " ^ other)
+
+(* Beta sweep: how the MH temperature affects synthesis quality
+   (DESIGN.md 5.3).  Run explicitly: `dune exec bench/main.exe sweep-beta`. *)
+
+let sweep_beta quick =
+  let config = experiment_config quick in
+  let c =
+    Workbench.load_classifier config Dataset.synth_cifar "vgg_tiny"
+  in
+  let class_id = 0 in
+  let training = c.Workbench.synth_sets.(class_id) in
+  let iters = if quick then 3 else 20 in
+  let rows =
+    List.map
+      (fun beta ->
+        let synth_config =
+          {
+            Oppsla.Synthesizer.default_config with
+            beta;
+            max_iters = iters;
+            max_queries_per_image = Some 1024;
+            evaluator =
+              Some (Workbench.parallel_evaluator ~max_queries:1024 c);
+          }
+        in
+        let g =
+          Prng.named_stream
+            (Prng.of_int config.Workbench.seed)
+            (Printf.sprintf "sweep-beta/%g" beta)
+        in
+        let out =
+          Oppsla.Synthesizer.synthesize ~config:synth_config g
+            (Workbench.oracle_factory c ())
+            ~training
+        in
+        let accepted =
+          List.length
+            (List.filter
+               (fun (it : Oppsla.Synthesizer.iteration) -> it.accepted)
+               out.Oppsla.Synthesizer.trace)
+        in
+        [
+          Printf.sprintf "%g" beta;
+          Printf.sprintf "%.1f" out.Oppsla.Synthesizer.final_avg_queries;
+          Printf.sprintf "%.1f" out.Oppsla.Synthesizer.best_avg_queries;
+          Printf.sprintf "%d/%d" accepted (iters + 1);
+        ])
+      [ 0.005; 0.02; 0.08; 0.32 ]
+  in
+  print_endline
+    (Printf.sprintf
+       "Beta sweep - MH temperature (vgg_tiny, class %d, %d iterations)"
+       class_id iters);
+  print_endline
+    (Report.table
+       ~headers:[ "beta"; "final avg #q"; "best avg #q"; "accepted" ]
+       ~rows)
+
+(* Microbenchmarks *)
+
+let micro () =
+  let open Bechamel in
+  let g = Prng.of_int 99 in
+  let image = Tensor.rand_uniform (Prng.split g) [| 3; 16; 16 |] in
+  let net = Nn.Zoo.vgg_tiny (Prng.split g) ~image_size:16 ~num_classes:10 in
+  let nets =
+    List.map
+      (fun arch ->
+        ( arch,
+          (Option.get (Nn.Zoo.by_name arch))
+            (Prng.split g) ~image_size:16 ~num_classes:10 ))
+      Nn.Zoo.names
+  in
+  let gen_config = { Oppsla.Gen.d1 = 16; d2 = 16 } in
+  let program = Oppsla.Gen.random_program gen_config (Prng.split g) in
+  let program_text = Oppsla.Dsl.print_program program in
+  let mutate_rng = Prng.split g in
+  let ctx =
+    {
+      Oppsla.Condition.d1 = 16;
+      d2 = 16;
+      image;
+      true_class = 0;
+      clean_scores = Nn.Network.scores net image;
+      pair =
+        Oppsla.Pair.make ~loc:(Oppsla.Location.make ~row:7 ~col:7) ~corner:3;
+      perturbed_scores = Nn.Network.scores net image;
+    }
+  in
+  let tests =
+    [
+      Test.make ~name:"queue/full_space-init+drain"
+        (Staged.stage (fun () ->
+             let q = Oppsla.Pair_queue.full_space ~d1:16 ~d2:16 ~image in
+             let rec drain () =
+               match Oppsla.Pair_queue.pop q with
+               | Some _ -> drain ()
+               | None -> ()
+             in
+             drain ()));
+      (* Ablation (DESIGN.md 5.1): the indexed queue vs the naive list
+         reference under the sketch's reordering workload. *)
+      Test.make ~name:"queue/indexed-reorder-storm"
+        (Staged.stage (fun () ->
+             let q = Oppsla.Pair_queue.full_space ~d1:16 ~d2:16 ~image in
+             for i = 0 to 499 do
+               let loc =
+                 Oppsla.Location.make ~row:(i mod 16) ~col:(i * 7 mod 16)
+               in
+               match Oppsla.Pair_queue.first_with_location q loc with
+               | Some p -> Oppsla.Pair_queue.push_back q p
+               | None -> ()
+             done));
+      Test.make ~name:"queue/naive-reorder-storm"
+        (Staged.stage (fun () ->
+             let q = Oppsla.Pair_queue_naive.full_space ~d1:16 ~d2:16 ~image in
+             for i = 0 to 499 do
+               let loc =
+                 Oppsla.Location.make ~row:(i mod 16) ~col:(i * 7 mod 16)
+               in
+               match Oppsla.Pair_queue_naive.first_with_location q loc with
+               | Some p -> Oppsla.Pair_queue_naive.push_back q p
+               | None -> ()
+             done));
+      Test.make ~name:"condition/eval-program"
+        (Staged.stage (fun () ->
+             let b1, b2, b3, b4 = Oppsla.Condition.conditions program in
+             ignore (Oppsla.Condition.eval b1 ctx);
+             ignore (Oppsla.Condition.eval b2 ctx);
+             ignore (Oppsla.Condition.eval b3 ctx);
+             ignore (Oppsla.Condition.eval b4 ctx)));
+      Test.make ~name:"synthesizer/mutate"
+        (Staged.stage (fun () ->
+             ignore (Oppsla.Gen.mutate gen_config mutate_rng program)));
+      Test.make ~name:"dsl/parse-program"
+        (Staged.stage (fun () ->
+             ignore (Oppsla.Dsl.parse_program_exn program_text)));
+      (* Ablation: direct convolution loop vs im2col + GEMM. *)
+      Test.make ~name:"conv/direct-3x16x16"
+        (Staged.stage
+           (let w =
+              Tensor.randn (Prng.copy g) ~sigma:0.2 [| 8; 3; 3; 3 |]
+            in
+            fun () ->
+              ignore (Tensor.conv2d ~pad:1 image ~weight:w ~bias:None)));
+      Test.make ~name:"conv/gemm-3x16x16"
+        (Staged.stage
+           (let w =
+              Tensor.randn (Prng.copy g) ~sigma:0.2 [| 8; 3; 3; 3 |]
+            in
+            fun () ->
+              ignore (Tensor.conv2d_gemm ~pad:1 image ~weight:w ~bias:None)));
+      Test.make ~name:"attack/sketch-false-cap256"
+        (Staged.stage (fun () ->
+             let oracle = Oracle.of_network net in
+             ignore
+               (Oppsla.Sketch.attack ~max_queries:256 oracle
+                  Oppsla.Condition.const_false_program ~image ~true_class:0)));
+    ]
+    @ List.map
+        (fun (arch, n) ->
+          Test.make
+            ~name:(Printf.sprintf "forward/%s-16x16" arch)
+            (Staged.stage (fun () -> ignore (Nn.Network.scores n image))))
+        nets
+  in
+  let grouped = Test.make_grouped ~name:"oppsla" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some [ v ] -> Printf.sprintf "%.0f" v
+          | Some _ | None -> "-"
+        in
+        [ name; ns ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline "Microbenchmarks (monotonic clock)";
+  print_endline (Report.table ~headers:[ "operation"; "ns/run" ] ~rows)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick =
+    List.mem "--quick" args || Sys.getenv_opt "OPPSLA_BENCH_QUICK" <> None
+  in
+  let modes = List.filter (fun a -> a <> "--quick" && a <> "--") args in
+  let modes =
+    (* CIFAR-regime experiments first: the ImageNet regime is the most
+       expensive and depends on nothing else. *)
+    if modes = [] then
+      [ "fig3cifar"; "table1"; "table2"; "fig4"; "fig3imagenet"; "micro" ]
+    else modes
+  in
+  List.iter
+    (fun mode ->
+      match mode with
+      | "micro" -> timed "micro" micro
+      | "sweep-beta" -> timed "sweep-beta" (fun () -> sweep_beta quick)
+      | _ -> run_experiment quick mode)
+    modes

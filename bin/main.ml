@@ -1,0 +1,289 @@
+(* The oppsla command-line tool: train classifiers, synthesize adversarial
+   programs, attack single images, and run the paper's experiments. *)
+
+open Cmdliner
+module Workbench = Evalharness.Workbench
+module Experiments = Evalharness.Experiments
+module Report = Evalharness.Report
+
+let spec_of_name = function
+  | "synth_cifar" -> Ok Dataset.synth_cifar
+  | "synth_imagenet" -> Ok Dataset.synth_imagenet
+  | name ->
+      Error
+        (Printf.sprintf
+           "unknown dataset %S (expected synth_cifar or synth_imagenet)" name)
+
+let log_stderr msg = Printf.eprintf "%s\n%!" msg
+
+let workbench_config artifacts seed =
+  {
+    Workbench.default_config with
+    artifacts_dir = (if artifacts = "" then None else Some artifacts);
+    seed;
+    log = log_stderr;
+  }
+
+(* Shared options *)
+
+let dataset_arg =
+  let doc = "Dataset: synth_cifar or synth_imagenet." in
+  Arg.(value & opt string "synth_cifar" & info [ "dataset"; "d" ] ~doc)
+
+let arch_arg =
+  let doc =
+    "Architecture: " ^ String.concat ", " Nn.Zoo.names ^ "."
+  in
+  Arg.(value & opt string "vgg_tiny" & info [ "arch"; "a" ] ~doc)
+
+let seed_arg =
+  let doc = "Root random seed (controls data, weights and synthesis)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let artifacts_arg =
+  let doc = "Artifact cache directory; empty string disables caching." in
+  Arg.(value & opt string "_artifacts" & info [ "artifacts" ] ~doc)
+
+let class_arg =
+  let doc = "Class id the program is synthesized for / attacked in." in
+  Arg.(value & opt int 0 & info [ "class"; "c" ] ~doc)
+
+let with_spec dataset f =
+  match spec_of_name dataset with
+  | Error msg -> `Error (false, msg)
+  | Ok spec -> f spec
+
+(* train *)
+
+let train_cmd =
+  let run dataset arch seed artifacts =
+    with_spec dataset (fun spec ->
+        let config = workbench_config artifacts seed in
+        let c = Workbench.load_classifier config spec arch in
+        Printf.printf "%s\n" (Nn.Network.describe c.Workbench.net);
+        Printf.printf "test accuracy: %.3f (%d attackable test images)\n"
+          c.Workbench.test_accuracy
+          (Array.length c.Workbench.test);
+        `Ok ())
+  in
+  let term =
+    Term.(ret (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg))
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Train (or load) a classifier and report its accuracy.")
+    term
+
+(* synthesize *)
+
+let synthesize_cmd =
+  let iters_arg =
+    Arg.(value & opt int 40 & info [ "iters" ] ~doc:"MH iterations.")
+  in
+  let run dataset arch seed artifacts class_id iters =
+    with_spec dataset (fun spec ->
+        if class_id < 0 || class_id >= spec.Dataset.num_classes then
+          `Error
+            ( false,
+              Printf.sprintf "class %d out of range [0, %d)" class_id
+                spec.Dataset.num_classes )
+        else begin
+          let config = workbench_config artifacts seed in
+          let c = Workbench.load_classifier config spec arch in
+          let params = { Workbench.default_synth_params with iters } in
+          let programs = Workbench.synthesize_programs ~params config c in
+          Printf.printf "class %d (%s): %s\n" class_id
+            spec.Dataset.class_names.(class_id)
+            (Oppsla.Dsl.print_program programs.(class_id));
+          `Ok ()
+        end)
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
+       $ class_arg $ iters_arg))
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:
+         "Synthesize per-class adversarial programs (cached) and print one.")
+    term
+
+(* attack *)
+
+let attack_cmd =
+  let index_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "index"; "i" ] ~doc:"Index of the test image inside its class.")
+  in
+  let program_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "program"; "p" ]
+          ~doc:
+            "Program in the DSL syntax (default: the cached synthesized \
+             program for the class).")
+  in
+  let target_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "target"; "t" ]
+          ~doc:
+            "Targeted attack: succeed only when the prediction becomes \
+             this class (default: untargeted).")
+  in
+  let save_ppm_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "save-ppm" ]
+          ~doc:
+            "Write an original|adversarial|highlighted panel to this PPM \
+             file on success.")
+  in
+  let run dataset arch seed artifacts class_id index program_text target
+      save_ppm =
+    with_spec dataset (fun spec ->
+        let config = workbench_config artifacts seed in
+        let c = Workbench.load_classifier config spec arch in
+        let candidates =
+          Array.of_list
+            (List.filter
+               (fun (_, cl) -> cl = class_id)
+               (Array.to_list c.Workbench.test))
+        in
+        if Array.length candidates = 0 then
+          `Error
+            ( false,
+              Printf.sprintf
+                "no correctly classified test images of class %d" class_id )
+        else if index < 0 || index >= Array.length candidates then
+          `Error
+            ( false,
+              Printf.sprintf "index %d out of range [0, %d)" index
+                (Array.length candidates) )
+        else begin
+          let program =
+            if program_text = "" then
+              (Workbench.synthesize_programs config c).(class_id)
+            else
+              match Oppsla.Dsl.parse_program program_text with
+              | Ok p -> p
+              | Error e ->
+                  prerr_endline (Oppsla.Dsl.describe_error program_text e);
+                  exit 1
+          in
+          Printf.printf "program: %s\n" (Oppsla.Dsl.print_program program);
+          let image, true_class = candidates.(index) in
+          let oracle = Workbench.oracle_factory c () in
+          let goal =
+            if target < 0 then Oppsla.Sketch.Untargeted
+            else Oppsla.Sketch.Targeted target
+          in
+          let r = Oppsla.Sketch.attack ~goal oracle program ~image ~true_class in
+          (match r.Oppsla.Sketch.adversarial with
+          | Some (pair, adversarial) ->
+              let new_class =
+                Oracle.unmetered_classify oracle adversarial
+              in
+              Printf.printf
+                "SUCCESS after %d queries: pixel %s -> class %d (%s)\n"
+                r.Oppsla.Sketch.queries (Oppsla.Pair.to_string pair) new_class
+                spec.Dataset.class_names.(new_class);
+              if save_ppm <> "" then begin
+                let panel =
+                  Image.side_by_side
+                    [
+                      Image.upscale ~factor:8 image;
+                      Image.upscale ~factor:8 adversarial;
+                      Image.upscale ~factor:8
+                        (Image.highlight_diff image adversarial);
+                    ]
+                in
+                Image.write_ppm save_ppm panel;
+                Printf.printf "wrote %s\n" save_ppm
+              end
+          | None ->
+              Printf.printf "no one-pixel adversarial example (%d queries)\n"
+                r.Oppsla.Sketch.queries);
+          `Ok ()
+        end)
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
+       $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg))
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Attack a single test image with a program.")
+    term
+
+(* analyze *)
+
+let analyze_cmd =
+  let run dataset arch seed artifacts =
+    with_spec dataset (fun spec ->
+        let config = workbench_config artifacts seed in
+        let c = Workbench.load_classifier config spec arch in
+        let programs = Workbench.synthesize_programs config c in
+        print_endline (Oppsla.Analysis.describe_portfolio programs);
+        `Ok ())
+  in
+  let term =
+    Term.(ret (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Print the synthesized per-class programs and their condition \
+          function usage.")
+    term
+
+(* eval *)
+
+let eval_cmd =
+  let experiment_arg =
+    let doc = "Experiment to run: fig3, table1, fig4, table2 or all." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run seed artifacts experiment =
+    let config = workbench_config artifacts seed in
+    let run_one = function
+      | "fig3" -> print_endline (Report.render_fig3 (Experiments.fig3 config))
+      | "table1" ->
+          print_endline (Report.render_table1 (Experiments.table1 config))
+      | "fig4" -> print_endline (Report.render_fig4 (Experiments.fig4 config))
+      | "table2" ->
+          print_endline (Report.render_table2 (Experiments.table2 config))
+      | other -> failwith other
+    in
+    match experiment with
+    | "all" ->
+        List.iter
+          (fun e ->
+            run_one e;
+            print_newline ())
+          [ "fig3"; "table1"; "fig4"; "table2" ];
+        `Ok ()
+    | ("fig3" | "table1" | "fig4" | "table2") as e ->
+        run_one e;
+        `Ok ()
+    | other ->
+        `Error
+          (false, Printf.sprintf "unknown experiment %S (try --help)" other)
+  in
+  let term =
+    Term.(ret (const run $ seed_arg $ artifacts_arg $ experiment_arg))
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")
+    term
+
+let () =
+  let info =
+    Cmd.info "oppsla" ~version:"1.0.0"
+      ~doc:"One pixel adversarial attacks via sketched programs"
+  in
+  exit (Cmd.eval (Cmd.group info [ train_cmd; synthesize_cmd; attack_cmd; analyze_cmd; eval_cmd ]))

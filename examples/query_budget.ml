@@ -1,0 +1,47 @@
+(* Success rate as a function of the query budget (the Figure 3 scenario
+   in miniature): OPPSLA's synthesized programs vs. the Sparse-RS and
+   SuOPA baselines on one classifier.
+
+     dune exec examples/query_budget.exe *)
+
+module Workbench = Evalharness.Workbench
+module Attackers = Evalharness.Attackers
+module Runner = Evalharness.Runner
+
+let () =
+  let config =
+    { Workbench.default_config with log = (fun m -> print_endline m) }
+  in
+  let classifier =
+    Workbench.load_classifier config Dataset.synth_cifar "googlenet_tiny"
+  in
+  let params = { Workbench.default_synth_params with iters = 25 } in
+  let programs = Workbench.synthesize_programs ~params config classifier in
+  let batch =
+    Array.sub classifier.test 0 (min 40 (Array.length classifier.test))
+  in
+  let max_queries = 8 * 16 * 16 in
+  let budgets = [ 25; 50; 100; 200; 500; max_queries ] in
+  Printf.printf "\nattacking %d images of %s (full allowance %d queries)\n\n"
+    (Array.length batch) classifier.arch max_queries;
+  Printf.printf "%-12s" "attack";
+  List.iter (fun b -> Printf.printf " <=%-6d" b) budgets;
+  print_newline ();
+  List.iter
+    (fun attacker ->
+      let records =
+        Runner.run ~seed:7 ~max_queries attacker classifier batch
+      in
+      Printf.printf "%-12s" attacker.Attackers.name;
+      List.iter
+        (fun b ->
+          Printf.printf " %-7s"
+            (Printf.sprintf "%.0f%%" (100. *. Runner.success_rate_at records b)))
+        budgets;
+      print_newline ())
+    [
+      Attackers.oppsla ~programs;
+      Attackers.sketch_false;
+      Attackers.sparse_rs;
+      Attackers.su_opa ();
+    ]

@@ -1,0 +1,59 @@
+(* Quickstart: train a classifier, synthesize a one-pixel adversarial
+   program for one class, and use it to attack a test image.
+
+     dune exec examples/quickstart.exe
+
+   The first run trains the classifier (a few seconds) and synthesizes
+   the program (about a minute); both are cached under _artifacts, so
+   re-runs are instant. *)
+
+module Workbench = Evalharness.Workbench
+
+let () =
+  let spec = Dataset.synth_cifar in
+  let config =
+    { Workbench.default_config with log = (fun m -> print_endline m) }
+  in
+  (* Step 1: a trained classifier with a filtered test set. *)
+  let classifier = Workbench.load_classifier config spec "vgg_tiny" in
+  Printf.printf "classifier: %s\n\n" (Nn.Network.describe classifier.net);
+
+  (* Step 2: synthesize adversarial programs (one per class). *)
+  let params = { Workbench.default_synth_params with iters = 25 } in
+  let programs = Workbench.synthesize_programs ~params config classifier in
+  let class_id = 0 in
+  Printf.printf "\nprogram for class %S:\n  %s\n\n"
+    spec.class_names.(class_id)
+    (Oppsla.Dsl.print_program programs.(class_id));
+
+  (* Step 3: attack the first correctly classified test image of that
+     class. *)
+  match
+    Array.find_opt (fun (_, c) -> c = class_id) classifier.test
+  with
+  | None -> print_endline "no correctly classified image of that class"
+  | Some (image, true_class) ->
+      let oracle = Workbench.oracle_factory classifier () in
+      let result =
+        Oppsla.Sketch.attack oracle programs.(class_id) ~image ~true_class
+      in
+      (match result.adversarial with
+      | Some (pair, adversarial) ->
+          let new_class = Oracle.unmetered_classify oracle adversarial in
+          Printf.printf
+            "success: flipping pixel %s changed the prediction %s -> %s \
+             after %d queries\n"
+            (Oppsla.Pair.to_string pair) spec.class_names.(true_class)
+            spec.class_names.(new_class) result.queries
+      | None ->
+          Printf.printf
+            "this image admits no one-pixel corner attack (%d queries spent)\n"
+            result.queries);
+      (* Compare against the unsynthesized baseline on the same image. *)
+      let baseline =
+        Baselines.Fixed.attack (Workbench.oracle_factory classifier ()) ~image
+          ~true_class
+      in
+      Printf.printf "Sketch+False on the same image: %s after %d queries\n"
+        (if baseline.adversarial <> None then "success" else "failure")
+        baseline.queries

@@ -1,0 +1,51 @@
+(* Transferability (the Table 1 scenario in miniature): synthesize
+   programs against one classifier, then attack a different classifier
+   with them.
+
+     dune exec examples/transfer_attack.exe
+
+   Because every instantiation of the sketch explores the same candidate
+   space, success rates are identical; transfer only costs extra
+   queries. *)
+
+module Workbench = Evalharness.Workbench
+
+let () =
+  let config =
+    { Workbench.default_config with log = (fun m -> print_endline m) }
+  in
+  let source = Workbench.load_classifier config Dataset.synth_cifar "vgg_tiny" in
+  let target =
+    Workbench.load_classifier config Dataset.synth_cifar "resnet_tiny"
+  in
+  let params = { Workbench.default_synth_params with iters = 25 } in
+  let programs = Workbench.synthesize_programs ~params config source in
+
+  let attack_with name (classifier : Workbench.classifier) programs =
+    let batch =
+      Array.sub classifier.test 0 (min 50 (Array.length classifier.test))
+    in
+    let successes = ref 0 and queries = ref 0 in
+    Array.iter
+      (fun (image, true_class) ->
+        let r =
+          Oppsla.Sketch.attack
+            (Workbench.oracle_factory classifier ())
+            programs.(true_class) ~image ~true_class
+        in
+        if r.Oppsla.Sketch.adversarial <> None then begin
+          incr successes;
+          queries := !queries + r.Oppsla.Sketch.queries
+        end)
+      batch;
+    Printf.printf "%-28s %d/%d successes, avg %.1f queries\n" name !successes
+      (Array.length batch)
+      (if !successes = 0 then nan
+       else float_of_int !queries /. float_of_int !successes)
+  in
+  print_newline ();
+  attack_with "vgg programs on vgg:" source programs;
+  attack_with "vgg programs on resnet:" target programs;
+  (* Reference: resnet's own programs on resnet. *)
+  let native = Workbench.synthesize_programs ~params config target in
+  attack_with "resnet programs on resnet:" target native

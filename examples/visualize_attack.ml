@@ -1,0 +1,57 @@
+(* Visualize a one-pixel attack: writes before/after/highlighted PPM
+   panels for a handful of successful attacks, plus a query-trace
+   summary showing how the prioritization moves through the image.
+
+     dune exec examples/visualize_attack.exe
+
+   Output lands in _artifacts/attack_<n>.ppm (viewable with any image
+   tool; PPM is plain RGB). *)
+
+module Workbench = Evalharness.Workbench
+
+let () =
+  let config = Workbench.default_config in
+  let classifier =
+    Workbench.load_classifier config Dataset.synth_cifar "vgg_tiny"
+  in
+  let spec = classifier.spec in
+  let written = ref 0 in
+  let candidates = Array.to_list classifier.test in
+  List.iteri
+    (fun i (image, true_class) ->
+      if !written < 4 then begin
+        let oracle = Workbench.oracle_factory classifier () in
+        let result, steps =
+          Oppsla.Analysis.traced_attack oracle
+            Oppsla.Condition.const_false_program ~image ~true_class
+        in
+        match result.Oppsla.Sketch.adversarial with
+        | None -> ()
+        | Some (pair, adversarial) ->
+            let new_class = Oracle.unmetered_classify oracle adversarial in
+            let panel =
+              Image.side_by_side
+                [
+                  Image.upscale ~factor:8 image;
+                  Image.upscale ~factor:8 adversarial;
+                  Image.upscale ~factor:8
+                    (Image.highlight_diff image adversarial);
+                ]
+            in
+            let path = Printf.sprintf "_artifacts/attack_%d.ppm" i in
+            Image.write_ppm path panel;
+            incr written;
+            Printf.printf
+              "%s: %s -> %s via pixel %s after %d queries (probed %d \
+               locations)\n"
+              path spec.class_names.(true_class) spec.class_names.(new_class)
+              (Oppsla.Pair.to_string pair)
+              result.Oppsla.Sketch.queries
+              (Oppsla.Analysis.unique_locations steps)
+      end)
+    candidates;
+  if !written = 0 then
+    print_endline "no successful attacks among the test images"
+  else
+    Printf.printf
+      "wrote %d panels (original | adversarial | highlighted diff)\n" !written

@@ -1,0 +1,34 @@
+type outcome = {
+  best : Oppsla.Condition.program;
+  best_avg_queries : float;
+  synth_queries : int;
+}
+
+let synthesize ?(samples = 210) ?max_queries_per_image ?evaluator g oracle
+    ~training =
+  if Array.length training = 0 then
+    invalid_arg "Random_search.synthesize: empty training set";
+  if samples <= 0 then invalid_arg "Random_search.synthesize: samples <= 0";
+  let gen_config = Oppsla.Gen.config_for_image (fst training.(0)) in
+  let evaluate =
+    match evaluator with
+    | Some f -> f
+    | None ->
+        fun program samples ->
+          Oppsla.Score.evaluate ?max_queries:max_queries_per_image oracle
+            program samples
+  in
+  let spent = ref 0 in
+  let best = ref None in
+  for _ = 1 to samples do
+    let program = Oppsla.Gen.random_program gen_config g in
+    let e = evaluate program training in
+    spent := !spent + e.Oppsla.Score.total_queries;
+    match !best with
+    | Some (_, avg) when avg <= e.Oppsla.Score.avg_queries -> ()
+    | _ -> best := Some (program, e.Oppsla.Score.avg_queries)
+  done;
+  match !best with
+  | None -> assert false (* samples >= 1 *)
+  | Some (best, best_avg_queries) ->
+      { best; best_avg_queries; synth_queries = !spent }

@@ -1,0 +1,28 @@
+(** Sketch+Random (Appendix C): random program sampling.
+
+    Samples [samples] independent random instantiations of the sketch
+    (210 by default — the number of stochastic-search iterations OPPSLA
+    runs in the ablation), evaluates each on the training set, and
+    returns the one with the lowest average query count.  Its gap to
+    OPPSLA measures the value of the Metropolis-Hastings search over
+    blind sampling. *)
+
+type outcome = {
+  best : Oppsla.Condition.program;
+  best_avg_queries : float;
+  synth_queries : int;  (** oracle queries spent selecting the program *)
+}
+
+val synthesize :
+  ?samples:int ->
+  ?max_queries_per_image:int ->
+  ?evaluator:
+    (Oppsla.Condition.program ->
+    (Tensor.t * int) array ->
+    Oppsla.Score.evaluation) ->
+  Prng.t ->
+  Oracle.t ->
+  training:(Tensor.t * int) array ->
+  outcome
+(** [evaluator] substitutes {!Oppsla.Score.evaluate} (e.g. with a parallel
+    runner), exactly as in {!Oppsla.Synthesizer.config}. *)

@@ -1,0 +1,137 @@
+type config = { max_queries : int; min_explore : float }
+
+let default_config ~max_queries = { max_queries; min_explore = 0.1 }
+
+let margin scores true_class =
+  let best_other = ref neg_infinity in
+  for c = 0 to Tensor.numel scores - 1 do
+    if c <> true_class then
+      best_other := Float.max !best_other (Tensor.get_flat scores c)
+  done;
+  Tensor.get_flat scores true_class -. !best_other
+
+(* The published schedule decays the fraction of the pixel set that is
+   resampled as the query budget is consumed. *)
+let explore_probability config spent =
+  let frac = float_of_int spent /. float_of_int (max 1 config.max_queries) in
+  let schedule =
+    if frac < 0.02 then 1.0
+    else if frac < 0.05 then 0.8
+    else if frac < 0.1 then 0.6
+    else if frac < 0.2 then 0.4
+    else if frac < 0.5 then 0.2
+    else config.min_explore
+  in
+  Float.max schedule config.min_explore
+
+type multi_result = {
+  adversarial : (Oppsla.Pair.t list * Tensor.t) option;
+  queries : int;
+}
+
+exception Done of multi_result
+
+let perturb_set image pairs =
+  List.fold_left
+    (fun acc pair -> Oppsla.Sketch.perturb acc pair)
+    image pairs
+
+let attack_multi ?config ~k g oracle ~image ~true_class =
+  let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
+  if k < 1 || k > d1 * d2 then
+    invalid_arg
+      (Printf.sprintf "Sparse_rs.attack_multi: k = %d outside [1, %d]" k
+         (d1 * d2));
+  let config =
+    match config with
+    | Some c -> c
+    | None -> default_config ~max_queries:(Oppsla.Pair.count ~d1 ~d2)
+  in
+  let spent = ref 0 in
+  let query pairs =
+    if !spent >= config.max_queries then
+      raise (Done { adversarial = None; queries = !spent });
+    let candidate = perturb_set image pairs in
+    let scores =
+      try Oracle.scores oracle candidate
+      with Oracle.Budget_exhausted _ ->
+        raise (Done { adversarial = None; queries = !spent })
+    in
+    incr spent;
+    if Tensor.argmax scores <> true_class then
+      raise (Done { adversarial = Some (pairs, candidate); queries = !spent });
+    margin scores true_class
+  in
+  let random_loc_excluding excluded =
+    let rec draw () =
+      let loc = Oppsla.Location.make ~row:(Prng.int g d1) ~col:(Prng.int g d2) in
+      if List.exists (Oppsla.Location.equal loc) excluded then draw () else loc
+    in
+    draw ()
+  in
+  let random_set () =
+    let rec build acc n =
+      if n = 0 then acc
+      else begin
+        let loc =
+          random_loc_excluding (List.map (fun (p : Oppsla.Pair.t) -> p.loc) acc)
+        in
+        build (Oppsla.Pair.make ~loc ~corner:(Prng.int g 8) :: acc) (n - 1)
+      end
+    in
+    build [] k
+  in
+  (* Resample [count] of the pixels: each selected slot gets either a
+     fresh location (exploration) or only a fresh color. *)
+  let propose current =
+    let explore = explore_probability config !spent in
+    let count = max 1 (int_of_float (Float.round (explore *. float_of_int k))) in
+    let selected = Prng.sample_without_replacement g count (Array.init k Fun.id) in
+    let next = Array.of_list current in
+    Array.iter
+      (fun i ->
+        let keep_location = Prng.uniform g >= explore in
+        let current_pair = next.(i) in
+        if keep_location then begin
+          let corner =
+            let c = Prng.int g 7 in
+            if c >= current_pair.Oppsla.Pair.corner then c + 1 else c
+          in
+          next.(i) <- Oppsla.Pair.make ~loc:current_pair.Oppsla.Pair.loc ~corner
+        end
+        else begin
+          let others =
+            Array.to_list next |> List.filteri (fun j _ -> j <> i)
+            |> List.map (fun (p : Oppsla.Pair.t) -> p.loc)
+          in
+          next.(i) <-
+            Oppsla.Pair.make
+              ~loc:(random_loc_excluding others)
+              ~corner:(Prng.int g 8)
+        end)
+      selected;
+    Array.to_list next
+  in
+  try
+    let current = ref (random_set ()) in
+    let current_margin = ref (query !current) in
+    while true do
+      let proposal = propose !current in
+      let m = query proposal in
+      if m <= !current_margin then begin
+        current := proposal;
+        current_margin := m
+      end
+    done;
+    assert false
+  with Done r -> r
+
+let attack ?config g oracle ~image ~true_class =
+  let r = attack_multi ?config ~k:1 g oracle ~image ~true_class in
+  {
+    Oppsla.Sketch.adversarial =
+      Option.map
+        (fun (pairs, candidate) -> (List.hd pairs, candidate))
+        r.adversarial;
+    queries = r.queries;
+  }

@@ -1,0 +1,62 @@
+(** Sparse-RS (Croce et al., AAAI 2022), specialized to one-pixel attacks.
+
+    Sparse-RS is a random-search framework for sparse black-box attacks:
+    it keeps a current set of k perturbed pixels with corner-valued
+    colors, proposes random modifications, and accepts a proposal iff it
+    does not increase the margin loss
+
+    [margin(x') = f_cx(x') - max_{c<>cx} f_c(x')],
+
+    declaring success as soon as the margin is negative.  For k = 1 the
+    framework degenerates to a stochastic hill-climb over
+    (location, corner) pairs; following the published schedule, early
+    iterations resample the location globally and later iterations
+    mostly keep the location and resample the color, with an
+    exploration probability that decays with the query count. *)
+
+type config = {
+  max_queries : int;
+  (* Probability floor for global location resampling; the published
+     piecewise schedule decays toward this. *)
+  min_explore : float;
+}
+
+val default_config : max_queries:int -> config
+
+val attack :
+  ?config:config ->
+  Prng.t ->
+  Oracle.t ->
+  image:Tensor.t ->
+  true_class:int ->
+  Oppsla.Sketch.result
+(** The one-pixel attack (k = 1), as evaluated in the paper.  [config]
+    defaults to [default_config ~max_queries:(8 * d1 * d2)].  The clean
+    margin is computed from an unmetered query (same convention as
+    {!Oppsla.Sketch.attack}). *)
+
+(** {1 Few-pixel attacks}
+
+    The published Sparse-RS framework is parameterized by the number of
+    perturbed pixels [k]; the paper's evaluation uses k = 1, but the
+    general form is provided for completeness.  Each step resamples a
+    schedule-decaying fraction of the pixel set (locations and corner
+    colors) and keeps the proposal iff the margin loss does not
+    increase. *)
+
+type multi_result = {
+  adversarial : (Oppsla.Pair.t list * Tensor.t) option;
+      (** the perturbed pixel set and the adversarial image *)
+  queries : int;
+}
+
+val attack_multi :
+  ?config:config ->
+  k:int ->
+  Prng.t ->
+  Oracle.t ->
+  image:Tensor.t ->
+  true_class:int ->
+  multi_result
+(** [attack_multi ~k] perturbs exactly [k] distinct pixels.  Raises
+    [Invalid_argument] if [k < 1] or [k > d1 * d2]. *)

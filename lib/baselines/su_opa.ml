@@ -1,0 +1,112 @@
+type config = { population : int; f : float; max_queries : int }
+
+let default_config ~max_queries = { population = 400; f = 0.5; max_queries }
+
+(* A candidate is [| row; col; r; g; b |] with row/col as floats in
+   [0, d1) / [0, d2) and colors in [0, 1]. *)
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let perturbed image cand =
+  let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
+  let row = clamp 0 (d1 - 1) (int_of_float cand.(0)) in
+  let col = clamp 0 (d2 - 1) (int_of_float cand.(1)) in
+  let x' = Tensor.copy image in
+  Oppsla.Rgb.write_to_image x' ~row ~col
+    { Oppsla.Rgb.r = cand.(2); g = cand.(3); b = cand.(4) };
+  (x', row, col)
+
+exception Done of Oppsla.Sketch.result
+
+let nearest_corner_pair ~row ~col cand =
+  let bit v = if v >= 0.5 then 1 else 0 in
+  let corner = (bit cand.(2) * 4) + (bit cand.(3) * 2) + bit cand.(4) in
+  Oppsla.Pair.make ~loc:(Oppsla.Location.make ~row ~col) ~corner
+
+let attack ?config g oracle ~image ~true_class =
+  let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> default_config ~max_queries:(Oppsla.Pair.count ~d1 ~d2)
+  in
+  if config.population < 4 then
+    invalid_arg "Su_opa.attack: population must be at least 4 for DE/rand/1";
+  let spent = ref 0 in
+  (* Candidates are evaluated in batches (the whole initial population,
+     then one generation at a time), and success is only declared after a
+     batch completes — matching the published implementation, whose
+     minimum query count is the population size. *)
+  let found = ref None in
+  let finish () = raise (Done { adversarial = !found; queries = !spent }) in
+  let check_batch () = if !found <> None then finish () in
+  (* Fitness = true-class score of the perturbed image (minimized). *)
+  let fitness cand =
+    if !spent >= config.max_queries then finish ();
+    let x', row, col = perturbed image cand in
+    let scores =
+      try Oracle.scores oracle x'
+      with Oracle.Budget_exhausted _ -> finish ()
+    in
+    incr spent;
+    if !found = None && Tensor.argmax scores <> true_class then
+      found := Some (nearest_corner_pair ~row ~col cand, x');
+    Tensor.get_flat scores true_class
+  in
+  let random_candidate () =
+    [|
+      Prng.float g (float_of_int d1);
+      Prng.float g (float_of_int d2);
+      clamp 0. 1. (Prng.normal g ~mu:0.5 ~sigma:0.3 ());
+      clamp 0. 1. (Prng.normal g ~mu:0.5 ~sigma:0.3 ());
+      clamp 0. 1. (Prng.normal g ~mu:0.5 ~sigma:0.3 ());
+    |]
+  in
+  try
+    let pop = Array.init config.population (fun _ -> random_candidate ()) in
+    let fit = Array.map fitness pop in
+    check_batch ();
+    while true do
+      for i = 0 to config.population - 1 do
+        (* Three distinct members, all different from i. *)
+        let pick () =
+          let rec draw () =
+            let j = Prng.int g config.population in
+            if j = i then draw () else j
+          in
+          draw ()
+        in
+        let r1 = pick () in
+        let r2 =
+          let rec draw () =
+            let j = pick () in
+            if j = r1 then draw () else j
+          in
+          draw ()
+        in
+        let r3 =
+          let rec draw () =
+            let j = pick () in
+            if j = r1 || j = r2 then draw () else j
+          in
+          draw ()
+        in
+        let mutant =
+          Array.init 5 (fun k ->
+              pop.(r1).(k) +. (config.f *. (pop.(r2).(k) -. pop.(r3).(k))))
+        in
+        mutant.(0) <- clamp 0. (float_of_int d1 -. 1e-6) mutant.(0);
+        mutant.(1) <- clamp 0. (float_of_int d2 -. 1e-6) mutant.(1);
+        for k = 2 to 4 do
+          mutant.(k) <- clamp 0. 1. mutant.(k)
+        done;
+        let mf = fitness mutant in
+        if mf <= fit.(i) then begin
+          pop.(i) <- mutant;
+          fit.(i) <- mf
+        end
+      done;
+      check_batch ()
+    done;
+    assert false
+  with Done r -> r

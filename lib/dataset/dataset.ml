@@ -1,0 +1,240 @@
+type spec = {
+  name : string;
+  image_size : int;
+  num_classes : int;
+  class_names : string array;
+  noise_sigma : float;
+  distractor_prob : float;
+}
+
+let synth_cifar =
+  {
+    name = "synth_cifar";
+    image_size = 16;
+    num_classes = 10;
+    class_names =
+      [|
+        "airplane"; "automobile"; "bird"; "cat"; "deer"; "dog"; "frog";
+        "horse"; "ship"; "truck";
+      |];
+    noise_sigma = 0.20;
+    distractor_prob = 0.55;
+  }
+
+let synth_imagenet =
+  {
+    name = "synth_imagenet";
+    image_size = 24;
+    num_classes = 11;
+    class_names =
+      [|
+        "great_white_shark"; "tiger_shark"; "hammerhead"; "electric_ray";
+        "stingray"; "cock"; "hen"; "house_finch"; "junco"; "bulbul"; "jay";
+      |];
+    noise_sigma = 0.20;
+    distractor_prob = 0.55;
+  }
+
+let hsv_to_rgb ~h ~s ~v =
+  let h = h -. Float.of_int (int_of_float (Float.floor h)) in
+  let h = if h < 0. then h +. 1. else h in
+  let i = int_of_float (h *. 6.) mod 6 in
+  let f = (h *. 6.) -. Float.of_int (int_of_float (h *. 6.)) in
+  let p = v *. (1. -. s) in
+  let q = v *. (1. -. (s *. f)) in
+  let t = v *. (1. -. (s *. (1. -. f))) in
+  match i with
+  | 0 -> (v, t, p)
+  | 1 -> (q, v, p)
+  | 2 -> (p, v, t)
+  | 3 -> (p, q, v)
+  | 4 -> (t, p, v)
+  | _ -> (v, p, q)
+
+(* A pattern instance is a scalar mask over the image: 0 selects the
+   background color, 1 the foreground.  Each class is assigned one pattern
+   family; instance parameters are drawn per image. *)
+
+type mask = y:float -> x:float -> float
+(* Coordinates are normalized to [0, 1). *)
+
+let smoothstep edge0 edge1 v =
+  if v <= edge0 then 0.
+  else if v >= edge1 then 1.
+  else begin
+    let t = (v -. edge0) /. (edge1 -. edge0) in
+    t *. t *. (3. -. (2. *. t))
+  end
+
+let stripes g ~angle : mask =
+  let freq = Prng.float_in g 2.5 4.5 in
+  let phase = Prng.float g 1. in
+  let ca = cos angle and sa = sin angle in
+  fun ~y ~x ->
+    let t = (ca *. x) +. (sa *. y) in
+    0.5 +. (0.5 *. sin (2. *. Float.pi *. ((freq *. t) +. phase)))
+
+let disk g : mask =
+  let cx = Prng.float_in g 0.35 0.65 and cy = Prng.float_in g 0.35 0.65 in
+  let r = Prng.float_in g 0.18 0.32 in
+  fun ~y ~x ->
+    let d = sqrt (((x -. cx) ** 2.) +. ((y -. cy) ** 2.)) in
+    1. -. smoothstep (r -. 0.06) (r +. 0.06) d
+
+let ring g : mask =
+  let cx = Prng.float_in g 0.4 0.6 and cy = Prng.float_in g 0.4 0.6 in
+  let r = Prng.float_in g 0.22 0.34 in
+  let w = Prng.float_in g 0.05 0.1 in
+  fun ~y ~x ->
+    let d = sqrt (((x -. cx) ** 2.) +. ((y -. cy) ** 2.)) in
+    1. -. smoothstep (w -. 0.03) (w +. 0.03) (Float.abs (d -. r))
+
+let checkerboard g : mask =
+  let cells = Float.of_int (Prng.int_in g 3 5) in
+  let ox = Prng.float g 1. and oy = Prng.float g 1. in
+  fun ~y ~x ->
+    let cx = int_of_float (((x +. ox) *. cells) *. 2.) in
+    let cy = int_of_float (((y +. oy) *. cells) *. 2.) in
+    if (cx + cy) mod 2 = 0 then 1. else 0.
+
+let blob g : mask =
+  let cx = Prng.float_in g 0.2 0.8 and cy = Prng.float_in g 0.2 0.8 in
+  let sigma = Prng.float_in g 0.12 0.22 in
+  fun ~y ~x ->
+    let d2 = ((x -. cx) ** 2.) +. ((y -. cy) ** 2.) in
+    exp (-.d2 /. (2. *. sigma *. sigma))
+
+let double_blob g : mask =
+  let b1 = blob g and b2 = blob g in
+  fun ~y ~x -> Float.min 1. (b1 ~y ~x +. b2 ~y ~x)
+
+let sinusoid_product g : mask =
+  let fy = Prng.float_in g 1.5 3.5 and fx = Prng.float_in g 1.5 3.5 in
+  let py = Prng.float g 1. and px = Prng.float g 1. in
+  fun ~y ~x ->
+    let sy = sin (2. *. Float.pi *. ((fy *. y) +. py)) in
+    let sx = sin (2. *. Float.pi *. ((fx *. x) +. px)) in
+    0.5 +. (0.5 *. sy *. sx)
+
+let cross g : mask =
+  let cx = Prng.float_in g 0.3 0.7 and cy = Prng.float_in g 0.3 0.7 in
+  let w = Prng.float_in g 0.08 0.15 in
+  fun ~y ~x ->
+    let near_v = 1. -. smoothstep (w -. 0.03) (w +. 0.03) (Float.abs (x -. cx)) in
+    let near_h = 1. -. smoothstep (w -. 0.03) (w +. 0.03) (Float.abs (y -. cy)) in
+    Float.max near_v near_h
+
+let half_plane g : mask =
+  let slope = Prng.float_in g (-1.2) 1.2 in
+  let b = Prng.float_in g 0.2 0.8 in
+  fun ~y ~x -> smoothstep (-0.06) 0.06 (y -. ((slope *. (x -. 0.5)) +. b))
+
+let triangle g : mask =
+  let cx = Prng.float_in g 0.35 0.65 and cy = Prng.float_in g 0.4 0.7 in
+  let s = Prng.float_in g 0.25 0.4 in
+  fun ~y ~x ->
+    (* Upward triangle: inside when below the apex lines and above base. *)
+    let dx = Float.abs (x -. cx) in
+    let top = cy -. s and base = cy +. (s /. 2.) in
+    if y > base || y < top then 0.
+    else begin
+      let frac = (y -. top) /. (base -. top) in
+      if dx <= frac *. s *. 0.8 then 1. else 0.
+    end
+
+let pattern_for_class g class_id =
+  match class_id mod 11 with
+  | 0 -> stripes g ~angle:0.
+  | 1 -> stripes g ~angle:(Float.pi /. 2.)
+  | 2 -> stripes g ~angle:(Float.pi /. 4.)
+  | 3 -> disk g
+  | 4 -> checkerboard g
+  | 5 -> ring g
+  | 6 -> blob g
+  | 7 -> sinusoid_product g
+  | 8 -> cross g
+  | 9 -> half_plane g
+  | 10 -> double_blob g
+  | _ -> triangle g (* unreachable: [mod 11] is in [0, 10] *)
+
+let class_colors spec g class_id =
+  let base_hue = Float.of_int class_id /. Float.of_int spec.num_classes in
+  let hue = base_hue +. Prng.float_in g (-0.10) 0.10 in
+  let fg = hsv_to_rgb ~h:hue ~s:(Prng.float_in g 0.6 0.9)
+      ~v:(Prng.float_in g 0.7 0.95)
+  in
+  let bg = hsv_to_rgb ~h:(hue +. 0.5) ~s:(Prng.float_in g 0.2 0.45)
+      ~v:(Prng.float_in g 0.25 0.5)
+  in
+  (fg, bg)
+
+let clamp01 v = if v < 0. then 0. else if v > 1. then 1. else v
+
+let generate spec g ~class_id =
+  if class_id < 0 || class_id >= spec.num_classes then
+    invalid_arg
+      (Printf.sprintf "Dataset.generate(%s): class %d out of range [0, %d)"
+        spec.name class_id spec.num_classes);
+  let n = spec.image_size in
+  let mask = pattern_for_class g class_id in
+  let (fr, fgc, fb), (br, bgc, bb) = class_colors spec g class_id in
+  let distractor =
+    if Prng.uniform g < spec.distractor_prob then begin
+      let other =
+        (class_id + 1 + Prng.int g (spec.num_classes - 1)) mod spec.num_classes
+      in
+      let dmask = pattern_for_class g other in
+      let strength = Prng.float_in g 0.25 0.5 in
+      Some (dmask, strength)
+    end
+    else None
+  in
+  let img = Tensor.zeros [| 3; n; n |] in
+  let inv = 1. /. Float.of_int n in
+  for iy = 0 to n - 1 do
+    for ix = 0 to n - 1 do
+      let y = (Float.of_int iy +. 0.5) *. inv
+      and x = (Float.of_int ix +. 0.5) *. inv in
+      let m = mask ~y ~x in
+      let m =
+        match distractor with
+        | None -> m
+        | Some (dmask, strength) ->
+            (* Blend a faint second structure in: pushes some instances
+               toward another class's decision region. *)
+            clamp01 (m +. (strength *. (dmask ~y ~x -. 0.5)))
+      in
+      let pixel ch fg bg =
+        let v =
+          bg +. (m *. (fg -. bg)) +. Prng.normal g ~sigma:spec.noise_sigma ()
+        in
+        Tensor.set img [| ch; iy; ix |] (clamp01 v)
+      in
+      pixel 0 fr br;
+      pixel 1 fgc bgc;
+      pixel 2 fb bb
+    done
+  done;
+  img
+
+let labelled spec g ~class_id = (generate spec g ~class_id, class_id)
+
+let class_set spec ~seed ~class_id ~n =
+  let root = Prng.of_int seed in
+  let g =
+    Prng.named_stream root
+      (Printf.sprintf "%s/class%d" spec.name class_id)
+  in
+  Array.init n (fun _ -> labelled spec g ~class_id)
+
+let balanced_set spec ~seed ~per_class =
+  Array.concat
+    (List.init spec.num_classes (fun class_id ->
+         class_set spec ~seed ~class_id ~n:per_class))
+
+let train_test spec ~seed ~train_per_class ~test_per_class =
+  let train = balanced_set spec ~seed ~per_class:train_per_class in
+  (* A distinct stream: test images never overlap train images, and are
+     stable under changes to [train_per_class]. *)
+  let test = balanced_set spec ~seed:(seed + 1000003) ~per_class:test_per_class in
+  (train, test)

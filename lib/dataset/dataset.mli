@@ -1,0 +1,56 @@
+(** Procedural image datasets.
+
+    The paper evaluates on CIFAR-10 and an 11-class ImageNet subset;
+    neither can be loaded in this environment (see DESIGN.md §2), so we
+    generate synthetic stand-ins.  Each class is a parametric pattern
+    family (stripes, disks, checkerboards, ...) rendered with
+    class-specific colors; instances vary by random phase, position,
+    frequency and hue jitter, carry Gaussian pixel noise, and sometimes a
+    faint overlay of another class's pattern.  The result is a dataset
+    that small CNNs learn to ~85-95% accuracy while retaining
+    boundary-adjacent images — the population one-pixel attacks feed on.
+
+    All images are CHW tensors with values in [0, 1].  Generation is
+    deterministic given the spec and seed. *)
+
+type spec = {
+  name : string;
+  image_size : int;
+  num_classes : int;
+  class_names : string array;
+  noise_sigma : float;
+  distractor_prob : float;  (** probability of a faint cross-class overlay *)
+}
+
+val synth_cifar : spec
+(** 10 classes, 16x16, CIFAR-10 stand-in. *)
+
+val synth_imagenet : spec
+(** 11 classes, 24x24, named after the paper's ImageNet training classes
+    (great white shark, tiger shark, hammerhead, ...).  The image is 1.5x
+    the CIFAR stand-in's side, preserving the paper's "much larger search
+    space" regime (4608 vs 2048 location-perturbation pairs) at tractable
+    cost. *)
+
+val generate : spec -> Prng.t -> class_id:int -> Tensor.t
+(** Render one instance of [class_id].  Raises [Invalid_argument] if the
+    class is out of range. *)
+
+val labelled : spec -> Prng.t -> class_id:int -> Tensor.t * int
+
+val class_set : spec -> seed:int -> class_id:int -> n:int -> (Tensor.t * int) array
+(** [n] instances of one class — the paper's per-class training sets.
+    Depends only on [(spec, seed, class_id, n)]. *)
+
+val balanced_set : spec -> seed:int -> per_class:int -> (Tensor.t * int) array
+(** [per_class] instances of every class, grouped by class. *)
+
+val train_test :
+  spec -> seed:int -> train_per_class:int -> test_per_class:int ->
+  (Tensor.t * int) array * (Tensor.t * int) array
+(** Disjoint balanced train and test sets (the test stream is a distinct
+    named PRNG stream, so enlarging the train set never changes test
+    images). *)
+
+val hsv_to_rgb : h:float -> s:float -> v:float -> float * float * float
+(** Standard HSV to RGB conversion; [h] wraps modulo 1. *)

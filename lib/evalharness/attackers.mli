@@ -1,0 +1,40 @@
+(** A uniform interface over all attacks, for the experiment runners.
+
+    An attacker takes a fresh per-image RNG and oracle and produces a
+    {!Oppsla.Sketch.result}.  Deterministic attacks (the sketch family)
+    ignore the RNG. *)
+
+type t = {
+  name : string;
+  run :
+    Prng.t ->
+    Oracle.t ->
+    max_queries:int ->
+    image:Tensor.t ->
+    true_class:int ->
+    Oppsla.Sketch.result;
+}
+
+val oppsla : programs:Oppsla.Condition.program array -> t
+(** The paper's protocol: one program per class; the attack on an image
+    of class [c] runs program [programs.(c)]. *)
+
+val oppsla_single : Oppsla.Condition.program -> t
+(** One program for every class (transferability-style runs). *)
+
+val sketch_false : t
+(** Sketch+False: the constant-prioritization baseline. *)
+
+val sparse_rs : t
+val su_opa : ?population:int -> unit -> t
+
+val run_one :
+  t ->
+  seed:int ->
+  oracle_factory:(unit -> Oracle.t) ->
+  max_queries:int ->
+  image:Tensor.t ->
+  true_class:int ->
+  Oppsla.Sketch.result
+(** Run an attacker on one image with a seed derived from [seed] (so
+    randomized attacks are reproducible image-by-image). *)

@@ -1,0 +1,115 @@
+type point = { budget : int; rate : float }
+type t = { label : string; points : point list }
+
+let of_records ~label ~budgets records =
+  {
+    label;
+    points =
+      List.map
+        (fun budget -> { budget; rate = Runner.success_rate_at records budget })
+        (List.sort_uniq compare budgets);
+  }
+
+let log_budgets ~max =
+  if max < 1 then invalid_arg "Curves.log_budgets: max < 1";
+  let rec ladder acc decade =
+    let step m =
+      let v = m * decade in
+      if v <= max then Some v else None
+    in
+    match (step 1, step 2, step 5) with
+    | Some a, Some b, Some c -> ladder (c :: b :: a :: acc) (decade * 10)
+    | Some a, Some b, None -> b :: a :: acc
+    | Some a, None, _ -> a :: acc
+    | None, _, _ -> acc
+  in
+  List.sort_uniq compare (max :: ladder [] 1)
+
+let auc { points; _ } =
+  match points with
+  | [] | [ _ ] -> invalid_arg "Curves.auc: need at least two points"
+  | first :: _ ->
+      (* Trapezoid rule on log(budget). *)
+      let logb p = log (float_of_int p.budget) in
+      let rec area acc = function
+        | a :: (b :: _ as rest) ->
+            area (acc +. ((logb b -. logb a) *. ((a.rate +. b.rate) /. 2.))) rest
+        | [ _ ] | [] -> acc
+      in
+      let total_width =
+        logb (List.nth points (List.length points - 1)) -. logb first
+      in
+      if total_width <= 0. then first.rate else area 0. points /. total_width
+
+let crossover a b =
+  if List.length a.points <> List.length b.points then
+    invalid_arg "Curves.crossover: different budget grids";
+  List.iter2
+    (fun pa pb ->
+      if pa.budget <> pb.budget then
+        invalid_arg "Curves.crossover: different budget grids")
+    a.points b.points;
+  let paired = List.combine a.points b.points in
+  let rec from = function
+    | [] -> None
+    | (pa, _) :: _ as rest
+      when List.for_all (fun (x, y) -> x.rate >= y.rate) rest ->
+        Some pa.budget
+    | _ :: rest -> from rest
+  in
+  from paired
+
+let glyphs = [| 'o'; '+'; 'x'; '*'; '#'; '@' |]
+
+let render ?(width = 60) ?(height = 12) curves =
+  if curves = [] then invalid_arg "Curves.render: no curves";
+  let all_budgets =
+    List.concat_map (fun c -> List.map (fun p -> p.budget) c.points) curves
+  in
+  let min_b = List.fold_left min max_int all_budgets
+  and max_b = List.fold_left max 1 all_budgets in
+  let log_min = log (float_of_int (max 1 min_b))
+  and log_max = log (float_of_int (max 2 max_b)) in
+  let x_of budget =
+    if log_max <= log_min then 0
+    else
+      int_of_float
+        (Float.round
+           ((log (float_of_int budget) -. log_min)
+           /. (log_max -. log_min)
+           *. float_of_int (width - 1)))
+  in
+  let y_of rate =
+    height - 1 - int_of_float (Float.round (rate *. float_of_int (height - 1)))
+  in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun ci curve ->
+      let glyph = glyphs.(ci mod Array.length glyphs) in
+      List.iter
+        (fun p -> grid.(y_of p.rate).(x_of p.budget) <- glyph)
+        curve.points)
+    curves;
+  let buf = Buffer.create ((height + 4) * (width + 8)) in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 then "100% |"
+        else if row = height - 1 then "  0% |"
+        else "     |"
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("     +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "      queries (log scale): %d .. %d\n" min_b max_b);
+  List.iteri
+    (fun ci curve ->
+      Buffer.add_string buf
+        (Printf.sprintf "      %c = %s\n"
+           glyphs.(ci mod Array.length glyphs)
+           curve.label))
+    curves;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Full success-rate-vs-budget curves (the continuous form of Figure 3).
+
+    A curve is derived from per-image attack records: the success rate at
+    budget [q] is the fraction of images whose attack succeeded within
+    [q] queries.  Curves are monotone step functions; we sample them on a
+    log-spaced budget grid and render them as ASCII charts. *)
+
+type point = { budget : int; rate : float }
+
+type t = { label : string; points : point list }
+
+val of_records : label:string -> budgets:int list -> Runner.record array -> t
+(** Sample the success-rate step function at the given budgets. *)
+
+val log_budgets : max:int -> int list
+(** A deduplicated 1-2-5 log ladder up to and including [max]
+    (1, 2, 5, 10, 20, 50, ...). *)
+
+val auc : t -> float
+(** Area under the curve with budgets on a log axis, normalized to
+    [0, 1] — a single query-efficiency number (higher is better).
+    Raises [Invalid_argument] on curves with fewer than two points. *)
+
+val crossover : t -> t -> int option
+(** Smallest sampled budget from which the first curve is at least as
+    good as the second for every remaining budget, or [None].  Both
+    curves must be sampled on the same budget grid. *)
+
+val render : ?width:int -> ?height:int -> t list -> string
+(** Multi-curve ASCII chart: budgets on a log x-axis, success rate on
+    the y-axis, one glyph per curve plus a legend. *)

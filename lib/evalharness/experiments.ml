@@ -1,0 +1,295 @@
+type scale = {
+  domains : int option;
+  budgets : int list;
+  max_queries_cifar : int;
+  max_queries_imagenet : int;
+  su_population : int;
+  random_samples : int;
+  synth : Workbench.synth_params;
+  imagenet_synth : Workbench.synth_params;
+  imagenet_test_per_class : int;
+  imagenet_synth_per_class : int;
+  fig4_iters : int;
+  fig4_test_images : int;
+  attack_seed : int;
+}
+
+let default_scale =
+  {
+    domains = None;
+    budgets = [ 50; 200 ];
+    (* Full corner space for the CIFAR regime: below the full space the
+       per-program success sets diverge and "average queries over
+       successes" is biased toward attacks that only crack easy images
+       (the paper's 10000-query budget also exceeds its full space). *)
+    max_queries_cifar = 2048;
+    max_queries_imagenet = 2048;
+    su_population = 400;
+    random_samples = 12;
+    synth = { Workbench.default_synth_params with iters = 25 };
+    imagenet_synth =
+      {
+        Workbench.default_synth_params with
+        iters = 8;
+        synth_max_queries_per_image = 1024;
+      };
+    imagenet_test_per_class = 3;
+    imagenet_synth_per_class = 4;
+    fig4_iters = 30;
+    fig4_test_images = 15;
+    attack_seed = 1234;
+  }
+
+let quick_scale =
+  {
+    domains = None;
+    budgets = [ 25; 50 ];
+    max_queries_cifar = 256;
+    max_queries_imagenet = 256;
+    su_population = 50;
+    random_samples = 4;
+    synth =
+      {
+        Workbench.default_synth_params with
+        iters = 3;
+        synth_max_queries_per_image = 256;
+      };
+    imagenet_synth =
+      {
+        Workbench.default_synth_params with
+        iters = 2;
+        synth_max_queries_per_image = 256;
+      };
+    imagenet_test_per_class = 2;
+    imagenet_synth_per_class = 3;
+    fig4_iters = 5;
+    fig4_test_images = 6;
+    attack_seed = 1234;
+  }
+
+(* Figure 3 *)
+
+type fig3_cell = { budget : int; success_rate : float }
+
+type fig3_row = {
+  classifier : string;
+  dataset : string;
+  attacker : string;
+  attacked_images : int;
+  cells : fig3_cell list;
+  avg_queries : float option;
+}
+
+let attackers_for scale synth_params c config =
+  let programs = Workbench.synthesize_programs ~params:synth_params config c in
+  [
+    Attackers.oppsla ~programs;
+    Attackers.sparse_rs;
+    Attackers.su_opa ~population:scale.su_population ();
+  ]
+
+(* The ImageNet regime gets its own (lighter) test / synthesis sizes. *)
+let imagenet_config scale (config : Workbench.config) =
+  {
+    config with
+    Workbench.test_per_class = scale.imagenet_test_per_class;
+    synth_per_class = scale.imagenet_synth_per_class;
+  }
+
+let fig3_for_classifier scale config synth_params max_queries
+    (c : Workbench.classifier) =
+  List.map
+    (fun attacker ->
+      config.Workbench.log
+        (Printf.sprintf "[fig3] %s vs %s (%d images)" attacker.Attackers.name
+           c.Workbench.arch
+           (Array.length c.Workbench.test));
+      let records =
+        Runner.run ?domains:scale.domains ~seed:scale.attack_seed ~max_queries
+          attacker c c.Workbench.test
+      in
+      let budgets = scale.budgets @ [ max_queries ] in
+      {
+        classifier = c.Workbench.arch;
+        dataset = c.Workbench.spec.Dataset.name;
+        attacker = attacker.Attackers.name;
+        attacked_images = Array.length c.Workbench.test;
+        cells =
+          List.map
+            (fun budget ->
+              { budget; success_rate = Runner.success_rate_at records budget })
+            budgets;
+        avg_queries = Runner.avg_queries records;
+      })
+    (attackers_for scale synth_params c config)
+
+let fig3_cifar ?(scale = default_scale) config =
+  List.concat_map
+    (fig3_for_classifier scale config scale.synth scale.max_queries_cifar)
+    (Workbench.cifar_suite config)
+
+let fig3_imagenet ?(scale = default_scale) config =
+  let iconfig = imagenet_config scale config in
+  List.concat_map
+    (fig3_for_classifier scale iconfig scale.imagenet_synth
+       scale.max_queries_imagenet)
+    (Workbench.imagenet_suite iconfig)
+
+let fig3 ?(scale = default_scale) config =
+  fig3_cifar ~scale config @ fig3_imagenet ~scale config
+
+(* Table 1 *)
+
+type table1 = {
+  classifiers : string list;
+  avg_queries : float option array array;
+}
+
+let table1 ?(scale = default_scale) config =
+  let suite = Array.of_list (Workbench.cifar_suite config) in
+  let programs =
+    Array.map (Workbench.synthesize_programs ~params:scale.synth config) suite
+  in
+  let n = Array.length suite in
+  let avg =
+    Array.init n (fun target ->
+        Array.init n (fun source ->
+            config.Workbench.log
+              (Printf.sprintf "[table1] programs of %s vs %s"
+                 suite.(source).Workbench.arch suite.(target).Workbench.arch);
+            let attacker = Attackers.oppsla ~programs:programs.(source) in
+            let records =
+              Runner.run ?domains:scale.domains ~seed:scale.attack_seed
+                ~max_queries:scale.max_queries_cifar attacker suite.(target)
+                suite.(target).Workbench.test
+            in
+            Runner.avg_queries records))
+  in
+  {
+    classifiers = Array.to_list (Array.map (fun c -> c.Workbench.arch) suite);
+    avg_queries = avg;
+  }
+
+(* Figure 4 *)
+
+type fig4_point = {
+  iteration : int;
+  synth_queries : int;
+  test_avg_queries : float;
+}
+
+type fig4 = { series : fig4_point list; baseline_avg_queries : float }
+
+let fig4 ?(scale = default_scale) config =
+  let c = Workbench.load_classifier config Dataset.synth_cifar "vgg_tiny" in
+  let class_id = 0 (* airplane *) in
+  let training = c.Workbench.synth_sets.(class_id) in
+  if Array.length training = 0 then
+    failwith "Experiments.fig4: no correctly classified training images";
+  (* Held-out airplane images (a stream distinct from both the synthesis
+     set and the standard test set). *)
+  let heldout =
+    Array.of_list
+      (List.filter
+         (fun (x, cl) -> Nn.Network.classify c.Workbench.net x = cl)
+         (Array.to_list
+            (Dataset.class_set c.Workbench.spec
+               ~seed:(config.Workbench.seed + 3000003) ~class_id
+               ~n:scale.fig4_test_images)))
+  in
+  let evaluate_on_heldout program =
+    let e =
+      Workbench.parallel_evaluator ?domains:scale.domains
+        ~max_queries:scale.max_queries_cifar c program heldout
+    in
+    e.Oppsla.Score.avg_queries
+  in
+  let synth_config =
+    {
+      Oppsla.Synthesizer.default_config with
+      beta = scale.synth.Workbench.beta;
+      max_iters = scale.fig4_iters;
+      max_queries_per_image =
+        Some scale.synth.Workbench.synth_max_queries_per_image;
+      evaluator =
+        Some
+          (Workbench.parallel_evaluator ?domains:scale.domains
+             ~max_queries:scale.synth.Workbench.synth_max_queries_per_image c);
+    }
+  in
+  let g =
+    Prng.named_stream
+      (Prng.of_int config.Workbench.seed)
+      (Printf.sprintf "fig4/%s/%d" c.Workbench.arch class_id)
+  in
+  let out =
+    Oppsla.Synthesizer.synthesize ~config:synth_config g
+      (Workbench.oracle_factory c ())
+      ~training
+  in
+  (* Every accepted iteration changes the chain position; evaluate each on
+     the held-out set. *)
+  let series =
+    List.filter_map
+      (fun (it : Oppsla.Synthesizer.iteration) ->
+        if not it.accepted then None
+        else
+          Some
+            {
+              iteration = it.index;
+              synth_queries = it.synth_queries_total;
+              test_avg_queries = evaluate_on_heldout it.program;
+            })
+      out.Oppsla.Synthesizer.trace
+  in
+  {
+    series;
+    baseline_avg_queries =
+      evaluate_on_heldout Oppsla.Condition.const_false_program;
+  }
+
+(* Table 2 *)
+
+type table2_row = {
+  classifier : string;
+  approach : string;
+  success_rate : float;
+  avg_queries : float option;
+  median_queries : float option;
+}
+
+let table2 ?(scale = default_scale) config =
+  let suite = Workbench.cifar_suite config in
+  List.concat_map
+    (fun (c : Workbench.classifier) ->
+      let run attacker =
+        config.Workbench.log
+          (Printf.sprintf "[table2] %s vs %s" attacker.Attackers.name
+             c.Workbench.arch);
+        Runner.run ?domains:scale.domains ~seed:scale.attack_seed
+          ~max_queries:scale.max_queries_cifar attacker c c.Workbench.test
+      in
+      let row approach records =
+        {
+          classifier = c.Workbench.arch;
+          approach;
+          success_rate = Runner.success_rate records;
+          avg_queries = Runner.avg_queries records;
+          median_queries = Runner.median_queries records;
+        }
+      in
+      let oppsla_programs =
+        Workbench.synthesize_programs ~params:scale.synth config c
+      in
+      let random_programs =
+        Workbench.sketch_random_programs ~samples:scale.random_samples
+          ~max_queries_per_image:
+            scale.synth.Workbench.synth_max_queries_per_image config c
+      in
+      [
+        row "OPPSLA" (run (Attackers.oppsla ~programs:oppsla_programs));
+        row "Sketch+False" (run Attackers.sketch_false);
+        row "Sketch+Random" (run (Attackers.oppsla ~programs:random_programs));
+        row "Sparse-RS" (run Attackers.sparse_rs);
+      ])
+    suite

@@ -1,0 +1,98 @@
+(** The paper's experiments (Section 5 and Appendix C), scaled to the
+    synthetic substrate.
+
+    Every function returns structured data; {!Report} renders it in the
+    shape of the paper's tables/figures.  Expensive artifacts (trained
+    weights, synthesized programs) are cached through {!Workbench}. *)
+
+type scale = {
+  domains : int option;  (** parallelism; [None] = auto *)
+  budgets : int list;  (** reporting budgets for Figure 3 *)
+  max_queries_cifar : int;  (** attack allowance, CIFAR regime *)
+  max_queries_imagenet : int;  (** attack allowance, ImageNet regime *)
+  su_population : int;  (** SuOPA population (= its minimum queries) *)
+  random_samples : int;  (** Sketch+Random sample count *)
+  synth : Workbench.synth_params;  (** CIFAR-regime synthesis *)
+  imagenet_synth : Workbench.synth_params;
+      (** ImageNet-regime synthesis (lighter: larger search space, slower
+          forward passes) *)
+  imagenet_test_per_class : int;
+  imagenet_synth_per_class : int;
+  fig4_iters : int;  (** synthesis iterations traced in Figure 4 *)
+  fig4_test_images : int;  (** held-out images for Figure 4's evaluation *)
+  attack_seed : int;  (** seed for randomized attackers *)
+}
+
+val default_scale : scale
+(** Laptop-scale defaults (see EXPERIMENTS.md for the mapping to the
+    paper's parameters): budgets 50/200/full-space, SuOPA population 400,
+    CIFAR synthesis of 25 iterations on 10 images per class, ImageNet
+    synthesis of 15 iterations on 6 images per class. *)
+
+val quick_scale : scale
+(** A smoke-test scale that runs every experiment in a couple of minutes
+    (tiny budgets and iteration counts; numbers are not meaningful). *)
+
+(** {1 Figure 3: success rate vs. query budget} *)
+
+type fig3_cell = { budget : int; success_rate : float }
+
+type fig3_row = {
+  classifier : string;
+  dataset : string;
+  attacker : string;
+  attacked_images : int;
+  cells : fig3_cell list;
+  avg_queries : float option;  (** over successes at the full allowance *)
+}
+
+val fig3 : ?scale:scale -> Workbench.config -> fig3_row list
+(** Three CIFAR-regime and two ImageNet-regime classifiers, each attacked
+    by OPPSLA (per-class synthesized programs), Sparse-RS and SuOPA. *)
+
+val fig3_cifar : ?scale:scale -> Workbench.config -> fig3_row list
+val fig3_imagenet : ?scale:scale -> Workbench.config -> fig3_row list
+(** The two halves of {!fig3}, runnable independently (the ImageNet
+    regime is by far the more expensive). *)
+
+(** {1 Table 1: transferability} *)
+
+type table1 = {
+  classifiers : string list;  (** row/column order *)
+  avg_queries : float option array array;
+      (** [avg.(target).(source)]: programs synthesized for [source], run
+          against [target] *)
+}
+
+val table1 : ?scale:scale -> Workbench.config -> table1
+
+(** {1 Figure 4: synthesis queries vs. program quality} *)
+
+type fig4_point = {
+  iteration : int;
+  synth_queries : int;  (** cumulative synthesis queries when accepted *)
+  test_avg_queries : float;  (** average attack queries on held-out images *)
+}
+
+type fig4 = {
+  series : fig4_point list;  (** one point per newly accepted program *)
+  baseline_avg_queries : float;  (** Sketch+False on the same held-out set *)
+}
+
+val fig4 : ?scale:scale -> Workbench.config -> fig4
+(** Synthesis for vgg_tiny on the airplane class, tracing intermediate
+    accepted programs, each evaluated on held-out airplane images. *)
+
+(** {1 Table 2: ablation} *)
+
+type table2_row = {
+  classifier : string;
+  approach : string;
+  success_rate : float;  (** within the full attack allowance *)
+  avg_queries : float option;
+  median_queries : float option;
+}
+
+val table2 : ?scale:scale -> Workbench.config -> table2_row list
+(** OPPSLA vs Sketch+False vs Sketch+Random vs Sparse-RS on the three
+    CIFAR-regime classifiers. *)

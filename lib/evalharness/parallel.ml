@@ -1,0 +1,28 @@
+let domain_count () = min 8 (Domain.recommended_domain_count ())
+
+let map ?domains f xs =
+  let n = Array.length xs in
+  let domains = match domains with Some d -> d | None -> domain_count () in
+  if domains <= 1 || n < 2 then Array.map f xs
+  else begin
+    let workers = min domains n in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f xs.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let handles = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
+    Fun.protect
+      ~finally:(fun () -> Array.iter Domain.join handles)
+      work;
+    Array.map
+      (function Some v -> v | None -> failwith "Parallel.map: missing result")
+      results
+  end

@@ -1,0 +1,15 @@
+(** Multicore helpers (OCaml 5 domains).
+
+    Attacks on distinct images are independent and the classifiers'
+    inference path is pure, so experiment runners fan image batches out
+    across domains.  The mapped function must be thread-safe: in practice
+    that means it must build its own {!Oracle.t} (whose query counter is
+    mutable) rather than share one. *)
+
+val domain_count : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map.  With [domains <= 1] (or on arrays of
+    fewer than 2 elements) runs sequentially.  Exceptions raised by [f]
+    are re-raised in the caller. *)

@@ -1,0 +1,112 @@
+let table ~headers ~rows =
+  let all = headers :: rows in
+  let columns = List.length headers in
+  List.iter
+    (fun row ->
+      if List.length row <> columns then
+        invalid_arg "Report.table: ragged rows")
+    rows;
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row i)))
+      0 all
+  in
+  let widths = List.init columns width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    "| "
+    ^ String.concat " | " (List.map2 pad row widths)
+    ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  String.concat "\n"
+    ([ rule; render_row headers; rule ]
+    @ List.map render_row rows
+    @ [ rule ])
+
+let float_opt = function
+  | None -> "-"
+  | Some v -> Printf.sprintf "%.2f" v
+
+let percent v = Printf.sprintf "%.1f%%" (100. *. v)
+
+let render_fig3 (rows : Experiments.fig3_row list) =
+  match rows with
+  | [] -> "(no data)"
+  | first :: _ ->
+      let budget_headers =
+        List.map
+          (fun (c : Experiments.fig3_cell) -> Printf.sprintf "<=%d" c.budget)
+          first.Experiments.cells
+      in
+      let headers =
+        [ "dataset"; "classifier"; "attack"; "#images" ]
+        @ budget_headers @ [ "avg #queries" ]
+      in
+      let body =
+        List.map
+          (fun (r : Experiments.fig3_row) ->
+            [ r.dataset; r.classifier; r.attacker;
+              string_of_int r.attacked_images ]
+            @ List.map
+                (fun (c : Experiments.fig3_cell) -> percent c.success_rate)
+                r.cells
+            @ [ float_opt r.avg_queries ])
+          rows
+      in
+      "Figure 3 - success rate by query budget\n" ^ table ~headers ~rows:body
+
+let render_table1 (t : Experiments.table1) =
+  let headers = "target \\ synthesized for" :: t.classifiers in
+  let rows =
+    List.mapi
+      (fun target name ->
+        name
+        :: List.mapi
+             (fun source _ -> float_opt t.avg_queries.(target).(source))
+             t.classifiers)
+      t.classifiers
+  in
+  "Table 1 - transferability (avg #queries)\n" ^ table ~headers ~rows
+
+let render_fig4 (f : Experiments.fig4) =
+  let headers =
+    [ "iteration"; "synth queries"; "avg #queries (held-out)" ]
+  in
+  let rows =
+    List.map
+      (fun (p : Experiments.fig4_point) ->
+        [
+          string_of_int p.iteration;
+          string_of_int p.synth_queries;
+          Printf.sprintf "%.2f" p.test_avg_queries;
+        ])
+      f.series
+  in
+  Printf.sprintf
+    "Figure 4 - program quality vs synthesis queries\n%s\nSketch+False \
+     reference (0 synthesis queries): %.2f avg #queries"
+    (table ~headers ~rows) f.baseline_avg_queries
+
+let render_table2 (rows : Experiments.table2_row list) =
+  let headers =
+    [ "classifier"; "approach"; "success"; "avg #queries"; "median #queries" ]
+  in
+  let body =
+    List.map
+      (fun (r : Experiments.table2_row) ->
+        [
+          r.classifier;
+          r.approach;
+          percent r.success_rate;
+          float_opt r.avg_queries;
+          float_opt r.median_queries;
+        ])
+      rows
+  in
+  "Table 2 - ablation (synthesized conditions & stochastic search)\n"
+  ^ table ~headers ~rows:body

@@ -1,0 +1,16 @@
+(** Plain-text rendering of experiment results, shaped like the paper's
+    tables and figures. *)
+
+val table : headers:string list -> rows:string list list -> string
+(** Box-drawn, column-aligned table. *)
+
+val float_opt : float option -> string
+(** ["-"] for [None], two decimals otherwise. *)
+
+val percent : float -> string
+(** [0.59 -> "59.0%"]. *)
+
+val render_fig3 : Experiments.fig3_row list -> string
+val render_table1 : Experiments.table1 -> string
+val render_fig4 : Experiments.fig4 -> string
+val render_table2 : Experiments.table2_row list -> string

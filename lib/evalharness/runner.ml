@@ -1,0 +1,52 @@
+type record = { true_class : int; success : bool; queries : int }
+
+let run ?domains ~seed ~max_queries (attacker : Attackers.t) classifier
+    samples =
+  let indexed = Array.mapi (fun i s -> (i, s)) samples in
+  Parallel.map ?domains
+    (fun (i, (image, true_class)) ->
+      let g =
+        Prng.named_stream (Prng.of_int seed)
+          (Printf.sprintf "run/%s/%d" attacker.Attackers.name i)
+      in
+      let oracle = Workbench.oracle_factory classifier () in
+      let r = attacker.Attackers.run g oracle ~max_queries ~image ~true_class in
+      {
+        true_class;
+        success = r.Oppsla.Sketch.adversarial <> None;
+        queries = r.Oppsla.Sketch.queries;
+      })
+    indexed
+
+let success_rate_at records budget =
+  if Array.length records = 0 then 0.
+  else begin
+    let hits = ref 0 in
+    Array.iter
+      (fun r -> if r.success && r.queries <= budget then incr hits)
+      records;
+    float_of_int !hits /. float_of_int (Array.length records)
+  end
+
+let success_rate records = success_rate_at records max_int
+
+let successful_queries records =
+  Array.to_list records
+  |> List.filter_map (fun r -> if r.success then Some r.queries else None)
+
+let avg_queries records =
+  match successful_queries records with
+  | [] -> None
+  | qs ->
+      Some
+        (float_of_int (List.fold_left ( + ) 0 qs)
+        /. float_of_int (List.length qs))
+
+let median_queries records =
+  match List.sort compare (successful_queries records) with
+  | [] -> None
+  | qs ->
+      let n = List.length qs in
+      let nth i = float_of_int (List.nth qs i) in
+      if n mod 2 = 1 then Some (nth (n / 2))
+      else Some ((nth ((n / 2) - 1) +. nth (n / 2)) /. 2.)

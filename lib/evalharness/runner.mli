@@ -1,0 +1,39 @@
+(** Attack evaluation over a test set, and the statistics the paper
+    reports.
+
+    Each image is attacked once with the full query allowance; the
+    recorded per-image query count then yields the success rate at
+    {e every} smaller budget (an attack that succeeds after [q] queries
+    succeeds for any budget [>= q]; one that fails within the full space
+    fails for all budgets).  This is exact for the deterministic sketch
+    family and standard practice for the randomized baselines. *)
+
+type record = {
+  true_class : int;
+  success : bool;
+  queries : int;  (** queries spent (until success, or until give-up) *)
+}
+
+val run :
+  ?domains:int ->
+  seed:int ->
+  max_queries:int ->
+  Attackers.t ->
+  Workbench.classifier ->
+  (Tensor.t * int) array ->
+  record array
+(** Attack every (image, class) pair.  Randomized attackers get a
+    distinct, reproducible RNG per image (derived from [seed] and the
+    image's index). *)
+
+val success_rate_at : record array -> int -> float
+(** Fraction of images whose attack succeeded within the given budget. *)
+
+val success_rate : record array -> float
+
+val avg_queries : record array -> float option
+(** Mean queries over successful attacks ([None] without successes). *)
+
+val median_queries : record array -> float option
+(** Median queries over successful attacks (mean of middle pair for even
+    counts). *)

@@ -1,0 +1,82 @@
+let nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty sample")
+
+let mean xs =
+  nonempty "mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  nonempty "stddev" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc v -> acc +. ((v -. m) ** 2.)) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let quantile xs q =
+  nonempty "quantile" xs;
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs 0.5
+
+type interval = { lo : float; hi : float }
+
+let percentile_interval confidence samples =
+  Array.sort compare samples;
+  let alpha = (1. -. confidence) /. 2. in
+  {
+    lo = quantile samples alpha;
+    hi = quantile samples (1. -. alpha);
+  }
+
+let bootstrap_mean_ci ?(replicates = 1000) ?(confidence = 0.95) g xs =
+  nonempty "bootstrap_mean_ci" xs;
+  if replicates <= 0 then invalid_arg "Stats.bootstrap_mean_ci: replicates";
+  let n = Array.length xs in
+  let resample () =
+    let acc = ref 0. in
+    for _ = 1 to n do
+      acc := !acc +. xs.(Prng.int g n)
+    done;
+    !acc /. float_of_int n
+  in
+  percentile_interval confidence (Array.init replicates (fun _ -> resample ()))
+
+let bootstrap_proportion_ci ?(replicates = 1000) ?(confidence = 0.95) g
+    ~successes ~total =
+  if total <= 0 then invalid_arg "Stats.bootstrap_proportion_ci: total <= 0";
+  if successes < 0 || successes > total then
+    invalid_arg "Stats.bootstrap_proportion_ci: successes outside [0, total]";
+  let resample () =
+    let hits = ref 0 in
+    for _ = 1 to total do
+      if Prng.int g total < successes then incr hits
+    done;
+    float_of_int !hits /. float_of_int total
+  in
+  percentile_interval confidence (Array.init replicates (fun _ -> resample ()))
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: empty range";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun v ->
+      let b = int_of_float ((v -. lo) /. width) in
+      let b = max 0 (min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  counts
+
+let pp_interval fmt { lo; hi } = Format.fprintf fmt "[%.2f, %.2f]" lo hi

@@ -1,0 +1,38 @@
+(** Descriptive statistics for experiment reporting.
+
+    Success rates and query averages over a few dozen test images carry
+    real sampling noise; EXPERIMENTS.md reports them with bootstrap
+    confidence intervals computed here. *)
+
+val mean : float array -> float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val median : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [0, 1], linear interpolation between order
+    statistics.  Raises [Invalid_argument] on an empty array or [q]
+    outside [0, 1]. *)
+
+type interval = { lo : float; hi : float }
+
+val bootstrap_mean_ci :
+  ?replicates:int -> ?confidence:float -> Prng.t -> float array -> interval
+(** Percentile-bootstrap confidence interval for the mean.  Defaults:
+    1000 replicates, 95% confidence. *)
+
+val bootstrap_proportion_ci :
+  ?replicates:int -> ?confidence:float -> Prng.t -> successes:int ->
+  total:int -> interval
+(** Same, for a binomial proportion (success rates). *)
+
+val histogram : bins:int -> lo:float -> hi:float -> float array -> int array
+(** Fixed-width histogram; values outside [lo, hi) are clamped into the
+    first/last bin.  Raises [Invalid_argument] if [bins <= 0] or
+    [hi <= lo]. *)
+
+val pp_interval : Format.formatter -> interval -> unit
+(** Renders as ["[lo, hi]"] with two decimals. *)

@@ -1,0 +1,354 @@
+type classifier = {
+  arch : string;
+  net : Nn.Network.t;
+  spec : Dataset.spec;
+  test : (Tensor.t * int) array;
+  test_accuracy : float;
+  synth_sets : (Tensor.t * int) array array;
+}
+
+type config = {
+  artifacts_dir : string option;
+  seed : int;
+  train_per_class : int;
+  test_per_class : int;
+  synth_per_class : int;
+  epochs : int;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    artifacts_dir = Some "_artifacts";
+    seed = 42;
+    train_per_class = 60;
+    test_per_class = 8;
+    synth_per_class = 10;
+    epochs = 8;
+    log = (fun _ -> ());
+  }
+
+let cifar_architectures = [ "vgg_tiny"; "resnet_tiny"; "googlenet_tiny" ]
+let imagenet_architectures = [ "densenet_tiny"; "resnet50_tiny" ]
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let cache_path config file =
+  match config.artifacts_dir with
+  | None -> None
+  | Some dir ->
+      ensure_dir dir;
+      Some (Filename.concat dir file)
+
+let weights_key config (spec : Dataset.spec) arch =
+  Printf.sprintf "%s_%s_s%d_tr%d_e%d.weights" spec.name arch config.seed
+    config.train_per_class config.epochs
+
+let train_classifier config (spec : Dataset.spec) arch =
+  let ctor =
+    match Nn.Zoo.by_name arch with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Workbench: unknown architecture %S" arch)
+  in
+  let root = Prng.of_int config.seed in
+  let net =
+    ctor
+      (Prng.named_stream root (Printf.sprintf "init/%s/%s" spec.name arch))
+      ~image_size:spec.image_size ~num_classes:spec.num_classes
+  in
+  let cached = cache_path config (weights_key config spec arch) in
+  let hit =
+    match cached with
+    | Some path when Sys.file_exists path ->
+        (try
+           Nn.Serialize.load path net;
+           config.log (Printf.sprintf "[workbench] loaded %s" path);
+           true
+         with Nn.Serialize.Format_error msg ->
+           config.log
+             (Printf.sprintf "[workbench] stale cache %s (%s); retraining" path
+                msg);
+           false)
+    | _ -> false
+  in
+  if not hit then begin
+    let train =
+      Dataset.balanced_set spec ~seed:config.seed
+        ~per_class:config.train_per_class
+    in
+    (* Some (architecture, init) combinations diverge at the default
+       learning rate; halve it and retrain from a fresh init until the
+       network actually learns.  The attack experiments need classifiers
+       with real accuracy, so anything below 65% train accuracy counts as
+       a failed run. *)
+    let rec attempt lr tries =
+      config.log
+        (Printf.sprintf
+           "[workbench] training %s on %s (%d images/class, %d epochs, lr %g)"
+           arch spec.name config.train_per_class config.epochs lr);
+      let fresh =
+        ctor
+          (Prng.named_stream root
+             (Printf.sprintf "init/%s/%s/try%d" spec.name arch tries))
+          ~image_size:spec.image_size ~num_classes:spec.num_classes
+      in
+      let train_config =
+        {
+          (Nn.Train.default_config ()) with
+          epochs = config.epochs;
+          optimizer =
+            Nn.Optimizer.sgd ~momentum:0.9 ~weight_decay:1e-4 ~lr ();
+        }
+      in
+      ignore
+        (Nn.Train.fit ~config:train_config
+           (Prng.named_stream root
+              (Printf.sprintf "shuffle/%s/%s/try%d" spec.name arch tries))
+           fresh train);
+      let train_acc = Nn.Network.accuracy fresh train in
+      if train_acc < 0.65 && tries < 3 then begin
+        config.log
+          (Printf.sprintf
+             "[workbench] %s/%s failed to learn (train acc %.3f); retrying"
+             spec.name arch train_acc);
+        attempt (lr /. 2.) (tries + 1)
+      end
+      else fresh
+    in
+    let trained = attempt 0.05 0 in
+    (* Copy the learned weights into [net] (same architecture, same
+       parameter order). *)
+    List.iter2
+      (fun (dst : Nn.Param.t) (src : Nn.Param.t) ->
+        Array.blit src.value.Tensor.data 0 dst.value.Tensor.data 0
+          (Tensor.numel src.value))
+      (Nn.Network.params net) (Nn.Network.params trained);
+    match cached with
+    | Some path ->
+        Nn.Serialize.save path net;
+        config.log (Printf.sprintf "[workbench] saved %s" path)
+    | None -> ()
+  end;
+  net
+
+let correctly_classified net samples =
+  Array.of_list
+    (List.filter
+       (fun (x, c) -> Nn.Network.classify net x = c)
+       (Array.to_list samples))
+
+let load_classifier config spec arch =
+  let net = train_classifier config spec arch in
+  let test_all =
+    (* Offset the seed so test images are disjoint from the classifier's
+       training stream (mirrors Dataset.train_test). *)
+    Dataset.balanced_set spec ~seed:(config.seed + 1000003)
+      ~per_class:config.test_per_class
+  in
+  let test = correctly_classified net test_all in
+  let test_accuracy =
+    float_of_int (Array.length test) /. float_of_int (Array.length test_all)
+  in
+  let synth_sets =
+    Array.init spec.num_classes (fun class_id ->
+        correctly_classified net
+          (Dataset.class_set spec ~seed:(config.seed + 2000003) ~class_id
+             ~n:config.synth_per_class))
+  in
+  config.log
+    (Printf.sprintf "[workbench] %s/%s: test acc %.3f (%d/%d attackable)"
+       spec.name arch test_accuracy (Array.length test)
+       (Array.length test_all));
+  { arch; net; spec; test; test_accuracy; synth_sets }
+
+let cifar_suite config =
+  List.map (load_classifier config Dataset.synth_cifar) cifar_architectures
+
+let imagenet_suite config =
+  List.map
+    (load_classifier config Dataset.synth_imagenet)
+    imagenet_architectures
+
+let oracle_factory c () = Oracle.of_network c.net
+
+let parallel_evaluator ?domains ?max_queries c program samples =
+  let results =
+    Parallel.map ?domains
+      (fun (image, true_class) ->
+        let oracle = Oracle.of_network c.net in
+        Oppsla.Sketch.attack ?max_queries oracle program ~image ~true_class)
+      samples
+  in
+  let successes = ref 0 and success_queries = ref 0 and total = ref 0 in
+  Array.iter
+    (fun (r : Oppsla.Sketch.result) ->
+      total := !total + r.queries;
+      if r.adversarial <> None then begin
+        incr successes;
+        success_queries := !success_queries + r.queries
+      end)
+    results;
+  {
+    Oppsla.Score.avg_queries =
+      (if !successes = 0 then Oppsla.Score.no_success_penalty
+       else float_of_int !success_queries /. float_of_int !successes);
+    successes = !successes;
+    attempts = Array.length samples;
+    total_queries = !total;
+  }
+
+type synth_params = {
+  iters : int;
+  beta : float;
+  synth_max_queries_per_image : int;
+  domains : int option;
+}
+
+let default_synth_params =
+  { iters = 40; beta = 0.02; synth_max_queries_per_image = 1024; domains = None }
+
+(* Program caches: one line per class, in the DSL concrete syntax. *)
+
+let write_programs path programs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun p -> output_string oc (Oppsla.Dsl.print_program p ^ "\n"))
+        programs)
+
+let read_programs path num_classes =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec lines acc =
+        match input_line ic with
+        | line ->
+            if String.trim line = "" then lines acc
+            else lines (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let all = lines [] in
+      if List.length all <> num_classes then None
+      else
+        try
+          Some
+            (Array.of_list (List.map Oppsla.Dsl.parse_program_exn all))
+        with Invalid_argument _ -> None)
+
+let with_program_cache config file num_classes compute =
+  match cache_path config file with
+  | None -> compute ()
+  | Some path -> (
+      if Sys.file_exists path then
+        match read_programs path num_classes with
+        | Some programs ->
+            config.log (Printf.sprintf "[workbench] loaded %s" path);
+            programs
+        | None ->
+            config.log
+              (Printf.sprintf "[workbench] stale cache %s; resynthesizing" path);
+            let programs = compute () in
+            write_programs path programs;
+            programs
+      else begin
+        let programs = compute () in
+        write_programs path programs;
+        config.log (Printf.sprintf "[workbench] saved %s" path);
+        programs
+      end)
+
+let synthesize_programs ?(params = default_synth_params) config c =
+  let file =
+    Printf.sprintf "%s_%s_s%d_oppsla_i%d_b%g_q%d_n%d_v2.programs" c.spec.name
+      c.arch config.seed params.iters params.beta
+      params.synth_max_queries_per_image config.synth_per_class
+  in
+  with_program_cache config file c.spec.num_classes (fun () ->
+      let root = Prng.of_int config.seed in
+      Array.init c.spec.num_classes (fun class_id ->
+          let training = c.synth_sets.(class_id) in
+          if Array.length training = 0 then begin
+            config.log
+              (Printf.sprintf
+                 "[workbench] %s/%s class %d: empty synthesis set, using \
+                  Sketch+False"
+                 c.spec.name c.arch class_id);
+            Oppsla.Condition.const_false_program
+          end
+          else begin
+            let g =
+              Prng.named_stream root
+                (Printf.sprintf "synth/%s/%s/%d" c.spec.name c.arch class_id)
+            in
+            let synth_config =
+              {
+                Oppsla.Synthesizer.default_config with
+                beta = params.beta;
+                max_iters = params.iters;
+                max_queries_per_image =
+                  Some params.synth_max_queries_per_image;
+                evaluator =
+                  Some
+                    (parallel_evaluator ?domains:params.domains
+                       ~max_queries:params.synth_max_queries_per_image c);
+              }
+            in
+            let out =
+              Oppsla.Synthesizer.synthesize ~config:synth_config g
+                (oracle_factory c ()) ~training
+            in
+            (* No attackable training image within the cap means every
+               candidate scored the same penalty and the MH chain is a
+               random walk: its final program carries no signal, so fall
+               back to the fixed prioritization rather than ship noise. *)
+            if
+              out.Oppsla.Synthesizer.final_avg_queries
+              >= Oppsla.Score.no_success_penalty
+            then begin
+              config.log
+                (Printf.sprintf
+                   "[workbench] %s/%s class %d: no attackable synthesis \
+                    image, using Sketch+False"
+                   c.spec.name c.arch class_id);
+              Oppsla.Condition.const_false_program
+            end
+            else begin
+              config.log
+                (Printf.sprintf
+                   "[workbench] %s/%s class %d: avg %.1f queries after %d \
+                    synthesis queries"
+                   c.spec.name c.arch class_id
+                   out.Oppsla.Synthesizer.final_avg_queries
+                   out.Oppsla.Synthesizer.synth_queries);
+              out.Oppsla.Synthesizer.final
+            end
+          end))
+
+let sketch_random_programs ?(samples = 210) ?(max_queries_per_image = 1024)
+    config c =
+  let file =
+    Printf.sprintf "%s_%s_s%d_random_k%d_q%d_n%d.programs" c.spec.name c.arch
+      config.seed samples max_queries_per_image config.synth_per_class
+  in
+  with_program_cache config file c.spec.num_classes (fun () ->
+      let root = Prng.of_int config.seed in
+      Array.init c.spec.num_classes (fun class_id ->
+          let training = c.synth_sets.(class_id) in
+          if Array.length training = 0 then
+            Oppsla.Condition.const_false_program
+          else begin
+            let g =
+              Prng.named_stream root
+                (Printf.sprintf "random/%s/%s/%d" c.spec.name c.arch class_id)
+            in
+            let out =
+              Baselines.Random_search.synthesize ~samples
+                ~evaluator:(parallel_evaluator ~max_queries:max_queries_per_image c)
+                g (oracle_factory c ()) ~training
+            in
+            out.Baselines.Random_search.best
+          end))

@@ -1,0 +1,92 @@
+(** Experiment setup: trained classifiers, filtered test sets, per-class
+    synthesis training sets, and artifact caching.
+
+    Training a classifier and synthesizing its per-class adversarial
+    programs are the expensive, reusable steps of every experiment, so
+    both are cached on disk (weights via {!Nn.Serialize}, programs via the
+    {!Oppsla.Dsl} concrete syntax).  Cache keys embed every parameter that
+    affects the artifact, so changing a knob regenerates instead of
+    reusing a stale file.
+
+    Protocol notes mirroring the paper (Section 5): misclassified images
+    are discarded from test sets before attacking; synthesis training
+    sets are per-class. *)
+
+type classifier = {
+  arch : string;
+  net : Nn.Network.t;
+  spec : Dataset.spec;
+  test : (Tensor.t * int) array;  (** correctly classified test images *)
+  test_accuracy : float;  (** on the unfiltered test set *)
+  synth_sets : (Tensor.t * int) array array;
+      (** per-class synthesis training sets (correctly classified only) *)
+}
+
+type config = {
+  artifacts_dir : string option;
+      (** cache directory; [None] disables caching *)
+  seed : int;
+  train_per_class : int;  (** classifier training set size per class *)
+  test_per_class : int;
+  synth_per_class : int;  (** synthesis training images per class *)
+  epochs : int;
+  log : string -> unit;
+}
+
+val default_config : config
+(** artifacts in ["_artifacts"], seed 42, 60/16 train/test per class,
+    10 synthesis images per class, 8 epochs, silent log. *)
+
+val cifar_architectures : string list
+(** [vgg_tiny; resnet_tiny; googlenet_tiny] — the CIFAR-regime trio. *)
+
+val imagenet_architectures : string list
+(** [densenet_tiny; resnet50_tiny] — the ImageNet-regime pair. *)
+
+val load_classifier : config -> Dataset.spec -> string -> classifier
+(** Train (or load cached weights for) one architecture on one dataset
+    and assemble its filtered test and synthesis sets.  Raises
+    [Invalid_argument] for unknown architecture names. *)
+
+val cifar_suite : config -> classifier list
+val imagenet_suite : config -> classifier list
+
+val oracle_factory : classifier -> unit -> Oracle.t
+(** Fresh metered oracle per call (thread-safe usage pattern: one oracle
+    per image, see {!Parallel}). *)
+
+val parallel_evaluator :
+  ?domains:int ->
+  ?max_queries:int ->
+  classifier ->
+  Oppsla.Condition.program ->
+  (Tensor.t * int) array ->
+  Oppsla.Score.evaluation
+(** Drop-in for {!Oppsla.Score.evaluate} that fans the per-image attacks
+    out across domains. *)
+
+type synth_params = {
+  iters : int;
+  beta : float;
+  synth_max_queries_per_image : int;
+  domains : int option;
+}
+
+val default_synth_params : synth_params
+(** 40 iterations, beta 0.02, 1024-query cap per synthesis attack. *)
+
+val synthesize_programs :
+  ?params:synth_params -> config -> classifier -> Oppsla.Condition.program array
+(** One program per class, via OPPSLA on each class's synthesis set;
+    cached under the artifacts directory.  Classes whose synthesis set is
+    empty (no correctly classified image) fall back to the Sketch+False
+    program. *)
+
+val sketch_random_programs :
+  ?samples:int ->
+  ?max_queries_per_image:int ->
+  config ->
+  classifier ->
+  Oppsla.Condition.program array
+(** Per-class programs chosen by the Sketch+Random ablation baseline;
+    cached like {!synthesize_programs}. *)

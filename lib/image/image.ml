@@ -1,0 +1,167 @@
+exception Format_error of string
+
+let check_chw name t =
+  if Tensor.ndim t <> 3 || Tensor.dim t 0 <> 3 then
+    invalid_arg ("Image." ^ name ^ ": expected a 3xHxW tensor")
+
+let clamp01 v = if v < 0. then 0. else if v > 1. then 1. else v
+
+let to_ppm img =
+  check_chw "to_ppm" img;
+  let h = Tensor.dim img 1 and w = Tensor.dim img 2 in
+  let buf = Buffer.create ((3 * h * w) + 32) in
+  Buffer.add_string buf (Printf.sprintf "P6\n%d %d\n255\n" w h);
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      for ch = 0 to 2 do
+        let v = clamp01 (Tensor.get img [| ch; y; x |]) in
+        Buffer.add_char buf (Char.chr (int_of_float ((v *. 255.) +. 0.5)))
+      done
+    done
+  done;
+  Buffer.contents buf
+
+let of_ppm data =
+  (* Parse the three header fields (magic, dimensions, maxval), skipping
+     whitespace and '#' comments, then read the raw pixel block. *)
+  let n = String.length data in
+  let pos = ref 0 in
+  let skip_space () =
+    let continue = ref true in
+    while !continue && !pos < n do
+      match data.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' -> incr pos
+      | '#' ->
+          while !pos < n && data.[!pos] <> '\n' do
+            incr pos
+          done
+      | _ -> continue := false
+    done
+  in
+  let token () =
+    skip_space ();
+    let start = !pos in
+    while
+      !pos < n
+      && not (List.mem data.[!pos] [ ' '; '\t'; '\n'; '\r' ])
+    do
+      incr pos
+    done;
+    if start = !pos then raise (Format_error "unexpected end of header");
+    String.sub data start (!pos - start)
+  in
+  let magic = token () in
+  if magic <> "P6" then raise (Format_error ("bad magic " ^ magic));
+  let int_token what =
+    let t = token () in
+    match int_of_string_opt t with
+    | Some v when v > 0 -> v
+    | Some _ | None -> raise (Format_error ("bad " ^ what ^ ": " ^ t))
+  in
+  let w = int_token "width" in
+  let h = int_token "height" in
+  let maxval = int_token "maxval" in
+  if maxval <> 255 then raise (Format_error "only maxval 255 is supported");
+  (* Exactly one whitespace byte separates the header from the pixels. *)
+  if !pos >= n then raise (Format_error "missing pixel data");
+  incr pos;
+  if n - !pos < 3 * w * h then raise (Format_error "truncated pixel data");
+  let img = Tensor.zeros [| 3; h; w |] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      for ch = 0 to 2 do
+        let byte = Char.code data.[!pos + (((y * w) + x) * 3) + ch] in
+        Tensor.set img [| ch; y; x |] (float_of_int byte /. 255.)
+      done
+    done
+  done;
+  img
+
+let write_ppm path img =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_ppm img))
+
+let read_ppm path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_ppm (In_channel.input_all ic))
+
+let upscale ~factor img =
+  check_chw "upscale" img;
+  if factor < 1 then invalid_arg "Image.upscale: factor < 1";
+  let h = Tensor.dim img 1 and w = Tensor.dim img 2 in
+  Tensor.init [| 3; h * factor; w * factor |] (fun i ->
+      let per_ch = h * factor * w * factor in
+      let ch = i / per_ch in
+      let rest = i mod per_ch in
+      let y = rest / (w * factor) / factor
+      and x = rest mod (w * factor) / factor in
+      Tensor.get img [| ch; y; x |])
+
+let side_by_side ?(gap = 2) ?(gap_value = 1.0) imgs =
+  if imgs = [] then invalid_arg "Image.side_by_side: no images";
+  List.iter (check_chw "side_by_side") imgs;
+  let h = Tensor.dim (List.hd imgs) 1 in
+  List.iter
+    (fun img ->
+      if Tensor.dim img 1 <> h then
+        invalid_arg "Image.side_by_side: heights differ")
+    imgs;
+  let total_w =
+    List.fold_left (fun acc img -> acc + Tensor.dim img 2) 0 imgs
+    + (gap * (List.length imgs - 1))
+  in
+  let out = Tensor.create [| 3; h; total_w |] gap_value in
+  let x_off = ref 0 in
+  List.iter
+    (fun img ->
+      let w = Tensor.dim img 2 in
+      for ch = 0 to 2 do
+        for y = 0 to h - 1 do
+          for x = 0 to w - 1 do
+            Tensor.set out [| ch; y; !x_off + x |] (Tensor.get img [| ch; y; x |])
+          done
+        done
+      done;
+      x_off := !x_off + w + gap)
+    imgs;
+  out
+
+let highlight_diff ?(color = (1., 0., 0.)) original modified =
+  check_chw "highlight_diff" original;
+  if Tensor.shape original <> Tensor.shape modified then
+    raise
+      (Tensor.Shape_mismatch "Image.highlight_diff: images differ in shape");
+  let h = Tensor.dim original 1 and w = Tensor.dim original 2 in
+  let out = Tensor.copy modified in
+  let cr, cg, cb = color in
+  let differs y x =
+    Tensor.get original [| 0; y; x |] <> Tensor.get modified [| 0; y; x |]
+    || Tensor.get original [| 1; y; x |] <> Tensor.get modified [| 1; y; x |]
+    || Tensor.get original [| 2; y; x |] <> Tensor.get modified [| 2; y; x |]
+  in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if differs y x then
+        (* Paint the ring of neighbours, leaving the pixel itself as the
+           adversarial value. *)
+        for dy = -1 to 1 do
+          for dx = -1 to 1 do
+            let ny = y + dy and nx = x + dx in
+            if
+              (dy <> 0 || dx <> 0)
+              && ny >= 0 && ny < h && nx >= 0 && nx < w
+              && not (differs ny nx)
+            then begin
+              Tensor.set out [| 0; ny; nx |] cr;
+              Tensor.set out [| 1; ny; nx |] cg;
+              Tensor.set out [| 2; ny; nx |] cb
+            end
+          done
+        done
+    done
+  done;
+  out

@@ -1,0 +1,35 @@
+(** Image input/output and composition for CHW tensors in [0, 1].
+
+    Used by the examples and the CLI to dump adversarial examples as
+    binary PPM (P6) files — the one raster format writable without any
+    dependency — and to build side-by-side before/after panels. *)
+
+exception Format_error of string
+
+val to_ppm : Tensor.t -> string
+(** Binary P6 encoding.  Values are clamped to [0, 1] and quantized to
+    8 bits.  Raises [Invalid_argument] unless the tensor is CHW with 3
+    channels. *)
+
+val of_ppm : string -> Tensor.t
+(** Parse a binary P6 string (maxval 255) back to a CHW tensor.  Raises
+    {!Format_error} on malformed input. *)
+
+val write_ppm : string -> Tensor.t -> unit
+(** [write_ppm path img]. *)
+
+val read_ppm : string -> Tensor.t
+
+val upscale : factor:int -> Tensor.t -> Tensor.t
+(** Nearest-neighbour upscaling (tiny attack images are illegible at
+    native resolution).  Raises [Invalid_argument] if [factor < 1]. *)
+
+val side_by_side : ?gap:int -> ?gap_value:float -> Tensor.t list -> Tensor.t
+(** Horizontal panel of equal-height images separated by [gap] columns
+    (default 2) of [gap_value] gray (default 1.0). *)
+
+val highlight_diff : ?color:float * float * float -> Tensor.t -> Tensor.t -> Tensor.t
+(** [highlight_diff original modified] returns a copy of [modified] with
+    a one-pixel ring drawn (in [color], default pure red) around every
+    pixel whose value differs — makes one-pixel perturbations visible.
+    Raises [Tensor.Shape_mismatch] if shapes differ. *)

@@ -1,0 +1,79 @@
+type policy = {
+  hflip_prob : float;
+  max_shift : int;
+  brightness_jitter : float;
+  contrast_jitter : float;
+}
+
+let none =
+  { hflip_prob = 0.; max_shift = 0; brightness_jitter = 0.; contrast_jitter = 0. }
+
+let standard =
+  {
+    hflip_prob = 0.5;
+    max_shift = 2;
+    brightness_jitter = 0.1;
+    contrast_jitter = 0.1;
+  }
+
+let check name img =
+  if Tensor.ndim img <> 3 then
+    invalid_arg ("Augment." ^ name ^ ": expected a CHW tensor")
+
+let clamp01 v = if v < 0. then 0. else if v > 1. then 1. else v
+
+let hflip img =
+  check "hflip" img;
+  let c = Tensor.dim img 0 and h = Tensor.dim img 1 and w = Tensor.dim img 2 in
+  Tensor.init [| c; h; w |] (fun i ->
+      let ch = i / (h * w) in
+      let rest = i mod (h * w) in
+      let y = rest / w and x = rest mod w in
+      Tensor.get img [| ch; y; w - 1 - x |])
+
+let shift ~dy ~dx img =
+  check "shift" img;
+  let c = Tensor.dim img 0 and h = Tensor.dim img 1 and w = Tensor.dim img 2 in
+  Tensor.init [| c; h; w |] (fun i ->
+      let ch = i / (h * w) in
+      let rest = i mod (h * w) in
+      let y = (rest / w) - dy and x = (rest mod w) - dx in
+      if y >= 0 && y < h && x >= 0 && x < w then Tensor.get img [| ch; y; x |]
+      else 0.)
+
+let brightness b img =
+  check "brightness" img;
+  Tensor.map (fun v -> clamp01 (v +. b)) img
+
+let contrast f img =
+  check "contrast" img;
+  let m = Tensor.mean img in
+  Tensor.map (fun v -> clamp01 (m +. (f *. (v -. m)))) img
+
+let apply g policy img =
+  let img =
+    if policy.hflip_prob > 0. && Prng.uniform g < policy.hflip_prob then
+      hflip img
+    else img
+  in
+  let img =
+    if policy.max_shift > 0 then begin
+      let dy = Prng.int_in g (-policy.max_shift) policy.max_shift in
+      let dx = Prng.int_in g (-policy.max_shift) policy.max_shift in
+      if dy = 0 && dx = 0 then img else shift ~dy ~dx img
+    end
+    else img
+  in
+  let img =
+    if policy.brightness_jitter > 0. then
+      brightness
+        (Prng.float_in g (-.policy.brightness_jitter) policy.brightness_jitter)
+        img
+    else img
+  in
+  if policy.contrast_jitter > 0. then
+    contrast
+      (Prng.float_in g (1. -. policy.contrast_jitter)
+         (1. +. policy.contrast_jitter))
+      img
+  else img

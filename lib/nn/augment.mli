@@ -1,0 +1,36 @@
+(** Training-time data augmentation for CHW color images.
+
+    The paper's classifiers are trained with standard augmentation
+    (flips, shifts, color jitter); this module provides the same
+    transforms for the synthetic datasets.  All transforms keep values in
+    [0, 1] and never change the tensor shape. *)
+
+type policy = {
+  hflip_prob : float;  (** horizontal mirror probability *)
+  max_shift : int;  (** uniform shift in [-max_shift, max_shift] per axis,
+                        zero-padded *)
+  brightness_jitter : float;
+      (** additive offset drawn from [[-b, b]]; 0 disables *)
+  contrast_jitter : float;
+      (** multiplicative factor drawn from [[1-c, 1+c]] around the mean;
+          0 disables *)
+}
+
+val none : policy
+(** The identity policy. *)
+
+val standard : policy
+(** hflip 0.5, shift 2, brightness 0.1, contrast 0.1 — the usual
+    CIFAR-style recipe. *)
+
+val hflip : Tensor.t -> Tensor.t
+val shift : dy:int -> dx:int -> Tensor.t -> Tensor.t
+val brightness : float -> Tensor.t -> Tensor.t
+(** [brightness b img] adds [b] and clamps. *)
+
+val contrast : float -> Tensor.t -> Tensor.t
+(** [contrast f img] scales deviations from the image mean by [f] and
+    clamps. *)
+
+val apply : Prng.t -> policy -> Tensor.t -> Tensor.t
+(** Sample and apply one random augmentation per the policy. *)

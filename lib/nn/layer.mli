@@ -1,0 +1,78 @@
+(** Neural-network layers with explicit forward and backward passes.
+
+    Each layer is a mutable value: [forward] caches whatever the matching
+    [backward] call needs (inputs, pooling switches, normalization
+    statistics), and [backward] both returns the gradient with respect to
+    the layer input and accumulates parameter gradients into the layer's
+    {!Param.t} records.
+
+    The composite layers ({!residual}, {!inception}) embed sub-layer
+    stacks, which is how the ResNet-, GoogLeNet- and DenseNet-style
+    architectures in {!Zoo} are expressed.
+
+    Note on normalization: the paper's classifiers use batch normalization.
+    Training here is per-sample (no batch dimension), so {!channel_norm}
+    normalizes each channel over its spatial extent with learnable scale
+    and shift — the per-sample analogue of batch norm with identical
+    train/inference behaviour.  DESIGN.md records this substitution. *)
+
+type t
+
+(** {1 Constructors} *)
+
+val conv2d :
+  Prng.t -> ?stride:int -> ?pad:int -> in_c:int -> out_c:int -> k:int -> unit -> t
+(** He-initialized 2-D convolution over CHW tensors. *)
+
+val dense : Prng.t -> in_dim:int -> out_dim:int -> unit -> t
+(** He-initialized fully connected layer over rank-1 tensors. *)
+
+val relu : unit -> t
+val max_pool : ?stride:int -> size:int -> unit -> t
+val avg_pool : ?stride:int -> size:int -> unit -> t
+val global_avg_pool : unit -> t
+val flatten : unit -> t
+
+val channel_norm : channels:int -> t
+(** Per-channel spatial normalization with learnable gamma/beta (see the
+    module comment). *)
+
+val residual : ?projection:t -> t list -> t
+(** [residual body] computes [x + body x].  When the body changes the
+    shape, supply [?projection] (typically a 1x1 convolution) to map the
+    skip connection onto the body's output shape. *)
+
+val inception : t list list -> t
+(** [inception branches] runs each branch (a layer stack) on the input and
+    concatenates the branch outputs along the channel axis. *)
+
+val sequential : t list -> t
+(** A layer stack usable anywhere a single layer is (used to build
+    residual bodies and dense blocks). *)
+
+val dense_block : Prng.t -> in_c:int -> growth:int -> layers:int -> unit -> t
+(** DenseNet-style block: each step runs conv3x3 (producing [growth]
+    channels) on the concatenation of all previous feature maps and
+    appends its output. *)
+
+(** {1 Execution} *)
+
+val forward : ?train:bool -> t -> Tensor.t -> Tensor.t
+(** [forward ~train layer x].  With [~train:true] (default [false]) the
+    layer caches what [backward] needs. *)
+
+val backward : t -> Tensor.t -> Tensor.t
+(** [backward layer dout] must follow a [forward ~train:true] on the same
+    layer.  Returns [dx] and accumulates parameter gradients. *)
+
+val params : t -> Param.t list
+(** All trainable parameters, in a deterministic order. *)
+
+val describe : t -> string
+(** One-line structural summary, e.g. ["conv2d(3->8,k3,s1,p1)"]. *)
+
+val output_shape : t -> int array -> int array
+(** [output_shape layer input_shape] computes the shape produced by
+    [forward] on an input of [input_shape] without running any floats
+    through the layer.  Raises [Invalid_argument] on incompatible
+    shapes. *)

@@ -1,0 +1,90 @@
+type confusion = { classes : int; counts : int array array }
+
+let confusion_matrix net samples =
+  if Array.length samples = 0 then
+    invalid_arg "Metrics.confusion_matrix: empty sample set";
+  let classes = net.Network.num_classes in
+  let counts = Array.make_matrix classes classes 0 in
+  Array.iter
+    (fun (x, truth) ->
+      if truth < 0 || truth >= classes then
+        invalid_arg
+          (Printf.sprintf "Metrics.confusion_matrix: label %d out of range"
+             truth);
+      let predicted = Network.classify net x in
+      counts.(truth).(predicted) <- counts.(truth).(predicted) + 1)
+    samples;
+  { classes; counts }
+
+let accuracy_of_confusion { classes; counts } =
+  let correct = ref 0 and total = ref 0 in
+  for t = 0 to classes - 1 do
+    for p = 0 to classes - 1 do
+      total := !total + counts.(t).(p);
+      if t = p then correct := !correct + counts.(t).(p)
+    done
+  done;
+  float_of_int !correct /. float_of_int !total
+
+let per_class_accuracy { classes; counts } =
+  Array.init classes (fun t ->
+      let row_total = Array.fold_left ( + ) 0 counts.(t) in
+      if row_total = 0 then nan
+      else float_of_int counts.(t).(t) /. float_of_int row_total)
+
+let most_confused { classes; counts } =
+  let best = ref None in
+  for t = 0 to classes - 1 do
+    for p = 0 to classes - 1 do
+      if t <> p && counts.(t).(p) > 0 then
+        match !best with
+        | Some (_, _, c) when c >= counts.(t).(p) -> ()
+        | _ -> best := Some (t, p, counts.(t).(p))
+    done
+  done;
+  !best
+
+let top_k_accuracy ~k net samples =
+  if k < 1 then invalid_arg "Metrics.top_k_accuracy: k < 1";
+  if Array.length samples = 0 then
+    invalid_arg "Metrics.top_k_accuracy: empty sample set";
+  let hits = ref 0 in
+  Array.iter
+    (fun (x, truth) ->
+      let logits = Network.logits net x in
+      let truth_score = Tensor.get_flat logits truth in
+      (* The true class is in the top k iff fewer than k classes score
+         strictly higher. *)
+      let higher = ref 0 in
+      for c = 0 to Tensor.numel logits - 1 do
+        if Tensor.get_flat logits c > truth_score then incr higher
+      done;
+      if !higher < k then incr hits)
+    samples;
+  float_of_int !hits /. float_of_int (Array.length samples)
+
+let pp_confusion ?class_names fmt { classes; counts } =
+  let name t =
+    match class_names with
+    | Some names when t < Array.length names -> names.(t)
+    | Some _ | None -> Printf.sprintf "class %d" t
+  in
+  let label_width =
+    let widest = ref 0 in
+    for t = 0 to classes - 1 do
+      widest := max !widest (String.length (name t))
+    done;
+    !widest
+  in
+  Format.fprintf fmt "%*s" label_width "";
+  for p = 0 to classes - 1 do
+    Format.fprintf fmt " %4d" p
+  done;
+  Format.pp_print_newline fmt ();
+  for t = 0 to classes - 1 do
+    Format.fprintf fmt "%*s" label_width (name t);
+    for p = 0 to classes - 1 do
+      Format.fprintf fmt " %4d" counts.(t).(p)
+    done;
+    Format.pp_print_newline fmt ()
+  done

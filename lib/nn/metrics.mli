@@ -1,0 +1,25 @@
+(** Classification quality metrics beyond plain accuracy. *)
+
+type confusion = private {
+  classes : int;
+  counts : int array array;  (** [counts.(truth).(predicted)] *)
+}
+
+val confusion_matrix : Network.t -> (Tensor.t * int) array -> confusion
+(** Raises [Invalid_argument] on an empty sample set or out-of-range
+    labels. *)
+
+val accuracy_of_confusion : confusion -> float
+val per_class_accuracy : confusion -> float array
+(** Recall per true class; [nan] for classes with no samples. *)
+
+val most_confused : confusion -> (int * int * int) option
+(** [(truth, predicted, count)] of the largest off-diagonal entry, or
+    [None] when classification is perfect. *)
+
+val top_k_accuracy : k:int -> Network.t -> (Tensor.t * int) array -> float
+(** Fraction of samples whose true class is among the [k] highest
+    logits.  Raises [Invalid_argument] if [k < 1]. *)
+
+val pp_confusion : ?class_names:string array -> Format.formatter -> confusion -> unit
+(** Fixed-width matrix with optional row labels. *)

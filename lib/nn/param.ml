@@ -1,0 +1,6 @@
+type t = { name : string; value : Tensor.t; grad : Tensor.t }
+
+let create name value = { name; value; grad = Tensor.zeros (Tensor.shape value) }
+let zero_grad p = Tensor.fill p.grad 0.
+let accumulate p g = Tensor.add_inplace p.grad g
+let count p = Tensor.numel p.value

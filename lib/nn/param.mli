@@ -1,0 +1,20 @@
+(** Trainable parameters.
+
+    A parameter couples a value tensor with a same-shaped gradient
+    accumulator.  Layers expose their parameters through [Layer.params] so
+    that optimizers can walk a network without knowing its structure. *)
+
+type t = { name : string; value : Tensor.t; grad : Tensor.t }
+
+val create : string -> Tensor.t -> t
+(** [create name value] allocates a zero gradient of the same shape. *)
+
+val zero_grad : t -> unit
+(** Reset the gradient accumulator to zero. *)
+
+val accumulate : t -> Tensor.t -> unit
+(** [accumulate p g] adds [g] into [p.grad].  Raises
+    [Tensor.Shape_mismatch] if shapes disagree. *)
+
+val count : t -> int
+(** Number of scalar entries in the value. *)

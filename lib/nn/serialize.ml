@@ -1,0 +1,74 @@
+exception Format_error of string
+
+let magic = "oppsla-weights v1"
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+let write oc net =
+  let params = Network.params net in
+  Printf.fprintf oc "%s\n" magic;
+  Printf.fprintf oc "network %s\n" net.Network.name;
+  Printf.fprintf oc "params %d\n" (List.length params);
+  List.iter
+    (fun (p : Param.t) ->
+      Printf.fprintf oc "%s %d\n" p.name (Param.count p);
+      let n = Tensor.numel p.value in
+      for i = 0 to n - 1 do
+        if i > 0 then output_char oc ' ';
+        Printf.fprintf oc "%.17g" (Tensor.get_flat p.value i)
+      done;
+      output_char oc '\n')
+    params
+
+let input_line_exn ic what =
+  try input_line ic with End_of_file -> fail "unexpected end of file (%s)" what
+
+let read ic net =
+  let header = input_line_exn ic "magic" in
+  if header <> magic then fail "bad magic: %S" header;
+  (match String.split_on_char ' ' (input_line_exn ic "network name") with
+  | [ "network"; name ] ->
+      if name <> net.Network.name then
+        fail "weights are for network %S, not %S" name net.Network.name
+  | _ -> fail "malformed network line");
+  let params = Network.params net in
+  (match String.split_on_char ' ' (input_line_exn ic "param count") with
+  | [ "params"; n ] ->
+      let n = try int_of_string n with Failure _ -> fail "bad param count" in
+      if n <> List.length params then
+        fail "file has %d params, network has %d" n (List.length params)
+  | _ -> fail "malformed params line");
+  List.iter
+    (fun (p : Param.t) ->
+      (match String.split_on_char ' ' (input_line_exn ic "param header") with
+      | [ name; count ] ->
+          if name <> p.name then
+            fail "expected param %S, file has %S" p.name name;
+          let count =
+            try int_of_string count with Failure _ -> fail "bad size for %S" name
+          in
+          if count <> Param.count p then
+            fail "param %S: file has %d values, tensor needs %d" name count
+              (Param.count p)
+      | _ -> fail "malformed param header");
+      let line = input_line_exn ic ("values of " ^ p.name) in
+      let values =
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               try float_of_string s
+               with Failure _ -> fail "bad float %S in %S" s p.name)
+      in
+      if List.length values <> Param.count p then
+        fail "param %S: %d values on line, expected %d" p.name
+          (List.length values) (Param.count p);
+      List.iteri (fun i v -> Tensor.set_flat p.value i v) values)
+    params
+
+let save path net =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc net)
+
+let load path net =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic net)

@@ -1,0 +1,23 @@
+(** Save and load network weights.
+
+    The format is a plain text, line-oriented container: a header, then one
+    record per parameter (name, element count, whitespace-separated
+    decimals printed with ["%.17g"] so values round-trip exactly).
+    Architecture is *not* stored — the loader fills the parameters of an
+    already-constructed network, so the model zoo remains the single source
+    of truth for structure. *)
+
+exception Format_error of string
+(** Raised on malformed files or on any mismatch (network name, parameter
+    count, parameter name or size) between the file and the target
+    network. *)
+
+val write : out_channel -> Network.t -> unit
+val read : in_channel -> Network.t -> unit
+
+val save : string -> Network.t -> unit
+(** [save path net] writes the weights to [path]. *)
+
+val load : string -> Network.t -> unit
+(** [load path net] reads weights from [path] into [net].  Raises
+    {!Format_error} on mismatch and [Sys_error] if the file is missing. *)

@@ -1,0 +1,83 @@
+type report = {
+  epoch : int;
+  train_loss : float;
+  train_acc : float;
+  test_acc : float option;
+}
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  optimizer : Optimizer.t;
+  lr_decay : float;
+  augment : Augment.policy;
+  log : report -> unit;
+}
+
+let default_config ?(log = fun _ -> ()) () =
+  {
+    epochs = 8;
+    batch_size = 16;
+    optimizer = Optimizer.sgd ~momentum:0.9 ~weight_decay:1e-4 ~lr:0.05 ();
+    lr_decay = 0.85;
+    augment = Augment.none;
+    log;
+  }
+
+let evaluate_loss net samples =
+  if Array.length samples = 0 then invalid_arg "Train.evaluate_loss: no samples";
+  let total =
+    Array.fold_left
+      (fun acc (x, label) ->
+        acc +. Tensor.cross_entropy (Network.logits net x) label)
+      0. samples
+  in
+  total /. float_of_int (Array.length samples)
+
+let fit ?config ?test g net train =
+  let config = match config with Some c -> c | None -> default_config () in
+  if Array.length train = 0 then invalid_arg "Train.fit: empty training set";
+  let params = Network.params net in
+  let n = Array.length train in
+  let reports = ref [] in
+  for epoch = 1 to config.epochs do
+    let order = Prng.permutation g n in
+    let loss_sum = ref 0. and correct = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let batch_end = min n (!i + config.batch_size) in
+      let batch_n = batch_end - !i in
+      List.iter Param.zero_grad params;
+      for j = !i to batch_end - 1 do
+        let x, label = train.(order.(j)) in
+        let x =
+          if config.augment = Augment.none then x
+          else Augment.apply g config.augment x
+        in
+        let logits = Network.forward_train net x in
+        loss_sum := !loss_sum +. Tensor.cross_entropy logits label;
+        if Tensor.argmax logits = label then incr correct;
+        let dlogits =
+          Tensor.scale
+            (1. /. float_of_int batch_n)
+            (Tensor.cross_entropy_grad logits label)
+        in
+        ignore (Network.backward net dlogits)
+      done;
+      Optimizer.step config.optimizer params;
+      i := batch_end
+    done;
+    Optimizer.set_lr config.optimizer
+      (Optimizer.lr config.optimizer *. config.lr_decay);
+    let report =
+      {
+        epoch;
+        train_loss = !loss_sum /. float_of_int n;
+        train_acc = float_of_int !correct /. float_of_int n;
+        test_acc = Option.map (Network.accuracy net) test;
+      }
+    in
+    config.log report;
+    reports := report :: !reports
+  done;
+  List.rev !reports

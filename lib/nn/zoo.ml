@@ -1,0 +1,160 @@
+(* Input sizes must be divisible by 4: each architecture downsamples twice
+   with stride-2 max pooling before the final flatten+dense head.  The
+   heads are dense (not global-average-pooled) on purpose: a single-pixel
+   perturbation must be able to reach the logits with enough magnitude for
+   one-pixel attacks to exist, mirroring the brittleness of the paper's
+   full-size classifiers. *)
+
+let check_size name image_size =
+  if image_size < 8 || image_size mod 4 <> 0 then
+    invalid_arg
+      (Printf.sprintf "Zoo.%s: image_size must be >= 8 and divisible by 4" name)
+
+let head g ~channels ~image_size ~num_classes =
+  let spatial = image_size / 4 in
+  [
+    Layer.flatten ();
+    Layer.dense g ~in_dim:(channels * spatial * spatial) ~out_dim:num_classes ();
+  ]
+
+let vgg_tiny g ~image_size ~num_classes =
+  check_size "vgg_tiny" image_size;
+  Network.create ~name:"vgg_tiny" ~input_shape:[| 3; image_size; image_size |]
+    ~num_classes
+    ([
+       Layer.conv2d g ~pad:1 ~in_c:3 ~out_c:8 ~k:3 ();
+       Layer.channel_norm ~channels:8;
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+       Layer.conv2d g ~pad:1 ~in_c:8 ~out_c:16 ~k:3 ();
+       Layer.channel_norm ~channels:16;
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+       Layer.conv2d g ~pad:1 ~in_c:16 ~out_c:16 ~k:3 ();
+       Layer.relu ();
+     ]
+    @ head g ~channels:16 ~image_size ~num_classes)
+
+let resnet_tiny g ~image_size ~num_classes =
+  check_size "resnet_tiny" image_size;
+  let block_same =
+    Layer.residual
+      [
+        Layer.conv2d g ~pad:1 ~in_c:8 ~out_c:8 ~k:3 ();
+        Layer.relu ();
+        Layer.conv2d g ~pad:1 ~in_c:8 ~out_c:8 ~k:3 ();
+      ]
+  in
+  let block_widen =
+    Layer.residual
+      ~projection:(Layer.conv2d g ~in_c:8 ~out_c:16 ~k:1 ())
+      [
+        Layer.conv2d g ~pad:1 ~in_c:8 ~out_c:16 ~k:3 ();
+        Layer.relu ();
+        Layer.conv2d g ~pad:1 ~in_c:16 ~out_c:16 ~k:3 ();
+      ]
+  in
+  Network.create ~name:"resnet_tiny"
+    ~input_shape:[| 3; image_size; image_size |] ~num_classes
+    ([
+       Layer.conv2d g ~pad:1 ~in_c:3 ~out_c:8 ~k:3 ();
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+       block_same;
+       Layer.relu ();
+       block_widen;
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+     ]
+    @ head g ~channels:16 ~image_size ~num_classes)
+
+let googlenet_tiny g ~image_size ~num_classes =
+  check_size "googlenet_tiny" image_size;
+  let module1 =
+    Layer.inception
+      [
+        [ Layer.conv2d g ~in_c:8 ~out_c:4 ~k:1 () ];
+        [ Layer.conv2d g ~pad:1 ~in_c:8 ~out_c:4 ~k:3 () ];
+        [ Layer.conv2d g ~pad:2 ~in_c:8 ~out_c:4 ~k:5 () ];
+      ]
+  in
+  let module2 =
+    Layer.inception
+      [
+        [ Layer.conv2d g ~in_c:12 ~out_c:6 ~k:1 () ];
+        [ Layer.conv2d g ~pad:1 ~in_c:12 ~out_c:6 ~k:3 () ];
+        [ Layer.conv2d g ~pad:2 ~in_c:12 ~out_c:4 ~k:5 () ];
+      ]
+  in
+  Network.create ~name:"googlenet_tiny"
+    ~input_shape:[| 3; image_size; image_size |] ~num_classes
+    ([
+       Layer.conv2d g ~pad:1 ~in_c:3 ~out_c:8 ~k:3 ();
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+       module1;
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+       module2;
+       Layer.relu ();
+     ]
+    @ head g ~channels:16 ~image_size ~num_classes)
+
+let densenet_tiny g ~image_size ~num_classes =
+  check_size "densenet_tiny" image_size;
+  Network.create ~name:"densenet_tiny"
+    ~input_shape:[| 3; image_size; image_size |] ~num_classes
+    ([
+       Layer.conv2d g ~pad:1 ~in_c:3 ~out_c:8 ~k:3 ();
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+       Layer.dense_block g ~in_c:8 ~growth:4 ~layers:3 ();
+       Layer.channel_norm ~channels:20;
+       Layer.relu ();
+       (* Transition: 1x1 compression then downsample. *)
+       Layer.conv2d g ~in_c:20 ~out_c:16 ~k:1 ();
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+     ]
+    @ head g ~channels:16 ~image_size ~num_classes)
+
+let resnet50_tiny g ~image_size ~num_classes =
+  check_size "resnet50_tiny" image_size;
+  let bottleneck ~in_c ~mid ~out_c ~project =
+    let body =
+      [
+        Layer.conv2d g ~in_c ~out_c:mid ~k:1 ();
+        Layer.relu ();
+        Layer.conv2d g ~pad:1 ~in_c:mid ~out_c:mid ~k:3 ();
+        Layer.relu ();
+        Layer.conv2d g ~in_c:mid ~out_c ~k:1 ();
+      ]
+    in
+    if project then
+      Layer.residual ~projection:(Layer.conv2d g ~in_c ~out_c ~k:1 ()) body
+    else Layer.residual body
+  in
+  Network.create ~name:"resnet50_tiny"
+    ~input_shape:[| 3; image_size; image_size |] ~num_classes
+    ([
+       Layer.conv2d g ~pad:1 ~in_c:3 ~out_c:8 ~k:3 ();
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+       bottleneck ~in_c:8 ~mid:4 ~out_c:16 ~project:true;
+       Layer.relu ();
+       bottleneck ~in_c:16 ~mid:8 ~out_c:16 ~project:false;
+       Layer.relu ();
+       Layer.max_pool ~size:2 ();
+     ]
+    @ head g ~channels:16 ~image_size ~num_classes)
+
+let names =
+  [ "vgg_tiny"; "resnet_tiny"; "googlenet_tiny"; "densenet_tiny"; "resnet50_tiny" ]
+
+let by_name = function
+  | "vgg_tiny" -> Some vgg_tiny
+  | "resnet_tiny" -> Some resnet_tiny
+  | "googlenet_tiny" -> Some googlenet_tiny
+  | "densenet_tiny" -> Some densenet_tiny
+  | "resnet50_tiny" -> Some resnet50_tiny
+  | _ -> None

@@ -1,0 +1,30 @@
+(** Model zoo: the five classifier architectures used in the paper's
+    evaluation, scaled to the synthetic datasets (see DESIGN.md §2).
+
+    Each constructor is a tiny but architecturally faithful analogue of
+    its namesake:
+    - {!vgg_tiny}: plain conv + channel-norm stacks (VGG-16-BN);
+    - {!resnet_tiny}: residual blocks with identity and projection skips
+      (ResNet18);
+    - {!googlenet_tiny}: inception modules with parallel 1x1/3x3/5x5
+      branches (GoogLeNet);
+    - {!densenet_tiny}: densely connected blocks (DenseNet121);
+    - {!resnet50_tiny}: bottleneck (1x1 -> 3x3 -> 1x1) residual blocks
+      (ResNet50).
+
+    All constructors take the RNG used for weight initialization, the
+    square input image size, and the class count, so the same architecture
+    can serve both dataset regimes. *)
+
+val vgg_tiny : Prng.t -> image_size:int -> num_classes:int -> Network.t
+val resnet_tiny : Prng.t -> image_size:int -> num_classes:int -> Network.t
+val googlenet_tiny : Prng.t -> image_size:int -> num_classes:int -> Network.t
+val densenet_tiny : Prng.t -> image_size:int -> num_classes:int -> Network.t
+val resnet50_tiny : Prng.t -> image_size:int -> num_classes:int -> Network.t
+
+val by_name :
+  string -> (Prng.t -> image_size:int -> num_classes:int -> Network.t) option
+(** Look up a constructor by its network name (e.g. ["vgg_tiny"]). *)
+
+val names : string list
+(** All zoo architecture names, in a stable order. *)

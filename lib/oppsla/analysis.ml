@@ -1,0 +1,79 @@
+let func_label : Condition.t -> string = function
+  | Condition.Const _ -> "const"
+  | Condition.Cmp { func; _ } -> (
+      match func with
+      | Max Orig -> "max(orig)"
+      | Max Pert -> "max(pert)"
+      | Min Orig -> "min(orig)"
+      | Min Pert -> "min(pert)"
+      | Avg Orig -> "avg(orig)"
+      | Avg Pert -> "avg(pert)"
+      | Score_diff -> "score_diff"
+      | Center -> "center")
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, va) (kb, vb) ->
+         match compare vb va with 0 -> compare ka kb | c -> c)
+
+let count_into tbl cond =
+  let label = func_label cond in
+  Hashtbl.replace tbl label (1 + Option.value ~default:0 (Hashtbl.find_opt tbl label))
+
+let func_histogram programs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun p -> Array.iter (count_into tbl) (Condition.program_to_array p))
+    programs;
+  sorted_counts tbl
+
+let slot_histogram programs =
+  Array.init 4 (fun slot ->
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun p -> count_into tbl (Condition.program_to_array p).(slot))
+        programs;
+      sorted_counts tbl)
+
+let describe_portfolio programs =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        (Printf.sprintf "class %d: %s\n" i (Condition.program_to_string p)))
+    programs;
+  Buffer.add_string buf "function usage:";
+  List.iter
+    (fun (label, count) ->
+      Buffer.add_string buf (Printf.sprintf " %s x%d" label count))
+    (func_histogram (Array.to_list programs));
+  Buffer.contents buf
+
+type step = { index : int; pair : Pair.t; true_class_score : float }
+
+let traced_attack ?max_queries ?goal oracle program ~image ~true_class =
+  let steps = ref [] in
+  let on_query index pair scores =
+    steps :=
+      { index; pair; true_class_score = Tensor.get_flat scores true_class }
+      :: !steps
+  in
+  let result =
+    Sketch.attack ?max_queries ?goal ~on_query oracle program ~image
+      ~true_class
+  in
+  (result, List.rev !steps)
+
+let center_distance_profile ~d1 ~d2 steps =
+  Array.of_list
+    (List.map
+       (fun s -> Location.center_distance ~d1 ~d2 s.pair.Pair.loc)
+       steps)
+
+let unique_locations steps =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace tbl (s.pair.Pair.loc.Location.row, s.pair.Pair.loc.Location.col) ())
+    steps;
+  Hashtbl.length tbl

@@ -1,0 +1,45 @@
+(** Post-hoc analysis of adversarial programs and attack runs.
+
+    The paper's qualitative discussion (Section 3.2) reads the
+    synthesized conditions back: which functions the search selects, how
+    close to the center the successful pixels are, how the prioritization
+    moves through the image.  This module computes those summaries. *)
+
+(** {1 Program portfolios} *)
+
+val func_histogram : Condition.program list -> (string * int) list
+(** Occurrence counts of each condition function (["max(orig)"],
+    ["score_diff"], ["center"], ..., and ["const"] for baseline
+    conditions) across all condition slots, sorted by decreasing count. *)
+
+val slot_histogram : Condition.program list -> (string * int) list array
+(** Same, but per condition slot: index 0 summarizes every B1, etc. *)
+
+val describe_portfolio : Condition.program array -> string
+(** Printable multi-line summary of a per-class program array: one line
+    per class plus the function histogram. *)
+
+(** {1 Attack traces} *)
+
+type step = {
+  index : int;  (** 1-based query number *)
+  pair : Pair.t;
+  true_class_score : float;  (** the true class's score for this candidate *)
+}
+
+val traced_attack :
+  ?max_queries:int ->
+  ?goal:Sketch.goal ->
+  Oracle.t ->
+  Condition.program ->
+  image:Tensor.t ->
+  true_class:int ->
+  Sketch.result * step list
+(** Run {!Sketch.attack} recording every query, in order. *)
+
+val center_distance_profile : d1:int -> d2:int -> step list -> float array
+(** The queried locations' distances to the image center, in query
+    order — shows whether the prioritization stays central. *)
+
+val unique_locations : step list -> int
+(** Number of distinct pixel locations probed. *)

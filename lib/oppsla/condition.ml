@@ -1,0 +1,101 @@
+type pixel_expr = Orig | Pert
+
+type func =
+  | Max of pixel_expr
+  | Min of pixel_expr
+  | Avg of pixel_expr
+  | Score_diff
+  | Center
+
+type cmp = Lt | Gt
+
+type t =
+  | Const of bool
+  | Cmp of { func : func; cmp : cmp; threshold : float }
+
+type program = { b1 : t; b2 : t; b3 : t; b4 : t }
+
+let const_false_program =
+  { b1 = Const false; b2 = Const false; b3 = Const false; b4 = Const false }
+
+type ctx = {
+  d1 : int;
+  d2 : int;
+  image : Tensor.t;
+  true_class : int;
+  clean_scores : Tensor.t;
+  pair : Pair.t;
+  perturbed_scores : Tensor.t;
+}
+
+let pixel_of ctx = function
+  | Orig ->
+      Rgb.of_image ctx.image ~row:ctx.pair.Pair.loc.Location.row
+        ~col:ctx.pair.Pair.loc.Location.col
+  | Pert -> Pair.rgb ctx.pair
+
+let eval_func f ctx =
+  match f with
+  | Max p -> Rgb.max_val (pixel_of ctx p)
+  | Min p -> Rgb.min_val (pixel_of ctx p)
+  | Avg p -> Rgb.avg_val (pixel_of ctx p)
+  | Score_diff ->
+      Tensor.get_flat ctx.clean_scores ctx.true_class
+      -. Tensor.get_flat ctx.perturbed_scores ctx.true_class
+  | Center -> Location.center_distance ~d1:ctx.d1 ~d2:ctx.d2 ctx.pair.Pair.loc
+
+let eval c ctx =
+  match c with
+  | Const b -> b
+  | Cmp { func; cmp; threshold } -> (
+      let v = eval_func func ctx in
+      match cmp with Lt -> v < threshold | Gt -> v > threshold)
+
+let conditions p = (p.b1, p.b2, p.b3, p.b4)
+
+let program_of_array = function
+  | [| b1; b2; b3; b4 |] -> { b1; b2; b3; b4 }
+  | a ->
+      invalid_arg
+        (Printf.sprintf "Condition.program_of_array: %d conditions, need 4"
+           (Array.length a))
+
+let program_to_array p = [| p.b1; p.b2; p.b3; p.b4 |]
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Cmp x, Cmp y -> x.func = y.func && x.cmp = y.cmp && x.threshold = y.threshold
+  | Const _, Cmp _ | Cmp _, Const _ -> false
+
+let equal_program p q =
+  equal p.b1 q.b1 && equal p.b2 q.b2 && equal p.b3 q.b3 && equal p.b4 q.b4
+
+let pixel_name = function Orig -> "orig" | Pert -> "pert"
+
+let func_name = function
+  | Max p -> Printf.sprintf "max(%s)" (pixel_name p)
+  | Min p -> Printf.sprintf "min(%s)" (pixel_name p)
+  | Avg p -> Printf.sprintf "avg(%s)" (pixel_name p)
+  | Score_diff -> "score_diff"
+  | Center -> "center"
+
+(* Shortest decimal form that parses back to exactly the same float, so
+   the DSL round-trips bit-for-bit (program caches rely on this). *)
+let float_repr v =
+  let short = Printf.sprintf "%.12g" v in
+  if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let pp fmt = function
+  | Const b -> Format.fprintf fmt "%b" b
+  | Cmp { func; cmp; threshold } ->
+      Format.fprintf fmt "%s %s %s" (func_name func)
+        (match cmp with Lt -> "<" | Gt -> ">")
+        (float_repr threshold)
+
+let pp_program fmt p =
+  Format.fprintf fmt "B1: %a; B2: %a; B3: %a; B4: %a" pp p.b1 pp p.b2 pp p.b3
+    pp p.b4
+
+let to_string c = Format.asprintf "%a" pp c
+let program_to_string p = Format.asprintf "%a" pp_program p

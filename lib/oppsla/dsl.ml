@@ -1,0 +1,214 @@
+type error = { position : int; message : string }
+
+exception Error of error
+
+let fail position fmt =
+  Printf.ksprintf (fun message -> raise (Error { position; message })) fmt
+
+(* Lexer *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Lparen
+  | Rparen
+  | Lt
+  | Gt
+  | Colon
+  | Semi
+  | Eof
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push tok pos = tokens := (tok, pos) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then begin push Lparen pos; incr i end
+    else if c = ')' then begin push Rparen pos; incr i end
+    else if c = '<' then begin push Lt pos; incr i end
+    else if c = '>' then begin push Gt pos; incr i end
+    else if c = ':' then begin push Colon pos; incr i end
+    else if c = ';' then begin push Semi pos; incr i end
+    else if is_digit c || c = '-' || c = '+' || c = '.' then begin
+      let j = ref !i in
+      if src.[!j] = '-' || src.[!j] = '+' then incr j;
+      let start_digits = !j in
+      while
+        !j < n
+        && (is_digit src.[!j] || src.[!j] = '.' || src.[!j] = 'e'
+           || src.[!j] = 'E'
+           || ((src.[!j] = '-' || src.[!j] = '+')
+              && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')))
+      do
+        incr j
+      done;
+      if !j = start_digits then fail pos "expected a number after '%c'" c;
+      let text = String.sub src pos (!j - pos) in
+      (match float_of_string_opt text with
+      | Some v -> push (Number v) pos
+      | None -> fail pos "malformed number %S" text);
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      push (Ident (String.sub src pos (!j - pos))) pos;
+      i := !j
+    end
+    else fail pos "unexpected character %C" c
+  done;
+  push Eof n;
+  Array.of_list (List.rev !tokens)
+
+(* Parser *)
+
+type state = { tokens : (token * int) array; mutable cursor : int }
+
+let peek st = st.tokens.(st.cursor)
+let advance st = st.cursor <- st.cursor + 1
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number v -> Printf.sprintf "number %g" v
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lt -> "'<'"
+  | Gt -> "'>'"
+  | Colon -> "':'"
+  | Semi -> "';'"
+  | Eof -> "end of input"
+
+let expect st tok what =
+  let t, pos = peek st in
+  if t = tok then advance st
+  else fail pos "expected %s, found %s" what (token_name t)
+
+let parse_pixel st =
+  let t, pos = peek st in
+  match t with
+  | Ident "orig" -> advance st; Condition.Orig
+  | Ident "pert" -> advance st; Condition.Pert
+  | t -> fail pos "expected 'orig' or 'pert', found %s" (token_name t)
+
+let parse_func st =
+  let t, pos = peek st in
+  match t with
+  | Ident (("max" | "min" | "avg") as name) ->
+      advance st;
+      expect st Lparen "'(' after pixel function";
+      let p = parse_pixel st in
+      expect st Rparen "')' closing pixel function";
+      (match name with
+      | "max" -> Condition.Max p
+      | "min" -> Condition.Min p
+      | _ -> Condition.Avg p)
+  | Ident "score_diff" -> advance st; Condition.Score_diff
+  | Ident "center" -> advance st; Condition.Center
+  | t ->
+      fail pos
+        "expected a function (max, min, avg, score_diff, center), found %s"
+        (token_name t)
+
+let parse_cond st =
+  let t, _ = peek st in
+  match t with
+  | Ident "true" -> advance st; Condition.Const true
+  | Ident "false" -> advance st; Condition.Const false
+  | _ ->
+      let func = parse_func st in
+      let cmp =
+        let t, pos = peek st in
+        match t with
+        | Lt -> advance st; Condition.Lt
+        | Gt -> advance st; Condition.Gt
+        | t -> fail pos "expected '<' or '>', found %s" (token_name t)
+      in
+      let threshold =
+        let t, pos = peek st in
+        match t with
+        | Number v -> advance st; v
+        | t -> fail pos "expected a numeric threshold, found %s" (token_name t)
+      in
+      Condition.Cmp { func; cmp; threshold }
+
+(* An optional "B<k>:" label; if present, [k] must match [expected]. *)
+let parse_label st expected =
+  match peek st with
+  | Ident name, pos
+    when String.length name = 2 && name.[0] = 'B' && is_digit name.[1] -> (
+      match st.tokens.(st.cursor + 1) with
+      | Colon, _ ->
+          if name <> Printf.sprintf "B%d" expected then
+            fail pos "expected label B%d, found %s" expected name;
+          advance st;
+          advance st
+      | _ -> ())
+  | _ -> ()
+
+let parse_program_state st =
+  let conds =
+    Array.init 4 (fun k ->
+        if k > 0 then begin
+          (* Separator between conditions is optional when labels are
+             present, but a stray one is always accepted. *)
+          match peek st with
+          | Semi, _ -> advance st
+          | _ -> ()
+        end;
+        parse_label st (k + 1);
+        parse_cond st)
+  in
+  (match peek st with Semi, _ -> advance st | _ -> ());
+  let t, pos = peek st in
+  if t <> Eof then fail pos "trailing input: %s" (token_name t);
+  Condition.program_of_array conds
+
+let parse_program src =
+  try Ok (parse_program_state { tokens = tokenize src; cursor = 0 })
+  with Error e -> Result.Error e
+
+let parse_condition src =
+  try
+    let st = { tokens = tokenize src; cursor = 0 } in
+    let c = parse_cond st in
+    let t, pos = peek st in
+    if t <> Eof then fail pos "trailing input: %s" (token_name t);
+    Ok c
+  with Error e -> Result.Error e
+
+let describe_error src { position; message } =
+  (* Locate the line containing [position] and draw a caret under it. *)
+  let pos = max 0 (min position (String.length src)) in
+  let line_start =
+    if pos = 0 then 0
+    else
+      match String.rindex_from_opt src (pos - 1) '\n' with
+      | Some i -> i + 1
+      | None -> 0
+  in
+  let line_end =
+    match String.index_from_opt src line_start '\n' with
+    | Some i -> i
+    | None -> String.length src
+  in
+  let line = String.sub src line_start (line_end - line_start) in
+  let caret = String.make (max 0 (position - line_start)) ' ' ^ "^" in
+  Printf.sprintf "parse error at offset %d: %s\n  %s\n  %s" position message
+    line caret
+
+let parse_program_exn src =
+  match parse_program src with
+  | Ok p -> p
+  | Result.Error e -> invalid_arg (describe_error src e)
+
+let print_program = Condition.program_to_string

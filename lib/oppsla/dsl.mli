@@ -1,0 +1,42 @@
+(** Concrete syntax for adversarial programs.
+
+    Programs print and parse in a small textual format so they can be
+    saved, inspected and re-loaded (e.g. the transferability experiment
+    runs programs synthesized in an earlier session):
+
+    {v
+    B1: score_diff < 0.21; B2: max(orig) > 0.19;
+    B3: score_diff > 0.25; B4: center < 8
+    v}
+
+    Grammar (labels are optional; conditions are separated by [;] or
+    newlines):
+
+    {v
+    program   ::= labeled labeled labeled labeled
+    labeled   ::= ("B" digit ":")? condition
+    condition ::= "true" | "false" | func ("<" | ">") number
+    func      ::= ("max" | "min" | "avg") "(" ("orig" | "pert") ")"
+                | "score_diff" | "center"
+    v}
+
+    The parser is a hand-rolled lexer + recursive descent with
+    position-carrying errors. *)
+
+type error = { position : int; message : string }
+(** [position] is a 0-based character offset into the input. *)
+
+val describe_error : string -> error -> string
+(** Human-readable error with a caret line pointing into the source. *)
+
+val parse_program : string -> (Condition.program, error) result
+
+val parse_program_exn : string -> Condition.program
+(** Raises [Invalid_argument] with the output of {!describe_error}. *)
+
+val parse_condition : string -> (Condition.t, error) result
+(** Parse a single condition (no label). *)
+
+val print_program : Condition.program -> string
+(** Round-trips: [parse_program (print_program p)] yields a program equal
+    to [p]. *)

@@ -1,0 +1,59 @@
+type config = { d1 : int; d2 : int }
+
+let config_for_image image =
+  if Tensor.ndim image <> 3 || Tensor.dim image 0 <> 3 then
+    invalid_arg "Gen.config_for_image: expected a CHW color image";
+  { d1 = Tensor.dim image 1; d2 = Tensor.dim image 2 }
+
+let funcs : Condition.func array =
+  [|
+    Max Orig; Max Pert; Min Orig; Min Pert; Avg Orig; Avg Pert; Score_diff;
+    Center;
+  |]
+
+let random_func g = Prng.choice g funcs
+
+let center_max config = float_of_int (max config.d1 config.d2) /. 2.
+
+let random_threshold config g (func : Condition.func) =
+  match func with
+  | Max _ | Min _ | Avg _ -> Prng.uniform g
+  | Score_diff -> Prng.float_in g (-1.) 1.
+  | Center -> Prng.float g (center_max config)
+
+let random_cmp g : Condition.cmp = if Prng.bool g then Lt else Gt
+
+let random_condition config g =
+  let func = random_func g in
+  Condition.Cmp
+    { func; cmp = random_cmp g; threshold = random_threshold config g func }
+
+let random_program config g =
+  Condition.program_of_array (Array.init 4 (fun _ -> random_condition config g))
+
+(* Node addressing for mutation: slot 0 is the root; slots 1-4 are the
+   conditions; 5-8 the function nodes; 9-12 the constant nodes. *)
+let mutate config g program =
+  let slot = Prng.int g 13 in
+  if slot = 0 then random_program config g
+  else begin
+    let conds = Condition.program_to_array program in
+    let k = (slot - 1) mod 4 in
+    let new_cond =
+      match (slot - 1) / 4 with
+      | 0 -> random_condition config g
+      | kind -> (
+          match conds.(k) with
+          | Condition.Const _ ->
+              (* No function/constant child to mutate: regenerate. *)
+              random_condition config g
+          | Condition.Cmp { func; cmp; threshold } ->
+              if kind = 1 then
+                Condition.Cmp { func = random_func g; cmp; threshold }
+              else
+                Condition.Cmp
+                  { func; cmp; threshold = random_threshold config g func })
+    in
+    conds.(k) <- new_cond;
+    Condition.program_of_array conds
+  end

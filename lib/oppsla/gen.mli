@@ -1,0 +1,31 @@
+(** Random generation and mutation of well-typed programs.
+
+    A program is represented by its abstract syntax tree (Figure 2): a
+    root with four condition children, each condition owning a function
+    node and a constant node.  Mutation follows Section 4: pick a node
+    uniformly at random among the 13 (1 root + 4 conditions + 4 functions
+    + 4 constants) and regenerate its entire subtree from the grammar, so
+    the result is always well-typed.
+
+    Thresholds are drawn from each function's natural range: [[0, 1]] for
+    pixel functions, [[-1, 1]] for [score_diff], and [[0, max(d1,d2)/2]]
+    for [center]. *)
+
+type config = { d1 : int; d2 : int }
+(** Image dimensions; they bound the [center] threshold range. *)
+
+val config_for_image : Tensor.t -> config
+(** Read [d1]/[d2] off a CHW image tensor. *)
+
+val random_func : Prng.t -> Condition.func
+val random_threshold : config -> Prng.t -> Condition.func -> float
+val random_condition : config -> Prng.t -> Condition.t
+val random_program : config -> Prng.t -> Condition.program
+
+val mutate : config -> Prng.t -> Condition.program -> Condition.program
+(** One uniform node mutation.  Mutating a function node keeps the
+    condition's comparison and threshold; mutating a constant node
+    resamples the threshold from the function's range; mutating a
+    condition or the root regenerates the whole subtree.  A [Const]
+    baseline condition has no function/constant children, so selecting
+    either slot regenerates the whole condition. *)

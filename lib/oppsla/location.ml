@@ -1,0 +1,46 @@
+type t = { row : int; col : int }
+
+let make ~row ~col = { row; col }
+
+let linf_distance a b =
+  max (abs (a.row - b.row)) (abs (a.col - b.col))
+
+let center_distance ~d1 ~d2 l =
+  let cr = float_of_int (d1 - 1) /. 2. and cc = float_of_int (d2 - 1) /. 2. in
+  Float.max
+    (Float.abs (float_of_int l.row -. cr))
+    (Float.abs (float_of_int l.col -. cc))
+
+let in_bounds ~d1 ~d2 l = l.row >= 0 && l.row < d1 && l.col >= 0 && l.col < d2
+
+let neighbors ~d1 ~d2 l =
+  let out = ref [] in
+  for dr = 1 downto -1 do
+    for dc = 1 downto -1 do
+      if dr <> 0 || dc <> 0 then begin
+        let n = { row = l.row + dr; col = l.col + dc } in
+        if in_bounds ~d1 ~d2 n then out := n :: !out
+      end
+    done
+  done;
+  !out
+
+let all ~d1 ~d2 =
+  List.concat
+    (List.init d1 (fun row -> List.init d2 (fun col -> { row; col })))
+
+let by_center_distance ~d1 ~d2 =
+  let locs = Array.of_list (all ~d1 ~d2) in
+  let dist = Array.map (center_distance ~d1 ~d2) locs in
+  let idx = Array.init (Array.length locs) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare dist.(a) dist.(b) with 0 -> compare a b | c -> c)
+    idx;
+  Array.map (fun i -> locs.(i)) idx
+
+let index ~d2 l = (l.row * d2) + l.col
+let of_index ~d2 i = { row = i / d2; col = i mod d2 }
+let equal a b = a.row = b.row && a.col = b.col
+let pp fmt l = Format.fprintf fmt "(%d, %d)" l.row l.col
+let to_string l = Format.asprintf "%a" pp l

@@ -1,0 +1,17 @@
+type t = { loc : Location.t; corner : int }
+
+let make ~loc ~corner =
+  if corner < 0 || corner >= 8 then
+    invalid_arg "Pair.make: corner index out of [0, 8)";
+  { loc; corner }
+
+let rgb t = Rgb.corners.(t.corner)
+let id ~d2 t = (Location.index ~d2 t.loc * 8) + t.corner
+let of_id ~d2 i = { loc = Location.of_index ~d2 (i / 8); corner = i mod 8 }
+let count ~d1 ~d2 = 8 * d1 * d2
+let equal a b = Location.equal a.loc b.loc && a.corner = b.corner
+
+let pp fmt t =
+  Format.fprintf fmt "%a@%a" Location.pp t.loc Rgb.pp (rgb t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,26 @@
+(** Location-perturbation pairs: the atoms of the attack search space.
+
+    A pair is a pixel location together with a corner of the RGB cube
+    (identified by its index in {!Rgb.corners}).  For a [d1 x d2] image
+    there are [8 * d1 * d2] pairs; each has a dense integer id used by
+    {!Pair_queue} for O(1) bookkeeping. *)
+
+type t = { loc : Location.t; corner : int }
+
+val make : loc:Location.t -> corner:int -> t
+(** Raises [Invalid_argument] if [corner] is outside [0, 8). *)
+
+val rgb : t -> Rgb.t
+(** The perturbation value of the pair's corner. *)
+
+val id : d2:int -> t -> int
+(** Dense id: [(row * d2 + col) * 8 + corner]. *)
+
+val of_id : d2:int -> int -> t
+
+val count : d1:int -> d2:int -> int
+(** [8 * d1 * d2]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

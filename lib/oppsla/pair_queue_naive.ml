@@ -1,0 +1,55 @@
+type t = { d1 : int; d2 : int; mutable pairs : Pair.t list }
+
+let init ~d1 ~d2 order =
+  if d1 <= 0 || d2 <= 0 then invalid_arg "Pair_queue_naive.init: empty image";
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Pair.t) ->
+      if not (Location.in_bounds ~d1 ~d2 p.loc) then
+        invalid_arg
+          (Printf.sprintf "Pair_queue_naive.init: location %s out of bounds"
+             (Location.to_string p.loc));
+      let id = Pair.id ~d2 p in
+      if Hashtbl.mem seen id then
+        invalid_arg
+          (Printf.sprintf "Pair_queue_naive.init: duplicate pair %s"
+             (Pair.to_string p));
+      Hashtbl.add seen id ())
+    order;
+  { d1; d2; pairs = order }
+
+let full_space ~d1 ~d2 ~image =
+  let indexed = Pair_queue.full_space ~d1 ~d2 ~image in
+  { d1; d2; pairs = Pair_queue.to_list indexed }
+
+let pop q =
+  match q.pairs with
+  | [] -> None
+  | p :: rest ->
+      q.pairs <- rest;
+      Some p
+
+let mem q p = List.exists (Pair.equal p) q.pairs
+
+let require_member q p op =
+  if not (mem q p) then
+    invalid_arg
+      (Printf.sprintf "Pair_queue_naive.%s: pair %s not in queue" op
+         (Pair.to_string p))
+
+let push_back q p =
+  require_member q p "push_back";
+  q.pairs <- List.filter (fun x -> not (Pair.equal x p)) q.pairs @ [ p ]
+
+let remove q p =
+  require_member q p "remove";
+  q.pairs <- List.filter (fun x -> not (Pair.equal x p)) q.pairs
+
+let first_with_location q loc =
+  if Location.in_bounds ~d1:q.d1 ~d2:q.d2 loc then
+    List.find_opt (fun (p : Pair.t) -> Location.equal p.loc loc) q.pairs
+  else None
+
+let length q = List.length q.pairs
+let is_empty q = q.pairs = []
+let to_list q = q.pairs

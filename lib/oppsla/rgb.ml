@@ -1,0 +1,51 @@
+type t = { r : float; g : float; b : float }
+
+let corners =
+  Array.init 8 (fun k ->
+      {
+        r = (if k land 4 <> 0 then 1. else 0.);
+        g = (if k land 2 <> 0 then 1. else 0.);
+        b = (if k land 1 <> 0 then 1. else 0.);
+      })
+
+let corner k =
+  if k < 0 || k >= 8 then invalid_arg "Rgb.corner: index out of [0, 8)";
+  corners.(k)
+
+let equal a b = a.r = b.r && a.g = b.g && a.b = b.b
+
+let corner_index p =
+  let rec find k = if k >= 8 then None else if equal corners.(k) p then Some k else find (k + 1) in
+  find 0
+
+let l1_distance a b =
+  Float.abs (a.r -. b.r) +. Float.abs (a.g -. b.g) +. Float.abs (a.b -. b.b)
+
+let of_image img ~row ~col =
+  {
+    r = Tensor.get img [| 0; row; col |];
+    g = Tensor.get img [| 1; row; col |];
+    b = Tensor.get img [| 2; row; col |];
+  }
+
+let write_to_image img ~row ~col p =
+  Tensor.set img [| 0; row; col |] p.r;
+  Tensor.set img [| 1; row; col |] p.g;
+  Tensor.set img [| 2; row; col |] p.b
+
+let corners_by_distance p =
+  let idx = Array.init 8 (fun k -> k) in
+  let dist = Array.map (fun c -> l1_distance p c) corners in
+  (* Farthest first; stable tie-break on the corner index. *)
+  Array.sort
+    (fun a b ->
+      match compare dist.(b) dist.(a) with 0 -> compare a b | c -> c)
+    idx;
+  idx
+
+let max_val p = Float.max p.r (Float.max p.g p.b)
+let min_val p = Float.min p.r (Float.min p.g p.b)
+let avg_val p = (p.r +. p.g +. p.b) /. 3.
+
+let pp fmt p = Format.fprintf fmt "(%.3f, %.3f, %.3f)" p.r p.g p.b
+let to_string p = Format.asprintf "%a" pp p

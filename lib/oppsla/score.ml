@@ -1,0 +1,38 @@
+type evaluation = {
+  avg_queries : float;
+  successes : int;
+  attempts : int;
+  total_queries : int;
+}
+
+let no_success_penalty = 1e9
+
+let evaluate ?max_queries ?goal oracle program samples =
+  let successes = ref 0 and success_queries = ref 0 and total = ref 0 in
+  Array.iter
+    (fun (image, true_class) ->
+      let r =
+        Sketch.attack ?max_queries ?goal oracle program ~image ~true_class
+      in
+      total := !total + r.Sketch.queries;
+      match r.Sketch.adversarial with
+      | Some _ ->
+          incr successes;
+          success_queries := !success_queries + r.Sketch.queries
+      | None -> ())
+    samples;
+  let avg_queries =
+    if !successes = 0 then no_success_penalty
+    else float_of_int !success_queries /. float_of_int !successes
+  in
+  {
+    avg_queries;
+    successes = !successes;
+    attempts = Array.length samples;
+    total_queries = !total;
+  }
+
+let score ~beta avg_queries = exp (-.beta *. avg_queries)
+
+let acceptance_ratio ~beta ~current ~proposal =
+  exp (beta *. (current -. proposal))

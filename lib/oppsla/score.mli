@@ -1,0 +1,39 @@
+(** The synthesizer's score function (Section 4).
+
+    [S(P) = exp (-beta * avgQ(P))] where [avgQ(P)] averages the number of
+    queries [P] spends on the training inputs for which it finds an
+    adversarial example; inputs with no successful example are ignored
+    (their query count is program-independent). *)
+
+type evaluation = {
+  avg_queries : float;
+      (** mean queries over successful inputs; [no_success_penalty] when
+          no input succeeded *)
+  successes : int;
+  attempts : int;
+  total_queries : int;  (** all queries posed, successful or not *)
+}
+
+val no_success_penalty : float
+(** Stand-in average when a program succeeds on no training input (never
+    happens once the training set contains at least one attackable image,
+    because success is program-independent). *)
+
+val evaluate :
+  ?max_queries:int ->
+  ?goal:Sketch.goal ->
+  Oracle.t ->
+  Condition.program ->
+  (Tensor.t * int) array ->
+  evaluation
+(** Run the program on every (image, true class) pair.  [max_queries]
+    bounds each individual attack (default: the full perturbation
+    space); [goal] defaults to untargeted. *)
+
+val score : beta:float -> float -> float
+(** [score ~beta avg_queries = exp (-. beta *. avg_queries)]. *)
+
+val acceptance_ratio : beta:float -> current:float -> proposal:float -> float
+(** [S(P') / S(P) = exp (beta * (current - proposal))] — the
+    Metropolis-Hastings acceptance ratio expressed directly on average
+    query counts, immune to underflow of the individual scores. *)

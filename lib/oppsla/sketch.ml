@@ -1,0 +1,130 @@
+type goal = Untargeted | Targeted of int
+
+type result = {
+  adversarial : (Pair.t * Tensor.t) option;
+  queries : int;
+}
+
+let goal_reached goal ~true_class predicted =
+  match goal with
+  | Untargeted -> predicted <> true_class
+  | Targeted target -> predicted = target
+
+let perturb x (pair : Pair.t) =
+  let x' = Tensor.copy x in
+  Rgb.write_to_image x' ~row:pair.loc.Location.row ~col:pair.loc.Location.col
+    (Pair.rgb pair);
+  x'
+
+exception Found of Pair.t * Tensor.t
+exception Out_of_queries
+
+(* The in-queue neighbours of [pair] with the same corner — the paper's
+   "closest pairs with respect to the location". *)
+let closest_loc queue ~d1 ~d2 (pair : Pair.t) =
+  Location.neighbors ~d1 ~d2 pair.loc
+  |> List.filter_map (fun loc ->
+         let candidate = Pair.make ~loc ~corner:pair.corner in
+         if Pair_queue.mem queue candidate then Some candidate else None)
+
+let attack ?max_queries ?(goal = Untargeted) ?(on_query = fun _ _ _ -> ())
+    oracle program ~image ~true_class =
+  let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
+  let limit =
+    match max_queries with Some q -> q | None -> Pair.count ~d1 ~d2
+  in
+  (* Unmetered by design; see the interface comment. *)
+  let clean_scores = Oracle.unmetered_scores oracle image in
+  let spent = ref 0 in
+  (* Query a candidate pair.  Raises [Found] on success and
+     [Out_of_queries] when either the local cap or the oracle budget is
+     hit. *)
+  let check pair =
+    if !spent >= limit then raise Out_of_queries;
+    let candidate = perturb image pair in
+    let scores =
+      try Oracle.scores oracle candidate
+      with Oracle.Budget_exhausted _ -> raise Out_of_queries
+    in
+    incr spent;
+    on_query !spent pair scores;
+    if goal_reached goal ~true_class (Tensor.argmax scores) then
+      raise (Found (pair, candidate));
+    scores
+  in
+  let ctx_of pair perturbed_scores : Condition.ctx =
+    { d1; d2; image; true_class; clean_scores; pair; perturbed_scores }
+  in
+  let queue = Pair_queue.full_space ~d1 ~d2 ~image in
+  let b1, b2, b3, b4 = Condition.conditions program in
+  try
+    let rec main_loop () =
+      match Pair_queue.pop queue with
+      | None -> { adversarial = None; queries = !spent }
+      | Some pair ->
+          let ctx = ctx_of pair (check pair) in
+          if Condition.eval b1 ctx then
+            List.iter (Pair_queue.push_back queue)
+              (closest_loc queue ~d1 ~d2 pair);
+          if Condition.eval b2 ctx then begin
+            match Pair_queue.first_with_location queue pair.loc with
+            | Some next_pair -> Pair_queue.push_back queue next_pair
+            | None -> ()
+          end;
+          eager_phase ctx;
+          main_loop ()
+    (* Eager checking (lines 7-24): pairs pulled out of the queue and
+       queried immediately, breadth-first through both closeness
+       relations. *)
+    and eager_phase seed_ctx =
+      let loc_q = Queue.create () and pert_q = Queue.create () in
+      Queue.add seed_ctx loc_q;
+      Queue.add seed_ctx pert_q;
+      let expand_into ctx'' =
+        Queue.add ctx'' loc_q;
+        Queue.add ctx'' pert_q
+      in
+      while not (Queue.is_empty loc_q && Queue.is_empty pert_q) do
+        while not (Queue.is_empty loc_q) do
+          let ctx' = Queue.pop loc_q in
+          if Condition.eval b3 ctx' then
+            List.iter
+              (fun pair'' ->
+                Pair_queue.remove queue pair'';
+                expand_into (ctx_of pair'' (check pair'')))
+              (closest_loc queue ~d1 ~d2 ctx'.Condition.pair)
+        done;
+        while not (Queue.is_empty pert_q) do
+          let ctx' = Queue.pop pert_q in
+          if Condition.eval b4 ctx' then begin
+            match
+              Pair_queue.first_with_location queue
+                ctx'.Condition.pair.Pair.loc
+            with
+            | None -> ()
+            | Some pair'' ->
+                Pair_queue.remove queue pair'';
+                expand_into (ctx_of pair'' (check pair''))
+          end
+        done
+      done
+    in
+    main_loop ()
+  with
+  | Found (pair, candidate) ->
+      { adversarial = Some (pair, candidate); queries = !spent }
+  | Out_of_queries -> { adversarial = None; queries = !spent }
+
+let success_exists ?(goal = Untargeted) oracle ~image ~true_class =
+  let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
+  let flips pair =
+    goal_reached goal ~true_class
+      (Oracle.unmetered_classify oracle (perturb image pair))
+  in
+  List.exists
+    (fun loc ->
+      let rec any corner =
+        corner < 8 && (flips (Pair.make ~loc ~corner) || any (corner + 1))
+      in
+      any 0)
+    (Location.all ~d1 ~d2)

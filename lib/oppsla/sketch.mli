@@ -1,0 +1,66 @@
+(** The one-pixel attack sketch (Algorithm 1 / Appendix A).
+
+    [attack] enumerates the finite perturbation space (all RGB-cube
+    corners at all locations) through the priority queue of
+    {!Pair_queue.full_space}, querying the oracle for each candidate.  A
+    failed candidate's {i closest pairs} are reordered according to the
+    program's four conditions:
+
+    - [B1] true: the in-queue neighbours with the same corner are pushed
+      to the back;
+    - [B2] true: the front-most in-queue pair at the same location is
+      pushed to the back;
+    - [B3] true: the in-queue neighbours with the same corner are removed
+      and eagerly checked, recursively;
+    - [B4] true: the front-most in-queue pair at the same location is
+      removed and eagerly checked, recursively.
+
+    Every instantiation visits the same candidate set, so success is
+    program-independent; only the {i order} — hence the query count —
+    changes.
+
+    The clean score vector [N(x)] (needed by [score_diff] conditions) is
+    obtained without spending a metered query: in the paper's protocol the
+    attacker only targets images it already knows are correctly
+    classified, so [N(x)] is in hand before the attack starts. *)
+
+type goal =
+  | Untargeted  (** succeed when the prediction is anything but the true class *)
+  | Targeted of int
+      (** succeed only when the prediction becomes this specific class
+          (an extension beyond the paper's untargeted setting; the sketch
+          and query accounting are unchanged) *)
+
+type result = {
+  adversarial : (Pair.t * Tensor.t) option;
+      (** the successful pair and perturbed image, or [None] *)
+  queries : int;  (** oracle queries posed by this attack *)
+}
+
+val perturb : Tensor.t -> Pair.t -> Tensor.t
+(** [perturb x pair] is [x[l <- p]]: a copy of [x] with the pair's pixel
+    overwritten by its corner value. *)
+
+val attack :
+  ?max_queries:int ->
+  ?goal:goal ->
+  ?on_query:(int -> Pair.t -> Tensor.t -> unit) ->
+  Oracle.t ->
+  Condition.program ->
+  image:Tensor.t ->
+  true_class:int ->
+  result
+(** Run the sketch.  Stops with [adversarial = None] when the queue is
+    exhausted, when [max_queries] attack queries have been spent, or when
+    the oracle's own budget runs out.  [max_queries] defaults to the full
+    space size [8 * d1 * d2] (the attack never needs more).  [goal]
+    defaults to [Untargeted].  [on_query] is an instrumentation hook
+    called after every metered query with the 1-based query index, the
+    candidate pair, and the returned score vector (used by
+    {!Analysis.traced_attack}). *)
+
+val success_exists :
+  ?goal:goal -> Oracle.t -> image:Tensor.t -> true_class:int -> bool
+(** Ground truth via exhaustive unmetered scan: does any corner one-pixel
+    perturbation flip the classification?  For tests and dataset
+    diagnostics only. *)

@@ -1,0 +1,108 @@
+type iteration = {
+  index : int;
+  program : Condition.program;
+  avg_queries : float;
+  accepted : bool;
+  synth_queries_total : int;
+}
+
+type outcome = {
+  final : Condition.program;
+  final_avg_queries : float;
+  best : Condition.program;
+  best_avg_queries : float;
+  trace : iteration list;
+  synth_queries : int;
+}
+
+type config = {
+  beta : float;
+  max_iters : int;
+  goal : Sketch.goal;
+  max_queries_per_image : int option;
+  max_synth_queries : int option;
+  on_iteration : iteration -> unit;
+  evaluator :
+    (Condition.program -> (Tensor.t * int) array -> Score.evaluation) option;
+}
+
+let default_config =
+  {
+    beta = 0.02;
+    max_iters = 210;
+    goal = Sketch.Untargeted;
+    max_queries_per_image = None;
+    max_synth_queries = None;
+    on_iteration = (fun _ -> ());
+    evaluator = None;
+  }
+
+let synthesize ?(config = default_config) g oracle ~training =
+  if Array.length training = 0 then
+    invalid_arg "Synthesizer.synthesize: empty training set";
+  let gen_config = Gen.config_for_image (fst training.(0)) in
+  let evaluate =
+    match config.evaluator with
+    | Some f -> f
+    | None ->
+        fun program samples ->
+          Score.evaluate ?max_queries:config.max_queries_per_image
+            ~goal:config.goal oracle program samples
+  in
+  let synth_queries = ref 0 in
+  let eval_counted program =
+    let e = evaluate program training in
+    synth_queries := !synth_queries + e.Score.total_queries;
+    e.Score.avg_queries
+  in
+  let current = ref (Gen.random_program gen_config g) in
+  let current_avg = ref (eval_counted !current) in
+  let best = ref !current and best_avg = ref !current_avg in
+  let trace = ref [] in
+  let record index program avg_queries accepted =
+    let it =
+      {
+        index;
+        program;
+        avg_queries;
+        accepted;
+        synth_queries_total = !synth_queries;
+      }
+    in
+    config.on_iteration it;
+    trace := it :: !trace
+  in
+  record 0 !current !current_avg true;
+  let budget_left () =
+    match config.max_synth_queries with
+    | None -> true
+    | Some b -> !synth_queries < b
+  in
+  let iter = ref 1 in
+  while !iter <= config.max_iters && budget_left () do
+    let proposal = Gen.mutate gen_config g !current in
+    let proposal_avg = eval_counted proposal in
+    let ratio =
+      Score.acceptance_ratio ~beta:config.beta ~current:!current_avg
+        ~proposal:proposal_avg
+    in
+    let accepted = Prng.uniform g < ratio in
+    if accepted then begin
+      current := proposal;
+      current_avg := proposal_avg
+    end;
+    if proposal_avg < !best_avg then begin
+      best := proposal;
+      best_avg := proposal_avg
+    end;
+    record !iter proposal proposal_avg accepted;
+    incr iter
+  done;
+  {
+    final = !current;
+    final_avg_queries = !current_avg;
+    best = !best;
+    best_avg_queries = !best_avg;
+    trace = List.rev !trace;
+    synth_queries = !synth_queries;
+  }

@@ -1,0 +1,58 @@
+(** OPPSLA: the Metropolis-Hastings program synthesizer (Algorithm 2).
+
+    Starting from a random instantiation of the sketch, each iteration
+    mutates the current program's AST ({!Gen.mutate}), evaluates the
+    proposal's average query count on the training set, and accepts it
+    with probability [min 1 (S(P') / S(P))].  The chain position after the
+    last iteration is returned, together with the best program seen and a
+    full trace (used by the Figure 4 experiment, which plots the quality
+    of intermediate accepted programs against cumulative synthesis
+    queries). *)
+
+type iteration = {
+  index : int;  (** 0 is the initial random program *)
+  program : Condition.program;
+  avg_queries : float;  (** training-set average of the proposal *)
+  accepted : bool;
+  synth_queries_total : int;
+      (** cumulative oracle queries spent by the synthesis so far *)
+}
+
+type outcome = {
+  final : Condition.program;  (** the chain position — Algorithm 2's output *)
+  final_avg_queries : float;
+  best : Condition.program;  (** lowest training average seen *)
+  best_avg_queries : float;
+  trace : iteration list;  (** chronological *)
+  synth_queries : int;
+}
+
+type config = {
+  beta : float;  (** score temperature; default 0.02 *)
+  max_iters : int;  (** MH iterations; default 210, as in Appendix C *)
+  goal : Sketch.goal;
+      (** attack goal the programs are optimized for; default untargeted *)
+  max_queries_per_image : int option;
+      (** per-attack cap during evaluation; [None] = full space *)
+  max_synth_queries : int option;
+      (** stop early once this many synthesis queries were spent *)
+  on_iteration : iteration -> unit;  (** progress hook *)
+  evaluator :
+    (Condition.program -> (Tensor.t * int) array -> Score.evaluation) option;
+      (** custom program evaluator (e.g. a parallel one); when [None], a
+          sequential {!Score.evaluate} against the given oracle is used.
+          Synthesis query accounting always comes from the returned
+          evaluations' [total_queries]. *)
+}
+
+val default_config : config
+
+val synthesize :
+  ?config:config ->
+  Prng.t ->
+  Oracle.t ->
+  training:(Tensor.t * int) array ->
+  outcome
+(** [synthesize g oracle ~training].  The image dimensions (for threshold
+    ranges) are read from the first training image.  Raises
+    [Invalid_argument] on an empty training set. *)

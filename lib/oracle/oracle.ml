@@ -1,0 +1,52 @@
+type t = {
+  fn : Tensor.t -> Tensor.t;
+  oracle_name : string;
+  classes : int;
+  mutable count : int;
+  mutable limit : int option;
+}
+
+exception Budget_exhausted of int
+
+let of_fn ?budget ?(name = "fn") ~num_classes fn =
+  if num_classes <= 0 then invalid_arg "Oracle.of_fn: num_classes <= 0";
+  { fn; oracle_name = name; classes = num_classes; count = 0; limit = budget }
+
+let of_network ?budget net =
+  {
+    fn = Nn.Network.scores net;
+    oracle_name = net.Nn.Network.name;
+    classes = net.Nn.Network.num_classes;
+    count = 0;
+    limit = budget;
+  }
+
+let scores t x =
+  (match t.limit with
+  | Some b when t.count >= b -> raise (Budget_exhausted b)
+  | _ -> ());
+  t.count <- t.count + 1;
+  let s = t.fn x in
+  if Tensor.numel s <> t.classes then
+    invalid_arg
+      (Printf.sprintf "Oracle(%s): scoring function returned %d scores, expected %d"
+         t.oracle_name (Tensor.numel s) t.classes);
+  s
+
+let classify t x = Tensor.argmax (scores t x)
+let score_of t x c = Tensor.get_flat (scores t x) c
+let queries t = t.count
+let reset t = t.count <- 0
+let budget t = t.limit
+let set_budget t b = t.limit <- b
+
+let remaining t =
+  Option.map (fun b -> max 0 (b - t.count)) t.limit
+
+let exhausted t =
+  match t.limit with Some b -> t.count >= b | None -> false
+
+let num_classes t = t.classes
+let name t = t.oracle_name
+let unmetered_classify t x = Tensor.argmax (t.fn x)
+let unmetered_scores t x = t.fn x

@@ -1,0 +1,60 @@
+(** Black-box, query-metered access to a classifier.
+
+    The paper's setting is black-box with a hard query budget (online
+    classification APIs meter queries).  Attack and synthesis code may
+    only observe a classifier through this module: every call to
+    {!scores} / {!classify} increments the query counter and, when a
+    budget is set, raises {!Budget_exhausted} once the budget is spent.
+
+    The oracle returns the full softmax score vector, matching the paper's
+    [N(x) in R^c] (score-based black-box access). *)
+
+type t
+
+exception Budget_exhausted of int
+(** Carries the budget that was exhausted. *)
+
+val of_network : ?budget:int -> Nn.Network.t -> t
+
+val of_fn :
+  ?budget:int -> ?name:string -> num_classes:int ->
+  (Tensor.t -> Tensor.t) -> t
+(** Wrap an arbitrary scoring function (tests, toy classifiers).  The
+    function must return a score vector of length [num_classes]. *)
+
+val scores : t -> Tensor.t -> Tensor.t
+(** One metered query.  Raises {!Budget_exhausted} if the budget is
+    already spent (the query is not forwarded). *)
+
+val classify : t -> Tensor.t -> int
+(** [argmax (scores t x)] — also one metered query. *)
+
+val score_of : t -> Tensor.t -> int -> float
+(** [score_of t x c] is [(scores t x).(c)] — one metered query. *)
+
+val queries : t -> int
+(** Queries posed since creation or the last {!reset}. *)
+
+val reset : t -> unit
+
+val budget : t -> int option
+val set_budget : t -> int option -> unit
+
+val remaining : t -> int option
+(** [None] when unlimited. *)
+
+val exhausted : t -> bool
+
+val num_classes : t -> int
+val name : t -> string
+
+val unmetered_classify : t -> Tensor.t -> int
+(** Classification that does NOT count as a query.  Reserved for
+    experiment bookkeeping (e.g. filtering misclassified test images, as
+    the paper does before attacking); never use it inside an attack. *)
+
+val unmetered_scores : t -> Tensor.t -> Tensor.t
+(** Unmetered score vector.  Same restrictions as {!unmetered_classify},
+    plus one sanctioned use: the sketch reads the clean scores [N(x)] this
+    way, because the attacker learned them when it established that the
+    image is correctly classified. *)

@@ -1,0 +1,599 @@
+type t = { shape : int array; data : float array }
+
+exception Shape_mismatch of string
+
+let shape_to_string shape =
+  "[" ^ String.concat "; " (Array.to_list (Array.map string_of_int shape)) ^ "]"
+
+let product shape = Array.fold_left ( * ) 1 shape
+
+let fail_shape op a b =
+  raise
+    (Shape_mismatch
+       (Printf.sprintf "%s: %s vs %s" op (shape_to_string a) (shape_to_string b)))
+
+(* Construction *)
+
+let create shape v = { shape = Array.copy shape; data = Array.make (product shape) v }
+let zeros shape = create shape 0.
+let ones shape = create shape 1.
+
+let init shape f =
+  { shape = Array.copy shape; data = Array.init (product shape) f }
+
+let of_array shape data =
+  if product shape <> Array.length data then
+    raise
+      (Shape_mismatch
+         (Printf.sprintf "of_array: shape %s needs %d elements, got %d"
+            (shape_to_string shape) (product shape) (Array.length data)));
+  { shape = Array.copy shape; data }
+
+let scalar v = { shape = [||]; data = [| v |] }
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+
+let randn g ?(mu = 0.) ?(sigma = 1.) shape =
+  init shape (fun _ -> Prng.normal g ~mu ~sigma ())
+
+let rand_uniform g ?(lo = 0.) ?(hi = 1.) shape =
+  init shape (fun _ -> Prng.float_in g lo hi)
+
+(* Shape accessors *)
+
+let shape t = Array.copy t.shape
+let ndim t = Array.length t.shape
+let numel t = Array.length t.data
+
+let dim t i =
+  if i < 0 || i >= Array.length t.shape then
+    invalid_arg (Printf.sprintf "Tensor.dim: axis %d of rank %d" i (ndim t));
+  t.shape.(i)
+
+let same_shape a b = a.shape = b.shape
+
+let reshape t shape =
+  if product shape <> numel t then
+    raise
+      (Shape_mismatch
+         (Printf.sprintf "reshape: %s (=%d) to %s (=%d)"
+            (shape_to_string t.shape) (numel t) (shape_to_string shape)
+            (product shape)));
+  { shape = Array.copy shape; data = t.data }
+
+let flatten t = { shape = [| numel t |]; data = t.data }
+
+(* Element access *)
+
+let flat_index t idx =
+  let n = Array.length t.shape in
+  if Array.length idx <> n then
+    invalid_arg
+      (Printf.sprintf "Tensor.flat_index: %d indices for rank %d"
+         (Array.length idx) n);
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    let k = idx.(i) in
+    if k < 0 || k >= t.shape.(i) then
+      invalid_arg
+        (Printf.sprintf "Tensor.flat_index: index %d out of bounds on axis %d (size %d)"
+           k i t.shape.(i));
+    off := (!off * t.shape.(i)) + k
+  done;
+  !off
+
+let get t idx = t.data.(flat_index t idx)
+let set t idx v = t.data.(flat_index t idx) <- v
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+
+(* Elementwise *)
+
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if not (same_shape a b) then fail_shape "map2" a.shape b.shape;
+  { shape = Array.copy a.shape; data = Array.map2 f a.data b.data }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let div a b = map2 ( /. ) a b
+let scale k t = map (fun v -> k *. v) t
+let add_scalar k t = map (fun v -> k +. v) t
+let neg t = map (fun v -> -.v) t
+let relu t = map (fun v -> if v > 0. then v else 0.) t
+
+let clip ~lo ~hi t =
+  map (fun v -> if v < lo then lo else if v > hi then hi else v) t
+
+let add_inplace dst src =
+  if not (same_shape dst src) then fail_shape "add_inplace" dst.shape src.shape;
+  let d = dst.data and s = src.data in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- d.(i) +. s.(i)
+  done
+
+let axpy ~alpha x y =
+  if not (same_shape x y) then fail_shape "axpy" x.shape y.shape;
+  let xd = x.data and yd = y.data in
+  for i = 0 to Array.length xd - 1 do
+    yd.(i) <- yd.(i) +. (alpha *. xd.(i))
+  done
+
+let scale_inplace k t =
+  let d = t.data in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- k *. d.(i)
+  done
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+(* Reductions *)
+
+let sum t = Array.fold_left ( +. ) 0. t.data
+
+let mean t =
+  if numel t = 0 then invalid_arg "Tensor.mean: empty tensor";
+  sum t /. float_of_int (numel t)
+
+let fold_nonempty name f t =
+  if numel t = 0 then invalid_arg ("Tensor." ^ name ^ ": empty tensor");
+  let acc = ref t.data.(0) in
+  for i = 1 to numel t - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let max_val t = fold_nonempty "max_val" Float.max t
+let min_val t = fold_nonempty "min_val" Float.min t
+
+let argmax t =
+  if numel t = 0 then invalid_arg "Tensor.argmax: empty tensor";
+  let best = ref 0 in
+  for i = 1 to numel t - 1 do
+    if t.data.(i) > t.data.(!best) then best := i
+  done;
+  !best
+
+let dot a b =
+  if not (same_shape a b) then fail_shape "dot" a.shape b.shape;
+  let acc = ref 0. in
+  for i = 0 to numel a - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  !acc
+
+let sq_norm t = dot t t
+let l1_norm t = Array.fold_left (fun acc v -> acc +. Float.abs v) 0. t.data
+
+let linf_norm t =
+  Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. t.data
+
+(* Linear algebra *)
+
+let check_rank name t r =
+  if ndim t <> r then
+    invalid_arg
+      (Printf.sprintf "Tensor.%s: expected rank %d, got %s" name r
+         (shape_to_string t.shape))
+
+let matmul a b =
+  check_rank "matmul" a 2;
+  check_rank "matmul" b 2;
+  let m = a.shape.(0) and k = a.shape.(1) in
+  let k' = b.shape.(0) and n = b.shape.(1) in
+  if k <> k' then fail_shape "matmul" a.shape b.shape;
+  let out = zeros [| m; n |] in
+  let ad = a.data and bd = b.data and od = out.data in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let av = ad.((i * k) + p) in
+      if av <> 0. then begin
+        let boff = p * n and ooff = i * n in
+        for j = 0 to n - 1 do
+          od.(ooff + j) <- od.(ooff + j) +. (av *. bd.(boff + j))
+        done
+      end
+    done
+  done;
+  out
+
+let matvec a x =
+  check_rank "matvec" a 2;
+  check_rank "matvec" x 1;
+  let m = a.shape.(0) and k = a.shape.(1) in
+  if k <> x.shape.(0) then fail_shape "matvec" a.shape x.shape;
+  let out = zeros [| m |] in
+  let ad = a.data and xd = x.data and od = out.data in
+  for i = 0 to m - 1 do
+    let acc = ref 0. and off = i * k in
+    for p = 0 to k - 1 do
+      acc := !acc +. (Array.unsafe_get ad (off + p) *. Array.unsafe_get xd p)
+    done;
+    od.(i) <- !acc
+  done;
+  out
+
+let matvec_t a y =
+  check_rank "matvec_t" a 2;
+  check_rank "matvec_t" y 1;
+  let m = a.shape.(0) and k = a.shape.(1) in
+  if m <> y.shape.(0) then fail_shape "matvec_t" a.shape y.shape;
+  let out = zeros [| k |] in
+  let ad = a.data and yd = y.data and od = out.data in
+  for i = 0 to m - 1 do
+    let yv = yd.(i) and off = i * k in
+    if yv <> 0. then
+      for p = 0 to k - 1 do
+        od.(p) <- od.(p) +. (yv *. ad.(off + p))
+      done
+  done;
+  out
+
+let outer y x =
+  check_rank "outer" y 1;
+  check_rank "outer" x 1;
+  let m = y.shape.(0) and k = x.shape.(0) in
+  let out = zeros [| m; k |] in
+  let od = out.data in
+  for i = 0 to m - 1 do
+    let yv = y.data.(i) and off = i * k in
+    for p = 0 to k - 1 do
+      od.(off + p) <- yv *. x.data.(p)
+    done
+  done;
+  out
+
+let transpose a =
+  check_rank "transpose" a 2;
+  let m = a.shape.(0) and n = a.shape.(1) in
+  init [| n; m |] (fun i ->
+      let r = i / m and c = i mod m in
+      a.data.((c * n) + r))
+
+(* Convolution: direct cross-correlation on CHW tensors. *)
+
+let conv_out_dim size k stride pad = ((size + (2 * pad) - k) / stride) + 1
+
+let conv2d ?(stride = 1) ?(pad = 0) x ~weight ~bias =
+  check_rank "conv2d" x 3;
+  check_rank "conv2d" weight 4;
+  let in_c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let out_c = weight.shape.(0)
+  and win_c = weight.shape.(1)
+  and kh = weight.shape.(2)
+  and kw = weight.shape.(3) in
+  if in_c <> win_c then fail_shape "conv2d" x.shape weight.shape;
+  let oh = conv_out_dim h kh stride pad and ow = conv_out_dim w kw stride pad in
+  if oh <= 0 || ow <= 0 then
+    invalid_arg "Tensor.conv2d: kernel larger than padded input";
+  let out = zeros [| out_c; oh; ow |] in
+  let xd = x.data and wd = weight.data and od = out.data in
+  (* Hot path: indices below are in bounds by the loop structure (every
+     access is guarded by the iy/ix range checks), so unsafe accesses are
+     used to keep inference fast — this loop dominates attack runtime. *)
+  for oc = 0 to out_c - 1 do
+    let b = match bias with None -> 0. | Some bt -> bt.data.(oc) in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref b in
+        let iy0 = (oy * stride) - pad and ix0 = (ox * stride) - pad in
+        for ic = 0 to in_c - 1 do
+          let xoff = ic * h * w
+          and woff = (((oc * in_c) + ic) * kh) * kw in
+          for ky = 0 to kh - 1 do
+            let iy = iy0 + ky in
+            if iy >= 0 && iy < h then begin
+              let xrow = xoff + (iy * w) and wrow = woff + (ky * kw) in
+              let kx0 = if ix0 < 0 then -ix0 else 0 in
+              let kx1 = if ix0 + kw > w then w - ix0 - 1 else kw - 1 in
+              for kx = kx0 to kx1 do
+                acc :=
+                  !acc
+                  +. (Array.unsafe_get xd (xrow + ix0 + kx)
+                     *. Array.unsafe_get wd (wrow + kx))
+              done
+            end
+          done
+        done;
+        Array.unsafe_set od ((((oc * oh) + oy) * ow) + ox) !acc
+      done
+    done
+  done;
+  out
+
+let im2col ?(stride = 1) ?(pad = 0) ~kh ~kw x =
+  check_rank "im2col" x 3;
+  let in_c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let oh = conv_out_dim h kh stride pad and ow = conv_out_dim w kw stride pad in
+  if oh <= 0 || ow <= 0 then
+    invalid_arg "Tensor.im2col: kernel larger than padded input";
+  let rows = in_c * kh * kw and cols = oh * ow in
+  let out = zeros [| rows; cols |] in
+  let xd = x.data and od = out.data in
+  for ic = 0 to in_c - 1 do
+    for ky = 0 to kh - 1 do
+      for kx = 0 to kw - 1 do
+        let row = (((ic * kh) + ky) * kw) + kx in
+        for oy = 0 to oh - 1 do
+          let iy = (oy * stride) - pad + ky in
+          if iy >= 0 && iy < h then begin
+            for ox = 0 to ow - 1 do
+              let ix = (ox * stride) - pad + kx in
+              if ix >= 0 && ix < w then
+                od.((row * cols) + (oy * ow) + ox) <-
+                  xd.((((ic * h) + iy) * w) + ix)
+            done
+          end
+        done
+      done
+    done
+  done;
+  out
+
+let conv2d_gemm ?(stride = 1) ?(pad = 0) x ~weight ~bias =
+  check_rank "conv2d_gemm" x 3;
+  check_rank "conv2d_gemm" weight 4;
+  let in_c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let out_c = weight.shape.(0)
+  and win_c = weight.shape.(1)
+  and kh = weight.shape.(2)
+  and kw = weight.shape.(3) in
+  if in_c <> win_c then fail_shape "conv2d_gemm" x.shape weight.shape;
+  let oh = conv_out_dim h kh stride pad and ow = conv_out_dim w kw stride pad in
+  let patches = im2col ~stride ~pad ~kh ~kw x in
+  let wmat = reshape weight [| out_c; in_c * kh * kw |] in
+  let flat = matmul wmat patches in
+  let out = reshape flat [| out_c; oh; ow |] in
+  (match bias with
+  | None -> ()
+  | Some bt ->
+      for oc = 0 to out_c - 1 do
+        let b = bt.data.(oc) and off = oc * oh * ow in
+        for i = 0 to (oh * ow) - 1 do
+          out.data.(off + i) <- out.data.(off + i) +. b
+        done
+      done);
+  out
+
+let conv2d_backward ?(stride = 1) ?(pad = 0) ~x ~weight dout =
+  let in_c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let out_c = weight.shape.(0)
+  and kh = weight.shape.(2)
+  and kw = weight.shape.(3) in
+  let oh = dout.shape.(1) and ow = dout.shape.(2) in
+  let dx = zeros [| in_c; h; w |] in
+  let dw = zeros (Array.copy weight.shape) in
+  let db = zeros [| out_c |] in
+  let xd = x.data
+  and wd = weight.data
+  and dod = dout.data
+  and dxd = dx.data
+  and dwd = dw.data in
+  for oc = 0 to out_c - 1 do
+    let dbacc = ref 0. in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let g = dod.((((oc * oh) + oy) * ow) + ox) in
+        if g <> 0. then begin
+          dbacc := !dbacc +. g;
+          let iy0 = (oy * stride) - pad and ix0 = (ox * stride) - pad in
+          for ic = 0 to in_c - 1 do
+            let xoff = ic * h * w
+            and woff = (((oc * in_c) + ic) * kh) * kw in
+            for ky = 0 to kh - 1 do
+              let iy = iy0 + ky in
+              if iy >= 0 && iy < h then begin
+                let xrow = xoff + (iy * w) and wrow = woff + (ky * kw) in
+                for kx = 0 to kw - 1 do
+                  let ix = ix0 + kx in
+                  if ix >= 0 && ix < w then begin
+                    dwd.(wrow + kx) <- dwd.(wrow + kx) +. (g *. xd.(xrow + ix));
+                    dxd.(xrow + ix) <- dxd.(xrow + ix) +. (g *. wd.(wrow + kx))
+                  end
+                done
+              end
+            done
+          done
+        end
+      done
+    done;
+    db.data.(oc) <- !dbacc
+  done;
+  (dx, dw, db)
+
+(* Pooling *)
+
+let max_pool2d ?stride ~size x =
+  check_rank "max_pool2d" x 3;
+  let stride = match stride with None -> size | Some s -> s in
+  let c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let oh = conv_out_dim h size stride 0 and ow = conv_out_dim w size stride 0 in
+  if oh <= 0 || ow <= 0 then invalid_arg "Tensor.max_pool2d: window too large";
+  let out = zeros [| c; oh; ow |] in
+  let switches = Array.make (c * oh * ow) 0 in
+  let xd = x.data and od = out.data in
+  for ch = 0 to c - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let best = ref neg_infinity and besti = ref 0 in
+        for ky = 0 to size - 1 do
+          for kx = 0 to size - 1 do
+            let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
+            if iy < h && ix < w then begin
+              let idx = (((ch * h) + iy) * w) + ix in
+              if xd.(idx) > !best then begin
+                best := xd.(idx);
+                besti := idx
+              end
+            end
+          done
+        done;
+        let oidx = (((ch * oh) + oy) * ow) + ox in
+        od.(oidx) <- !best;
+        switches.(oidx) <- !besti
+      done
+    done
+  done;
+  (out, switches)
+
+let max_pool2d_backward ~x_shape ~switches dout =
+  let dx = zeros x_shape in
+  let dod = dout.data and dxd = dx.data in
+  for i = 0 to Array.length dod - 1 do
+    dxd.(switches.(i)) <- dxd.(switches.(i)) +. dod.(i)
+  done;
+  dx
+
+let avg_pool2d ?stride ~size x =
+  check_rank "avg_pool2d" x 3;
+  let stride = match stride with None -> size | Some s -> s in
+  let c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let oh = conv_out_dim h size stride 0 and ow = conv_out_dim w size stride 0 in
+  if oh <= 0 || ow <= 0 then invalid_arg "Tensor.avg_pool2d: window too large";
+  let out = zeros [| c; oh; ow |] in
+  let inv = 1. /. float_of_int (size * size) in
+  let xd = x.data and od = out.data in
+  for ch = 0 to c - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref 0. in
+        for ky = 0 to size - 1 do
+          for kx = 0 to size - 1 do
+            let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
+            if iy < h && ix < w then acc := !acc +. xd.((((ch * h) + iy) * w) + ix)
+          done
+        done;
+        od.((((ch * oh) + oy) * ow) + ox) <- !acc *. inv
+      done
+    done
+  done;
+  out
+
+let avg_pool2d_backward ?stride ~size ~x_shape dout =
+  let stride = match stride with None -> size | Some s -> s in
+  let c = x_shape.(0) and h = x_shape.(1) and w = x_shape.(2) in
+  let oh = dout.shape.(1) and ow = dout.shape.(2) in
+  let dx = zeros x_shape in
+  let inv = 1. /. float_of_int (size * size) in
+  let dod = dout.data and dxd = dx.data in
+  for ch = 0 to c - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let g = dod.((((ch * oh) + oy) * ow) + ox) *. inv in
+        for ky = 0 to size - 1 do
+          for kx = 0 to size - 1 do
+            let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
+            if iy < h && ix < w then begin
+              let idx = (((ch * h) + iy) * w) + ix in
+              dxd.(idx) <- dxd.(idx) +. g
+            end
+          done
+        done
+      done
+    done
+  done;
+  dx
+
+let global_avg_pool x =
+  check_rank "global_avg_pool" x 3;
+  let c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let inv = 1. /. float_of_int (h * w) in
+  init [| c |] (fun ch ->
+      let acc = ref 0. and off = ch * h * w in
+      for i = 0 to (h * w) - 1 do
+        acc := !acc +. x.data.(off + i)
+      done;
+      !acc *. inv)
+
+let global_avg_pool_backward ~x_shape dout =
+  let h = x_shape.(1) and w = x_shape.(2) in
+  let inv = 1. /. float_of_int (h * w) in
+  init x_shape (fun i -> dout.data.(i / (h * w)) *. inv)
+
+(* Softmax and losses *)
+
+let softmax t =
+  check_rank "softmax" t 1;
+  let m = max_val t in
+  let exps = map (fun v -> exp (v -. m)) t in
+  let z = sum exps in
+  scale (1. /. z) exps
+
+let log_softmax t =
+  check_rank "log_softmax" t 1;
+  let m = max_val t in
+  let z = Array.fold_left (fun acc v -> acc +. exp (v -. m)) 0. t.data in
+  let logz = m +. log z in
+  map (fun v -> v -. logz) t
+
+let cross_entropy logits label =
+  if label < 0 || label >= numel logits then
+    invalid_arg "Tensor.cross_entropy: label out of range";
+  -.(log_softmax logits).data.(label)
+
+let cross_entropy_grad logits label =
+  if label < 0 || label >= numel logits then
+    invalid_arg "Tensor.cross_entropy_grad: label out of range";
+  let p = softmax logits in
+  p.data.(label) <- p.data.(label) -. 1.;
+  p
+
+(* Misc *)
+
+let concat_channels ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat_channels: empty list"
+  | first :: _ ->
+      List.iter (fun t -> check_rank "concat_channels" t 3) ts;
+      let h = first.shape.(1) and w = first.shape.(2) in
+      List.iter
+        (fun t ->
+          if t.shape.(1) <> h || t.shape.(2) <> w then
+            fail_shape "concat_channels" first.shape t.shape)
+        ts;
+      let total_c = List.fold_left (fun acc t -> acc + t.shape.(0)) 0 ts in
+      let out = zeros [| total_c; h; w |] in
+      let off = ref 0 in
+      List.iter
+        (fun t ->
+          Array.blit t.data 0 out.data !off (numel t);
+          off := !off + numel t)
+        ts;
+      out
+
+let split_channels t counts =
+  check_rank "split_channels" t 3;
+  let h = t.shape.(1) and w = t.shape.(2) in
+  let total = List.fold_left ( + ) 0 counts in
+  if total <> t.shape.(0) then
+    invalid_arg "Tensor.split_channels: channel counts do not sum to shape";
+  let off = ref 0 in
+  List.map
+    (fun c ->
+      let piece = zeros [| c; h; w |] in
+      Array.blit t.data !off piece.data 0 (c * h * w);
+      off := !off + (c * h * w);
+      piece)
+    counts
+
+let equal ?(eps = 1e-9) a b =
+  same_shape a b
+  && (let ok = ref true in
+      for i = 0 to numel a - 1 do
+        if Float.abs (a.data.(i) -. b.data.(i)) > eps then ok := false
+      done;
+      !ok)
+
+let pp fmt t =
+  let n = numel t in
+  let max_show = 16 in
+  Format.fprintf fmt "Tensor%s [" (shape_to_string t.shape);
+  for i = 0 to min n max_show - 1 do
+    if i > 0 then Format.fprintf fmt "; ";
+    Format.fprintf fmt "%g" t.data.(i)
+  done;
+  if n > max_show then Format.fprintf fmt "; ...(%d more)" (n - max_show);
+  Format.fprintf fmt "]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,208 @@
+(** Dense float tensors.
+
+    A small, dependency-free tensor library sufficient to implement and
+    train the convolutional networks used by the OPPSLA experiments.
+    Tensors are immutable in shape but carry a mutable flat [float array]
+    payload (OCaml unboxes float arrays, so this is as fast as it gets
+    without C stubs).  Layout is row-major; images are stored CHW. *)
+
+type t = private { shape : int array; data : float array }
+(** [shape] is the dimension list; [data] has [numel] elements laid out
+    row-major.  The record is [private]: use the constructors below so the
+    shape/data invariant ([Array.length data = product shape]) always
+    holds.  [data] may be mutated in place by the [*_inplace] operations. *)
+
+exception Shape_mismatch of string
+(** Raised when operand shapes are incompatible.  The payload describes the
+    operation and both shapes. *)
+
+(** {1 Construction} *)
+
+val create : int array -> float -> t
+(** [create shape v] is a tensor filled with [v]. *)
+
+val zeros : int array -> t
+val ones : int array -> t
+
+val init : int array -> (int -> float) -> t
+(** [init shape f] fills position [i] (flat index) with [f i]. *)
+
+val of_array : int array -> float array -> t
+(** [of_array shape data] wraps [data] (no copy).  Raises
+    {!Shape_mismatch} if sizes disagree. *)
+
+val scalar : float -> t
+(** A rank-0 tensor. *)
+
+val copy : t -> t
+
+val randn : Prng.t -> ?mu:float -> ?sigma:float -> int array -> t
+(** Gaussian-filled tensor. *)
+
+val rand_uniform : Prng.t -> ?lo:float -> ?hi:float -> int array -> t
+
+(** {1 Shape accessors} *)
+
+val shape : t -> int array
+val ndim : t -> int
+val numel : t -> int
+
+val dim : t -> int -> int
+(** [dim t i] is the size of axis [i].  Raises [Invalid_argument] if out of
+    range. *)
+
+val same_shape : t -> t -> bool
+
+val reshape : t -> int array -> t
+(** [reshape t shape] shares [t]'s data under a new shape.  Raises
+    {!Shape_mismatch} if element counts differ. *)
+
+val flatten : t -> t
+(** Rank-1 view sharing the same data. *)
+
+(** {1 Element access} *)
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+
+val flat_index : t -> int array -> int
+(** Row-major flat index of a multi-index; bounds-checked. *)
+
+(** {1 Elementwise operations}
+
+    Binary operations raise {!Shape_mismatch} unless shapes are equal. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val neg : t -> t
+val relu : t -> t
+val clip : lo:float -> hi:float -> t -> t
+
+val add_inplace : t -> t -> unit
+(** [add_inplace dst src] accumulates [src] into [dst]. *)
+
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] sets [y <- alpha * x + y]. *)
+
+val scale_inplace : float -> t -> unit
+val fill : t -> float -> unit
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val mean : t -> float
+val max_val : t -> float
+val min_val : t -> float
+
+val argmax : t -> int
+(** Flat index of the maximum (first occurrence). *)
+
+val dot : t -> t -> float
+(** Inner product of equal-shaped tensors. *)
+
+val sq_norm : t -> float
+(** Sum of squares. *)
+
+val l1_norm : t -> float
+val linf_norm : t -> float
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+(** [matmul a b] for [a : (m, k)] and [b : (k, n)] is [(m, n)]. *)
+
+val matvec : t -> t -> t
+(** [matvec a x] for [a : (m, k)] and [x : (k)] is [(m)]. *)
+
+val matvec_t : t -> t -> t
+(** [matvec_t a y] for [a : (m, k)] and [y : (m)] is [aᵀ y : (k)]. *)
+
+val outer : t -> t -> t
+(** [outer y x] for [y : (m)] and [x : (k)] is [(m, k)]. *)
+
+val transpose : t -> t
+(** 2-D transpose. *)
+
+(** {1 Convolution and pooling}
+
+    Images and feature maps are CHW ([|channels; height; width|]).
+    Convolution weights are [|out_c; in_c; kh; kw|]. *)
+
+val conv2d : ?stride:int -> ?pad:int -> t -> weight:t -> bias:t option -> t
+(** [conv2d x ~weight ~bias] is a direct 2-D cross-correlation. *)
+
+val im2col : ?stride:int -> ?pad:int -> kh:int -> kw:int -> t -> t
+(** Patch-matrix expansion of a CHW tensor:
+    [(in_c * kh * kw, oh * ow)], column [o] holding the receptive field
+    of output position [o] (zero-padded outside the image). *)
+
+val conv2d_gemm : ?stride:int -> ?pad:int -> t -> weight:t -> bias:t option -> t
+(** Convolution via {!im2col} + {!matmul}.  Numerically identical to
+    {!conv2d} (same summation order per output); exists as the classical
+    alternative formulation and is ablated against the direct loop in the
+    micro benchmark. *)
+
+val conv2d_backward :
+  ?stride:int ->
+  ?pad:int ->
+  x:t ->
+  weight:t ->
+  t ->
+  t * t * t
+(** [conv2d_backward ~x ~weight dout] returns [(dx, dweight, dbias)]. *)
+
+val max_pool2d : ?stride:int -> size:int -> t -> t * int array
+(** Returns the pooled map and the flat argmax indices (one per output
+    element) needed by the backward pass. *)
+
+val max_pool2d_backward : x_shape:int array -> switches:int array -> t -> t
+(** [max_pool2d_backward ~x_shape ~switches dout] scatters [dout] back
+    through the recorded switches. *)
+
+val avg_pool2d : ?stride:int -> size:int -> t -> t
+val avg_pool2d_backward : ?stride:int -> size:int -> x_shape:int array -> t -> t
+
+val global_avg_pool : t -> t
+(** CHW -> C means. *)
+
+val global_avg_pool_backward : x_shape:int array -> t -> t
+
+(** {1 Softmax and losses} *)
+
+val softmax : t -> t
+(** Numerically stable softmax over a rank-1 tensor. *)
+
+val log_softmax : t -> t
+
+val cross_entropy : t -> int -> float
+(** [cross_entropy logits label] is the negative log-likelihood of [label]
+    under [softmax logits]. *)
+
+val cross_entropy_grad : t -> int -> t
+(** Gradient of {!cross_entropy} with respect to the logits
+    ([softmax logits - onehot label]). *)
+
+(** {1 Misc} *)
+
+val concat_channels : t list -> t
+(** Concatenate CHW tensors with equal H and W along the channel axis. *)
+
+val split_channels : t -> int list -> t list
+(** Inverse of {!concat_channels} given the channel counts. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Shape equality plus elementwise comparison within [eps]
+    (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Shape plus (truncated) contents, for debugging. *)
+
+val to_string : t -> string

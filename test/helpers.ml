@@ -1,0 +1,35 @@
+(* Shared test utilities. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  nn = 0 || scan 0
+
+(* A deterministic toy "classifier" over [d x d] color images with two
+   classes: class 1 iff the mean of all channel values exceeds the
+   threshold.  The margin is linear in the mean, so one-pixel attacks have
+   a simple, fully predictable geometry: flipping any pixel moves the mean
+   by (delta_r + delta_g + delta_b) / (3 d^2). *)
+let mean_threshold_oracle ?budget ?(threshold = 0.5) ?(sharpness = 40.) () =
+  Oracle.of_fn ?budget ~name:"mean-threshold" ~num_classes:2 (fun x ->
+      let m = Tensor.mean x in
+      let z = sharpness *. (m -. threshold) in
+      let p1 = 1. /. (1. +. exp (-.z)) in
+      Tensor.of_array [| 2 |] [| 1. -. p1; p1 |])
+
+(* A constant oracle: never changes its mind, so no adversarial example
+   exists. *)
+let constant_oracle ?budget ~num_classes ~winner () =
+  Oracle.of_fn ?budget ~name:"constant" ~num_classes (fun _ ->
+      Tensor.init [| num_classes |] (fun c -> if c = winner then 1. else 0.))
+
+(* A uniform image of the given side and brightness. *)
+let flat_image ~size v = Tensor.create [| 3; size; size |] v
+
+(* Count how many corner pairs flip the mean-threshold oracle for a flat
+   image: used to cross-check attack success sets. *)
+let gen_config ~size = { Oppsla.Gen.d1 = size; d2 = size }

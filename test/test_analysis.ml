@@ -1,0 +1,105 @@
+(* Tests for program-portfolio and attack-trace analysis. *)
+
+module C = Oppsla.Condition
+module Analysis = Oppsla.Analysis
+module Dsl = Oppsla.Dsl
+
+let program_a =
+  Dsl.parse_program_exn
+    "B1: score_diff < 0.2; B2: max(orig) > 0.1; B3: score_diff > 0.3; B4: center < 4"
+
+let program_b =
+  Dsl.parse_program_exn
+    "B1: center > 1; B2: min(pert) < 0.5; B3: avg(orig) > 0.2; B4: center < 2"
+
+let func_histogram_counts () =
+  let h = Analysis.func_histogram [ program_a; program_b ] in
+  Alcotest.(check (option int)) "score_diff twice" (Some 2)
+    (List.assoc_opt "score_diff" h);
+  Alcotest.(check (option int)) "center three times" (Some 3)
+    (List.assoc_opt "center" h);
+  Alcotest.(check (option int)) "min(pert) once" (Some 1)
+    (List.assoc_opt "min(pert)" h);
+  (* Sorted by decreasing count. *)
+  match h with
+  | (top, n) :: _ ->
+      Alcotest.(check string) "center leads" "center" top;
+      Alcotest.(check int) "count" 3 n
+  | [] -> Alcotest.fail "empty histogram"
+
+let func_histogram_consts () =
+  let h = Analysis.func_histogram [ C.const_false_program ] in
+  Alcotest.(check (option int)) "consts counted" (Some 4)
+    (List.assoc_opt "const" h)
+
+let slot_histogram_per_position () =
+  let slots = Analysis.slot_histogram [ program_a; program_b ] in
+  Alcotest.(check int) "four slots" 4 (Array.length slots);
+  (* B4 of both programs is center. *)
+  Alcotest.(check (option int)) "b4 all center" (Some 2)
+    (List.assoc_opt "center" slots.(3))
+
+let portfolio_description () =
+  let s = Analysis.describe_portfolio [| program_a; program_b |] in
+  Alcotest.(check bool) "mentions classes" true (Helpers.contains s "class 0");
+  Alcotest.(check bool) "mentions histogram" true
+    (Helpers.contains s "function usage:")
+
+let traced_attack_records_all_queries () =
+  let oracle = Helpers.mean_threshold_oracle () in
+  let image = Helpers.flat_image ~size:4 0.30 in
+  let result, steps =
+    Analysis.traced_attack oracle C.const_false_program ~image ~true_class:0
+  in
+  Alcotest.(check int) "one step per query" result.Oppsla.Sketch.queries
+    (List.length steps);
+  (* Indices are 1..n in order. *)
+  List.iteri
+    (fun i (s : Analysis.step) ->
+      Alcotest.(check int) "ordered" (i + 1) s.Analysis.index)
+    steps;
+  (* On the mean-threshold oracle every true-class score is a valid
+     probability. *)
+  List.iter
+    (fun (s : Analysis.step) ->
+      Alcotest.(check bool) "score in [0,1]" true
+        (s.Analysis.true_class_score >= 0. && s.Analysis.true_class_score <= 1.))
+    steps
+
+let traced_attack_success_prefix () =
+  let oracle = Helpers.mean_threshold_oracle () in
+  let image = Helpers.flat_image ~size:4 0.49 in
+  let result, steps =
+    Analysis.traced_attack oracle C.const_false_program ~image ~true_class:0
+  in
+  Alcotest.(check bool) "succeeded" true (result.Oppsla.Sketch.adversarial <> None);
+  Alcotest.(check int) "trace covers the successful query"
+    result.Oppsla.Sketch.queries (List.length steps)
+
+let center_profile_and_locations () =
+  let oracle = Helpers.mean_threshold_oracle () in
+  let image = Helpers.flat_image ~size:4 0.30 in
+  let _, steps =
+    Analysis.traced_attack oracle C.const_false_program ~image ~true_class:0
+  in
+  let profile = Analysis.center_distance_profile ~d1:4 ~d2:4 steps in
+  Alcotest.(check int) "one entry per step" (List.length steps)
+    (Array.length profile);
+  (* The fixed prioritization starts at the centre-most location. *)
+  Alcotest.(check (float 1e-9)) "starts central" 0.5 profile.(0);
+  Alcotest.(check int) "all 16 locations probed" 16
+    (Analysis.unique_locations steps)
+
+let suite =
+  [
+    Alcotest.test_case "func histogram" `Quick func_histogram_counts;
+    Alcotest.test_case "func histogram consts" `Quick func_histogram_consts;
+    Alcotest.test_case "slot histogram" `Quick slot_histogram_per_position;
+    Alcotest.test_case "portfolio description" `Quick portfolio_description;
+    Alcotest.test_case "traced attack records queries" `Quick
+      traced_attack_records_all_queries;
+    Alcotest.test_case "traced attack success prefix" `Quick
+      traced_attack_success_prefix;
+    Alcotest.test_case "center profile and locations" `Quick
+      center_profile_and_locations;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for training-time augmentation and classification metrics. *)
+
+let img = Tensor.init [| 3; 4; 4 |] (fun i -> float_of_int i /. 48.)
+
+(* Augmentation *)
+
+let hflip_involutive () =
+  Alcotest.(check bool) "double flip" true
+    (Tensor.equal img (Nn.Augment.hflip (Nn.Augment.hflip img)))
+
+let hflip_mirrors () =
+  let f = Nn.Augment.hflip img in
+  Alcotest.(check (float 0.)) "left<->right" (Tensor.get img [| 0; 1; 0 |])
+    (Tensor.get f [| 0; 1; 3 |])
+
+let shift_moves_and_pads () =
+  let s = Nn.Augment.shift ~dy:1 ~dx:0 img in
+  Alcotest.(check (float 0.)) "moved down" (Tensor.get img [| 0; 0; 2 |])
+    (Tensor.get s [| 0; 1; 2 |]);
+  Alcotest.(check (float 0.)) "padded row" 0. (Tensor.get s [| 0; 0; 2 |]);
+  let zero = Nn.Augment.shift ~dy:0 ~dx:0 img in
+  Alcotest.(check bool) "identity shift" true (Tensor.equal img zero)
+
+let brightness_clamps () =
+  let b = Nn.Augment.brightness 0.9 img in
+  Alcotest.(check bool) "clamped" true (Tensor.max_val b <= 1.);
+  let d = Nn.Augment.brightness (-0.9) img in
+  Alcotest.(check bool) "clamped below" true (Tensor.min_val d >= 0.)
+
+let contrast_preserves_mean () =
+  let c = Nn.Augment.contrast 0.5 img in
+  Alcotest.(check (float 1e-6)) "mean kept" (Tensor.mean img) (Tensor.mean c);
+  let identity = Nn.Augment.contrast 1.0 img in
+  Alcotest.(check bool) "factor 1 is identity" true
+    (Tensor.equal ~eps:1e-9 img identity)
+
+let apply_none_is_identity () =
+  let out = Nn.Augment.apply (Prng.of_int 3) Nn.Augment.none img in
+  Alcotest.(check bool) "identity" true (Tensor.equal img out)
+
+let apply_standard_in_range () =
+  let g = Prng.of_int 4 in
+  for _ = 1 to 50 do
+    let out = Nn.Augment.apply g Nn.Augment.standard img in
+    Alcotest.(check (array int)) "shape kept" (Tensor.shape img)
+      (Tensor.shape out);
+    Alcotest.(check bool) "range kept" true
+      (Tensor.min_val out >= 0. && Tensor.max_val out <= 1.)
+  done
+
+let training_with_augmentation_runs () =
+  let rng = Prng.of_int 5 in
+  let net =
+    Nn.Network.create ~name:"aug" ~input_shape:[| 3; 4; 4 |] ~num_classes:2
+      [ Nn.Layer.flatten (); Nn.Layer.dense rng ~in_dim:48 ~out_dim:2 () ]
+  in
+  let train =
+    Array.init 20 (fun i ->
+        let label = i mod 2 in
+        let base = if label = 0 then 0.2 else 0.8 in
+        let img =
+          Tensor.init [| 3; 4; 4 |] (fun _ ->
+              base +. Prng.normal rng ~sigma:0.05 ())
+        in
+        (img, label))
+  in
+  (* Shifting a 4x4 image by 2 wipes most of it, so use a gentle policy
+     appropriate to the tiny test images. *)
+  let policy = { Nn.Augment.standard with max_shift = 1 } in
+  let config =
+    {
+      (Nn.Train.default_config ()) with
+      epochs = 15;
+      batch_size = 8;
+      augment = policy;
+    }
+  in
+  let reports = Nn.Train.fit ~config rng net train in
+  let last = List.nth reports 14 in
+  Alcotest.(check bool) "learns through augmentation" true
+    (last.Nn.Train.train_acc > 0.8)
+
+(* Metrics *)
+
+let perfect_net () =
+  (* A 1x1-image "network" that classifies by brightness threshold via a
+     dense layer with hand-set weights. *)
+  let rng = Prng.of_int 6 in
+  let net =
+    Nn.Network.create ~name:"thresh" ~input_shape:[| 1; 1; 1 |] ~num_classes:2
+      [ Nn.Layer.flatten (); Nn.Layer.dense rng ~in_dim:1 ~out_dim:2 () ]
+  in
+  (* class 1 wins iff x > 0.5: logits = (0, 2x - 1). *)
+  (match Nn.Network.params net with
+  | [ w; b ] ->
+      Tensor.set w.Nn.Param.value [| 0; 0 |] 0.;
+      Tensor.set w.Nn.Param.value [| 1; 0 |] 2.;
+      Tensor.set_flat b.Nn.Param.value 0 0.;
+      Tensor.set_flat b.Nn.Param.value 1 (-1.)
+  | _ -> Alcotest.fail "unexpected params");
+  net
+
+let sample v label = (Tensor.create [| 1; 1; 1 |] v, label)
+
+let confusion_and_accuracy () =
+  let net = perfect_net () in
+  let samples =
+    [|
+      sample 0.1 0; sample 0.2 0; sample 0.9 1; sample 0.8 1;
+      (* two mislabelled points *)
+      sample 0.9 0; sample 0.1 1;
+    |]
+  in
+  let cm = Nn.Metrics.confusion_matrix net samples in
+  Alcotest.(check int) "true 0 predicted 0" 2 cm.Nn.Metrics.counts.(0).(0);
+  Alcotest.(check int) "true 0 predicted 1" 1 cm.Nn.Metrics.counts.(0).(1);
+  Alcotest.(check int) "true 1 predicted 0" 1 cm.Nn.Metrics.counts.(1).(0);
+  Alcotest.(check (float 1e-9)) "accuracy" (4. /. 6.)
+    (Nn.Metrics.accuracy_of_confusion cm);
+  let pca = Nn.Metrics.per_class_accuracy cm in
+  Alcotest.(check (float 1e-9)) "class 0 recall" (2. /. 3.) pca.(0);
+  match Nn.Metrics.most_confused cm with
+  | Some (_, _, c) -> Alcotest.(check int) "largest off-diagonal" 1 c
+  | None -> Alcotest.fail "expected confusion"
+
+let most_confused_perfect () =
+  let net = perfect_net () in
+  let cm =
+    Nn.Metrics.confusion_matrix net [| sample 0.1 0; sample 0.9 1 |]
+  in
+  Alcotest.(check bool) "no confusion" true (Nn.Metrics.most_confused cm = None)
+
+let confusion_validates () =
+  let net = perfect_net () in
+  Alcotest.(check bool) "label out of range" true
+    (try
+       ignore (Nn.Metrics.confusion_matrix net [| sample 0.1 7 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let top_k () =
+  let net = perfect_net () in
+  let samples = [| sample 0.1 1; sample 0.9 1 |] in
+  (* top-1: only the bright one is right; top-2 of 2 classes: everything. *)
+  Alcotest.(check (float 1e-9)) "top-1" 0.5
+    (Nn.Metrics.top_k_accuracy ~k:1 net samples);
+  Alcotest.(check (float 1e-9)) "top-2" 1.
+    (Nn.Metrics.top_k_accuracy ~k:2 net samples)
+
+let pp_confusion_renders () =
+  let net = perfect_net () in
+  let cm = Nn.Metrics.confusion_matrix net [| sample 0.1 0 |] in
+  let s =
+    Format.asprintf "%a"
+      (Nn.Metrics.pp_confusion ~class_names:[| "dark"; "bright" |])
+      cm
+  in
+  Alcotest.(check bool) "mentions class name" true (Helpers.contains s "dark")
+
+let suite =
+  [
+    Alcotest.test_case "hflip involutive" `Quick hflip_involutive;
+    Alcotest.test_case "hflip mirrors" `Quick hflip_mirrors;
+    Alcotest.test_case "shift moves and pads" `Quick shift_moves_and_pads;
+    Alcotest.test_case "brightness clamps" `Quick brightness_clamps;
+    Alcotest.test_case "contrast preserves mean" `Quick contrast_preserves_mean;
+    Alcotest.test_case "apply none is identity" `Quick apply_none_is_identity;
+    Alcotest.test_case "apply standard in range" `Quick apply_standard_in_range;
+    Alcotest.test_case "training with augmentation" `Quick
+      training_with_augmentation_runs;
+    Alcotest.test_case "confusion and accuracy" `Quick confusion_and_accuracy;
+    Alcotest.test_case "most confused on perfect" `Quick most_confused_perfect;
+    Alcotest.test_case "confusion validates" `Quick confusion_validates;
+    Alcotest.test_case "top-k accuracy" `Quick top_k;
+    Alcotest.test_case "pp confusion" `Quick pp_confusion_renders;
+  ]

@@ -1,0 +1,99 @@
+(* Tests for success-rate curves. *)
+
+module Curves = Evalharness.Curves
+module Runner = Evalharness.Runner
+
+let record ~success ~queries = { Runner.true_class = 0; success; queries }
+
+let records =
+  [|
+    record ~success:true ~queries:1;
+    record ~success:true ~queries:10;
+    record ~success:true ~queries:100;
+    record ~success:false ~queries:500;
+  |]
+
+let of_records_samples () =
+  let c = Curves.of_records ~label:"t" ~budgets:[ 1; 10; 100; 1000 ] records in
+  let rates = List.map (fun p -> p.Curves.rate) c.Curves.points in
+  Alcotest.(check (list (float 1e-9))) "rates" [ 0.25; 0.5; 0.75; 0.75 ] rates
+
+let of_records_sorts_budgets () =
+  let c = Curves.of_records ~label:"t" ~budgets:[ 100; 1; 10 ] records in
+  Alcotest.(check (list int)) "sorted" [ 1; 10; 100 ]
+    (List.map (fun p -> p.Curves.budget) c.Curves.points)
+
+let log_ladder () =
+  Alcotest.(check (list int)) "up to 100" [ 1; 2; 5; 10; 20; 50; 100 ]
+    (Curves.log_budgets ~max:100);
+  Alcotest.(check (list int)) "non-round max" [ 1; 2; 5; 10; 20; 50; 70 ]
+    (Curves.log_budgets ~max:70);
+  Alcotest.(check (list int)) "tiny" [ 1 ] (Curves.log_budgets ~max:1)
+
+let curve_of rates =
+  {
+    Curves.label = "c";
+    points =
+      List.mapi
+        (fun i r -> { Curves.budget = 10 * (i + 1); rate = r })
+        rates;
+  }
+
+let auc_bounds () =
+  let flat_one = curve_of [ 1.; 1.; 1. ] in
+  Alcotest.(check (float 1e-9)) "perfect" 1. (Curves.auc flat_one);
+  let flat_zero = curve_of [ 0.; 0.; 0. ] in
+  Alcotest.(check (float 1e-9)) "hopeless" 0. (Curves.auc flat_zero);
+  let rising = curve_of [ 0.; 1. ] in
+  Alcotest.(check (float 1e-9)) "trapezoid" 0.5 (Curves.auc rising);
+  Alcotest.(check bool) "one point raises" true
+    (try
+       ignore (Curves.auc (curve_of [ 0.5 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let auc_orders_dominance () =
+  let better = curve_of [ 0.5; 0.8; 0.9 ] in
+  let worse = curve_of [ 0.1; 0.4; 0.9 ] in
+  Alcotest.(check bool) "dominant curve has higher auc" true
+    (Curves.auc better > Curves.auc worse)
+
+let crossover_detection () =
+  let a = curve_of [ 0.1; 0.6; 0.9 ] in
+  let b = curve_of [ 0.3; 0.5; 0.7 ] in
+  Alcotest.(check (option int)) "crosses at second budget" (Some 20)
+    (Curves.crossover a b);
+  Alcotest.(check (option int)) "b never catches up" None
+    (Curves.crossover b a);
+  let always = curve_of [ 1.; 1.; 1. ] and never = curve_of [ 0.; 0.; 0. ] in
+  Alcotest.(check (option int)) "dominates from the start" (Some 10)
+    (Curves.crossover always never);
+  Alcotest.(check (option int)) "never dominates" None
+    (Curves.crossover never always)
+
+let crossover_grid_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Curves.crossover (curve_of [ 0.; 1. ]) (curve_of [ 0.; 1.; 1. ]));
+       false
+     with Invalid_argument _ -> true)
+
+let render_contains_legend () =
+  let s = Curves.render [ curve_of [ 0.; 0.5; 1. ]; curve_of [ 1.; 1.; 1. ] ] in
+  Alcotest.(check bool) "y axis" true (Helpers.contains s "100% |");
+  Alcotest.(check bool) "legend" true (Helpers.contains s "o = c");
+  Alcotest.(check bool) "second glyph" true (Helpers.contains s "+ = c");
+  Alcotest.(check bool) "x axis label" true
+    (Helpers.contains s "queries (log scale)")
+
+let suite =
+  [
+    Alcotest.test_case "of_records samples" `Quick of_records_samples;
+    Alcotest.test_case "of_records sorts" `Quick of_records_sorts_budgets;
+    Alcotest.test_case "log ladder" `Quick log_ladder;
+    Alcotest.test_case "auc bounds" `Quick auc_bounds;
+    Alcotest.test_case "auc orders dominance" `Quick auc_orders_dominance;
+    Alcotest.test_case "crossover detection" `Quick crossover_detection;
+    Alcotest.test_case "crossover grid mismatch" `Quick crossover_grid_mismatch;
+    Alcotest.test_case "render legend" `Quick render_contains_legend;
+  ]

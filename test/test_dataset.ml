@@ -1,0 +1,187 @@
+(* Tests for the procedural datasets. *)
+
+let specs = [ Dataset.synth_cifar; Dataset.synth_imagenet ]
+
+let image_ranges () =
+  List.iter
+    (fun (spec : Dataset.spec) ->
+      let g = Prng.of_int 1 in
+      for class_id = 0 to spec.num_classes - 1 do
+        let img = Dataset.generate spec g ~class_id in
+        Alcotest.(check (array int))
+          "CHW shape"
+          [| 3; spec.image_size; spec.image_size |]
+          (Tensor.shape img);
+        Alcotest.(check bool) "within [0,1]" true
+          (Tensor.min_val img >= 0. && Tensor.max_val img <= 1.)
+      done)
+    specs
+
+let deterministic () =
+  List.iter
+    (fun (spec : Dataset.spec) ->
+      let a = Dataset.generate spec (Prng.of_int 7) ~class_id:3 in
+      let b = Dataset.generate spec (Prng.of_int 7) ~class_id:3 in
+      Alcotest.(check bool) "same seed, same image" true (Tensor.equal a b))
+    specs
+
+let distinct_instances () =
+  let g = Prng.of_int 7 in
+  let a = Dataset.generate Dataset.synth_cifar g ~class_id:3 in
+  let b = Dataset.generate Dataset.synth_cifar g ~class_id:3 in
+  Alcotest.(check bool) "instances vary" false (Tensor.equal a b)
+
+let invalid_class () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dataset.generate Dataset.synth_cifar (Prng.of_int 1) ~class_id:10);
+       false
+     with Invalid_argument _ -> true)
+
+let class_names_sized () =
+  List.iter
+    (fun (spec : Dataset.spec) ->
+      Alcotest.(check int) "one name per class" spec.num_classes
+        (Array.length spec.class_names))
+    specs
+
+let class_set_labels () =
+  let set =
+    Dataset.class_set Dataset.synth_cifar ~seed:11 ~class_id:4 ~n:6
+  in
+  Alcotest.(check int) "size" 6 (Array.length set);
+  Array.iter
+    (fun (_, label) -> Alcotest.(check int) "label" 4 label)
+    set
+
+let class_set_stable () =
+  let a = Dataset.class_set Dataset.synth_cifar ~seed:11 ~class_id:4 ~n:3 in
+  let b = Dataset.class_set Dataset.synth_cifar ~seed:11 ~class_id:4 ~n:3 in
+  Array.iteri
+    (fun i (x, _) ->
+      Alcotest.(check bool) "stable" true (Tensor.equal x (fst b.(i))))
+    a
+
+let class_set_prefix_stable () =
+  (* Growing a class set keeps the existing images unchanged. *)
+  let small = Dataset.class_set Dataset.synth_cifar ~seed:11 ~class_id:2 ~n:3 in
+  let large = Dataset.class_set Dataset.synth_cifar ~seed:11 ~class_id:2 ~n:6 in
+  Array.iteri
+    (fun i (x, _) ->
+      Alcotest.(check bool) "prefix preserved" true
+        (Tensor.equal x (fst large.(i))))
+    small
+
+let balanced_set_composition () =
+  let spec = Dataset.synth_cifar in
+  let set = Dataset.balanced_set spec ~seed:3 ~per_class:2 in
+  Alcotest.(check int) "size" (2 * spec.num_classes) (Array.length set);
+  let counts = Array.make spec.num_classes 0 in
+  Array.iter (fun (_, c) -> counts.(c) <- counts.(c) + 1) set;
+  Array.iter (fun n -> Alcotest.(check int) "balanced" 2 n) counts
+
+let train_test_disjoint_streams () =
+  let train, test =
+    Dataset.train_test Dataset.synth_cifar ~seed:5 ~train_per_class:2
+      ~test_per_class:2
+  in
+  Array.iter
+    (fun (tr, _) ->
+      Array.iter
+        (fun (te, _) ->
+          Alcotest.(check bool) "train and test differ" false
+            (Tensor.equal tr te))
+        test)
+    train
+
+let test_stable_under_train_size () =
+  let _, test_a =
+    Dataset.train_test Dataset.synth_cifar ~seed:5 ~train_per_class:2
+      ~test_per_class:2
+  in
+  let _, test_b =
+    Dataset.train_test Dataset.synth_cifar ~seed:5 ~train_per_class:7
+      ~test_per_class:2
+  in
+  Array.iteri
+    (fun i (x, _) ->
+      Alcotest.(check bool) "test unchanged" true
+        (Tensor.equal x (fst test_b.(i))))
+    test_a
+
+let hsv_known_values () =
+  let check name (r, g, b) (r', g', b') =
+    Alcotest.(check (float 1e-9)) (name ^ " r") r r';
+    Alcotest.(check (float 1e-9)) (name ^ " g") g g';
+    Alcotest.(check (float 1e-9)) (name ^ " b") b b'
+  in
+  check "red" (1., 0., 0.) (Dataset.hsv_to_rgb ~h:0. ~s:1. ~v:1.);
+  check "green" (0., 1., 0.) (Dataset.hsv_to_rgb ~h:(1. /. 3.) ~s:1. ~v:1.);
+  check "blue" (0., 0., 1.) (Dataset.hsv_to_rgb ~h:(2. /. 3.) ~s:1. ~v:1.);
+  check "white" (1., 1., 1.) (Dataset.hsv_to_rgb ~h:0.42 ~s:0. ~v:1.);
+  check "black" (0., 0., 0.) (Dataset.hsv_to_rgb ~h:0.42 ~s:1. ~v:0.)
+
+let hsv_wraps () =
+  let r, g, b = Dataset.hsv_to_rgb ~h:1.25 ~s:0.7 ~v:0.8 in
+  let r', g', b' = Dataset.hsv_to_rgb ~h:0.25 ~s:0.7 ~v:0.8 in
+  Alcotest.(check (float 1e-9)) "r wraps" r' r;
+  Alcotest.(check (float 1e-9)) "g wraps" g' g;
+  Alcotest.(check (float 1e-9)) "b wraps" b' b
+
+let qcheck_hsv_in_range =
+  QCheck.Test.make ~name:"hsv_to_rgb stays in [0,1]" ~count:300
+    QCheck.(triple (float_range (-2.) 2.) (float_range 0. 1.) (float_range 0. 1.))
+    (fun (h, s, v) ->
+      let r, g, b = Dataset.hsv_to_rgb ~h ~s ~v in
+      let ok x = x >= 0. && x <= 1. in
+      ok r && ok g && ok b)
+
+let qcheck_generate_in_range =
+  QCheck.Test.make ~name:"generated pixels stay in [0,1]" ~count:25
+    QCheck.(pair small_int (int_bound 9))
+    (fun (seed, class_id) ->
+      let img =
+        Dataset.generate Dataset.synth_cifar (Prng.of_int seed) ~class_id
+      in
+      Tensor.min_val img >= 0. && Tensor.max_val img <= 1.)
+
+let classes_distinguishable () =
+  (* Mean color differs between far-apart classes on average: a crude
+     sanity check that classes carry signal. *)
+  let spec = Dataset.synth_cifar in
+  let mean_of class_id =
+    let g = Prng.of_int 99 in
+    let n = 20 in
+    let sum = ref 0. in
+    for _ = 1 to n do
+      sum := !sum +. Tensor.mean (Dataset.generate spec g ~class_id)
+    done;
+    !sum /. float_of_int n
+  in
+  (* Not a strict separation claim; just that generation isn't collapsing
+     to identical statistics for every class. *)
+  let m0 = mean_of 0 and m5 = mean_of 5 in
+  Alcotest.(check bool) "class statistics differ" true
+    (Float.abs (m0 -. m5) > 0.005)
+
+let suite =
+  [
+    Alcotest.test_case "image ranges" `Quick image_ranges;
+    Alcotest.test_case "deterministic" `Quick deterministic;
+    Alcotest.test_case "distinct instances" `Quick distinct_instances;
+    Alcotest.test_case "invalid class" `Quick invalid_class;
+    Alcotest.test_case "class names sized" `Quick class_names_sized;
+    Alcotest.test_case "class_set labels" `Quick class_set_labels;
+    Alcotest.test_case "class_set stable" `Quick class_set_stable;
+    Alcotest.test_case "class_set prefix stable" `Quick class_set_prefix_stable;
+    Alcotest.test_case "balanced_set composition" `Quick
+      balanced_set_composition;
+    Alcotest.test_case "train/test disjoint" `Quick train_test_disjoint_streams;
+    Alcotest.test_case "test stable under train size" `Quick
+      test_stable_under_train_size;
+    Alcotest.test_case "hsv known values" `Quick hsv_known_values;
+    Alcotest.test_case "hsv wraps" `Quick hsv_wraps;
+    Alcotest.test_case "classes distinguishable" `Quick classes_distinguishable;
+    QCheck_alcotest.to_alcotest qcheck_hsv_in_range;
+    QCheck_alcotest.to_alcotest qcheck_generate_in_range;
+  ]

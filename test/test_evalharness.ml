@@ -1,0 +1,177 @@
+(* Tests for the evaluation harness: parallel map, runner statistics,
+   report rendering and attacker plumbing. *)
+
+module Parallel = Evalharness.Parallel
+module Runner = Evalharness.Runner
+module Report = Evalharness.Report
+module Attackers = Evalharness.Attackers
+
+(* Parallel *)
+
+let parallel_matches_sequential () =
+  let xs = Array.init 37 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "same results" (Array.map f xs)
+    (Parallel.map ~domains:4 f xs)
+
+let parallel_sequential_fallback () =
+  let xs = Array.init 5 Fun.id in
+  Alcotest.(check (array int)) "domains=1" (Array.map succ xs)
+    (Parallel.map ~domains:1 succ xs)
+
+let parallel_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map ~domains:4 succ [||])
+
+let parallel_propagates_exceptions () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Parallel.map ~domains:2
+            (fun x -> if x = 3 then failwith "boom" else x)
+            (Array.init 8 Fun.id));
+       false
+     with Failure _ -> true)
+
+let parallel_order_preserved () =
+  (* Work of uneven cost must still land at the right indices. *)
+  let xs = Array.init 16 Fun.id in
+  let f x =
+    let n = if x mod 2 = 0 then 10000 else 10 in
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := (!acc + i) mod 97
+    done;
+    (x, !acc)
+  in
+  let results = Parallel.map ~domains:3 f xs in
+  Array.iteri
+    (fun i (x, _) -> Alcotest.(check int) "index" i x)
+    results
+
+(* Runner statistics *)
+
+let record ~success ~queries =
+  { Runner.true_class = 0; success; queries }
+
+let success_rates () =
+  let records =
+    [|
+      record ~success:true ~queries:5;
+      record ~success:true ~queries:50;
+      record ~success:false ~queries:100;
+      record ~success:true ~queries:200;
+    |]
+  in
+  Alcotest.(check (float 1e-9)) "at 10" 0.25 (Runner.success_rate_at records 10);
+  Alcotest.(check (float 1e-9)) "at 50" 0.5 (Runner.success_rate_at records 50);
+  Alcotest.(check (float 1e-9)) "at 1000" 0.75
+    (Runner.success_rate_at records 1000);
+  Alcotest.(check (float 1e-9)) "overall" 0.75 (Runner.success_rate records)
+
+let success_rate_empty () =
+  Alcotest.(check (float 1e-9)) "empty" 0. (Runner.success_rate_at [||] 10)
+
+let avg_and_median () =
+  let records =
+    [|
+      record ~success:true ~queries:10;
+      record ~success:false ~queries:999;
+      record ~success:true ~queries:20;
+      record ~success:true ~queries:90;
+    |]
+  in
+  Alcotest.(check (option (float 1e-9))) "avg over successes" (Some 40.)
+    (Runner.avg_queries records);
+  Alcotest.(check (option (float 1e-9))) "odd median" (Some 20.)
+    (Runner.median_queries records);
+  let even =
+    [| record ~success:true ~queries:10; record ~success:true ~queries:20 |]
+  in
+  Alcotest.(check (option (float 1e-9))) "even median" (Some 15.)
+    (Runner.median_queries even);
+  Alcotest.(check (option (float 1e-9))) "no successes" None
+    (Runner.avg_queries [| record ~success:false ~queries:7 |])
+
+(* Report *)
+
+let table_renders () =
+  let s =
+    Report.table ~headers:[ "a"; "long header" ]
+      ~rows:[ [ "1"; "2" ]; [ "wide cell"; "x" ] ]
+  in
+  Alcotest.(check bool) "has header" true (Helpers.contains s "long header");
+  Alcotest.(check bool) "has cell" true (Helpers.contains s "wide cell");
+  (* All lines are equally wide (box alignment). *)
+  let widths =
+    String.split_on_char '\n' s |> List.map String.length |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "uniform width" 1 (List.length widths)
+
+let table_ragged_raises () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Report.table ~headers:[ "a"; "b" ] ~rows:[ [ "only one" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let formatting_helpers () =
+  Alcotest.(check string) "none" "-" (Report.float_opt None);
+  Alcotest.(check string) "some" "12.35" (Report.float_opt (Some 12.345));
+  Alcotest.(check string) "percent" "59.0%" (Report.percent 0.59)
+
+(* Attackers *)
+
+let oppsla_routes_by_class () =
+  (* Program for class 0 checks the whole space; class 1 has a program
+     too; class 2 is missing -> error. *)
+  let programs =
+    [|
+      Oppsla.Condition.const_false_program;
+      Oppsla.Condition.const_false_program;
+    |]
+  in
+  let attacker = Attackers.oppsla ~programs in
+  let oracle = Helpers.mean_threshold_oracle () in
+  let image = Helpers.flat_image ~size:4 0.49 in
+  let r =
+    attacker.Attackers.run (Prng.of_int 1) oracle ~max_queries:10 ~image
+      ~true_class:0
+  in
+  Alcotest.(check bool) "class 0 works" true (r.Oppsla.Sketch.adversarial <> None);
+  Alcotest.(check bool) "missing class raises" true
+    (try
+       ignore
+         (attacker.Attackers.run (Prng.of_int 1) oracle ~max_queries:10 ~image
+            ~true_class:5);
+       false
+     with Invalid_argument _ -> true)
+
+let attacker_names () =
+  Alcotest.(check string) "oppsla" "OPPSLA"
+    (Attackers.oppsla ~programs:[||]).Attackers.name;
+  Alcotest.(check string) "sketch false" "Sketch+False"
+    Attackers.sketch_false.Attackers.name;
+  Alcotest.(check string) "sparse-rs" "Sparse-RS"
+    Attackers.sparse_rs.Attackers.name;
+  Alcotest.(check string) "suopa" "SuOPA" (Attackers.su_opa ()).Attackers.name
+
+let suite =
+  [
+    Alcotest.test_case "parallel matches sequential" `Quick
+      parallel_matches_sequential;
+    Alcotest.test_case "parallel sequential fallback" `Quick
+      parallel_sequential_fallback;
+    Alcotest.test_case "parallel empty" `Quick parallel_empty;
+    Alcotest.test_case "parallel propagates exceptions" `Quick
+      parallel_propagates_exceptions;
+    Alcotest.test_case "parallel preserves order" `Quick
+      parallel_order_preserved;
+    Alcotest.test_case "success rates" `Quick success_rates;
+    Alcotest.test_case "success rate empty" `Quick success_rate_empty;
+    Alcotest.test_case "avg and median" `Quick avg_and_median;
+    Alcotest.test_case "table renders" `Quick table_renders;
+    Alcotest.test_case "table ragged raises" `Quick table_ragged_raises;
+    Alcotest.test_case "formatting helpers" `Quick formatting_helpers;
+    Alcotest.test_case "oppsla routes by class" `Quick oppsla_routes_by_class;
+    Alcotest.test_case "attacker names" `Quick attacker_names;
+  ]

@@ -1,0 +1,143 @@
+(* Tests for random program generation and AST mutation. *)
+
+module C = Oppsla.Condition
+module Gen = Oppsla.Gen
+
+let config = { Gen.d1 = 16; d2 = 16 }
+
+let threshold_in_range (c : C.t) =
+  match c with
+  | C.Const _ -> true
+  | C.Cmp { func; threshold; _ } -> (
+      match func with
+      | C.Max _ | C.Min _ | C.Avg _ -> threshold >= 0. && threshold <= 1.
+      | C.Score_diff -> threshold >= -1. && threshold <= 1.
+      | C.Center -> threshold >= 0. && threshold <= 8.)
+
+let config_from_image () =
+  let image = Tensor.zeros [| 3; 12; 20 |] in
+  let c = Gen.config_for_image image in
+  Alcotest.(check int) "d1" 12 c.Gen.d1;
+  Alcotest.(check int) "d2" 20 c.Gen.d2;
+  Alcotest.(check bool) "rejects non-image" true
+    (try
+       ignore (Gen.config_for_image (Tensor.zeros [| 12; 20 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let random_program_no_consts () =
+  let g = Prng.of_int 31 in
+  for _ = 1 to 50 do
+    Array.iter
+      (fun c ->
+        match c with
+        | C.Const _ -> Alcotest.fail "grammar excludes consts"
+        | C.Cmp _ -> ())
+      (C.program_to_array (Gen.random_program config g))
+  done
+
+let deterministic_generation () =
+  let p = Gen.random_program config (Prng.of_int 77) in
+  let q = Gen.random_program config (Prng.of_int 77) in
+  Alcotest.(check bool) "same seed same program" true (C.equal_program p q)
+
+let qcheck_thresholds_in_range =
+  QCheck.Test.make ~name:"generated thresholds within function ranges"
+    ~count:300 QCheck.small_int (fun seed ->
+      let g = Prng.of_int seed in
+      Array.for_all threshold_in_range
+        (C.program_to_array (Gen.random_program config g)))
+
+let qcheck_mutation_well_typed =
+  QCheck.Test.make ~name:"mutations stay well-typed" ~count:300
+    QCheck.small_int (fun seed ->
+      (* A function-node mutation keeps the sibling threshold, so after a
+         chain of mutations a threshold may sit outside its function's
+         natural range; that is still well-typed (everything is a float
+         comparison).  The property we check is therefore that evaluation
+         never raises, whatever the mutation history. *)
+      let g = Prng.of_int seed in
+      let p = ref (Gen.random_program config g) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        p := Gen.mutate config g !p;
+        let ctx =
+          {
+            C.d1 = 16;
+            d2 = 16;
+            image = Tensor.create [| 3; 16; 16 |] 0.5;
+            true_class = 0;
+            clean_scores = Tensor.of_array [| 2 |] [| 0.6; 0.4 |];
+            pair =
+              Oppsla.Pair.make
+                ~loc:(Oppsla.Location.make ~row:3 ~col:4)
+                ~corner:2;
+            perturbed_scores = Tensor.of_array [| 2 |] [| 0.5; 0.5 |];
+          }
+        in
+        let b1, b2, b3, b4 = C.conditions !p in
+        List.iter
+          (fun c -> ignore (C.eval c ctx))
+          [ b1; b2; b3; b4 ]
+      done;
+      !ok)
+
+let qcheck_mutation_changes_at_most_whole_program =
+  QCheck.Test.make ~name:"single mutation changes structure predictably"
+    ~count:300 QCheck.small_int (fun seed ->
+      let g = Prng.of_int seed in
+      let p = Gen.random_program config g in
+      let p' = Gen.mutate config g p in
+      let a = C.program_to_array p and b = C.program_to_array p' in
+      let changed = ref 0 in
+      Array.iteri (fun i c -> if not (C.equal c b.(i)) then incr changed) a;
+      (* A non-root mutation touches exactly one condition; a root
+         mutation may change up to four. *)
+      !changed <= 4)
+
+let mutation_eventually_hits_every_slot () =
+  (* Over many mutations of a fixed program, every condition position
+     must change at least once (the node choice is uniform). *)
+  let g = Prng.of_int 13 in
+  let base = Gen.random_program config g in
+  let base_arr = C.program_to_array base in
+  let touched = Array.make 4 false in
+  for _ = 1 to 300 do
+    let m = C.program_to_array (Gen.mutate config g base) in
+    Array.iteri
+      (fun i c -> if not (C.equal c base_arr.(i)) then touched.(i) <- true)
+      m
+  done;
+  Array.iteri
+    (fun i t -> Alcotest.(check bool) (Printf.sprintf "slot %d" i) true t)
+    touched
+
+let mutation_on_const_program () =
+  (* Mutating the Sketch+False program must regenerate grammar-valid
+     conditions rather than crash on the missing children. *)
+  let g = Prng.of_int 14 in
+  let p = ref C.const_false_program in
+  for _ = 1 to 100 do
+    p := Gen.mutate config g !p
+  done;
+  (* After enough mutations every slot should have left Const-land. *)
+  Alcotest.(check bool) "consts eventually replaced" true
+    (Array.exists
+       (fun c -> match c with C.Cmp _ -> true | C.Const _ -> false)
+       (C.program_to_array !p))
+
+let suite =
+  [
+    Alcotest.test_case "config from image" `Quick config_from_image;
+    Alcotest.test_case "random programs avoid consts" `Quick
+      random_program_no_consts;
+    Alcotest.test_case "deterministic generation" `Quick
+      deterministic_generation;
+    Alcotest.test_case "mutation hits every slot" `Quick
+      mutation_eventually_hits_every_slot;
+    Alcotest.test_case "mutation on const program" `Quick
+      mutation_on_const_program;
+    QCheck_alcotest.to_alcotest qcheck_thresholds_in_range;
+    QCheck_alcotest.to_alcotest qcheck_mutation_well_typed;
+    QCheck_alcotest.to_alcotest qcheck_mutation_changes_at_most_whole_program;
+  ]

@@ -1,0 +1,207 @@
+(* Tests for Rgb, Location and Pair: the geometry of the perturbation
+   space. *)
+
+module Rgb = Oppsla.Rgb
+module Location = Oppsla.Location
+module Pair = Oppsla.Pair
+
+let corners_enumeration () =
+  Alcotest.(check int) "eight corners" 8 (Array.length Rgb.corners);
+  (* Bit layout: bit 2 = red, bit 1 = green, bit 0 = blue. *)
+  Alcotest.(check (float 0.)) "corner 4 red" 1. (Rgb.corner 4).Rgb.r;
+  Alcotest.(check (float 0.)) "corner 4 green" 0. (Rgb.corner 4).Rgb.g;
+  Alcotest.(check (float 0.)) "corner 0 black" 0. (Rgb.corner 0).Rgb.r;
+  Alcotest.(check (float 0.)) "corner 7 white" 1. (Rgb.corner 7).Rgb.b
+
+let corner_bounds () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Rgb.corner 8);
+       false
+     with Invalid_argument _ -> true)
+
+let corner_index_roundtrip () =
+  for k = 0 to 7 do
+    Alcotest.(check (option int)) "roundtrip" (Some k)
+      (Rgb.corner_index (Rgb.corner k))
+  done;
+  Alcotest.(check (option int)) "non-corner" None
+    (Rgb.corner_index { Rgb.r = 0.5; g = 0.; b = 0. })
+
+let l1_distance_props () =
+  let black = Rgb.corner 0 and white = Rgb.corner 7 in
+  Alcotest.(check (float 1e-9)) "opposite corners" 3.
+    (Rgb.l1_distance black white);
+  Alcotest.(check (float 1e-9)) "self distance" 0.
+    (Rgb.l1_distance white white);
+  let p = { Rgb.r = 0.25; g = 0.5; b = 1. } in
+  Alcotest.(check (float 1e-9)) "mixed" 1.75 (Rgb.l1_distance p black)
+
+let corners_by_distance_order () =
+  (* From a dark pixel, white must come first and black last. *)
+  let order = Rgb.corners_by_distance { Rgb.r = 0.1; g = 0.1; b = 0.1 } in
+  Alcotest.(check int) "farthest is white" 7 order.(0);
+  Alcotest.(check int) "closest is black" 0 order.(7)
+
+let qcheck_corners_by_distance_permutation =
+  QCheck.Test.make ~name:"corners_by_distance is a permutation" ~count:200
+    QCheck.(triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.))
+    (fun (r, g, b) ->
+      let order = Rgb.corners_by_distance { Rgb.r; g; b } in
+      let sorted = Array.copy order in
+      Array.sort compare sorted;
+      sorted = Array.init 8 Fun.id)
+
+let qcheck_corners_by_distance_monotone =
+  QCheck.Test.make ~name:"corners_by_distance decreases" ~count:200
+    QCheck.(triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.))
+    (fun (r, g, b) ->
+      let p = { Rgb.r; g; b } in
+      let order = Rgb.corners_by_distance p in
+      let d k = Rgb.l1_distance p (Rgb.corner k) in
+      let ok = ref true in
+      for i = 0 to 6 do
+        if d order.(i) < d order.(i + 1) -. 1e-12 then ok := false
+      done;
+      !ok)
+
+let image_io () =
+  let img = Tensor.zeros [| 3; 4; 4 |] in
+  let p = { Rgb.r = 0.2; g = 0.4; b = 0.6 } in
+  Rgb.write_to_image img ~row:1 ~col:2 p;
+  let q = Rgb.of_image img ~row:1 ~col:2 in
+  Alcotest.(check bool) "roundtrip" true (Rgb.equal p q);
+  Alcotest.(check (float 0.)) "untouched elsewhere" 0.
+    (Tensor.get img [| 0; 0; 0 |])
+
+let channel_stats () =
+  let p = { Rgb.r = 0.1; g = 0.5; b = 0.9 } in
+  Alcotest.(check (float 1e-9)) "max" 0.9 (Rgb.max_val p);
+  Alcotest.(check (float 1e-9)) "min" 0.1 (Rgb.min_val p);
+  Alcotest.(check (float 1e-9)) "avg" 0.5 (Rgb.avg_val p)
+
+(* Locations *)
+
+let linf_distance () =
+  let a = Location.make ~row:2 ~col:3 and b = Location.make ~row:5 ~col:1 in
+  Alcotest.(check int) "linf" 3 (Location.linf_distance a b);
+  Alcotest.(check int) "self" 0 (Location.linf_distance a a)
+
+let center_distance_odd () =
+  (* 5x5: center is (2,2). *)
+  Alcotest.(check (float 1e-9)) "center" 0.
+    (Location.center_distance ~d1:5 ~d2:5 (Location.make ~row:2 ~col:2));
+  Alcotest.(check (float 1e-9)) "corner" 2.
+    (Location.center_distance ~d1:5 ~d2:5 (Location.make ~row:0 ~col:0))
+
+let center_distance_even () =
+  (* 4x4: continuous center is (1.5, 1.5). *)
+  Alcotest.(check (float 1e-9)) "near center" 0.5
+    (Location.center_distance ~d1:4 ~d2:4 (Location.make ~row:1 ~col:1));
+  Alcotest.(check (float 1e-9)) "corner" 1.5
+    (Location.center_distance ~d1:4 ~d2:4 (Location.make ~row:0 ~col:0))
+
+let neighbors_counts () =
+  let count ~row ~col =
+    List.length (Location.neighbors ~d1:4 ~d2:4 (Location.make ~row ~col))
+  in
+  Alcotest.(check int) "interior" 8 (count ~row:1 ~col:1);
+  Alcotest.(check int) "edge" 5 (count ~row:0 ~col:1);
+  Alcotest.(check int) "corner" 3 (count ~row:0 ~col:0)
+
+let neighbors_at_distance_one () =
+  let l = Location.make ~row:2 ~col:2 in
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "distance 1" 1 (Location.linf_distance l n))
+    (Location.neighbors ~d1:5 ~d2:5 l)
+
+let all_locations () =
+  let locs = Location.all ~d1:3 ~d2:4 in
+  Alcotest.(check int) "count" 12 (List.length locs);
+  Alcotest.(check bool) "row-major start" true
+    (Location.equal (List.hd locs) (Location.make ~row:0 ~col:0))
+
+let by_center_distance_sorted () =
+  let locs = Location.by_center_distance ~d1:5 ~d2:5 in
+  Alcotest.(check int) "count" 25 (Array.length locs);
+  Alcotest.(check bool) "center first" true
+    (Location.equal locs.(0) (Location.make ~row:2 ~col:2));
+  for i = 0 to Array.length locs - 2 do
+    Alcotest.(check bool) "non-decreasing" true
+      (Location.center_distance ~d1:5 ~d2:5 locs.(i)
+      <= Location.center_distance ~d1:5 ~d2:5 locs.(i + 1))
+  done
+
+let index_roundtrip () =
+  for row = 0 to 3 do
+    for col = 0 to 4 do
+      let l = Location.make ~row ~col in
+      Alcotest.(check bool) "roundtrip" true
+        (Location.equal l (Location.of_index ~d2:5 (Location.index ~d2:5 l)))
+    done
+  done
+
+(* Pairs *)
+
+let pair_id_roundtrip () =
+  for row = 0 to 2 do
+    for col = 0 to 2 do
+      for corner = 0 to 7 do
+        let p = Pair.make ~loc:(Location.make ~row ~col) ~corner in
+        Alcotest.(check bool) "roundtrip" true
+          (Pair.equal p (Pair.of_id ~d2:3 (Pair.id ~d2:3 p)))
+      done
+    done
+  done
+
+let pair_ids_dense () =
+  let seen = Hashtbl.create 72 in
+  for row = 0 to 2 do
+    for col = 0 to 2 do
+      for corner = 0 to 7 do
+        let id = Pair.id ~d2:3 (Pair.make ~loc:(Location.make ~row ~col) ~corner) in
+        Alcotest.(check bool) "in range" true (id >= 0 && id < 72);
+        Alcotest.(check bool) "unique" false (Hashtbl.mem seen id);
+        Hashtbl.add seen id ()
+      done
+    done
+  done
+
+let pair_validation () =
+  Alcotest.(check bool) "bad corner raises" true
+    (try
+       ignore (Pair.make ~loc:(Location.make ~row:0 ~col:0) ~corner:8);
+       false
+     with Invalid_argument _ -> true)
+
+let pair_count () =
+  Alcotest.(check int) "8 d1 d2" (8 * 16 * 16) (Pair.count ~d1:16 ~d2:16)
+
+let suite =
+  [
+    Alcotest.test_case "corner enumeration" `Quick corners_enumeration;
+    Alcotest.test_case "corner bounds" `Quick corner_bounds;
+    Alcotest.test_case "corner index roundtrip" `Quick corner_index_roundtrip;
+    Alcotest.test_case "l1 distance" `Quick l1_distance_props;
+    Alcotest.test_case "corners_by_distance order" `Quick
+      corners_by_distance_order;
+    Alcotest.test_case "image io" `Quick image_io;
+    Alcotest.test_case "channel stats" `Quick channel_stats;
+    Alcotest.test_case "linf distance" `Quick linf_distance;
+    Alcotest.test_case "center distance odd" `Quick center_distance_odd;
+    Alcotest.test_case "center distance even" `Quick center_distance_even;
+    Alcotest.test_case "neighbor counts" `Quick neighbors_counts;
+    Alcotest.test_case "neighbors at distance 1" `Quick
+      neighbors_at_distance_one;
+    Alcotest.test_case "all locations" `Quick all_locations;
+    Alcotest.test_case "by_center_distance sorted" `Quick
+      by_center_distance_sorted;
+    Alcotest.test_case "location index roundtrip" `Quick index_roundtrip;
+    Alcotest.test_case "pair id roundtrip" `Quick pair_id_roundtrip;
+    Alcotest.test_case "pair ids dense" `Quick pair_ids_dense;
+    Alcotest.test_case "pair validation" `Quick pair_validation;
+    Alcotest.test_case "pair count" `Quick pair_count;
+    QCheck_alcotest.to_alcotest qcheck_corners_by_distance_permutation;
+    QCheck_alcotest.to_alcotest qcheck_corners_by_distance_monotone;
+  ]

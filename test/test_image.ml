@@ -1,0 +1,123 @@
+(* Tests for PPM encoding and image composition. *)
+
+let sample =
+  Tensor.init [| 3; 2; 3 |] (fun i -> float_of_int (i mod 7) /. 7.)
+
+let roundtrip () =
+  let back = Image.of_ppm (Image.to_ppm sample) in
+  Alcotest.(check (array int)) "shape" [| 3; 2; 3 |] (Tensor.shape back);
+  (* 8-bit quantization: within 1/255 elementwise. *)
+  Alcotest.(check bool) "close" true (Tensor.equal ~eps:(1. /. 255.) sample back)
+
+let roundtrip_exact_on_quantized () =
+  (* Values already on the 8-bit grid round-trip exactly. *)
+  let img = Tensor.init [| 3; 4; 4 |] (fun i -> float_of_int (i mod 256) /. 255.) in
+  let back = Image.of_ppm (Image.to_ppm img) in
+  Alcotest.(check bool) "exact" true (Tensor.equal ~eps:1e-9 img back)
+
+let file_roundtrip () =
+  let path = Filename.temp_file "oppsla_img" ".ppm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Image.write_ppm path sample;
+      let back = Image.read_ppm path in
+      Alcotest.(check bool) "close" true
+        (Tensor.equal ~eps:(1. /. 255.) sample back))
+
+let header_format () =
+  let ppm = Image.to_ppm sample in
+  Alcotest.(check bool) "P6 header" true (String.length ppm > 2 && String.sub ppm 0 2 = "P6");
+  Alcotest.(check bool) "mentions dims" true (Helpers.contains ppm "3 2")
+
+let rejects_malformed () =
+  let expect_fail s =
+    Alcotest.(check bool) ("rejects " ^ String.escaped (String.sub s 0 (min 12 (String.length s)))) true
+      (try
+         ignore (Image.of_ppm s);
+         false
+       with Image.Format_error _ -> true)
+  in
+  expect_fail "";
+  expect_fail "P5\n2 2\n255\nxxxx";
+  expect_fail "P6\n2 2\n65535\n";
+  expect_fail "P6\n2 2\n255\nab" (* truncated *);
+  expect_fail "P6\n-1 2\n255\n"
+
+let comment_in_header () =
+  let ppm = "P6\n# a comment\n1 1\n255\nABC" in
+  let img = Image.of_ppm ppm in
+  Alcotest.(check (float 1e-6)) "red byte" (float_of_int (Char.code 'A') /. 255.)
+    (Tensor.get img [| 0; 0; 0 |])
+
+let rejects_non_color () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Image.to_ppm (Tensor.zeros [| 1; 2; 2 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let upscale_nearest () =
+  let img = Tensor.init [| 3; 1; 2 |] float_of_int in
+  let big = Image.upscale ~factor:3 img in
+  Alcotest.(check (array int)) "shape" [| 3; 3; 6 |] (Tensor.shape big);
+  Alcotest.(check (float 0.)) "block value" (Tensor.get img [| 0; 0; 1 |])
+    (Tensor.get big [| 0; 2; 5 |]);
+  Alcotest.(check (float 0.)) "other block" (Tensor.get img [| 0; 0; 0 |])
+    (Tensor.get big [| 0; 0; 2 |])
+
+let side_by_side_layout () =
+  let a = Tensor.create [| 3; 2; 2 |] 0.25 in
+  let b = Tensor.create [| 3; 2; 3 |] 0.75 in
+  let panel = Image.side_by_side ~gap:1 ~gap_value:0. [ a; b ] in
+  Alcotest.(check (array int)) "shape" [| 3; 2; 6 |] (Tensor.shape panel);
+  Alcotest.(check (float 0.)) "left" 0.25 (Tensor.get panel [| 0; 0; 0 |]);
+  Alcotest.(check (float 0.)) "gap" 0. (Tensor.get panel [| 0; 0; 2 |]);
+  Alcotest.(check (float 0.)) "right" 0.75 (Tensor.get panel [| 0; 0; 3 |])
+
+let side_by_side_validates () =
+  let a = Tensor.zeros [| 3; 2; 2 |] and b = Tensor.zeros [| 3; 3; 2 |] in
+  Alcotest.(check bool) "height mismatch raises" true
+    (try
+       ignore (Image.side_by_side [ a; b ]);
+       false
+     with Invalid_argument _ -> true)
+
+let highlight_ring () =
+  let original = Tensor.create [| 3; 5; 5 |] 0.5 in
+  let modified = Tensor.copy original in
+  (* One-pixel change at the centre. *)
+  Tensor.set modified [| 0; 2; 2 |] 1.;
+  let marked = Image.highlight_diff original modified in
+  (* The changed pixel keeps its adversarial value. *)
+  Alcotest.(check (float 0.)) "pixel kept" 1. (Tensor.get marked [| 0; 2; 2 |]);
+  (* Its neighbours are painted red. *)
+  Alcotest.(check (float 0.)) "ring red" 1. (Tensor.get marked [| 0; 1; 1 |]);
+  Alcotest.(check (float 0.)) "ring green 0" 0. (Tensor.get marked [| 1; 1; 1 |]);
+  (* Far pixels untouched. *)
+  Alcotest.(check (float 0.)) "far untouched" 0.5
+    (Tensor.get marked [| 0; 4; 4 |])
+
+let qcheck_roundtrip_quantized =
+  QCheck.Test.make ~name:"ppm roundtrip within quantization" ~count:50
+    QCheck.(pair small_int (pair (int_range 1 6) (int_range 1 6)))
+    (fun (seed, (h, w)) ->
+      let img = Tensor.rand_uniform (Prng.of_int seed) [| 3; h; w |] in
+      Tensor.equal ~eps:(1. /. 255.) img (Image.of_ppm (Image.to_ppm img)))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick roundtrip;
+    Alcotest.test_case "roundtrip exact on grid" `Quick
+      roundtrip_exact_on_quantized;
+    Alcotest.test_case "file roundtrip" `Quick file_roundtrip;
+    Alcotest.test_case "header format" `Quick header_format;
+    Alcotest.test_case "rejects malformed" `Quick rejects_malformed;
+    Alcotest.test_case "comment in header" `Quick comment_in_header;
+    Alcotest.test_case "rejects non-color" `Quick rejects_non_color;
+    Alcotest.test_case "upscale nearest" `Quick upscale_nearest;
+    Alcotest.test_case "side by side layout" `Quick side_by_side_layout;
+    Alcotest.test_case "side by side validates" `Quick side_by_side_validates;
+    Alcotest.test_case "highlight ring" `Quick highlight_ring;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_quantized;
+  ]

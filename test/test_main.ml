@@ -1,0 +1,27 @@
+(* Aggregated test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "oppsla"
+    [
+      ("prng", Test_prng.suite);
+      ("tensor", Test_tensor.suite);
+      ("nn", Test_nn.suite);
+      ("dataset", Test_dataset.suite);
+      ("oracle", Test_oracle.suite);
+      ("geometry", Test_geometry.suite);
+      ("pair_queue", Test_pair_queue.suite);
+      ("condition_dsl", Test_condition_dsl.suite);
+      ("gen", Test_gen.suite);
+      ("sketch", Test_sketch.suite);
+      ("synthesizer", Test_synth.suite);
+      ("baselines", Test_baselines.suite);
+      ("evalharness", Test_evalharness.suite);
+      ("stats", Test_stats.suite);
+      ("curves", Test_curves.suite);
+      ("report", Test_report.suite);
+      ("image", Test_image.suite);
+      ("augment_metrics", Test_augment_metrics.suite);
+      ("analysis", Test_analysis.suite);
+      ("extensions", Test_extensions.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,95 @@
+(* Tests for the query-metered oracle. *)
+
+let image = Helpers.flat_image ~size:4 0.6
+
+let counting () =
+  let o = Helpers.mean_threshold_oracle () in
+  Alcotest.(check int) "starts at 0" 0 (Oracle.queries o);
+  ignore (Oracle.scores o image);
+  ignore (Oracle.classify o image);
+  ignore (Oracle.score_of o image 0);
+  Alcotest.(check int) "three queries" 3 (Oracle.queries o)
+
+let classify_bright_dark () =
+  let o = Helpers.mean_threshold_oracle () in
+  Alcotest.(check int) "bright is class 1" 1
+    (Oracle.classify o (Helpers.flat_image ~size:4 0.9));
+  Alcotest.(check int) "dark is class 0" 0
+    (Oracle.classify o (Helpers.flat_image ~size:4 0.1))
+
+let budget_enforced () =
+  let o = Helpers.mean_threshold_oracle ~budget:2 () in
+  ignore (Oracle.scores o image);
+  ignore (Oracle.scores o image);
+  Alcotest.(check bool) "exhausted" true (Oracle.exhausted o);
+  Alcotest.check_raises "third query raises" (Oracle.Budget_exhausted 2)
+    (fun () -> ignore (Oracle.scores o image))
+
+let remaining_budget () =
+  let o = Helpers.mean_threshold_oracle ~budget:5 () in
+  Alcotest.(check (option int)) "full budget" (Some 5) (Oracle.remaining o);
+  ignore (Oracle.scores o image);
+  Alcotest.(check (option int)) "one spent" (Some 4) (Oracle.remaining o);
+  let unlimited = Helpers.mean_threshold_oracle () in
+  Alcotest.(check (option int)) "unlimited" None (Oracle.remaining unlimited)
+
+let reset_counter () =
+  let o = Helpers.mean_threshold_oracle ~budget:2 () in
+  ignore (Oracle.scores o image);
+  ignore (Oracle.scores o image);
+  Oracle.reset o;
+  Alcotest.(check int) "counter reset" 0 (Oracle.queries o);
+  ignore (Oracle.scores o image);
+  Alcotest.(check int) "usable again" 1 (Oracle.queries o)
+
+let set_budget_dynamic () =
+  let o = Helpers.mean_threshold_oracle () in
+  Oracle.set_budget o (Some 1);
+  ignore (Oracle.scores o image);
+  Alcotest.check_raises "budget applies" (Oracle.Budget_exhausted 1)
+    (fun () -> ignore (Oracle.scores o image));
+  Oracle.set_budget o None;
+  ignore (Oracle.scores o image);
+  Alcotest.(check int) "lifted" 2 (Oracle.queries o)
+
+let unmetered_does_not_count () =
+  let o = Helpers.mean_threshold_oracle ~budget:1 () in
+  ignore (Oracle.unmetered_classify o image);
+  ignore (Oracle.unmetered_scores o image);
+  Alcotest.(check int) "not counted" 0 (Oracle.queries o)
+
+let of_fn_validates_classes () =
+  Alcotest.(check bool) "num_classes <= 0 raises" true
+    (try
+       ignore (Oracle.of_fn ~num_classes:0 (fun _ -> Tensor.zeros [| 0 |]));
+       false
+     with Invalid_argument _ -> true);
+  let bad =
+    Oracle.of_fn ~num_classes:3 (fun _ -> Tensor.zeros [| 2 |])
+  in
+  Alcotest.(check bool) "wrong vector length raises" true
+    (try
+       ignore (Oracle.scores bad image);
+       false
+     with Invalid_argument _ -> true)
+
+let of_network_metadata () =
+  let net =
+    Nn.Zoo.vgg_tiny (Prng.of_int 3) ~image_size:16 ~num_classes:10
+  in
+  let o = Oracle.of_network net in
+  Alcotest.(check int) "classes" 10 (Oracle.num_classes o);
+  Alcotest.(check string) "name" "vgg_tiny" (Oracle.name o)
+
+let suite =
+  [
+    Alcotest.test_case "query counting" `Quick counting;
+    Alcotest.test_case "classify bright/dark" `Quick classify_bright_dark;
+    Alcotest.test_case "budget enforced" `Quick budget_enforced;
+    Alcotest.test_case "remaining budget" `Quick remaining_budget;
+    Alcotest.test_case "reset" `Quick reset_counter;
+    Alcotest.test_case "set_budget" `Quick set_budget_dynamic;
+    Alcotest.test_case "unmetered calls" `Quick unmetered_does_not_count;
+    Alcotest.test_case "of_fn validation" `Quick of_fn_validates_classes;
+    Alcotest.test_case "of_network metadata" `Quick of_network_metadata;
+  ]

@@ -1,0 +1,225 @@
+(* Tests for the sketch's indexed pair queue, including a model-based
+   property test against a naive list implementation. *)
+
+module Location = Oppsla.Location
+module Pair = Oppsla.Pair
+module Pair_queue = Oppsla.Pair_queue
+module Rgb = Oppsla.Rgb
+
+let mk row col corner = Pair.make ~loc:(Location.make ~row ~col) ~corner
+
+let init_and_order () =
+  let order = [ mk 0 0 0; mk 1 1 3; mk 0 1 7 ] in
+  let q = Pair_queue.init ~d1:2 ~d2:2 order in
+  Alcotest.(check int) "length" 3 (Pair_queue.length q);
+  Alcotest.(check bool) "front" true
+    (match Pair_queue.pop q with
+    | Some p -> Pair.equal p (mk 0 0 0)
+    | None -> false);
+  Alcotest.(check bool) "second" true
+    (match Pair_queue.pop q with
+    | Some p -> Pair.equal p (mk 1 1 3)
+    | None -> false);
+  Alcotest.(check int) "remaining" 1 (Pair_queue.length q)
+
+let init_rejects_duplicates () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pair_queue.init ~d1:2 ~d2:2 [ mk 0 0 0; mk 0 0 0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let init_rejects_out_of_bounds () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pair_queue.init ~d1:2 ~d2:2 [ mk 5 0 0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let pop_empty () =
+  let q = Pair_queue.init ~d1:2 ~d2:2 [] in
+  Alcotest.(check bool) "None" true (Pair_queue.pop q = None);
+  Alcotest.(check bool) "is_empty" true (Pair_queue.is_empty q)
+
+let push_back_moves_to_tail () =
+  let q = Pair_queue.init ~d1:2 ~d2:2 [ mk 0 0 0; mk 0 1 1; mk 1 0 2 ] in
+  Pair_queue.push_back q (mk 0 0 0);
+  let contents = Pair_queue.to_list q in
+  Alcotest.(check bool) "moved to tail" true
+    (Pair.equal (List.nth contents 2) (mk 0 0 0));
+  Alcotest.(check int) "length unchanged" 3 (Pair_queue.length q)
+
+let push_back_absent_raises () =
+  let q = Pair_queue.init ~d1:2 ~d2:2 [ mk 0 0 0 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       Pair_queue.push_back q (mk 1 1 1);
+       false
+     with Invalid_argument _ -> true)
+
+let remove_and_mem () =
+  let q = Pair_queue.init ~d1:2 ~d2:2 [ mk 0 0 0; mk 0 1 1 ] in
+  Alcotest.(check bool) "mem before" true (Pair_queue.mem q (mk 0 1 1));
+  Pair_queue.remove q (mk 0 1 1);
+  Alcotest.(check bool) "mem after" false (Pair_queue.mem q (mk 0 1 1));
+  Alcotest.(check int) "length" 1 (Pair_queue.length q);
+  Alcotest.(check bool) "double remove raises" true
+    (try
+       Pair_queue.remove q (mk 0 1 1);
+       false
+     with Invalid_argument _ -> true)
+
+let first_with_location_order () =
+  let q =
+    Pair_queue.init ~d1:2 ~d2:2 [ mk 0 0 5; mk 0 1 1; mk 0 0 2; mk 0 0 7 ]
+  in
+  (* Front-most pair at (0,0) is corner 5. *)
+  Alcotest.(check bool) "corner 5 first" true
+    (match Pair_queue.first_with_location q (Location.make ~row:0 ~col:0) with
+    | Some p -> Pair.equal p (mk 0 0 5)
+    | None -> false);
+  (* After pushing it to the back, corner 2 becomes front-most. *)
+  Pair_queue.push_back q (mk 0 0 5);
+  Alcotest.(check bool) "corner 2 after reorder" true
+    (match Pair_queue.first_with_location q (Location.make ~row:0 ~col:0) with
+    | Some p -> Pair.equal p (mk 0 0 2)
+    | None -> false);
+  Alcotest.(check bool) "no member at (1,1)" true
+    (Pair_queue.first_with_location q (Location.make ~row:1 ~col:1) = None)
+
+(* full_space structure *)
+
+let full_space_complete () =
+  let image = Tensor.rand_uniform (Prng.of_int 4) [| 3; 4; 4 |] in
+  let q = Pair_queue.full_space ~d1:4 ~d2:4 ~image in
+  Alcotest.(check int) "all pairs" (8 * 16) (Pair_queue.length q);
+  let contents = Pair_queue.to_list q in
+  let ids = List.map (Pair.id ~d2:4) contents in
+  Alcotest.(check int) "distinct" (8 * 16)
+    (List.length (List.sort_uniq compare ids))
+
+let full_space_block_structure () =
+  (* Block k (of d1*d2 pairs) holds each location's k-th farthest corner;
+     blocks are ordered farthest first. *)
+  let image = Tensor.rand_uniform (Prng.of_int 5) [| 3; 3; 3 |] in
+  let q = Pair_queue.full_space ~d1:3 ~d2:3 ~image in
+  let contents = Array.of_list (Pair_queue.to_list q) in
+  Array.iteri
+    (fun i (p : Pair.t) ->
+      let k = i / 9 in
+      let orig =
+        Rgb.of_image image ~row:p.Pair.loc.Location.row
+          ~col:p.Pair.loc.Location.col
+      in
+      let expected_corner = (Rgb.corners_by_distance orig).(k) in
+      Alcotest.(check int)
+        (Printf.sprintf "position %d has rank-%d corner" i k)
+        expected_corner p.Pair.corner)
+    contents
+
+let full_space_center_first () =
+  (* Within the first block, locations are ordered center-out. *)
+  let image = Tensor.rand_uniform (Prng.of_int 6) [| 3; 5; 5 |] in
+  let q = Pair_queue.full_space ~d1:5 ~d2:5 ~image in
+  match Pair_queue.to_list q with
+  | first :: _ ->
+      Alcotest.(check bool) "center location first" true
+        (Location.equal first.Pair.loc (Location.make ~row:2 ~col:2))
+  | [] -> Alcotest.fail "empty queue"
+
+(* Model-based property test: a random sequence of operations behaves
+   like a reference list implementation. *)
+
+type op = Pop | Push_back of int | Remove of int | First_with_loc of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Pop);
+        (3, map (fun i -> Push_back i) (int_bound 31));
+        (2, map (fun i -> Remove i) (int_bound 31));
+        (2, map (fun i -> First_with_loc i) (int_bound 3));
+      ])
+
+let op_print = function
+  | Pop -> "Pop"
+  | Push_back i -> Printf.sprintf "Push_back %d" i
+  | Remove i -> Printf.sprintf "Remove %d" i
+  | First_with_loc i -> Printf.sprintf "First_with_loc %d" i
+
+let arbitrary_ops =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map op_print l))
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+(* d1 = d2 = 2: ids 0..31; locations 0..3. *)
+let model_agrees ops =
+  let d2 = 2 in
+  let all = List.init 32 (fun id -> Pair.of_id ~d2 id) in
+  let q = Pair_queue.init ~d1:2 ~d2 all in
+  let model = ref all in
+  let ok = ref true in
+  let check_eq () =
+    if Pair_queue.to_list q <> !model then ok := false
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Pop -> (
+          let popped = Pair_queue.pop q in
+          match (!model, popped) with
+          | [], None -> ()
+          | m :: rest, Some p when Pair.equal m p -> model := rest
+          | _ -> ok := false)
+      | Push_back id ->
+          let p = Pair.of_id ~d2 id in
+          if List.exists (Pair.equal p) !model then begin
+            Pair_queue.push_back q p;
+            model := List.filter (fun x -> not (Pair.equal x p)) !model @ [ p ]
+          end
+      | Remove id ->
+          let p = Pair.of_id ~d2 id in
+          if List.exists (Pair.equal p) !model then begin
+            Pair_queue.remove q p;
+            model := List.filter (fun x -> not (Pair.equal x p)) !model
+          end
+      | First_with_loc li ->
+          let loc = Location.of_index ~d2 li in
+          let expected =
+            List.find_opt (fun (p : Pair.t) -> Location.equal p.loc loc) !model
+          in
+          let got = Pair_queue.first_with_location q loc in
+          let same =
+            match (expected, got) with
+            | None, None -> true
+            | Some a, Some b -> Pair.equal a b
+            | _ -> false
+          in
+          if not same then ok := false);
+      check_eq ())
+    ops;
+  !ok
+
+let qcheck_model =
+  QCheck.Test.make ~name:"queue agrees with list model" ~count:300
+    arbitrary_ops model_agrees
+
+let suite =
+  [
+    Alcotest.test_case "init and order" `Quick init_and_order;
+    Alcotest.test_case "init rejects duplicates" `Quick init_rejects_duplicates;
+    Alcotest.test_case "init rejects out of bounds" `Quick
+      init_rejects_out_of_bounds;
+    Alcotest.test_case "pop empty" `Quick pop_empty;
+    Alcotest.test_case "push_back moves to tail" `Quick push_back_moves_to_tail;
+    Alcotest.test_case "push_back absent raises" `Quick push_back_absent_raises;
+    Alcotest.test_case "remove and mem" `Quick remove_and_mem;
+    Alcotest.test_case "first_with_location order" `Quick
+      first_with_location_order;
+    Alcotest.test_case "full_space complete" `Quick full_space_complete;
+    Alcotest.test_case "full_space block structure" `Quick
+      full_space_block_structure;
+    Alcotest.test_case "full_space center first" `Quick full_space_center_first;
+    QCheck_alcotest.to_alcotest qcheck_model;
+  ]

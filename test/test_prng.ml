@@ -1,0 +1,199 @@
+(* Tests for the SplitMix64 generator. *)
+
+
+let determinism () =
+  let a = Prng.of_int 7 and b = Prng.of_int 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let different_seeds () =
+  let a = Prng.of_int 7 and b = Prng.of_int 8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let copy_shares_future () =
+  let a = Prng.of_int 3 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copies agree" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
+let split_independent () =
+  let a = Prng.of_int 5 in
+  let child = Prng.split a in
+  let x = Prng.next_int64 child and y = Prng.next_int64 a in
+  Alcotest.(check bool) "child differs from parent" true (x <> y)
+
+let named_stream_position_independent () =
+  (* The named stream depends only on the root seed and the name, not on
+     how much the parent has been consumed. *)
+  let a = Prng.of_int 11 and b = Prng.of_int 11 in
+  for _ = 1 to 17 do
+    ignore (Prng.next_int64 b)
+  done;
+  let sa = Prng.named_stream a "data" and sb = Prng.named_stream b "data" in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "streams agree" (Prng.next_int64 sa)
+      (Prng.next_int64 sb)
+  done
+
+let named_stream_distinct_names () =
+  let root = Prng.of_int 11 in
+  let x = Prng.next_int64 (Prng.named_stream root "alpha") in
+  let y = Prng.next_int64 (Prng.named_stream root "beta") in
+  Alcotest.(check bool) "different names differ" true (x <> y)
+
+let int_bounds () =
+  let g = Prng.of_int 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    Alcotest.(check bool) "in [0, 7)" true (v >= 0 && v < 7)
+  done
+
+let int_invalid () =
+  let g = Prng.of_int 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let int_in_bounds () =
+  let g = Prng.of_int 2 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in g (-3) 4 in
+    Alcotest.(check bool) "in [-3, 4]" true (v >= -3 && v <= 4)
+  done
+
+let int_covers_range () =
+  let g = Prng.of_int 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let uniform_range () =
+  let g = Prng.of_int 4 in
+  for _ = 1 to 1000 do
+    let v = Prng.uniform g in
+    Alcotest.(check bool) "in [0, 1)" true (v >= 0. && v < 1.)
+  done
+
+let uniform_mean () =
+  let g = Prng.of_int 5 in
+  let n = 20000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.uniform g
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let normal_moments () =
+  let g = Prng.of_int 6 in
+  let n = 20000 in
+  let sum = ref 0. and sq = ref 0. in
+  for _ = 1 to n do
+    let v = Prng.normal g ~mu:2. ~sigma:3. () in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (mean -. 2.) < 0.1);
+  Alcotest.(check bool) "var near 9" true (Float.abs (var -. 9.) < 0.5)
+
+let float_in_range () =
+  let g = Prng.of_int 8 in
+  for _ = 1 to 500 do
+    let v = Prng.float_in g (-2.) 3. in
+    Alcotest.(check bool) "in [-2, 3)" true (v >= -2. && v < 3.)
+  done
+
+let choice_singleton () =
+  let g = Prng.of_int 9 in
+  Alcotest.(check int) "only element" 42 (Prng.choice g [| 42 |]);
+  Alcotest.(check int) "only list element" 7 (Prng.choice_list g [ 7 ])
+
+let choice_empty () =
+  let g = Prng.of_int 9 in
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Prng.choice: empty array") (fun () ->
+      ignore (Prng.choice g [||]))
+
+let permutation_props () =
+  let g = Prng.of_int 10 in
+  let p = Prng.permutation g 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 50 Fun.id) sorted
+
+let sample_distinct () =
+  let g = Prng.of_int 12 in
+  let a = Array.init 30 Fun.id in
+  let s = Prng.sample_without_replacement g 10 a in
+  Alcotest.(check int) "10 samples" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done
+
+let sample_invalid () =
+  let g = Prng.of_int 12 in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Prng.sample_without_replacement") (fun () ->
+      ignore (Prng.sample_without_replacement g 4 [| 1; 2 |]))
+
+let qcheck_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, l) ->
+      let g = Prng.of_int seed in
+      let a = Array.of_list l in
+      let b = Prng.shuffle g a in
+      List.sort compare (Array.to_list a) = List.sort compare (Array.to_list b))
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"int_in stays in bounds" ~count:500
+    QCheck.(triple small_int small_signed_int small_nat)
+    (fun (seed, lo, span) ->
+      let g = Prng.of_int seed in
+      let hi = lo + span in
+      let v = Prng.int_in g lo hi in
+      v >= lo && v <= hi)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick determinism;
+    Alcotest.test_case "different seeds" `Quick different_seeds;
+    Alcotest.test_case "copy shares future" `Quick copy_shares_future;
+    Alcotest.test_case "split independence" `Quick split_independent;
+    Alcotest.test_case "named stream position independence" `Quick
+      named_stream_position_independent;
+    Alcotest.test_case "named stream distinct names" `Quick
+      named_stream_distinct_names;
+    Alcotest.test_case "int bounds" `Quick int_bounds;
+    Alcotest.test_case "int invalid bound" `Quick int_invalid;
+    Alcotest.test_case "int_in bounds" `Quick int_in_bounds;
+    Alcotest.test_case "int covers range" `Quick int_covers_range;
+    Alcotest.test_case "uniform range" `Quick uniform_range;
+    Alcotest.test_case "uniform mean" `Quick uniform_mean;
+    Alcotest.test_case "normal moments" `Quick normal_moments;
+    Alcotest.test_case "float_in range" `Quick float_in_range;
+    Alcotest.test_case "choice singleton" `Quick choice_singleton;
+    Alcotest.test_case "choice empty" `Quick choice_empty;
+    Alcotest.test_case "permutation properties" `Quick permutation_props;
+    Alcotest.test_case "sample without replacement distinct" `Quick
+      sample_distinct;
+    Alcotest.test_case "sample without replacement invalid" `Quick
+      sample_invalid;
+    QCheck_alcotest.to_alcotest qcheck_shuffle_permutation;
+    QCheck_alcotest.to_alcotest qcheck_int_in_bounds;
+  ]
+

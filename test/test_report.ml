@@ -1,0 +1,110 @@
+(* Rendering tests for the experiment reports. *)
+
+module Report = Evalharness.Report
+module Experiments = Evalharness.Experiments
+
+let fig3_rows : Experiments.fig3_row list =
+  [
+    {
+      classifier = "vgg_tiny";
+      dataset = "synth_cifar";
+      attacker = "OPPSLA";
+      attacked_images = 66;
+      cells =
+        [
+          { Experiments.budget = 50; success_rate = 0.25 };
+          { Experiments.budget = 2048; success_rate = 0.4 };
+        ];
+      avg_queries = Some 123.4;
+    };
+    {
+      classifier = "vgg_tiny";
+      dataset = "synth_cifar";
+      attacker = "Sparse-RS";
+      attacked_images = 66;
+      cells =
+        [
+          { Experiments.budget = 50; success_rate = 0.2 };
+          { Experiments.budget = 2048; success_rate = 0.3 };
+        ];
+      avg_queries = None;
+    };
+  ]
+
+let render_fig3_contents () =
+  let s = Report.render_fig3 fig3_rows in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Helpers.contains s needle))
+    [ "<=50"; "<=2048"; "25.0%"; "OPPSLA"; "Sparse-RS"; "123.40"; "-" ]
+
+let render_fig3_empty () =
+  Alcotest.(check string) "placeholder" "(no data)" (Report.render_fig3 [])
+
+let render_table1_contents () =
+  let t =
+    {
+      Experiments.classifiers = [ "a"; "b" ];
+      avg_queries = [| [| Some 1.5; None |]; [| Some 2.25; Some 3. |] |];
+    }
+  in
+  let s = Report.render_table1 t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Helpers.contains s needle))
+    [ "1.50"; "2.25"; "3.00"; "-"; "target" ]
+
+let render_fig4_contents () =
+  let f =
+    {
+      Experiments.series =
+        [
+          { Experiments.iteration = 0; synth_queries = 100; test_avg_queries = 50. };
+          { Experiments.iteration = 3; synth_queries = 400; test_avg_queries = 20. };
+        ];
+      baseline_avg_queries = 42.5;
+    }
+  in
+  let s = Report.render_fig4 f in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Helpers.contains s needle))
+    [ "Sketch+False"; "42.50"; "400"; "20.00" ]
+
+let render_table2_contents () =
+  let rows : Experiments.table2_row list =
+    [
+      {
+        classifier = "vgg_tiny";
+        approach = "OPPSLA";
+        success_rate = 0.333;
+        avg_queries = Some 100.;
+        median_queries = Some 9.;
+      };
+      {
+        classifier = "vgg_tiny";
+        approach = "Sparse-RS";
+        success_rate = 0.25;
+        avg_queries = None;
+        median_queries = None;
+      };
+    ]
+  in
+  let s = Report.render_table2 rows in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Helpers.contains s needle))
+    [ "33.3%"; "100.00"; "9.00"; "success"; "Sparse-RS" ]
+
+let suite =
+  [
+    Alcotest.test_case "render fig3" `Quick render_fig3_contents;
+    Alcotest.test_case "render fig3 empty" `Quick render_fig3_empty;
+    Alcotest.test_case "render table1" `Quick render_table1_contents;
+    Alcotest.test_case "render fig4" `Quick render_fig4_contents;
+    Alcotest.test_case "render table2" `Quick render_table2_contents;
+  ]

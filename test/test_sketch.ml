@@ -1,0 +1,248 @@
+(* Tests for Algorithm 1 (the one-pixel attack sketch).
+
+   Most tests run against the mean-threshold toy classifier from
+   [Helpers]: class 1 iff the image mean exceeds 0.5.  Its geometry is
+   exact: perturbing pixel (i,j) of a flat image of brightness v to
+   corner (r,g,b) moves the mean by (r+g+b-3v) / (3*size^2), so we can
+   predict precisely which images are attackable and by which corners. *)
+
+module C = Oppsla.Condition
+module Sketch = Oppsla.Sketch
+module Pair = Oppsla.Pair
+module Location = Oppsla.Location
+
+let size = 4
+let full_space = 8 * size * size
+
+(* Brightness 0.49: class 0; corners with r+g+b >= 2 flip it.
+   Brightness 0.30: class 0; no corner can flip it. *)
+let attackable = Helpers.flat_image ~size 0.49
+let hopeless = Helpers.flat_image ~size 0.30
+
+let oracle () = Helpers.mean_threshold_oracle ()
+
+let perturb_changes_three_values () =
+  let img = Helpers.flat_image ~size 0.2 in
+  let pair = Pair.make ~loc:(Location.make ~row:1 ~col:2) ~corner:7 in
+  let img' = Sketch.perturb img pair in
+  Alcotest.(check (float 0.)) "original untouched" 0.2
+    (Tensor.get img [| 0; 1; 2 |]);
+  Alcotest.(check (float 0.)) "red written" 1. (Tensor.get img' [| 0; 1; 2 |]);
+  Alcotest.(check (float 0.)) "green written" 1. (Tensor.get img' [| 1; 1; 2 |]);
+  Alcotest.(check (float 0.)) "blue written" 1. (Tensor.get img' [| 2; 1; 2 |]);
+  let diff = ref 0 in
+  for i = 0 to Tensor.numel img - 1 do
+    if Tensor.get_flat img i <> Tensor.get_flat img' i then incr diff
+  done;
+  Alcotest.(check int) "exactly three values changed" 3 !diff
+
+let success_exists_ground_truth () =
+  Alcotest.(check bool) "0.49 attackable" true
+    (Sketch.success_exists (oracle ()) ~image:attackable ~true_class:0);
+  Alcotest.(check bool) "0.30 hopeless" false
+    (Sketch.success_exists (oracle ()) ~image:hopeless ~true_class:0)
+
+let const_false_first_query_succeeds () =
+  (* On a flat 0.49 image the farthest corner from every pixel is white
+     (distance 1.53 vs 1.47 for black), and white flips the class, so
+     the fixed prioritization succeeds on its very first query, at the
+     center-most location. *)
+  let r =
+    Sketch.attack (oracle ()) C.const_false_program ~image:attackable
+      ~true_class:0
+  in
+  Alcotest.(check int) "one query" 1 r.Sketch.queries;
+  match r.Sketch.adversarial with
+  | None -> Alcotest.fail "expected success"
+  | Some (pair, adversarial) ->
+      Alcotest.(check int) "white corner" 7 pair.Pair.corner;
+      Alcotest.(check (float 1e-9)) "center-most location" 0.5
+        (Location.center_distance ~d1:size ~d2:size pair.Pair.loc);
+      Alcotest.(check int) "flips the class" 1
+        (Oracle.unmetered_classify (oracle ()) adversarial)
+
+let const_false_bright_image () =
+  (* Brightness 0.51, class 1: black is the farthest corner and flips. *)
+  let image = Helpers.flat_image ~size 0.51 in
+  let r =
+    Sketch.attack (oracle ()) C.const_false_program ~image ~true_class:1
+  in
+  Alcotest.(check int) "one query" 1 r.Sketch.queries;
+  match r.Sketch.adversarial with
+  | None -> Alcotest.fail "expected success"
+  | Some (pair, _) -> Alcotest.(check int) "black corner" 0 pair.Pair.corner
+
+let hopeless_exhausts_space () =
+  let r =
+    Sketch.attack (oracle ()) C.const_false_program ~image:hopeless
+      ~true_class:0
+  in
+  Alcotest.(check bool) "no adversarial" true (r.Sketch.adversarial = None);
+  Alcotest.(check int) "full enumeration" full_space r.Sketch.queries
+
+(* The queue-reordering logic must neither skip nor double-query pairs:
+   on a hopeless image EVERY program spends exactly the full space. *)
+let qcheck_exhaustive_for_all_programs =
+  let config = Helpers.gen_config ~size in
+  QCheck.Test.make ~name:"any program enumerates the whole space" ~count:60
+    QCheck.small_int (fun seed ->
+      let g = Prng.of_int seed in
+      let program = Oppsla.Gen.random_program config g in
+      let r =
+        Sketch.attack (oracle ()) program ~image:hopeless ~true_class:0
+      in
+      r.Sketch.adversarial = None && r.Sketch.queries = full_space)
+
+let eager_program_exhausts_too () =
+  (* All-true conditions exercise the eager phase heavily. *)
+  let program =
+    C.program_of_array
+      [| C.Const true; C.Const true; C.Const true; C.Const true |]
+  in
+  let r = Sketch.attack (oracle ()) program ~image:hopeless ~true_class:0 in
+  Alcotest.(check int) "still full enumeration" full_space r.Sketch.queries
+
+(* Success never depends on the program (Section 3: every instantiation
+   explores the same space). *)
+let qcheck_success_program_independent =
+  let config = Helpers.gen_config ~size in
+  QCheck.Test.make ~name:"success is program-independent" ~count:60
+    QCheck.small_int (fun seed ->
+      let g = Prng.of_int seed in
+      let program = Oppsla.Gen.random_program config g in
+      let r =
+        Sketch.attack (oracle ()) program ~image:attackable ~true_class:0
+      in
+      match r.Sketch.adversarial with
+      | None -> false
+      | Some (pair, _) ->
+          (* Any returned pair must genuinely flip the class, and the
+             count stays within the space. *)
+          let img' = Sketch.perturb attackable pair in
+          Oracle.unmetered_classify (oracle ()) img' = 1
+          && r.Sketch.queries >= 1
+          && r.Sketch.queries <= full_space)
+
+let max_queries_respected () =
+  let r =
+    Sketch.attack ~max_queries:10 (oracle ()) C.const_false_program
+      ~image:hopeless ~true_class:0
+  in
+  Alcotest.(check int) "capped" 10 r.Sketch.queries;
+  Alcotest.(check bool) "failed" true (r.Sketch.adversarial = None)
+
+let max_queries_zero () =
+  let r =
+    Sketch.attack ~max_queries:0 (oracle ()) C.const_false_program
+      ~image:attackable ~true_class:0
+  in
+  Alcotest.(check int) "no queries" 0 r.Sketch.queries;
+  Alcotest.(check bool) "failed" true (r.Sketch.adversarial = None)
+
+let oracle_budget_respected () =
+  let o = Helpers.mean_threshold_oracle ~budget:7 () in
+  let r =
+    Sketch.attack o C.const_false_program ~image:hopeless ~true_class:0
+  in
+  Alcotest.(check int) "stopped at budget" 7 r.Sketch.queries;
+  Alcotest.(check bool) "failed" true (r.Sketch.adversarial = None)
+
+let deterministic () =
+  let run () =
+    Sketch.attack (oracle ())
+      (Oppsla.Dsl.parse_program_exn
+         "B1: avg(orig) < 0.6; B2: max(pert) > 0.5; B3: score_diff > 0.01; \
+          B4: center < 2")
+      ~image:attackable ~true_class:0
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same queries" a.Sketch.queries b.Sketch.queries;
+  Alcotest.(check bool) "same outcome" true
+    (match (a.Sketch.adversarial, b.Sketch.adversarial) with
+    | Some (p, _), Some (q, _) -> Pair.equal p q
+    | None, None -> true
+    | Some _, None | None, Some _ -> false)
+
+(* A B1 condition that always holds pushes all same-corner neighbours of
+   a failed pair to the back, changing the visit order but nothing
+   else. *)
+let reordering_changes_order_not_totals () =
+  let always_b1 =
+    C.program_of_array
+      [| C.Const true; C.Const false; C.Const false; C.Const false |]
+  in
+  let base =
+    Sketch.attack (oracle ()) C.const_false_program ~image:hopeless
+      ~true_class:0
+  in
+  let reordered =
+    Sketch.attack (oracle ()) always_b1 ~image:hopeless ~true_class:0
+  in
+  Alcotest.(check int) "same total" base.Sketch.queries reordered.Sketch.queries
+
+(* Rigged non-flat image: exactly one location is attackable (a pixel at
+   0.5-epsilon in an otherwise hopeless image would not isolate by
+   location since the mean is global; instead rig an oracle keyed to one
+   pixel). *)
+let pinpoint_oracle () =
+  (* Class flips iff pixel (2,1) is exactly white. *)
+  Oracle.of_fn ~name:"pinpoint" ~num_classes:2 (fun x ->
+      let r = Tensor.get x [| 0; 2; 1 |]
+      and g = Tensor.get x [| 1; 2; 1 |]
+      and b = Tensor.get x [| 2; 2; 1 |] in
+      if r = 1. && g = 1. && b = 1. then Tensor.of_array [| 2 |] [| 0.; 1. |]
+      else Tensor.of_array [| 2 |] [| 1.; 0. |])
+
+let finds_the_needle () =
+  let image = Helpers.flat_image ~size 0.3 in
+  let r =
+    Sketch.attack (pinpoint_oracle ()) C.const_false_program ~image
+      ~true_class:0
+  in
+  match r.Sketch.adversarial with
+  | None -> Alcotest.fail "expected to find the unique adversarial pair"
+  | Some (pair, _) ->
+      Alcotest.(check bool) "right location" true
+        (Location.equal pair.Pair.loc (Location.make ~row:2 ~col:1));
+      Alcotest.(check int) "white" 7 pair.Pair.corner
+
+let qcheck_needle_found_by_all_programs =
+  let config = Helpers.gen_config ~size in
+  QCheck.Test.make ~name:"every program finds a unique needle" ~count:40
+    QCheck.small_int (fun seed ->
+      let g = Prng.of_int seed in
+      let program = Oppsla.Gen.random_program config g in
+      let image = Helpers.flat_image ~size 0.3 in
+      let r =
+        Sketch.attack (pinpoint_oracle ()) program ~image ~true_class:0
+      in
+      match r.Sketch.adversarial with
+      | Some (pair, _) ->
+          Location.equal pair.Pair.loc (Location.make ~row:2 ~col:1)
+          && pair.Pair.corner = 7
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "perturb changes three values" `Quick
+      perturb_changes_three_values;
+    Alcotest.test_case "success_exists ground truth" `Quick
+      success_exists_ground_truth;
+    Alcotest.test_case "const false first query" `Quick
+      const_false_first_query_succeeds;
+    Alcotest.test_case "const false bright image" `Quick
+      const_false_bright_image;
+    Alcotest.test_case "hopeless exhausts space" `Quick hopeless_exhausts_space;
+    Alcotest.test_case "eager program exhausts too" `Quick
+      eager_program_exhausts_too;
+    Alcotest.test_case "max_queries respected" `Quick max_queries_respected;
+    Alcotest.test_case "max_queries zero" `Quick max_queries_zero;
+    Alcotest.test_case "oracle budget respected" `Quick oracle_budget_respected;
+    Alcotest.test_case "deterministic" `Quick deterministic;
+    Alcotest.test_case "reordering preserves totals" `Quick
+      reordering_changes_order_not_totals;
+    Alcotest.test_case "finds the needle" `Quick finds_the_needle;
+    QCheck_alcotest.to_alcotest qcheck_exhaustive_for_all_programs;
+    QCheck_alcotest.to_alcotest qcheck_success_program_independent;
+    QCheck_alcotest.to_alcotest qcheck_needle_found_by_all_programs;
+  ]

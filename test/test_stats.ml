@@ -1,0 +1,117 @@
+(* Tests for the statistics module. *)
+
+module Stats = Evalharness.Stats
+
+let basic_moments () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check (float 1e-9)) "mean" 5. (Stats.mean xs);
+  Alcotest.(check (float 1e-6)) "stddev" 2.13809 (Stats.stddev xs);
+  Alcotest.(check (float 1e-9)) "singleton stddev" 0. (Stats.stddev [| 3. |])
+
+let empty_raises () =
+  Alcotest.(check bool) "mean raises" true
+    (try
+       ignore (Stats.mean [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let quantiles () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.quantile xs 0.);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.quantile xs 1.);
+  Alcotest.(check (float 1e-9)) "median interpolates" 2.5 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "odd median" 2. (Stats.median [| 3.; 1.; 2. |]);
+  Alcotest.(check bool) "bad q raises" true
+    (try
+       ignore (Stats.quantile xs 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let quantile_unsorted_input () =
+  let xs = [| 9.; 1.; 5.; 3.; 7. |] in
+  Alcotest.(check (float 1e-9)) "median of unsorted" 5. (Stats.median xs)
+
+let bootstrap_mean_covers_truth () =
+  let g = Prng.of_int 21 in
+  (* Large sample tightly centred on 10: the CI must be near 10 and
+     contain it. *)
+  let xs = Array.init 200 (fun _ -> 10. +. Prng.normal g ~sigma:0.5 ()) in
+  let ci = Stats.bootstrap_mean_ci (Prng.of_int 1) xs in
+  Alcotest.(check bool) "contains truth" true
+    (ci.Stats.lo <= 10.2 && ci.Stats.hi >= 9.8);
+  Alcotest.(check bool) "tight" true (ci.Stats.hi -. ci.Stats.lo < 0.5);
+  Alcotest.(check bool) "ordered" true (ci.Stats.lo <= ci.Stats.hi)
+
+let bootstrap_deterministic () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  let a = Stats.bootstrap_mean_ci (Prng.of_int 7) xs in
+  let b = Stats.bootstrap_mean_ci (Prng.of_int 7) xs in
+  Alcotest.(check (float 0.)) "lo" a.Stats.lo b.Stats.lo;
+  Alcotest.(check (float 0.)) "hi" a.Stats.hi b.Stats.hi
+
+let bootstrap_proportion () =
+  let ci =
+    Stats.bootstrap_proportion_ci (Prng.of_int 3) ~successes:50 ~total:100
+  in
+  Alcotest.(check bool) "centred near 0.5" true
+    (ci.Stats.lo > 0.3 && ci.Stats.hi < 0.7 && ci.Stats.lo <= 0.5
+    && ci.Stats.hi >= 0.5);
+  let extreme =
+    Stats.bootstrap_proportion_ci (Prng.of_int 3) ~successes:0 ~total:20
+  in
+  Alcotest.(check (float 1e-9)) "degenerate zero" 0. extreme.Stats.hi;
+  Alcotest.(check bool) "validates" true
+    (try
+       ignore (Stats.bootstrap_proportion_ci (Prng.of_int 1) ~successes:5 ~total:3);
+       false
+     with Invalid_argument _ -> true)
+
+let histogram_counts () =
+  let xs = [| 0.1; 0.2; 0.55; 0.9; -5.; 99. |] in
+  let h = Stats.histogram ~bins:2 ~lo:0. ~hi:1. xs in
+  (* -5 clamps into bin 0, 99 into bin 1. *)
+  Alcotest.(check (array int)) "counts" [| 3; 3 |] h;
+  Alcotest.(check bool) "validates bins" true
+    (try
+       ignore (Stats.histogram ~bins:0 ~lo:0. ~hi:1. xs);
+       false
+     with Invalid_argument _ -> true)
+
+let interval_printing () =
+  Alcotest.(check string) "render" "[1.50, 2.25]"
+    (Format.asprintf "%a" Stats.pp_interval { Stats.lo = 1.5; hi = 2.25 })
+
+let qcheck_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 20) (float_range (-100.) 100.))
+        (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (l, (q1, q2)) ->
+      let xs = Array.of_list l in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.quantile xs lo <= Stats.quantile xs hi +. 1e-9)
+
+let qcheck_mean_within_range =
+  QCheck.Test.make ~name:"mean within min/max" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range (-50.) 50.))
+    (fun l ->
+      let xs = Array.of_list l in
+      let m = Stats.mean xs in
+      m >= Stats.quantile xs 0. -. 1e-9 && m <= Stats.quantile xs 1. +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "basic moments" `Quick basic_moments;
+    Alcotest.test_case "empty raises" `Quick empty_raises;
+    Alcotest.test_case "quantiles" `Quick quantiles;
+    Alcotest.test_case "quantile unsorted" `Quick quantile_unsorted_input;
+    Alcotest.test_case "bootstrap mean covers truth" `Quick
+      bootstrap_mean_covers_truth;
+    Alcotest.test_case "bootstrap deterministic" `Quick bootstrap_deterministic;
+    Alcotest.test_case "bootstrap proportion" `Quick bootstrap_proportion;
+    Alcotest.test_case "histogram" `Quick histogram_counts;
+    Alcotest.test_case "interval printing" `Quick interval_printing;
+    QCheck_alcotest.to_alcotest qcheck_quantile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_mean_within_range;
+  ]

@@ -1,0 +1,206 @@
+(* Tests for the score function and the Metropolis-Hastings synthesizer
+   (Algorithm 2), run against the exact mean-threshold toy classifier. *)
+
+module C = Oppsla.Condition
+module Score = Oppsla.Score
+module Synthesizer = Oppsla.Synthesizer
+
+let size = 4
+let full_space = 8 * size * size
+
+(* Two attackable images and one hopeless one. *)
+let training =
+  [|
+    (Helpers.flat_image ~size 0.49, 0);
+    (Helpers.flat_image ~size 0.52, 1);
+    (Helpers.flat_image ~size 0.30, 0);
+  |]
+
+let oracle () = Helpers.mean_threshold_oracle ()
+
+let score_function_shape () =
+  Alcotest.(check (float 1e-12)) "zero queries" 1. (Score.score ~beta:0.1 0.);
+  Alcotest.(check bool) "decreasing" true
+    (Score.score ~beta:0.1 10. > Score.score ~beta:0.1 20.);
+  Alcotest.(check bool) "positive" true (Score.score ~beta:0.1 1e6 >= 0.)
+
+let acceptance_ratio_shape () =
+  Alcotest.(check (float 1e-12)) "equal" 1.
+    (Score.acceptance_ratio ~beta:0.1 ~current:50. ~proposal:50.);
+  Alcotest.(check bool) "improvement > 1" true
+    (Score.acceptance_ratio ~beta:0.1 ~current:50. ~proposal:40. > 1.);
+  Alcotest.(check bool) "worsening < 1" true
+    (Score.acceptance_ratio ~beta:0.1 ~current:50. ~proposal:60. < 1.);
+  (* Consistency with the score function itself. *)
+  let beta = 0.05 and a = 33. and b = 47. in
+  Alcotest.(check (float 1e-12)) "matches S'/S"
+    (Score.score ~beta b /. Score.score ~beta a)
+    (Score.acceptance_ratio ~beta ~current:a ~proposal:b)
+
+let evaluate_counts () =
+  let e = Score.evaluate (oracle ()) C.const_false_program training in
+  Alcotest.(check int) "attempts" 3 e.Score.attempts;
+  Alcotest.(check int) "successes" 2 e.Score.successes;
+  (* Both attackable images succeed on the first query (see
+     test_sketch); the hopeless one spends the full space. *)
+  Alcotest.(check (float 1e-9)) "avg over successes" 1. e.Score.avg_queries;
+  Alcotest.(check int) "total includes failures" (2 + full_space)
+    e.Score.total_queries
+
+let evaluate_respects_cap () =
+  let e =
+    Score.evaluate ~max_queries:5 (oracle ()) C.const_false_program training
+  in
+  Alcotest.(check int) "total capped" (2 + 5) e.Score.total_queries
+
+let evaluate_no_successes () =
+  let e =
+    Score.evaluate (oracle ()) C.const_false_program
+      [| (Helpers.flat_image ~size 0.30, 0) |]
+  in
+  Alcotest.(check int) "no successes" 0 e.Score.successes;
+  Alcotest.(check (float 0.)) "penalty" Score.no_success_penalty
+    e.Score.avg_queries
+
+(* Synthesizer *)
+
+let config iters =
+  {
+    Synthesizer.default_config with
+    max_iters = iters;
+    max_queries_per_image = Some 64;
+  }
+
+let trace_well_formed () =
+  let out =
+    Synthesizer.synthesize ~config:(config 10) (Prng.of_int 3) (oracle ())
+      ~training
+  in
+  let trace = out.Synthesizer.trace in
+  Alcotest.(check int) "initial + iterations" 11 (List.length trace);
+  List.iteri
+    (fun i (it : Synthesizer.iteration) ->
+      Alcotest.(check int) "indices in order" i it.Synthesizer.index)
+    trace;
+  (* Cumulative synthesis queries are non-decreasing and end at the
+     reported total. *)
+  let rec check_monotone = function
+    | (a : Synthesizer.iteration) :: (b : Synthesizer.iteration) :: rest ->
+        Alcotest.(check bool) "monotone" true
+          (a.synth_queries_total <= b.synth_queries_total);
+        check_monotone (b :: rest)
+    | _ -> ()
+  in
+  check_monotone trace;
+  let last = List.nth trace (List.length trace - 1) in
+  Alcotest.(check int) "total matches" out.Synthesizer.synth_queries
+    last.Synthesizer.synth_queries_total
+
+let initial_iteration_accepted () =
+  let out =
+    Synthesizer.synthesize ~config:(config 3) (Prng.of_int 4) (oracle ())
+      ~training
+  in
+  match out.Synthesizer.trace with
+  | first :: _ ->
+      Alcotest.(check bool) "iteration 0 accepted" true
+        first.Synthesizer.accepted
+  | [] -> Alcotest.fail "empty trace"
+
+let final_is_last_accepted () =
+  let out =
+    Synthesizer.synthesize ~config:(config 15) (Prng.of_int 5) (oracle ())
+      ~training
+  in
+  let last_accepted =
+    List.fold_left
+      (fun acc (it : Synthesizer.iteration) ->
+        if it.Synthesizer.accepted then Some it.Synthesizer.program else acc)
+      None out.Synthesizer.trace
+  in
+  match last_accepted with
+  | Some p ->
+      Alcotest.(check bool) "chain position" true
+        (C.equal_program p out.Synthesizer.final)
+  | None -> Alcotest.fail "no accepted iteration"
+
+let best_not_worse_than_final () =
+  let out =
+    Synthesizer.synthesize ~config:(config 15) (Prng.of_int 6) (oracle ())
+      ~training
+  in
+  Alcotest.(check bool) "best <= final" true
+    (out.Synthesizer.best_avg_queries <= out.Synthesizer.final_avg_queries)
+
+let deterministic_given_seed () =
+  let run () =
+    Synthesizer.synthesize ~config:(config 8) (Prng.of_int 7) (oracle ())
+      ~training
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same final program" true
+    (C.equal_program a.Synthesizer.final b.Synthesizer.final);
+  Alcotest.(check int) "same query spend" a.Synthesizer.synth_queries
+    b.Synthesizer.synth_queries
+
+let max_synth_queries_stops_early () =
+  let cfg = { (config 1000) with max_synth_queries = Some 200 } in
+  let out =
+    Synthesizer.synthesize ~config:cfg (Prng.of_int 8) (oracle ()) ~training
+  in
+  Alcotest.(check bool) "stopped early" true
+    (List.length out.Synthesizer.trace < 1001);
+  (* It overshoots by at most one evaluation. *)
+  Alcotest.(check bool) "bounded overshoot" true
+    (out.Synthesizer.synth_queries <= 200 + ((2 * 64) + full_space))
+
+let custom_evaluator_used () =
+  let calls = ref 0 in
+  let evaluator _program samples =
+    incr calls;
+    {
+      Score.avg_queries = 5.;
+      successes = Array.length samples;
+      attempts = Array.length samples;
+      total_queries = 10;
+    }
+  in
+  let cfg = { (config 4) with evaluator = Some evaluator } in
+  let out =
+    Synthesizer.synthesize ~config:cfg (Prng.of_int 9) (oracle ()) ~training
+  in
+  Alcotest.(check int) "evaluator called per candidate" 5 !calls;
+  Alcotest.(check int) "queries from evaluations" 50
+    out.Synthesizer.synth_queries
+
+let empty_training_raises () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Synthesizer.synthesize (Prng.of_int 1) (oracle ()) ~training:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+let on_iteration_hook_called () =
+  let seen = ref 0 in
+  let cfg = { (config 5) with on_iteration = (fun _ -> incr seen) } in
+  ignore (Synthesizer.synthesize ~config:cfg (Prng.of_int 10) (oracle ()) ~training);
+  Alcotest.(check int) "hook fired" 6 !seen
+
+let suite =
+  [
+    Alcotest.test_case "score shape" `Quick score_function_shape;
+    Alcotest.test_case "acceptance ratio" `Quick acceptance_ratio_shape;
+    Alcotest.test_case "evaluate counts" `Quick evaluate_counts;
+    Alcotest.test_case "evaluate respects cap" `Quick evaluate_respects_cap;
+    Alcotest.test_case "evaluate no successes" `Quick evaluate_no_successes;
+    Alcotest.test_case "trace well formed" `Quick trace_well_formed;
+    Alcotest.test_case "initial iteration accepted" `Quick
+      initial_iteration_accepted;
+    Alcotest.test_case "final is last accepted" `Quick final_is_last_accepted;
+    Alcotest.test_case "best <= final" `Quick best_not_worse_than_final;
+    Alcotest.test_case "deterministic" `Quick deterministic_given_seed;
+    Alcotest.test_case "max synth queries" `Quick max_synth_queries_stops_early;
+    Alcotest.test_case "custom evaluator" `Quick custom_evaluator_used;
+    Alcotest.test_case "empty training raises" `Quick empty_training_raises;
+    Alcotest.test_case "on_iteration hook" `Quick on_iteration_hook_called;
+  ]
