@@ -31,11 +31,12 @@ let experiment_config quick =
     { base with Workbench.test_per_class = 4; synth_per_class = 4 }
   else base
 
-let run_experiment quick name =
+let run_experiment quick domains name =
   let config = experiment_config quick in
   let scale =
     if quick then Experiments.quick_scale else Experiments.default_scale
   in
+  let scale = match domains with None -> scale | Some _ -> { scale with Experiments.domains } in
   match name with
   | "fig3" ->
       timed "fig3" (fun () ->
@@ -117,6 +118,130 @@ let sweep_beta quick =
     (Report.table
        ~headers:[ "beta"; "final avg #q"; "best avg #q"; "accepted" ]
        ~rows)
+
+(* Parallel-evaluation smoke benchmark.
+
+   Measures MH-evaluation throughput (images/sec while scoring a program
+   on a batch, the synthesis hot path) sequentially and over persistent
+   pools of 1/2/4/auto domains, asserts that every configuration returns
+   bit-identical query accounting (the paper's cost model), and records
+   the numbers in BENCH_parallel.json. *)
+
+let bench_parallel quick =
+  let module Parallel = Evalharness.Parallel in
+  let module Score = Oppsla.Score in
+  let config = experiment_config quick in
+  let c = Workbench.load_classifier config Dataset.synth_cifar "vgg_tiny" in
+  let samples = c.Workbench.test in
+  if Array.length samples = 0 then failwith "bench_parallel: no test images";
+  let max_queries = if quick then 128 else 256 in
+  let reps = if quick then 2 else 3 in
+  let gen_config =
+    Oppsla.Gen.config_for_image (fst samples.(0))
+  in
+  (* One synthesized-shape program and the Sketch+False floor: together
+     they bracket the evaluator's per-image cost range. *)
+  let programs =
+    [
+      ("random", Oppsla.Gen.random_program gen_config (Prng.of_int 7));
+      ("sketch_false", Oppsla.Condition.const_false_program);
+    ]
+  in
+  let oracle () = Workbench.oracle_factory c () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let check_identical name (a : Score.evaluation) (b : Score.evaluation) =
+    if
+      a.Score.avg_queries <> b.Score.avg_queries
+      || a.Score.total_queries <> b.Score.total_queries
+      || a.Score.successes <> b.Score.successes
+      || a.Score.per_image <> b.Score.per_image
+    then
+      failwith
+        (Printf.sprintf
+           "bench_parallel: %s diverged from the sequential evaluator" name)
+  in
+  let results = ref [] in
+  List.iter
+    (fun (pname, program) ->
+      let reference = ref None in
+      let measure name f =
+        (* Warm run for caches, then the timed repetitions; every run's
+           evaluation is checked against the sequential reference. *)
+        let e0 = f () in
+        (match !reference with
+        | None -> reference := Some e0
+        | Some r -> check_identical name e0 r);
+        let (e, dt_total) =
+          time (fun () ->
+              let last = ref e0 in
+              for _ = 1 to reps do
+                last := f ()
+              done;
+              !last)
+        in
+        check_identical name e (Option.get !reference);
+        let dt = dt_total /. float_of_int reps in
+        let ips = float_of_int (Array.length samples) /. dt in
+        Printf.printf "[parallel] %-12s %-14s %6.2fs/eval  %7.1f images/s\n%!"
+          pname name dt ips;
+        results := (pname, name, dt, ips) :: !results
+      in
+      measure "sequential" (fun () ->
+          Score.evaluate ~max_queries (oracle ()) program samples);
+      List.iter
+        (fun domains ->
+          Parallel.Pool.with_pool ~domains (fun pool ->
+              measure
+                (Printf.sprintf "pool-%d" domains)
+                (fun () ->
+                  Score.evaluate_parallel ~max_queries ~pool (oracle ())
+                    program samples);
+              print_endline
+                (Report.render_pool_stats (Parallel.Pool.stats pool))))
+        [ 1; 2; 4; Parallel.domain_count () ])
+    programs;
+  (* Record the runs: speedup is relative to the same program's
+     sequential time. *)
+  let results = List.rev !results in
+  let seq_time pname =
+    List.find_map
+      (fun (p, n, dt, _) -> if p = pname && n = "sequential" then Some dt else None)
+      results
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"workload\": \"Score.evaluate on vgg_tiny, %d images, cap \
+         %d\",\n  \"hardware_domains\": %d,\n  \"query_counts_identical\": \
+         true,\n  \"note\": \"pool-N wall-clock speedup is bounded by \
+         hardware_domains (on a 1-core host the pool can only add \
+         contention); the asserted invariant is that query accounting is \
+         bit-identical at every width\",\n  \"runs\": [\n"
+        (Array.length samples) max_queries
+        (Domain.recommended_domain_count ());
+      let n = List.length results in
+      List.iteri
+        (fun i (pname, name, dt, ips) ->
+          let speedup =
+            match seq_time pname with
+            | Some s when dt > 0. -> s /. dt
+            | _ -> 1.
+          in
+          Printf.fprintf oc
+            "    {\"program\": %S, \"evaluator\": %S, \"seconds_per_eval\": \
+             %.4f, \"images_per_sec\": %.1f, \"speedup_vs_sequential\": \
+             %.2f}%s\n"
+            pname name dt ips speedup
+            (if i = n - 1 then "" else ","))
+        results;
+      output_string oc "  ]\n}\n");
+  print_endline "[parallel] wrote BENCH_parallel.json (query counts identical)"
 
 (* Microbenchmarks *)
 
@@ -256,7 +381,30 @@ let () =
   let quick =
     List.mem "--quick" args || Sys.getenv_opt "OPPSLA_BENCH_QUICK" <> None
   in
-  let modes = List.filter (fun a -> a <> "--quick" && a <> "--") args in
+  (* --domains N: width of the per-experiment domain pools. *)
+  let domains_of src n =
+    match int_of_string_opt n with
+    | Some d when d >= 1 -> Some d
+    | _ ->
+        Printf.eprintf "bench: %s expects a positive integer, got %S\n" src n;
+        exit 2
+  in
+  let rec parse_domains = function
+    | "--domains" :: n :: _ -> domains_of "--domains" n
+    | _ :: rest -> parse_domains rest
+    | [] -> (
+        match Sys.getenv_opt "OPPSLA_BENCH_DOMAINS" with
+        | None -> None
+        | Some n -> domains_of "OPPSLA_BENCH_DOMAINS" n)
+  in
+  let domains = parse_domains args in
+  let rec strip = function
+    | "--domains" :: _ :: rest -> strip rest
+    | a :: rest when a = "--quick" || a = "--" -> strip rest
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  let modes = strip args in
   let modes =
     (* CIFAR-regime experiments first: the ImageNet regime is the most
        expensive and depends on nothing else. *)
@@ -269,5 +417,6 @@ let () =
       match mode with
       | "micro" -> timed "micro" micro
       | "sweep-beta" -> timed "sweep-beta" (fun () -> sweep_beta quick)
-      | _ -> run_experiment quick mode)
+      | "parallel" -> timed "parallel" (fun () -> bench_parallel quick)
+      | _ -> run_experiment quick domains mode)
     modes

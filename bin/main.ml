@@ -44,6 +44,16 @@ let artifacts_arg =
   let doc = "Artifact cache directory; empty string disables caching." in
   Arg.(value & opt string "_artifacts" & info [ "artifacts" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Domains (OS-level parallelism) for synthesis evaluation and attack \
+     fan-out; 0 picks the hardware default.  Query counts are \
+     parallelism-independent (per-image oracles, deterministic merge)."
+  in
+  Arg.(value & opt int 0 & info [ "domains"; "j" ] ~doc)
+
+let domains_opt d = if d <= 0 then None else Some d
+
 let class_arg =
   let doc = "Class id the program is synthesized for / attacked in." in
   Arg.(value & opt int 0 & info [ "class"; "c" ] ~doc)
@@ -80,7 +90,7 @@ let synthesize_cmd =
   let iters_arg =
     Arg.(value & opt int 40 & info [ "iters" ] ~doc:"MH iterations.")
   in
-  let run dataset arch seed artifacts class_id iters =
+  let run dataset arch seed artifacts class_id iters domains =
     with_spec dataset (fun spec ->
         if class_id < 0 || class_id >= spec.Dataset.num_classes then
           `Error
@@ -90,7 +100,13 @@ let synthesize_cmd =
         else begin
           let config = workbench_config artifacts seed in
           let c = Workbench.load_classifier config spec arch in
-          let params = { Workbench.default_synth_params with iters } in
+          let params =
+            {
+              Workbench.default_synth_params with
+              iters;
+              domains = domains_opt domains;
+            }
+          in
           let programs = Workbench.synthesize_programs ~params config c in
           Printf.printf "class %d (%s): %s\n" class_id
             spec.Dataset.class_names.(class_id)
@@ -102,7 +118,7 @@ let synthesize_cmd =
     Term.(
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
-       $ class_arg $ iters_arg))
+       $ class_arg $ iters_arg $ domains_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
@@ -248,15 +264,22 @@ let eval_cmd =
     let doc = "Experiment to run: fig3, table1, fig4, table2 or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run seed artifacts experiment =
+  let run seed artifacts domains experiment =
     let config = workbench_config artifacts seed in
+    let scale =
+      { Experiments.default_scale with domains = domains_opt domains }
+    in
     let run_one = function
-      | "fig3" -> print_endline (Report.render_fig3 (Experiments.fig3 config))
+      | "fig3" ->
+          print_endline (Report.render_fig3 (Experiments.fig3 ~scale config))
       | "table1" ->
-          print_endline (Report.render_table1 (Experiments.table1 config))
-      | "fig4" -> print_endline (Report.render_fig4 (Experiments.fig4 config))
+          print_endline
+            (Report.render_table1 (Experiments.table1 ~scale config))
+      | "fig4" ->
+          print_endline (Report.render_fig4 (Experiments.fig4 ~scale config))
       | "table2" ->
-          print_endline (Report.render_table2 (Experiments.table2 config))
+          print_endline
+            (Report.render_table2 (Experiments.table2 ~scale config))
       | other -> failwith other
     in
     match experiment with
@@ -275,7 +298,8 @@ let eval_cmd =
           (false, Printf.sprintf "unknown experiment %S (try --help)" other)
   in
   let term =
-    Term.(ret (const run $ seed_arg $ artifacts_arg $ experiment_arg))
+    Term.(
+      ret (const run $ seed_arg $ artifacts_arg $ domains_arg $ experiment_arg))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")

@@ -1,0 +1,202 @@
+let domain_count () = min 8 (Domain.recommended_domain_count ())
+
+module Pool = struct
+  type stats = {
+    domains : int;
+    jobs : int;
+    tasks : int;
+    steals : int;
+    busy_seconds : float;
+  }
+
+  (* A job is published type-erased: [participate] owns the job's atomic
+     cursor, so any participant (worker or caller) can run it to
+     completion.  [gen] distinguishes jobs so a worker that just finished
+     one does not re-enter it while waiting for the next. *)
+  type job = { gen : int; participate : unit -> unit }
+
+  type t = {
+    total : int;  (* participants per map call, caller included *)
+    mutable workers : unit Domain.t array;
+    m : Mutex.t;
+    work : Condition.t;
+    mutable current : job option;
+    mutable next_gen : int;
+    mutable stop : bool;
+    tasks : int Atomic.t;
+    steals : int Atomic.t;
+    mutable jobs_served : int;
+    mutable busy : float;
+  }
+
+  let rec worker_loop t last_gen =
+    Mutex.lock t.m;
+    let rec await () =
+      if t.stop then None
+      else
+        match t.current with
+        | Some j when j.gen <> last_gen -> Some j
+        | _ ->
+            Condition.wait t.work t.m;
+            await ()
+    in
+    let j = await () in
+    Mutex.unlock t.m;
+    match j with
+    | None -> ()
+    | Some j ->
+        j.participate ();
+        worker_loop t j.gen
+
+  let create ?domains () =
+    let total =
+      match domains with Some d -> max 1 d | None -> domain_count ()
+    in
+    let t =
+      {
+        total;
+        workers = [||];
+        m = Mutex.create ();
+        work = Condition.create ();
+        current = None;
+        next_gen = 0;
+        stop = false;
+        tasks = Atomic.make 0;
+        steals = Atomic.make 0;
+        jobs_served = 0;
+        busy = 0.;
+      }
+    in
+    t.workers <-
+      Array.init (total - 1) (fun _ ->
+          Domain.spawn (fun () -> worker_loop t (-1)));
+    t
+
+  let size t = t.total
+
+  let shutdown t =
+    Mutex.lock t.m;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      t.stop <- true;
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      Array.iter Domain.join t.workers;
+      t.workers <- [||]
+    end
+
+  let with_pool ?domains f =
+    let t = create ?domains () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+  let stats t =
+    Mutex.lock t.m;
+    let s =
+      {
+        domains = t.total;
+        jobs = t.jobs_served;
+        tasks = Atomic.get t.tasks;
+        steals = Atomic.get t.steals;
+        busy_seconds = t.busy;
+      }
+    in
+    Mutex.unlock t.m;
+    s
+
+  let finish_job t t0 n =
+    Mutex.lock t.m;
+    t.current <- None;
+    t.jobs_served <- t.jobs_served + 1;
+    t.busy <- t.busy +. (Unix.gettimeofday () -. t0);
+    Atomic.set t.tasks (Atomic.get t.tasks + n);
+    Mutex.unlock t.m
+
+  let map t f xs =
+    if t.stop then invalid_arg "Domain_pool.Pool.map: pool is shut down";
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else if t.total = 1 || n = 1 then begin
+      let t0 = Unix.gettimeofday () in
+      (* Inline fast path: exceptions from [f] propagate directly, and a
+         raise on item [i] abandons items after [i] just like the
+         parallel path does. *)
+      let r = Array.map f xs in
+      finish_job t t0 n;
+      r
+    end
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let completed = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let fin_m = Mutex.create () and fin_c = Condition.create () in
+      let caller = Domain.self () in
+      (* Chunked self-scheduling: small enough chunks that stragglers
+         balance, large enough to amortize the atomic claim. *)
+      let chunk = max 1 (n / (t.total * 8)) in
+      let participate () =
+        let stealing = Domain.self () <> caller in
+        let rec loop () =
+          let start = Atomic.fetch_and_add next chunk in
+          if start < n then begin
+            let stop_ = min n (start + chunk) in
+            for i = start to stop_ - 1 do
+              if Atomic.get failure = None then (
+                match f xs.(i) with
+                | v ->
+                    results.(i) <- Some v;
+                    if stealing then Atomic.incr t.steals
+                | exception e ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    ignore (Atomic.compare_and_set failure None (Some (e, bt))))
+            done;
+            (* Count claimed indices even when a failure abandoned them:
+               completion means "no item is still running", which is what
+               the caller must wait for before re-raising. *)
+            let c = stop_ - start + Atomic.fetch_and_add completed (stop_ - start) in
+            if c >= n then begin
+              Mutex.lock fin_m;
+              Condition.broadcast fin_c;
+              Mutex.unlock fin_m
+            end;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      Mutex.lock t.m;
+      let gen = t.next_gen in
+      t.next_gen <- gen + 1;
+      t.current <- Some { gen; participate };
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      participate ();
+      Mutex.lock fin_m;
+      while Atomic.get completed < n do
+        Condition.wait fin_c fin_m
+      done;
+      Mutex.unlock fin_m;
+      finish_job t t0 n;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+          Array.map
+            (function
+              | Some v -> v
+              | None ->
+                  (* Unreachable: every index was claimed and either ran
+                     (Some) or was abandoned after a failure, in which
+                     case we re-raised above. *)
+                  assert false)
+            results
+    end
+end
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> d | None -> domain_count ()
+  in
+  let n = Array.length xs in
+  if domains <= 1 || n < 2 then Array.map f xs
+  else Pool.with_pool ~domains:(min domains n) (fun p -> Pool.map p f xs)

@@ -1,0 +1,75 @@
+(** Reusable parallel execution over OCaml 5 domains.
+
+    Two entry points share one scheduler:
+
+    - {!Pool}: a {e persistent} pool of worker domains with explicit
+      [create] / [shutdown].  Spawning a domain costs far more than an
+      oracle query, so hot paths (Metropolis-Hastings evaluation, the
+      experiment runners) create one pool per run and push every batch
+      through it.
+    - {!map}: the one-shot convenience wrapper (pool per call) kept for
+      cold paths and tests.
+
+    Scheduling is chunked self-scheduling over an atomic cursor: every
+    participant — the caller domain included — repeatedly steals the next
+    chunk of indices until the input is exhausted, so uneven per-item cost
+    balances automatically.  Results always land at their input index;
+    parallelism never reorders outputs.
+
+    Exception contract (both entry points): if [f] raises, the {e first}
+    exception raised (in claim order) is re-raised in the caller with its
+    original backtrace, after every in-flight item has drained.  Items
+    after the failure are abandoned, never silently reported as results:
+    a map either returns a fully materialized array or raises. *)
+
+val domain_count : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+module Pool : sig
+  type t
+  (** A persistent pool.  A pool is owned by the domain that created it:
+      only that domain may call {!map} / {!shutdown}, and {!map} must not
+      be re-entered from inside a mapped function (workers block waiting
+      for the outer map's cursor). *)
+
+  type stats = {
+    domains : int;  (** participants per map call, caller included *)
+    jobs : int;  (** map calls served *)
+    tasks : int;  (** items processed across all jobs *)
+    steals : int;  (** items processed by worker domains (not the caller) *)
+    busy_seconds : float;  (** wall time spent inside map calls *)
+  }
+
+  val create : ?domains:int -> unit -> t
+  (** [create ~domains ()] spawns [domains - 1] worker domains (the
+      caller is the remaining participant).  [domains] defaults to
+      {!domain_count}; values [<= 1] yield a poolless pool whose [map]
+      runs inline in the caller. *)
+
+  val size : t -> int
+  (** Participants per map call ([domains] at creation, caller
+      included). *)
+
+  val map : t -> ('a -> 'b) -> 'a array -> 'b array
+  (** Order-preserving parallel map over the pool's domains.  Raises
+      [Invalid_argument] if the pool was shut down (rejecting new work
+      beats hanging on dead workers). *)
+
+  val stats : t -> stats
+  (** Cumulative instrumentation since [create]. *)
+
+  val shutdown : t -> unit
+  (** Join the worker domains.  Idempotent.  After shutdown, {!map}
+      rejects new work with [Invalid_argument]. *)
+
+  val with_pool : ?domains:int -> (t -> 'a) -> 'a
+  (** [with_pool f] is [f (create ())] with a guaranteed shutdown,
+      whether [f] returns or raises. *)
+end
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** One-shot parallel map: a transient {!Pool} per call.  With
+    [domains <= 1] (or on arrays of fewer than 2 elements) runs
+    sequentially in the caller.  The mapped function must be thread-safe:
+    in practice that means it must build its own query-metered oracle
+    (e.g. [Oracle.clone]) rather than share one mutable counter. *)

@@ -80,8 +80,26 @@ type fig3_row = {
   avg_queries : float option;
 }
 
-let attackers_for scale synth_params c config =
-  let programs = Workbench.synthesize_programs ~params:synth_params config c in
+(* One persistent pool per experiment run: synthesis proposal evaluation
+   and the per-image attack fan-out all reuse the same resident domains
+   instead of paying a spawn per batch.  Pool stats go to the config log
+   so a run's parallel footprint is visible next to its results. *)
+let with_experiment_pool scale (config : Workbench.config) name f =
+  Parallel.Pool.with_pool ?domains:scale.domains (fun pool ->
+      let result = f pool in
+      let s = Parallel.Pool.stats pool in
+      config.Workbench.log
+        (Printf.sprintf
+           "[%s] pool: %d domains, %d jobs, %d tasks (%d stolen), %.1fs busy"
+           name s.Parallel.Pool.domains s.Parallel.Pool.jobs
+           s.Parallel.Pool.tasks s.Parallel.Pool.steals
+           s.Parallel.Pool.busy_seconds);
+      result)
+
+let attackers_for scale synth_params c config pool =
+  let programs =
+    Workbench.synthesize_programs ~params:synth_params ~pool config c
+  in
   [
     Attackers.oppsla ~programs;
     Attackers.sparse_rs;
@@ -96,7 +114,7 @@ let imagenet_config scale (config : Workbench.config) =
     synth_per_class = scale.imagenet_synth_per_class;
   }
 
-let fig3_for_classifier scale config synth_params max_queries
+let fig3_for_classifier scale config synth_params max_queries pool
     (c : Workbench.classifier) =
   List.map
     (fun attacker ->
@@ -105,8 +123,8 @@ let fig3_for_classifier scale config synth_params max_queries
            c.Workbench.arch
            (Array.length c.Workbench.test));
       let records =
-        Runner.run ?domains:scale.domains ~seed:scale.attack_seed ~max_queries
-          attacker c c.Workbench.test
+        Runner.run ~pool ~seed:scale.attack_seed ~max_queries attacker c
+          c.Workbench.test
       in
       let budgets = scale.budgets @ [ max_queries ] in
       {
@@ -121,19 +139,22 @@ let fig3_for_classifier scale config synth_params max_queries
             budgets;
         avg_queries = Runner.avg_queries records;
       })
-    (attackers_for scale synth_params c config)
+    (attackers_for scale synth_params c config pool)
 
 let fig3_cifar ?(scale = default_scale) config =
-  List.concat_map
-    (fig3_for_classifier scale config scale.synth scale.max_queries_cifar)
-    (Workbench.cifar_suite config)
+  with_experiment_pool scale config "fig3cifar" (fun pool ->
+      List.concat_map
+        (fig3_for_classifier scale config scale.synth scale.max_queries_cifar
+           pool)
+        (Workbench.cifar_suite config))
 
 let fig3_imagenet ?(scale = default_scale) config =
   let iconfig = imagenet_config scale config in
-  List.concat_map
-    (fig3_for_classifier scale iconfig scale.imagenet_synth
-       scale.max_queries_imagenet)
-    (Workbench.imagenet_suite iconfig)
+  with_experiment_pool scale iconfig "fig3imagenet" (fun pool ->
+      List.concat_map
+        (fig3_for_classifier scale iconfig scale.imagenet_synth
+           scale.max_queries_imagenet pool)
+        (Workbench.imagenet_suite iconfig))
 
 let fig3 ?(scale = default_scale) config =
   fig3_cifar ~scale config @ fig3_imagenet ~scale config
@@ -146,29 +167,34 @@ type table1 = {
 }
 
 let table1 ?(scale = default_scale) config =
-  let suite = Array.of_list (Workbench.cifar_suite config) in
-  let programs =
-    Array.map (Workbench.synthesize_programs ~params:scale.synth config) suite
-  in
-  let n = Array.length suite in
-  let avg =
-    Array.init n (fun target ->
-        Array.init n (fun source ->
-            config.Workbench.log
-              (Printf.sprintf "[table1] programs of %s vs %s"
-                 suite.(source).Workbench.arch suite.(target).Workbench.arch);
-            let attacker = Attackers.oppsla ~programs:programs.(source) in
-            let records =
-              Runner.run ?domains:scale.domains ~seed:scale.attack_seed
-                ~max_queries:scale.max_queries_cifar attacker suite.(target)
-                suite.(target).Workbench.test
-            in
-            Runner.avg_queries records))
-  in
-  {
-    classifiers = Array.to_list (Array.map (fun c -> c.Workbench.arch) suite);
-    avg_queries = avg;
-  }
+  with_experiment_pool scale config "table1" (fun pool ->
+      let suite = Array.of_list (Workbench.cifar_suite config) in
+      let programs =
+        Array.map
+          (Workbench.synthesize_programs ~params:scale.synth ~pool config)
+          suite
+      in
+      let n = Array.length suite in
+      let avg =
+        Array.init n (fun target ->
+            Array.init n (fun source ->
+                config.Workbench.log
+                  (Printf.sprintf "[table1] programs of %s vs %s"
+                     suite.(source).Workbench.arch
+                     suite.(target).Workbench.arch);
+                let attacker = Attackers.oppsla ~programs:programs.(source) in
+                let records =
+                  Runner.run ~pool ~seed:scale.attack_seed
+                    ~max_queries:scale.max_queries_cifar attacker
+                    suite.(target) suite.(target).Workbench.test
+                in
+                Runner.avg_queries records))
+      in
+      {
+        classifiers =
+          Array.to_list (Array.map (fun c -> c.Workbench.arch) suite);
+        avg_queries = avg;
+      })
 
 (* Figure 4 *)
 
@@ -181,6 +207,7 @@ type fig4_point = {
 type fig4 = { series : fig4_point list; baseline_avg_queries : float }
 
 let fig4 ?(scale = default_scale) config =
+  with_experiment_pool scale config "fig4" @@ fun pool ->
   let c = Workbench.load_classifier config Dataset.synth_cifar "vgg_tiny" in
   let class_id = 0 (* airplane *) in
   let training = c.Workbench.synth_sets.(class_id) in
@@ -199,8 +226,8 @@ let fig4 ?(scale = default_scale) config =
   in
   let evaluate_on_heldout program =
     let e =
-      Workbench.parallel_evaluator ?domains:scale.domains
-        ~max_queries:scale.max_queries_cifar c program heldout
+      Workbench.parallel_evaluator ~pool ~max_queries:scale.max_queries_cifar
+        c program heldout
     in
     e.Oppsla.Score.avg_queries
   in
@@ -211,10 +238,6 @@ let fig4 ?(scale = default_scale) config =
       max_iters = scale.fig4_iters;
       max_queries_per_image =
         Some scale.synth.Workbench.synth_max_queries_per_image;
-      evaluator =
-        Some
-          (Workbench.parallel_evaluator ?domains:scale.domains
-             ~max_queries:scale.synth.Workbench.synth_max_queries_per_image c);
     }
   in
   let g =
@@ -223,7 +246,7 @@ let fig4 ?(scale = default_scale) config =
       (Printf.sprintf "fig4/%s/%d" c.Workbench.arch class_id)
   in
   let out =
-    Oppsla.Synthesizer.synthesize ~config:synth_config g
+    Oppsla.Synthesizer.synthesize ~config:synth_config ~pool g
       (Workbench.oracle_factory c ())
       ~training
   in
@@ -259,6 +282,7 @@ type table2_row = {
 }
 
 let table2 ?(scale = default_scale) config =
+  with_experiment_pool scale config "table2" @@ fun pool ->
   let suite = Workbench.cifar_suite config in
   List.concat_map
     (fun (c : Workbench.classifier) ->
@@ -266,7 +290,7 @@ let table2 ?(scale = default_scale) config =
         config.Workbench.log
           (Printf.sprintf "[table2] %s vs %s" attacker.Attackers.name
              c.Workbench.arch);
-        Runner.run ?domains:scale.domains ~seed:scale.attack_seed
+        Runner.run ~pool ~seed:scale.attack_seed
           ~max_queries:scale.max_queries_cifar attacker c c.Workbench.test
       in
       let row approach records =
@@ -279,12 +303,12 @@ let table2 ?(scale = default_scale) config =
         }
       in
       let oppsla_programs =
-        Workbench.synthesize_programs ~params:scale.synth config c
+        Workbench.synthesize_programs ~params:scale.synth ~pool config c
       in
       let random_programs =
         Workbench.sketch_random_programs ~samples:scale.random_samples
           ~max_queries_per_image:
-            scale.synth.Workbench.synth_max_queries_per_image config c
+            scale.synth.Workbench.synth_max_queries_per_image ~pool config c
       in
       [
         row "OPPSLA" (run (Attackers.oppsla ~programs:oppsla_programs));

@@ -6,7 +6,11 @@
     weights, synthesized programs) are cached through {!Workbench}. *)
 
 type scale = {
-  domains : int option;  (** parallelism; [None] = auto *)
+  domains : int option;
+      (** width of the per-experiment persistent domain pool; [None] =
+          auto.  Parallelism never changes results: per-image oracles and
+          image-order merging keep query counts bit-identical (see
+          {!Oppsla.Score.evaluate_parallel}). *)
   budgets : int list;  (** reporting budgets for Figure 3 *)
   max_queries_cifar : int;  (** attack allowance, CIFAR regime *)
   max_queries_imagenet : int;  (** attack allowance, ImageNet regime *)

@@ -1,28 +1,9 @@
-let domain_count () = min 8 (Domain.recommended_domain_count ())
+(* Thin veneer over the shared Domain_pool library, kept so harness code
+   (and its history of callers) can keep saying [Parallel.map] /
+   [Parallel.Pool] while the scheduler itself stays reusable from
+   lower layers (e.g. Oppsla.Score.evaluate_parallel). *)
 
-let map ?domains f xs =
-  let n = Array.length xs in
-  let domains = match domains with Some d -> d | None -> domain_count () in
-  if domains <= 1 || n < 2 then Array.map f xs
-  else begin
-    let workers = min domains n in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let work () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (f xs.(i));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let handles = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
-    Fun.protect
-      ~finally:(fun () -> Array.iter Domain.join handles)
-      work;
-    Array.map
-      (function Some v -> v | None -> failwith "Parallel.map: missing result")
-      results
-  end
+module Pool = Domain_pool.Pool
+
+let domain_count = Domain_pool.domain_count
+let map = Domain_pool.map

@@ -4,12 +4,23 @@
     inference path is pure, so experiment runners fan image batches out
     across domains.  The mapped function must be thread-safe: in practice
     that means it must build its own {!Oracle.t} (whose query counter is
-    mutable) rather than share one. *)
+    mutable) rather than share one — see {!Oracle.clone}.
+
+    This module re-exports the shared {!Domain_pool} library so harness
+    code keeps its historical [Parallel] name.  Hot paths should create
+    one {!Pool.t} per experiment run instead of paying a domain spawn per
+    batch. *)
+
+module Pool = Domain_pool.Pool
+(** Persistent domain pool with explicit lifecycle and {!Pool.stats}
+    instrumentation; see {!Domain_pool.Pool}. *)
 
 val domain_count : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** Order-preserving parallel map.  With [domains <= 1] (or on arrays of
-    fewer than 2 elements) runs sequentially.  Exceptions raised by [f]
-    are re-raised in the caller. *)
+(** Order-preserving one-shot parallel map (transient pool per call).
+    With [domains <= 1] (or on arrays of fewer than 2 elements) runs
+    sequentially.  The {e first} exception raised by [f] is re-raised in
+    the caller with its backtrace; later items are abandoned, never
+    silently dropped from a returned result. *)

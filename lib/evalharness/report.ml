@@ -92,6 +92,29 @@ let render_fig4 (f : Experiments.fig4) =
      reference (0 synthesis queries): %.2f avg #queries"
     (table ~headers ~rows) f.baseline_avg_queries
 
+let render_pool_stats (s : Parallel.Pool.stats) =
+  let throughput =
+    if s.Parallel.Pool.busy_seconds > 0. then
+      Printf.sprintf "%.1f"
+        (float_of_int s.Parallel.Pool.tasks /. s.Parallel.Pool.busy_seconds)
+    else "-"
+  in
+  "Domain pool\n"
+  ^ table
+      ~headers:
+        [ "domains"; "jobs"; "tasks"; "stolen"; "busy (s)"; "tasks/s" ]
+      ~rows:
+        [
+          [
+            string_of_int s.Parallel.Pool.domains;
+            string_of_int s.Parallel.Pool.jobs;
+            string_of_int s.Parallel.Pool.tasks;
+            string_of_int s.Parallel.Pool.steals;
+            Printf.sprintf "%.2f" s.Parallel.Pool.busy_seconds;
+            throughput;
+          ];
+        ]
+
 let render_table2 (rows : Experiments.table2_row list) =
   let headers =
     [ "classifier"; "approach"; "success"; "avg #queries"; "median #queries" ]

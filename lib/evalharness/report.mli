@@ -14,3 +14,8 @@ val render_fig3 : Experiments.fig3_row list -> string
 val render_table1 : Experiments.table1 -> string
 val render_fig4 : Experiments.fig4 -> string
 val render_table2 : Experiments.table2_row list -> string
+
+val render_pool_stats : Parallel.Pool.stats -> string
+(** One-row table of a domain pool's instrumentation: width, jobs served,
+    items processed (and how many were stolen by worker domains), wall
+    time inside map calls, and derived throughput. *)

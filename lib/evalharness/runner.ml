@@ -1,22 +1,24 @@
 type record = { true_class : int; success : bool; queries : int }
 
-let run ?domains ~seed ~max_queries (attacker : Attackers.t) classifier
+let run ?domains ?pool ~seed ~max_queries (attacker : Attackers.t) classifier
     samples =
   let indexed = Array.mapi (fun i s -> (i, s)) samples in
-  Parallel.map ?domains
-    (fun (i, (image, true_class)) ->
-      let g =
-        Prng.named_stream (Prng.of_int seed)
-          (Printf.sprintf "run/%s/%d" attacker.Attackers.name i)
-      in
-      let oracle = Workbench.oracle_factory classifier () in
-      let r = attacker.Attackers.run g oracle ~max_queries ~image ~true_class in
-      {
-        true_class;
-        success = r.Oppsla.Sketch.adversarial <> None;
-        queries = r.Oppsla.Sketch.queries;
-      })
-    indexed
+  let attack_one (i, (image, true_class)) =
+    let g =
+      Prng.named_stream (Prng.of_int seed)
+        (Printf.sprintf "run/%s/%d" attacker.Attackers.name i)
+    in
+    let oracle = Workbench.oracle_factory classifier () in
+    let r = attacker.Attackers.run g oracle ~max_queries ~image ~true_class in
+    {
+      true_class;
+      success = r.Oppsla.Sketch.adversarial <> None;
+      queries = r.Oppsla.Sketch.queries;
+    }
+  in
+  match pool with
+  | Some pool -> Parallel.Pool.map pool attack_one indexed
+  | None -> Parallel.map ?domains attack_one indexed
 
 let success_rate_at records budget =
   if Array.length records = 0 then 0.

@@ -16,15 +16,18 @@ type record = {
 
 val run :
   ?domains:int ->
+  ?pool:Parallel.Pool.t ->
   seed:int ->
   max_queries:int ->
   Attackers.t ->
   Workbench.classifier ->
   (Tensor.t * int) array ->
   record array
-(** Attack every (image, class) pair.  Randomized attackers get a
-    distinct, reproducible RNG per image (derived from [seed] and the
-    image's index). *)
+(** Attack every (image, class) pair — over the persistent [pool] when
+    given, else over a transient [domains]-wide pool.  Every image gets a
+    fresh oracle, and randomized attackers get a distinct, reproducible
+    RNG per image (derived from [seed] and the image's index), so records
+    do not depend on the parallelism. *)
 
 val success_rate_at : record array -> int -> float
 (** Fraction of images whose attack succeeded within the given budget. *)

@@ -172,31 +172,19 @@ let imagenet_suite config =
 
 let oracle_factory c () = Oracle.of_network c.net
 
-let parallel_evaluator ?domains ?max_queries c program samples =
-  let results =
-    Parallel.map ?domains
-      (fun (image, true_class) ->
-        let oracle = Oracle.of_network c.net in
-        Oppsla.Sketch.attack ?max_queries oracle program ~image ~true_class)
-      samples
-  in
-  let successes = ref 0 and success_queries = ref 0 and total = ref 0 in
-  Array.iter
-    (fun (r : Oppsla.Sketch.result) ->
-      total := !total + r.queries;
-      if r.adversarial <> None then begin
-        incr successes;
-        success_queries := !success_queries + r.queries
-      end)
-    results;
-  {
-    Oppsla.Score.avg_queries =
-      (if !successes = 0 then Oppsla.Score.no_success_penalty
-       else float_of_int !success_queries /. float_of_int !successes);
-    successes = !successes;
-    attempts = Array.length samples;
-    total_queries = !total;
-  }
+let parallel_evaluator ?domains ?pool ?max_queries c program samples =
+  match pool with
+  | Some pool ->
+      Oppsla.Score.evaluate_parallel ?max_queries ~pool
+        (Oracle.of_network c.net) program samples
+  | None ->
+      Oppsla.Score.of_results
+        (Parallel.map ?domains
+           (fun (image, true_class) ->
+             let oracle = Oracle.of_network c.net in
+             Oppsla.Sketch.attack ?max_queries oracle program ~image
+               ~true_class)
+           samples)
 
 type synth_params = {
   iters : int;
@@ -261,13 +249,22 @@ let with_program_cache config file num_classes compute =
         programs
       end)
 
-let synthesize_programs ?(params = default_synth_params) config c =
+(* Run [f] over the given pool, or over a transient one sized by
+   [params.domains] when the caller did not thread a persistent pool
+   through. *)
+let with_synth_pool ?pool (params : synth_params) f =
+  match pool with
+  | Some pool -> f pool
+  | None -> Parallel.Pool.with_pool ?domains:params.domains f
+
+let synthesize_programs ?(params = default_synth_params) ?pool config c =
   let file =
     Printf.sprintf "%s_%s_s%d_oppsla_i%d_b%g_q%d_n%d_v2.programs" c.spec.name
       c.arch config.seed params.iters params.beta
       params.synth_max_queries_per_image config.synth_per_class
   in
   with_program_cache config file c.spec.num_classes (fun () ->
+      with_synth_pool ?pool params @@ fun pool ->
       let root = Prng.of_int config.seed in
       Array.init c.spec.num_classes (fun class_id ->
           let training = c.synth_sets.(class_id) in
@@ -291,14 +288,15 @@ let synthesize_programs ?(params = default_synth_params) config c =
                 max_iters = params.iters;
                 max_queries_per_image =
                   Some params.synth_max_queries_per_image;
-                evaluator =
-                  Some
-                    (parallel_evaluator ?domains:params.domains
-                       ~max_queries:params.synth_max_queries_per_image c);
               }
             in
+            (* The pool is the synthesizer's default evaluator: every MH
+               proposal fans its per-image attacks out over the resident
+               domains (per-image oracle clones, image-order merge), so
+               query accounting matches the sequential evaluator
+               bit-for-bit. *)
             let out =
-              Oppsla.Synthesizer.synthesize ~config:synth_config g
+              Oppsla.Synthesizer.synthesize ~config:synth_config ~pool g
                 (oracle_factory c ()) ~training
             in
             (* No attackable training image within the cap means every
@@ -329,12 +327,13 @@ let synthesize_programs ?(params = default_synth_params) config c =
           end))
 
 let sketch_random_programs ?(samples = 210) ?(max_queries_per_image = 1024)
-    config c =
+    ?pool config c =
   let file =
     Printf.sprintf "%s_%s_s%d_random_k%d_q%d_n%d.programs" c.spec.name c.arch
       config.seed samples max_queries_per_image config.synth_per_class
   in
   with_program_cache config file c.spec.num_classes (fun () ->
+      with_synth_pool ?pool default_synth_params @@ fun pool ->
       let root = Prng.of_int config.seed in
       Array.init c.spec.num_classes (fun class_id ->
           let training = c.synth_sets.(class_id) in
@@ -347,7 +346,9 @@ let sketch_random_programs ?(samples = 210) ?(max_queries_per_image = 1024)
             in
             let out =
               Baselines.Random_search.synthesize ~samples
-                ~evaluator:(parallel_evaluator ~max_queries:max_queries_per_image c)
+                ~evaluator:
+                  (parallel_evaluator ~pool
+                     ~max_queries:max_queries_per_image c)
                 g (oracle_factory c ()) ~training
             in
             out.Baselines.Random_search.best

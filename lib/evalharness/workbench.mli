@@ -57,13 +57,17 @@ val oracle_factory : classifier -> unit -> Oracle.t
 
 val parallel_evaluator :
   ?domains:int ->
+  ?pool:Parallel.Pool.t ->
   ?max_queries:int ->
   classifier ->
   Oppsla.Condition.program ->
   (Tensor.t * int) array ->
   Oppsla.Score.evaluation
 (** Drop-in for {!Oppsla.Score.evaluate} that fans the per-image attacks
-    out across domains. *)
+    out across domains: over [pool] when given (the hot path — no spawn
+    cost per call), otherwise over a transient [domains]-wide pool.
+    Every image gets its own metered oracle, and results merge in image
+    order, so query counts are independent of the parallelism. *)
 
 type synth_params = {
   iters : int;
@@ -76,15 +80,22 @@ val default_synth_params : synth_params
 (** 40 iterations, beta 0.02, 1024-query cap per synthesis attack. *)
 
 val synthesize_programs :
-  ?params:synth_params -> config -> classifier -> Oppsla.Condition.program array
+  ?params:synth_params ->
+  ?pool:Parallel.Pool.t ->
+  config ->
+  classifier ->
+  Oppsla.Condition.program array
 (** One program per class, via OPPSLA on each class's synthesis set;
     cached under the artifacts directory.  Classes whose synthesis set is
     empty (no correctly classified image) fall back to the Sketch+False
-    program. *)
+    program.  MH proposal evaluation fans out over [pool] (or a
+    transient pool sized by [params.domains]); the accepted-program trace
+    is identical at every pool size. *)
 
 val sketch_random_programs :
   ?samples:int ->
   ?max_queries_per_image:int ->
+  ?pool:Parallel.Pool.t ->
   config ->
   classifier ->
   Oppsla.Condition.program array

@@ -1,26 +1,34 @@
+type image_eval = { queries : int; success : bool }
+
 type evaluation = {
   avg_queries : float;
   successes : int;
   attempts : int;
   total_queries : int;
+  per_image : image_eval array;
 }
 
 let no_success_penalty = 1e9
 
-let evaluate ?max_queries ?goal oracle program samples =
+(* Merging attack results into an evaluation always walks the results in
+   image (index) order, so the parallel evaluator is bit-identical to the
+   sequential one: same integer sums, same float division, same flags. *)
+let of_results results =
+  let per_image =
+    Array.map
+      (fun (r : Sketch.result) ->
+        { queries = r.Sketch.queries; success = r.Sketch.adversarial <> None })
+      results
+  in
   let successes = ref 0 and success_queries = ref 0 and total = ref 0 in
   Array.iter
-    (fun (image, true_class) ->
-      let r =
-        Sketch.attack ?max_queries ?goal oracle program ~image ~true_class
-      in
-      total := !total + r.Sketch.queries;
-      match r.Sketch.adversarial with
-      | Some _ ->
-          incr successes;
-          success_queries := !success_queries + r.Sketch.queries
-      | None -> ())
-    samples;
+    (fun r ->
+      total := !total + r.queries;
+      if r.success then begin
+        incr successes;
+        success_queries := !success_queries + r.queries
+      end)
+    per_image;
   let avg_queries =
     if !successes = 0 then no_success_penalty
     else float_of_int !success_queries /. float_of_int !successes
@@ -28,9 +36,25 @@ let evaluate ?max_queries ?goal oracle program samples =
   {
     avg_queries;
     successes = !successes;
-    attempts = Array.length samples;
+    attempts = Array.length results;
     total_queries = !total;
+    per_image;
   }
+
+let evaluate ?max_queries ?goal oracle program samples =
+  of_results
+    (Array.map
+       (fun (image, true_class) ->
+         Sketch.attack ?max_queries ?goal oracle program ~image ~true_class)
+       samples)
+
+let evaluate_parallel ?max_queries ?goal ~pool oracle program samples =
+  of_results
+    (Domain_pool.Pool.map pool
+       (fun (image, true_class) ->
+         Sketch.attack ?max_queries ?goal (Oracle.clone oracle) program ~image
+           ~true_class)
+       samples)
 
 let score ~beta avg_queries = exp (-.beta *. avg_queries)
 

@@ -5,6 +5,11 @@
     adversarial example; inputs with no successful example are ignored
     (their query count is program-independent). *)
 
+type image_eval = {
+  queries : int;  (** oracle queries this image's attack posed *)
+  success : bool;
+}
+
 type evaluation = {
   avg_queries : float;
       (** mean queries over successful inputs; [no_success_penalty] when
@@ -12,12 +17,20 @@ type evaluation = {
   successes : int;
   attempts : int;
   total_queries : int;  (** all queries posed, successful or not *)
+  per_image : image_eval array;
+      (** one entry per training input, in input order — the ground truth
+          the differential test suite compares across evaluators *)
 }
 
 val no_success_penalty : float
 (** Stand-in average when a program succeeds on no training input (never
     happens once the training set contains at least one attackable image,
     because success is program-independent). *)
+
+val of_results : Sketch.result array -> evaluation
+(** Merge per-image attack results (in input order) into an evaluation.
+    Shared by the sequential and parallel evaluators so both aggregate
+    with the identical integer sums and float division. *)
 
 val evaluate :
   ?max_queries:int ->
@@ -26,9 +39,28 @@ val evaluate :
   Condition.program ->
   (Tensor.t * int) array ->
   evaluation
-(** Run the program on every (image, true class) pair.  [max_queries]
-    bounds each individual attack (default: the full perturbation
-    space); [goal] defaults to untargeted. *)
+(** Run the program on every (image, true class) pair, sequentially,
+    against the one given oracle.  [max_queries] bounds each individual
+    attack (default: the full perturbation space); [goal] defaults to
+    untargeted. *)
+
+val evaluate_parallel :
+  ?max_queries:int ->
+  ?goal:Sketch.goal ->
+  pool:Domain_pool.Pool.t ->
+  Oracle.t ->
+  Condition.program ->
+  (Tensor.t * int) array ->
+  evaluation
+(** [evaluate] fanned out over a domain pool.  Each image is attacked
+    against its own {!Oracle.clone} of [oracle], so query metering is
+    race-free, and results are merged in image order — the paper's cost
+    model is oracle queries, so this is {e bit-identical} to {!evaluate}
+    (same [avg_queries], [per_image], flags) whenever the oracle is
+    unbudgeted, for any pool size.  (With an oracle-level budget the
+    sequential evaluator shares one budget across images while clones
+    meter independently; synthesis uses unbudgeted oracles and caps per
+    image via [max_queries].) *)
 
 val score : beta:float -> float -> float
 (** [score ~beta avg_queries = exp (-. beta *. avg_queries)]. *)

@@ -37,14 +37,18 @@ let default_config =
     evaluator = None;
   }
 
-let synthesize ?(config = default_config) g oracle ~training =
+let synthesize ?(config = default_config) ?pool g oracle ~training =
   if Array.length training = 0 then
     invalid_arg "Synthesizer.synthesize: empty training set";
   let gen_config = Gen.config_for_image (fst training.(0)) in
   let evaluate =
-    match config.evaluator with
-    | Some f -> f
-    | None ->
+    match (config.evaluator, pool) with
+    | Some f, _ -> f
+    | None, Some pool ->
+        fun program samples ->
+          Score.evaluate_parallel ?max_queries:config.max_queries_per_image
+            ~goal:config.goal ~pool oracle program samples
+    | None, None ->
         fun program samples ->
           Score.evaluate ?max_queries:config.max_queries_per_image
             ~goal:config.goal oracle program samples

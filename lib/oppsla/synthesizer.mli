@@ -49,10 +49,19 @@ val default_config : config
 
 val synthesize :
   ?config:config ->
+  ?pool:Domain_pool.Pool.t ->
   Prng.t ->
   Oracle.t ->
   training:(Tensor.t * int) array ->
   outcome
 (** [synthesize g oracle ~training].  The image dimensions (for threshold
     ranges) are read from the first training image.  Raises
-    [Invalid_argument] on an empty training set. *)
+    [Invalid_argument] on an empty training set.
+
+    When [pool] is given (and no [config.evaluator] overrides it), every
+    Metropolis-Hastings proposal is evaluated with
+    {!Score.evaluate_parallel} over the pool — per-image {!Oracle.clone}s
+    of [oracle], results merged in image order — which leaves the
+    accepted-program trace and all query accounting bit-identical to the
+    sequential default for any pool size.  An explicit [config.evaluator]
+    always wins over [pool]. *)

@@ -46,6 +46,7 @@ let remaining t =
 let exhausted t =
   match t.limit with Some b -> t.count >= b | None -> false
 
+let clone t = { t with count = 0 }
 let num_classes t = t.classes
 let name t = t.oracle_name
 let unmetered_classify t x = Tensor.argmax (t.fn x)

@@ -45,6 +45,15 @@ val remaining : t -> int option
 
 val exhausted : t -> bool
 
+val clone : t -> t
+(** A fresh metered handle onto the same scoring function: same name,
+    classes and budget, but an independent query counter starting at 0.
+    This is the sanctioned way to fan an oracle out across domains — the
+    counter is plain mutable state, so domains must never share one
+    handle.  Clones meter their budgets independently; parallel
+    evaluation of budgeted oracles is therefore per-clone, not global
+    (see {!Oppsla.Score.evaluate_parallel}). *)
+
 val num_classes : t -> int
 val name : t -> string
 

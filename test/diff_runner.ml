@@ -1,0 +1,111 @@
+(* Standalone differential checker, wired into the `runtest` alias under
+   OCAMLRUNPARAM=b at --domains 1 and --domains 4 (see test/dune).
+
+   For randomized programs, images and training-set sizes it asserts that
+   Score.evaluate_parallel over a pool of the requested width returns
+   bit-identical query accounting to the sequential Score.evaluate, and
+   that the synthesizer's accepted-program trace is evaluator-independent.
+   Exits non-zero (with a backtrace, courtesy of OCAMLRUNPARAM=b) on the
+   first divergence. *)
+
+module Parallel = Evalharness.Parallel
+module Score = Oppsla.Score
+module Synthesizer = Oppsla.Synthesizer
+
+let size = 4
+
+let mean_threshold_oracle () =
+  Oracle.of_fn ~name:"mean-threshold" ~num_classes:2 (fun x ->
+      let m = Tensor.mean x in
+      let p1 = 1. /. (1. +. exp (-.(40. *. (m -. 0.5)))) in
+      Tensor.of_array [| 2 |] [| 1. -. p1; p1 |])
+
+let training_set g n =
+  Array.init n (fun i ->
+      match i mod 3 with
+      | 0 -> (Tensor.create [| 3; size; size |] (0.45 +. Prng.float g 0.1), 0)
+      | 1 -> (Tensor.create [| 3; size; size |] 0.30, 0)
+      | _ -> (Tensor.rand_uniform g ~lo:0.35 ~hi:0.65 [| 3; size; size |], 0))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let check_identical ctx (seq : Score.evaluation) (par : Score.evaluation) =
+  if seq.Score.avg_queries <> par.Score.avg_queries then
+    fail "%s: avg_queries %.17g <> %.17g" ctx seq.Score.avg_queries
+      par.Score.avg_queries;
+  if seq.Score.total_queries <> par.Score.total_queries then
+    fail "%s: total_queries %d <> %d" ctx seq.Score.total_queries
+      par.Score.total_queries;
+  if seq.Score.successes <> par.Score.successes then
+    fail "%s: successes %d <> %d" ctx seq.Score.successes par.Score.successes;
+  if
+    Array.map (fun e -> (e.Score.queries, e.Score.success)) seq.per_image
+    <> Array.map (fun e -> (e.Score.queries, e.Score.success)) par.per_image
+  then fail "%s: per-image query counts diverged" ctx
+
+let () =
+  let domains =
+    match Array.to_list Sys.argv with
+    | _ :: "--domains" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 -> d
+        | _ -> fail "diff_runner: bad --domains %s" n)
+    | _ -> 4
+  in
+  let gen_config = { Oppsla.Gen.d1 = size; d2 = size } in
+  Parallel.Pool.with_pool ~domains (fun pool ->
+      (* Evaluation differential. *)
+      for trial = 0 to 11 do
+        let g = Prng.of_int ((domains * 7919) + trial) in
+        let samples = training_set (Prng.split g) (1 + Prng.int g 8) in
+        let program = Oppsla.Gen.random_program gen_config g in
+        let max_queries =
+          if Prng.bool g then None else Some (1 + Prng.int g 80)
+        in
+        let seq =
+          Score.evaluate ?max_queries (mean_threshold_oracle ()) program
+            samples
+        in
+        let par =
+          Score.evaluate_parallel ?max_queries ~pool
+            (mean_threshold_oracle ()) program samples
+        in
+        check_identical
+          (Printf.sprintf "trial %d (domains %d)" trial domains)
+          seq par
+      done;
+      (* Synthesizer trace differential. *)
+      let training = training_set (Prng.of_int 42) 5 in
+      let config =
+        {
+          Synthesizer.default_config with
+          max_iters = 6;
+          max_queries_per_image = Some 64;
+        }
+      in
+      let seq =
+        Synthesizer.synthesize ~config (Prng.of_int 11)
+          (mean_threshold_oracle ()) ~training
+      in
+      let par =
+        Synthesizer.synthesize ~config ~pool (Prng.of_int 11)
+          (mean_threshold_oracle ()) ~training
+      in
+      if seq.Synthesizer.synth_queries <> par.Synthesizer.synth_queries then
+        fail "synthesizer: query spend diverged (%d <> %d)"
+          seq.Synthesizer.synth_queries par.Synthesizer.synth_queries;
+      List.iter2
+        (fun (a : Synthesizer.iteration) (b : Synthesizer.iteration) ->
+          if
+            a.Synthesizer.accepted <> b.Synthesizer.accepted
+            || a.Synthesizer.avg_queries <> b.Synthesizer.avg_queries
+            || not
+                 (Oppsla.Condition.equal_program a.Synthesizer.program
+                    b.Synthesizer.program)
+          then fail "synthesizer: trace diverged at iteration %d"
+              a.Synthesizer.index)
+        seq.Synthesizer.trace par.Synthesizer.trace;
+      Printf.printf
+        "diff_runner: sequential and %d-domain evaluation bit-identical \
+         (12 evaluation trials + synthesis trace)\n"
+        domains)

@@ -150,7 +150,13 @@ let random_search_picks_best () =
   let evaluator program _samples =
     let avg = 100. -. float_of_int (List.length !evaluated) in
     evaluated := (program, avg) :: !evaluated;
-    { Oppsla.Score.avg_queries = avg; successes = 1; attempts = 1; total_queries = 7 }
+    {
+      Oppsla.Score.avg_queries = avg;
+      successes = 1;
+      attempts = 1;
+      total_queries = 7;
+      per_image = [| { Oppsla.Score.queries = 7; success = true } |];
+    }
   in
   let out =
     Baselines.Random_search.synthesize ~samples:10 ~evaluator (Prng.of_int 6)

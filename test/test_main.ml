@@ -16,6 +16,7 @@ let () =
       ("synthesizer", Test_synth.suite);
       ("baselines", Test_baselines.suite);
       ("evalharness", Test_evalharness.suite);
+      ("parallel_eval", Test_parallel_eval.suite);
       ("stats", Test_stats.suite);
       ("curves", Test_curves.suite);
       ("report", Test_report.suite);

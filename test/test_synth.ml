@@ -163,6 +163,10 @@ let custom_evaluator_used () =
       successes = Array.length samples;
       attempts = Array.length samples;
       total_queries = 10;
+      per_image =
+        Array.map
+          (fun _ -> { Score.queries = 5; success = true })
+          samples;
     }
   in
   let cfg = { (config 4) with evaluator = Some evaluator } in
