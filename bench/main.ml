@@ -31,12 +31,21 @@ let experiment_config quick =
     { base with Workbench.test_per_class = 4; synth_per_class = 4 }
   else base
 
-let run_experiment quick domains name =
+let run_experiment quick domains cache name =
   let config = experiment_config quick in
   let scale =
     if quick then Experiments.quick_scale else Experiments.default_scale
   in
   let scale = match domains with None -> scale | Some _ -> { scale with Experiments.domains } in
+  let scale =
+    {
+      scale with
+      Experiments.cache;
+      synth = { scale.Experiments.synth with Workbench.cache };
+      imagenet_synth =
+        { scale.Experiments.imagenet_synth with Workbench.cache };
+    }
+  in
   match name with
   | "fig3" ->
       timed "fig3" (fun () ->
@@ -243,6 +252,138 @@ let bench_parallel quick =
       output_string oc "  ]\n}\n");
   print_endline "[parallel] wrote BENCH_parallel.json (query counts identical)"
 
+(* Score-cache benchmark.
+
+   Replays a synthesis-shaped workload — a chain of mutated programs
+   evaluated on the same images — with and without the per-image score
+   cache, asserts the two runs are bit-identical (the cache's defining
+   invariant: metering sits above it), and records wall-clock plus cache
+   counters in BENCH_cache.json.  Unlike the domain-pool speedup this one
+   does not depend on core count: a hit skips a network forward pass
+   outright.
+
+   --smoke runs a seconds-scale version on a throwaway network (no
+   classifier training, no file writes) and is wired into `dune runtest`
+   as a regression tripwire for the identity invariant. *)
+
+let bench_cache ?(smoke = false) quick =
+  let module Score = Oppsla.Score in
+  let check_identical name (a : Score.evaluation) (b : Score.evaluation) =
+    if
+      a.Score.avg_queries <> b.Score.avg_queries
+      || a.Score.total_queries <> b.Score.total_queries
+      || a.Score.successes <> b.Score.successes
+      || a.Score.per_image <> b.Score.per_image
+    then
+      failwith
+        (Printf.sprintf "bench_cache: %s diverged between cache on and off"
+           name)
+  in
+  (* A synthesis-shaped program chain: each program is a mutation of the
+     previous one, so successive evaluations re-pose mostly the same
+     perturbation queries — the workload the cache exists for. *)
+  let program_chain gen_config g n =
+    let rec grow acc p i =
+      if i = n then List.rev acc
+      else
+        let p' = Oppsla.Gen.mutate gen_config g p in
+        grow (p' :: acc) p' (i + 1)
+    in
+    let p0 = Oppsla.Gen.random_program gen_config g in
+    grow [ p0 ] p0 1
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run ~name ~max_queries ~programs ~samples oracle =
+    let n = Array.length samples in
+    let evaluate caches program =
+      Score.evaluate ~max_queries ?caches (oracle ()) program samples
+    in
+    let uncached, uncached_dt =
+      time (fun () -> List.map (evaluate None) programs)
+    in
+    let (store, cached), cached_dt =
+      time (fun () ->
+          let store = Score_cache.store n in
+          (store, List.map (evaluate (Some store)) programs))
+    in
+    List.iteri
+      (fun i (a, b) -> check_identical (Printf.sprintf "%s program %d" name i) a b)
+      (List.combine uncached cached);
+    let stats = Score_cache.store_stats store in
+    if stats.Score_cache.hits = 0 then
+      failwith "bench_cache: expected cache hits on a mutation chain";
+    let speedup = if cached_dt > 0. then uncached_dt /. cached_dt else 1. in
+    Printf.printf
+      "[cache] %-8s %d programs x %d images: %.2fs uncached, %.2fs cached \
+       (%.2fx)\n%!"
+      name (List.length programs) n uncached_dt cached_dt speedup;
+    print_endline (Report.render_cache_stats stats);
+    (uncached_dt, cached_dt, speedup, stats)
+  in
+  if smoke then begin
+    (* Throwaway network, random images labeled with their own prediction
+       so every attack does real search work. *)
+    let g = Prng.of_int 11 in
+    let net = Nn.Zoo.vgg_tiny (Prng.split g) ~image_size:8 ~num_classes:4 in
+    let samples =
+      Array.init 3 (fun _ ->
+          let image = Tensor.rand_uniform (Prng.split g) [| 3; 8; 8 |] in
+          (image, Nn.Network.classify net image))
+    in
+    let gen_config = Oppsla.Gen.config_for_image (fst samples.(0)) in
+    let programs = program_chain gen_config (Prng.split g) 4 in
+    ignore
+      (run ~name:"smoke" ~max_queries:64 ~programs ~samples (fun () ->
+           Oracle.of_network net));
+    print_endline "[cache] smoke: cache on/off evaluations bit-identical"
+  end
+  else begin
+    let config = experiment_config quick in
+    let c = Workbench.load_classifier config Dataset.synth_cifar "vgg_tiny" in
+    let samples = c.Workbench.test in
+    if Array.length samples = 0 then failwith "bench_cache: no test images";
+    let max_queries = if quick then 128 else 256 in
+    let n_programs = if quick then 4 else 8 in
+    let gen_config = Oppsla.Gen.config_for_image (fst samples.(0)) in
+    let programs = program_chain gen_config (Prng.of_int 7) n_programs in
+    let uncached_dt, cached_dt, speedup, stats =
+      run ~name:"chain" ~max_queries ~programs ~samples (fun () ->
+          Workbench.oracle_factory c ())
+    in
+    let hit_rate =
+      Option.value ~default:0. (Score_cache.hit_rate stats)
+    in
+    let oc = open_out "BENCH_cache.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\n\
+          \  \"workload\": \"%d-program mutation chain on vgg_tiny, %d \
+           images, cap %d\",\n\
+          \  \"query_counts_identical\": true,\n\
+          \  \"uncached_seconds\": %.4f,\n\
+          \  \"cached_seconds\": %.4f,\n\
+          \  \"speedup\": %.2f,\n\
+          \  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f, \
+           \"entries\": %d, \"evictions\": %d, \"bytes\": %d},\n\
+          \  \"note\": \"a hit skips one network forward pass, so the \
+           speedup tracks the hit rate and is core-count independent; \
+           metering sits above the cache, so the asserted invariant is \
+           that evaluations are bit-identical with the cache on and \
+           off\"\n\
+           }\n"
+          n_programs (Array.length samples) max_queries uncached_dt cached_dt
+          speedup stats.Score_cache.hits stats.Score_cache.misses hit_rate
+          stats.Score_cache.entries stats.Score_cache.evictions
+          stats.Score_cache.bytes);
+    print_endline "[cache] wrote BENCH_cache.json (evaluations identical)"
+  end
+
 (* Microbenchmarks *)
 
 let micro () =
@@ -398,9 +539,16 @@ let () =
         | Some n -> domains_of "OPPSLA_BENCH_DOMAINS" n)
   in
   let domains = parse_domains args in
+  (* --no-cache: recompute every perturbation forward pass (results are
+     bit-identical either way; the flag exists for A/B timing). *)
+  let cache = not (List.mem "--no-cache" args) in
+  let smoke = List.mem "--smoke" args in
   let rec strip = function
     | "--domains" :: _ :: rest -> strip rest
-    | a :: rest when a = "--quick" || a = "--" -> strip rest
+    | a :: rest
+      when a = "--quick" || a = "--" || a = "--cache" || a = "--no-cache"
+           || a = "--smoke" ->
+        strip rest
     | a :: rest -> a :: strip rest
     | [] -> []
   in
@@ -418,5 +566,6 @@ let () =
       | "micro" -> timed "micro" micro
       | "sweep-beta" -> timed "sweep-beta" (fun () -> sweep_beta quick)
       | "parallel" -> timed "parallel" (fun () -> bench_parallel quick)
-      | _ -> run_experiment quick domains mode)
+      | "cache" -> timed "cache" (fun () -> bench_cache ~smoke quick)
+      | _ -> run_experiment quick domains cache mode)
     modes

@@ -54,6 +54,23 @@ let domains_arg =
 
 let domains_opt d = if d <= 0 then None else Some d
 
+let cache_arg =
+  let cache =
+    ( true,
+      Arg.info [ "cache" ]
+        ~doc:
+          "Memoize perturbation forward passes (per-image score cache; the \
+           default).  Metering sits above the cache, so query counts and \
+           results are bit-identical either way." )
+  in
+  let no_cache =
+    ( false,
+      Arg.info [ "no-cache" ]
+        ~doc:"Disable the perturbation-score cache (recompute every forward \
+              pass)." )
+  in
+  Arg.(value & vflag true [ cache; no_cache ])
+
 let class_arg =
   let doc = "Class id the program is synthesized for / attacked in." in
   Arg.(value & opt int 0 & info [ "class"; "c" ] ~doc)
@@ -90,7 +107,7 @@ let synthesize_cmd =
   let iters_arg =
     Arg.(value & opt int 40 & info [ "iters" ] ~doc:"MH iterations.")
   in
-  let run dataset arch seed artifacts class_id iters domains =
+  let run dataset arch seed artifacts class_id iters domains cache =
     with_spec dataset (fun spec ->
         if class_id < 0 || class_id >= spec.Dataset.num_classes then
           `Error
@@ -105,6 +122,7 @@ let synthesize_cmd =
               Workbench.default_synth_params with
               iters;
               domains = domains_opt domains;
+              cache;
             }
           in
           let programs = Workbench.synthesize_programs ~params config c in
@@ -118,7 +136,7 @@ let synthesize_cmd =
     Term.(
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
-       $ class_arg $ iters_arg $ domains_arg))
+       $ class_arg $ iters_arg $ domains_arg $ cache_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
@@ -264,10 +282,18 @@ let eval_cmd =
     let doc = "Experiment to run: fig3, table1, fig4, table2 or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run seed artifacts domains experiment =
+  let run seed artifacts domains cache experiment =
     let config = workbench_config artifacts seed in
+    let base = Experiments.default_scale in
     let scale =
-      { Experiments.default_scale with domains = domains_opt domains }
+      {
+        base with
+        Experiments.domains = domains_opt domains;
+        cache;
+        synth = { base.Experiments.synth with Workbench.cache };
+        imagenet_synth =
+          { base.Experiments.imagenet_synth with Workbench.cache };
+      }
     in
     let run_one = function
       | "fig3" ->
@@ -299,7 +325,9 @@ let eval_cmd =
   in
   let term =
     Term.(
-      ret (const run $ seed_arg $ artifacts_arg $ domains_arg $ experiment_arg))
+      ret
+        (const run $ seed_arg $ artifacts_arg $ domains_arg $ cache_arg
+       $ experiment_arg))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")

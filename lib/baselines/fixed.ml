@@ -1,4 +1,4 @@
 let program = Oppsla.Condition.const_false_program
 
-let attack ?max_queries oracle ~image ~true_class =
-  Oppsla.Sketch.attack ?max_queries oracle program ~image ~true_class
+let attack ?max_queries ?cache oracle ~image ~true_class =
+  Oppsla.Sketch.attack ?max_queries ?cache oracle program ~image ~true_class

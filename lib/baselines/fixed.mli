@@ -10,8 +10,10 @@ val program : Oppsla.Condition.program
 
 val attack :
   ?max_queries:int ->
+  ?cache:Score_cache.t ->
   Oracle.t ->
   image:Tensor.t ->
   true_class:int ->
   Oppsla.Sketch.result
-(** The sketch run with {!program}. *)
+(** The sketch run with {!program}.  [cache] is forwarded to
+    {!Oppsla.Sketch.attack} (defaults to the oracle's attached cache). *)

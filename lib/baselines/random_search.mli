@@ -16,6 +16,7 @@ type outcome = {
 val synthesize :
   ?samples:int ->
   ?max_queries_per_image:int ->
+  ?caches:Score_cache.store ->
   ?evaluator:
     (Oppsla.Condition.program ->
     (Tensor.t * int) array ->
@@ -25,4 +26,7 @@ val synthesize :
   training:(Tensor.t * int) array ->
   outcome
 (** [evaluator] substitutes {!Oppsla.Score.evaluate} (e.g. with a parallel
-    runner), exactly as in {!Oppsla.Synthesizer.config}. *)
+    runner), exactly as in {!Oppsla.Synthesizer.config}.  [caches] (one
+    slot per training image, shared across all sampled programs) is
+    forwarded to the default evaluator and ignored when [evaluator] is
+    given — a custom evaluator owns its own caching. *)

@@ -47,19 +47,44 @@ let attack_multi ?config ~k g oracle ~image ~true_class =
     | Some c -> c
     | None -> default_config ~max_queries:(Oppsla.Pair.count ~d1 ~d2)
   in
+  let cache = Oracle.cache oracle in
+  (* A singleton set is exactly a sketch perturbation, so it shares the
+     sketch's corner key space (cross-attacker hits on the same image);
+     larger sets get an order-independent id-list key. *)
+  let cache_key pairs =
+    match pairs with
+    | [ p ] -> Oppsla.Sketch.cache_key p
+    | _ ->
+        let ids = List.map (Oppsla.Pair.id ~d2) pairs |> List.sort compare in
+        Score_cache.Custom
+          ("pairs:" ^ String.concat "," (List.map string_of_int ids))
+  in
   let spent = ref 0 in
   let query pairs =
     if !spent >= config.max_queries then
       raise (Done { adversarial = None; queries = !spent });
-    let candidate = perturb_set image pairs in
-    let scores =
-      try Oracle.scores oracle candidate
+    let scores, candidate =
+      try
+        match cache with
+        | None ->
+            let candidate = perturb_set image pairs in
+            (Oracle.scores oracle candidate, Some candidate)
+        | Some c ->
+            ( Oracle.scores_memo oracle c ~key:(cache_key pairs)
+                ~input:(fun () -> perturb_set image pairs),
+              None )
       with Oracle.Budget_exhausted _ ->
         raise (Done { adversarial = None; queries = !spent })
     in
     incr spent;
-    if Tensor.argmax scores <> true_class then
-      raise (Done { adversarial = Some (pairs, candidate); queries = !spent });
+    if Tensor.argmax scores <> true_class then begin
+      let candidate =
+        match candidate with
+        | Some c -> c
+        | None -> perturb_set image pairs
+      in
+      raise (Done { adversarial = Some (pairs, candidate); queries = !spent })
+    end;
     margin scores true_class
   in
   let random_loc_excluding excluded =

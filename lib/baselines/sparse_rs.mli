@@ -33,7 +33,14 @@ val attack :
 (** The one-pixel attack (k = 1), as evaluated in the paper.  [config]
     defaults to [default_config ~max_queries:(8 * d1 * d2)].  The clean
     margin is computed from an unmetered query (same convention as
-    {!Oppsla.Sketch.attack}). *)
+    {!Oppsla.Sketch.attack}).
+
+    When the oracle carries an attached cache ({!Oracle.set_cache}),
+    perturbation scores are memoized: k = 1 proposals share the sketch's
+    corner key space ({!Oppsla.Sketch.cache_key}), so hits carry across
+    attackers on the same image; k > 1 sets key on the sorted pair-id
+    list.  Metering stays above the cache — queries and outcomes are
+    bit-identical either way. *)
 
 (** {1 Few-pixel attacks}
 

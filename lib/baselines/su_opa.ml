@@ -7,14 +7,27 @@ let default_config ~max_queries = { population = 400; f = 0.5; max_queries }
 
 let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
 
-let perturbed image cand =
+let pixel_of image cand =
   let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
   let row = clamp 0 (d1 - 1) (int_of_float cand.(0)) in
   let col = clamp 0 (d2 - 1) (int_of_float cand.(1)) in
+  (row, col)
+
+let build image ~row ~col cand =
   let x' = Tensor.copy image in
   Oppsla.Rgb.write_to_image x' ~row ~col
     { Oppsla.Rgb.r = cand.(2); g = cand.(3); b = cand.(4) };
-  (x', row, col)
+  x'
+
+(* Continuous colors don't fit the corner key space, so memoize under an
+   exact-bits custom key: two candidates hit the same entry iff they
+   perturb the same pixel with float-identical colors. *)
+let cache_key ~row ~col cand =
+  Score_cache.Custom
+    (Printf.sprintf "rgb:%d,%d,%Lx,%Lx,%Lx" row col
+       (Int64.bits_of_float cand.(2))
+       (Int64.bits_of_float cand.(3))
+       (Int64.bits_of_float cand.(4)))
 
 exception Done of Oppsla.Sketch.result
 
@@ -32,6 +45,7 @@ let attack ?config g oracle ~image ~true_class =
   in
   if config.population < 4 then
     invalid_arg "Su_opa.attack: population must be at least 4 for DE/rand/1";
+  let cache = Oracle.cache oracle in
   let spent = ref 0 in
   (* Candidates are evaluated in batches (the whole initial population,
      then one generation at a time), and success is only declared after a
@@ -43,14 +57,32 @@ let attack ?config g oracle ~image ~true_class =
   (* Fitness = true-class score of the perturbed image (minimized). *)
   let fitness cand =
     if !spent >= config.max_queries then finish ();
-    let x', row, col = perturbed image cand in
-    let scores =
-      try Oracle.scores oracle x'
+    let row, col = pixel_of image cand in
+    (* The uncached path builds the tensor eagerly (exactly as before the
+       cache existed); the cached path defers it to the miss thunk and
+       rebuilds on success only. *)
+    let scores, candidate =
+      try
+        match cache with
+        | None ->
+            let x' = build image ~row ~col cand in
+            (Oracle.scores oracle x', Some x')
+        | Some c ->
+            ( Oracle.scores_memo oracle c
+                ~key:(cache_key ~row ~col cand)
+                ~input:(fun () -> build image ~row ~col cand),
+              None )
       with Oracle.Budget_exhausted _ -> finish ()
     in
     incr spent;
-    if !found = None && Tensor.argmax scores <> true_class then
-      found := Some (nearest_corner_pair ~row ~col cand, x');
+    if !found = None && Tensor.argmax scores <> true_class then begin
+      let x' =
+        match candidate with
+        | Some x' -> x'
+        | None -> build image ~row ~col cand
+      in
+      found := Some (nearest_corner_pair ~row ~col cand, x')
+    end;
     Tensor.get_flat scores true_class
   in
   let random_candidate () =

@@ -32,4 +32,11 @@ val attack :
   Oppsla.Sketch.result
 (** The adversarial pair reported on success is the best-effort corner
     description of the continuous perturbation (for reporting only; the
-    adversarial image itself carries the exact continuous pixel). *)
+    adversarial image itself carries the exact continuous pixel).
+
+    When the oracle carries an attached cache ({!Oracle.set_cache}),
+    perturbation scores are memoized under exact-float-bits
+    ["rgb:row,col,..."] keys — DE revisits candidates often enough (elites
+    survive generations unchanged) for this to pay off, and metering stays
+    above the cache so queries and the outcome are bit-identical either
+    way. *)

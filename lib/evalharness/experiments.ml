@@ -1,5 +1,6 @@
 type scale = {
   domains : int option;
+  cache : bool;
   budgets : int list;
   max_queries_cifar : int;
   max_queries_imagenet : int;
@@ -17,6 +18,7 @@ type scale = {
 let default_scale =
   {
     domains = None;
+    cache = true;
     budgets = [ 50; 200 ];
     (* Full corner space for the CIFAR regime: below the full space the
        per-program success sets diverge and "average queries over
@@ -43,6 +45,7 @@ let default_scale =
 let quick_scale =
   {
     domains = None;
+    cache = true;
     budgets = [ 25; 50 ];
     max_queries_cifar = 256;
     max_queries_imagenet = 256;
@@ -114,32 +117,51 @@ let imagenet_config scale (config : Workbench.config) =
     synth_per_class = scale.imagenet_synth_per_class;
   }
 
+(* One attack-phase store per classifier, shared across every attacker:
+   Sparse-RS (k = 1) and the sketch family key the same corner space, so
+   later attackers hit scores earlier ones already paid a forward pass
+   for. *)
+let attack_caches scale (c : Workbench.classifier) =
+  if scale.cache then
+    Some (Score_cache.store (Array.length c.Workbench.test))
+  else None
+
 let fig3_for_classifier scale config synth_params max_queries pool
     (c : Workbench.classifier) =
-  List.map
-    (fun attacker ->
-      config.Workbench.log
-        (Printf.sprintf "[fig3] %s vs %s (%d images)" attacker.Attackers.name
-           c.Workbench.arch
-           (Array.length c.Workbench.test));
-      let records =
-        Runner.run ~pool ~seed:scale.attack_seed ~max_queries attacker c
-          c.Workbench.test
-      in
-      let budgets = scale.budgets @ [ max_queries ] in
-      {
-        classifier = c.Workbench.arch;
-        dataset = c.Workbench.spec.Dataset.name;
-        attacker = attacker.Attackers.name;
-        attacked_images = Array.length c.Workbench.test;
-        cells =
-          List.map
-            (fun budget ->
-              { budget; success_rate = Runner.success_rate_at records budget })
-            budgets;
-        avg_queries = Runner.avg_queries records;
-      })
-    (attackers_for scale synth_params c config pool)
+  let caches = attack_caches scale c in
+  let rows =
+    List.map
+      (fun attacker ->
+        config.Workbench.log
+          (Printf.sprintf "[fig3] %s vs %s (%d images)"
+             attacker.Attackers.name c.Workbench.arch
+             (Array.length c.Workbench.test));
+        let records =
+          Runner.run ~pool ?caches ~seed:scale.attack_seed ~max_queries
+            attacker c c.Workbench.test
+        in
+        let budgets = scale.budgets @ [ max_queries ] in
+        {
+          classifier = c.Workbench.arch;
+          dataset = c.Workbench.spec.Dataset.name;
+          attacker = attacker.Attackers.name;
+          attacked_images = Array.length c.Workbench.test;
+          cells =
+            List.map
+              (fun budget ->
+                {
+                  budget;
+                  success_rate = Runner.success_rate_at records budget;
+                })
+              budgets;
+          avg_queries = Runner.avg_queries records;
+        })
+      (attackers_for scale synth_params c config pool)
+  in
+  Workbench.log_cache_stats config
+    (Printf.sprintf "fig3 %s" c.Workbench.arch)
+    caches;
+  rows
 
 let fig3_cifar ?(scale = default_scale) config =
   with_experiment_pool scale config "fig3cifar" (fun pool ->
@@ -177,18 +199,30 @@ let table1 ?(scale = default_scale) config =
       let n = Array.length suite in
       let avg =
         Array.init n (fun target ->
-            Array.init n (fun source ->
-                config.Workbench.log
-                  (Printf.sprintf "[table1] programs of %s vs %s"
-                     suite.(source).Workbench.arch
-                     suite.(target).Workbench.arch);
-                let attacker = Attackers.oppsla ~programs:programs.(source) in
-                let records =
-                  Runner.run ~pool ~seed:scale.attack_seed
-                    ~max_queries:scale.max_queries_cifar attacker
-                    suite.(target) suite.(target).Workbench.test
-                in
-                Runner.avg_queries records))
+            (* One store per target classifier, shared across the source
+               programs: every OPPSLA run explores the same corner space
+               on the same images, so cross-source hit rates are high. *)
+            let caches = attack_caches scale suite.(target) in
+            let row =
+              Array.init n (fun source ->
+                  config.Workbench.log
+                    (Printf.sprintf "[table1] programs of %s vs %s"
+                       suite.(source).Workbench.arch
+                       suite.(target).Workbench.arch);
+                  let attacker =
+                    Attackers.oppsla ~programs:programs.(source)
+                  in
+                  let records =
+                    Runner.run ~pool ?caches ~seed:scale.attack_seed
+                      ~max_queries:scale.max_queries_cifar attacker
+                      suite.(target) suite.(target).Workbench.test
+                  in
+                  Runner.avg_queries records)
+            in
+            Workbench.log_cache_stats config
+              (Printf.sprintf "table1 target %s" suite.(target).Workbench.arch)
+              caches;
+            row)
       in
       {
         classifiers =
@@ -224,10 +258,17 @@ let fig4 ?(scale = default_scale) config =
                ~seed:(config.Workbench.seed + 3000003) ~class_id
                ~n:scale.fig4_test_images)))
   in
+  (* Shared across every held-out evaluation: each accepted program (and
+     the Sketch+False reference) re-walks the same corner space on the
+     same images. *)
+  let heldout_caches =
+    if scale.cache then Some (Score_cache.store (Array.length heldout))
+    else None
+  in
   let evaluate_on_heldout program =
     let e =
-      Workbench.parallel_evaluator ~pool ~max_queries:scale.max_queries_cifar
-        c program heldout
+      Workbench.parallel_evaluator ~pool ?caches:heldout_caches
+        ~max_queries:scale.max_queries_cifar c program heldout
     in
     e.Oppsla.Score.avg_queries
   in
@@ -245,8 +286,13 @@ let fig4 ?(scale = default_scale) config =
       (Prng.of_int config.Workbench.seed)
       (Printf.sprintf "fig4/%s/%d" c.Workbench.arch class_id)
   in
+  let synth_caches =
+    if scale.cache then Some (Score_cache.store (Array.length training))
+    else None
+  in
   let out =
-    Oppsla.Synthesizer.synthesize ~config:synth_config ~pool g
+    Oppsla.Synthesizer.synthesize ~config:synth_config ~pool ?caches:synth_caches
+      g
       (Workbench.oracle_factory c ())
       ~training
   in
@@ -265,11 +311,16 @@ let fig4 ?(scale = default_scale) config =
             })
       out.Oppsla.Synthesizer.trace
   in
-  {
-    series;
-    baseline_avg_queries =
-      evaluate_on_heldout Oppsla.Condition.const_false_program;
-  }
+  let result =
+    {
+      series;
+      baseline_avg_queries =
+        evaluate_on_heldout Oppsla.Condition.const_false_program;
+    }
+  in
+  Workbench.log_cache_stats config "fig4 synthesis" synth_caches;
+  Workbench.log_cache_stats config "fig4 held-out" heldout_caches;
+  result
 
 (* Table 2 *)
 
@@ -286,11 +337,14 @@ let table2 ?(scale = default_scale) config =
   let suite = Workbench.cifar_suite config in
   List.concat_map
     (fun (c : Workbench.classifier) ->
+      (* Shared across the four approaches: OPPSLA, Sketch+False,
+         Sketch+Random and Sparse-RS all key the same corner space. *)
+      let caches = attack_caches scale c in
       let run attacker =
         config.Workbench.log
           (Printf.sprintf "[table2] %s vs %s" attacker.Attackers.name
              c.Workbench.arch);
-        Runner.run ~pool ~seed:scale.attack_seed
+        Runner.run ~pool ?caches ~seed:scale.attack_seed
           ~max_queries:scale.max_queries_cifar attacker c c.Workbench.test
       in
       let row approach records =
@@ -308,12 +362,20 @@ let table2 ?(scale = default_scale) config =
       let random_programs =
         Workbench.sketch_random_programs ~samples:scale.random_samples
           ~max_queries_per_image:
-            scale.synth.Workbench.synth_max_queries_per_image ~pool config c
+            scale.synth.Workbench.synth_max_queries_per_image
+          ~cache:scale.synth.Workbench.cache ~pool config c
       in
-      [
-        row "OPPSLA" (run (Attackers.oppsla ~programs:oppsla_programs));
-        row "Sketch+False" (run Attackers.sketch_false);
-        row "Sketch+Random" (run (Attackers.oppsla ~programs:random_programs));
-        row "Sparse-RS" (run Attackers.sparse_rs);
-      ])
+      let rows =
+        [
+          row "OPPSLA" (run (Attackers.oppsla ~programs:oppsla_programs));
+          row "Sketch+False" (run Attackers.sketch_false);
+          row "Sketch+Random"
+            (run (Attackers.oppsla ~programs:random_programs));
+          row "Sparse-RS" (run Attackers.sparse_rs);
+        ]
+      in
+      Workbench.log_cache_stats config
+        (Printf.sprintf "table2 %s" c.Workbench.arch)
+        caches;
+      rows)
     suite

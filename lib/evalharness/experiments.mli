@@ -11,6 +11,14 @@ type scale = {
           auto.  Parallelism never changes results: per-image oracles and
           image-order merging keep query counts bit-identical (see
           {!Oppsla.Score.evaluate_parallel}). *)
+  cache : bool;
+      (** memoize perturbation scores during the attack phases (one
+          {!Score_cache} store per classifier, shared across attackers so
+          later attackers hit scores earlier ones computed).  Like
+          [domains], this never changes results — metering sits above the
+          cache — it only cuts forward passes.  Synthesis-phase caching is
+          governed separately by [synth.cache] /
+          [imagenet_synth.cache]. *)
   budgets : int list;  (** reporting budgets for Figure 3 *)
   max_queries_cifar : int;  (** attack allowance, CIFAR regime *)
   max_queries_imagenet : int;  (** attack allowance, ImageNet regime *)

@@ -115,6 +115,31 @@ let render_pool_stats (s : Parallel.Pool.stats) =
           ];
         ]
 
+let render_cache_stats (s : Score_cache.stats) =
+  let lookups = s.Score_cache.hits + s.Score_cache.misses in
+  let hit_rate =
+    match Score_cache.hit_rate s with
+    | None -> "-"
+    | Some r -> percent r
+  in
+  "Score cache\n"
+  ^ table
+      ~headers:
+        [ "lookups"; "hits"; "misses"; "hit rate"; "entries"; "evicted"; "MB" ]
+      ~rows:
+        [
+          [
+            string_of_int lookups;
+            string_of_int s.Score_cache.hits;
+            string_of_int s.Score_cache.misses;
+            hit_rate;
+            string_of_int s.Score_cache.entries;
+            string_of_int s.Score_cache.evictions;
+            Printf.sprintf "%.1f"
+              (float_of_int s.Score_cache.bytes /. 1048576.);
+          ];
+        ]
+
 let render_table2 (rows : Experiments.table2_row list) =
   let headers =
     [ "classifier"; "approach"; "success"; "avg #queries"; "median #queries" ]

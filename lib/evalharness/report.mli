@@ -19,3 +19,10 @@ val render_pool_stats : Parallel.Pool.stats -> string
 (** One-row table of a domain pool's instrumentation: width, jobs served,
     items processed (and how many were stolen by worker domains), wall
     time inside map calls, and derived throughput. *)
+
+val render_cache_stats : Score_cache.stats -> string
+(** One-row table of a score cache's counters: lookups split into hits
+    and misses, the hit rate, resident entries, FIFO evictions, and the
+    estimated tensor footprint in megabytes.  Works on a single cache's
+    {!Score_cache.stats} or a store-wide {!Score_cache.store_stats}
+    aggregate. *)

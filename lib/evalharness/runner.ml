@@ -1,7 +1,14 @@
 type record = { true_class : int; success : bool; queries : int }
 
-let run ?domains ?pool ~seed ~max_queries (attacker : Attackers.t) classifier
-    samples =
+let run ?domains ?pool ?caches ~seed ~max_queries (attacker : Attackers.t)
+    classifier samples =
+  (match caches with
+  | Some store when Score_cache.store_size store <> Array.length samples ->
+      invalid_arg
+        (Printf.sprintf "Runner.run: cache store has %d slots for %d samples"
+           (Score_cache.store_size store)
+           (Array.length samples))
+  | _ -> ());
   let indexed = Array.mapi (fun i s -> (i, s)) samples in
   let attack_one (i, (image, true_class)) =
     let g =
@@ -9,6 +16,14 @@ let run ?domains ?pool ~seed ~max_queries (attacker : Attackers.t) classifier
         (Printf.sprintf "run/%s/%d" attacker.Attackers.name i)
     in
     let oracle = Workbench.oracle_factory classifier () in
+    (* Attach the image's own slot to the image's own fresh oracle: the
+       attacker signature takes only an oracle, so attachment is how the
+       cache travels.  Slot i is only ever touched by the one worker
+       attacking image i, so the ownership rule holds under the pool. *)
+    (match caches with
+    | Some store ->
+        Oracle.set_cache oracle (Some (Score_cache.image_cache store i))
+    | None -> ());
     let r = attacker.Attackers.run g oracle ~max_queries ~image ~true_class in
     {
       true_class;

@@ -17,6 +17,7 @@ type record = {
 val run :
   ?domains:int ->
   ?pool:Parallel.Pool.t ->
+  ?caches:Score_cache.store ->
   seed:int ->
   max_queries:int ->
   Attackers.t ->
@@ -27,7 +28,16 @@ val run :
     given, else over a transient [domains]-wide pool.  Every image gets a
     fresh oracle, and randomized attackers get a distinct, reproducible
     RNG per image (derived from [seed] and the image's index), so records
-    do not depend on the parallelism. *)
+    do not depend on the parallelism.
+
+    [caches] (slot [i] backing sample [i]) is attached to each image's
+    fresh oracle via {!Oracle.set_cache}; cache-aware attackers then
+    memoize perturbation forward passes under the metered query counter,
+    so records are bit-identical with and without it.  Handing the {e
+    same} store to several [run] calls over the same samples (as the
+    experiments do across attackers on one classifier) lets later
+    attackers hit scores the earlier ones already computed.  Raises
+    [Invalid_argument] on a store/sample size mismatch. *)
 
 val success_rate_at : record array -> int -> float
 (** Fraction of images whose attack succeeded within the given budget. *)

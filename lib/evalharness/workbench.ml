@@ -172,29 +172,62 @@ let imagenet_suite config =
 
 let oracle_factory c () = Oracle.of_network c.net
 
-let parallel_evaluator ?domains ?pool ?max_queries c program samples =
+let parallel_evaluator ?domains ?pool ?caches ?max_queries c program samples =
   match pool with
   | Some pool ->
-      Oppsla.Score.evaluate_parallel ?max_queries ~pool
+      Oppsla.Score.evaluate_parallel ?max_queries ?caches ~pool
         (Oracle.of_network c.net) program samples
   | None ->
+      (match caches with
+      | Some store when Score_cache.store_size store <> Array.length samples
+        ->
+          invalid_arg
+            (Printf.sprintf
+               "Workbench.parallel_evaluator: cache store has %d slots for \
+                %d samples"
+               (Score_cache.store_size store)
+               (Array.length samples))
+      | _ -> ());
       Oppsla.Score.of_results
         (Parallel.map ?domains
-           (fun (image, true_class) ->
+           (fun (i, (image, true_class)) ->
              let oracle = Oracle.of_network c.net in
-             Oppsla.Sketch.attack ?max_queries oracle program ~image
+             let cache =
+               Option.map (fun s -> Score_cache.image_cache s i) caches
+             in
+             Oppsla.Sketch.attack ?max_queries ?cache oracle program ~image
                ~true_class)
-           samples)
+           (Array.mapi (fun i s -> (i, s)) samples))
 
 type synth_params = {
   iters : int;
   beta : float;
   synth_max_queries_per_image : int;
   domains : int option;
+  cache : bool;
 }
 
 let default_synth_params =
-  { iters = 40; beta = 0.02; synth_max_queries_per_image = 1024; domains = None }
+  {
+    iters = 40;
+    beta = 0.02;
+    synth_max_queries_per_image = 1024;
+    domains = None;
+    cache = true;
+  }
+
+let log_cache_stats config label = function
+  | None -> ()
+  | Some store ->
+      let s = Score_cache.store_stats store in
+      let hit_rate = Option.value ~default:0. (Score_cache.hit_rate s) in
+      config.log
+        (Printf.sprintf
+           "[workbench] %s cache: %d hits / %d misses (%.1f%% hit rate), %d \
+            entries, %.1f MB"
+           label s.Score_cache.hits s.Score_cache.misses (100. *. hit_rate)
+           s.Score_cache.entries
+           (float_of_int s.Score_cache.bytes /. 1048576.))
 
 (* Program caches: one line per class, in the DSL concrete syntax. *)
 
@@ -294,11 +327,22 @@ let synthesize_programs ?(params = default_synth_params) ?pool config c =
                proposal fans its per-image attacks out over the resident
                domains (per-image oracle clones, image-order merge), so
                query accounting matches the sequential evaluator
-               bit-for-bit. *)
-            let out =
-              Oppsla.Synthesizer.synthesize ~config:synth_config ~pool g
-                (oracle_factory c ()) ~training
+               bit-for-bit.  The per-image score cache (shared across all
+               proposals of this class's run) removes the repeated forward
+               passes without touching that accounting. *)
+            let caches =
+              if params.cache then
+                Some (Score_cache.store (Array.length training))
+              else None
             in
+            let out =
+              Oppsla.Synthesizer.synthesize ~config:synth_config ~pool
+                ?caches g (oracle_factory c ()) ~training
+            in
+            log_cache_stats config
+              (Printf.sprintf "synth %s/%s class %d" c.spec.name c.arch
+                 class_id)
+              caches;
             (* No attackable training image within the cap means every
                candidate scored the same penalty and the MH chain is a
                random walk: its final program carries no signal, so fall
@@ -327,7 +371,7 @@ let synthesize_programs ?(params = default_synth_params) ?pool config c =
           end))
 
 let sketch_random_programs ?(samples = 210) ?(max_queries_per_image = 1024)
-    ?pool config c =
+    ?(cache = true) ?pool config c =
   let file =
     Printf.sprintf "%s_%s_s%d_random_k%d_q%d_n%d.programs" c.spec.name c.arch
       config.seed samples max_queries_per_image config.synth_per_class
@@ -344,12 +388,23 @@ let sketch_random_programs ?(samples = 210) ?(max_queries_per_image = 1024)
               Prng.named_stream root
                 (Printf.sprintf "random/%s/%s/%d" c.spec.name c.arch class_id)
             in
+            (* Same per-image store across all sampled programs — the
+               random baseline revisits the same perturbation space 210
+               times, so hit rates run even higher than MH synthesis. *)
+            let caches =
+              if cache then Some (Score_cache.store (Array.length training))
+              else None
+            in
             let out =
               Baselines.Random_search.synthesize ~samples
                 ~evaluator:
-                  (parallel_evaluator ~pool
+                  (parallel_evaluator ~pool ?caches
                      ~max_queries:max_queries_per_image c)
                 g (oracle_factory c ()) ~training
             in
+            log_cache_stats config
+              (Printf.sprintf "random %s/%s class %d" c.spec.name c.arch
+                 class_id)
+              caches;
             out.Baselines.Random_search.best
           end))

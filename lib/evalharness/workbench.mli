@@ -58,6 +58,7 @@ val oracle_factory : classifier -> unit -> Oracle.t
 val parallel_evaluator :
   ?domains:int ->
   ?pool:Parallel.Pool.t ->
+  ?caches:Score_cache.store ->
   ?max_queries:int ->
   classifier ->
   Oppsla.Condition.program ->
@@ -67,17 +68,31 @@ val parallel_evaluator :
     out across domains: over [pool] when given (the hot path — no spawn
     cost per call), otherwise over a transient [domains]-wide pool.
     Every image gets its own metered oracle, and results merge in image
-    order, so query counts are independent of the parallelism. *)
+    order, so query counts are independent of the parallelism.
+
+    [caches] follows the {!Oppsla.Score.evaluate} contract — slot [i]
+    memoizes sample [i], safe under parallelism because each image (and
+    hence its slot) is held by one domain at a time. *)
 
 type synth_params = {
   iters : int;
   beta : float;
   synth_max_queries_per_image : int;
   domains : int option;
+  cache : bool;
+      (** memoize perturbation scores per training image across MH
+          proposals; bit-identical results either way (default [true]) *)
 }
 
 val default_synth_params : synth_params
-(** 40 iterations, beta 0.02, 1024-query cap per synthesis attack. *)
+(** 40 iterations, beta 0.02, 1024-query cap per synthesis attack,
+    cache on. *)
+
+val log_cache_stats : config -> string -> Score_cache.store option -> unit
+(** [log_cache_stats config label store] writes the store's aggregated
+    hit/miss/footprint line to [config.log] ([None] logs nothing) — the
+    one-line form of {!Report.render_cache_stats}, used after each
+    synthesis run and attack sweep. *)
 
 val synthesize_programs :
   ?params:synth_params ->
@@ -95,9 +110,12 @@ val synthesize_programs :
 val sketch_random_programs :
   ?samples:int ->
   ?max_queries_per_image:int ->
+  ?cache:bool ->
   ?pool:Parallel.Pool.t ->
   config ->
   classifier ->
   Oppsla.Condition.program array
 (** Per-class programs chosen by the Sketch+Random ablation baseline;
-    cached like {!synthesize_programs}. *)
+    cached like {!synthesize_programs}.  [cache] (default [true])
+    memoizes perturbation scores per training image across the sampled
+    programs, exactly as {!synth_params.cache} does for OPPSLA. *)

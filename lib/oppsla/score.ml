@@ -41,20 +41,47 @@ let of_results results =
     per_image;
   }
 
-let evaluate ?max_queries ?goal oracle program samples =
+(* Cache plumbing shared by both evaluators: a store is strictly
+   per-image (slot i memoizes sample i), and an oracle handle carrying an
+   *attached* per-image cache must not be fanned over a batch — that
+   would alias one image's table across every sample.  Fail loudly
+   instead of silently returning wrong scores. *)
+let check_caches name caches oracle samples =
+  (match caches with
+  | Some store when Score_cache.store_size store <> Array.length samples ->
+      invalid_arg
+        (Printf.sprintf "%s: cache store has %d slots for %d samples" name
+           (Score_cache.store_size store)
+           (Array.length samples))
+  | _ -> ());
+  if Oracle.cache oracle <> None then
+    invalid_arg
+      (name
+     ^ ": oracle has an attached per-image cache (Oracle.set_cache); pass \
+        ~caches so each sample gets its own slot")
+
+let slot caches i = Option.map (fun s -> Score_cache.image_cache s i) caches
+
+let evaluate ?max_queries ?goal ?caches oracle program samples =
+  check_caches "Score.evaluate" caches oracle samples;
   of_results
-    (Array.map
-       (fun (image, true_class) ->
-         Sketch.attack ?max_queries ?goal oracle program ~image ~true_class)
+    (Array.mapi
+       (fun i (image, true_class) ->
+         Sketch.attack ?max_queries ?goal ?cache:(slot caches i) oracle
+           program ~image ~true_class)
        samples)
 
-let evaluate_parallel ?max_queries ?goal ~pool oracle program samples =
+let evaluate_parallel ?max_queries ?goal ?caches ~pool oracle program samples =
+  check_caches "Score.evaluate_parallel" caches oracle samples;
   of_results
     (Domain_pool.Pool.map pool
-       (fun (image, true_class) ->
-         Sketch.attack ?max_queries ?goal (Oracle.clone oracle) program ~image
-           ~true_class)
-       samples)
+       (fun (i, (image, true_class)) ->
+         (* The clone has no attached cache by construction; the image's
+            own slot is re-attached explicitly, so a cache is only ever
+            touched by the one domain attacking its image. *)
+         Sketch.attack ?max_queries ?goal ?cache:(slot caches i)
+           (Oracle.clone oracle) program ~image ~true_class)
+       (Array.mapi (fun i s -> (i, s)) samples))
 
 let score ~beta avg_queries = exp (-.beta *. avg_queries)
 

@@ -35,6 +35,7 @@ val of_results : Sketch.result array -> evaluation
 val evaluate :
   ?max_queries:int ->
   ?goal:Sketch.goal ->
+  ?caches:Score_cache.store ->
   Oracle.t ->
   Condition.program ->
   (Tensor.t * int) array ->
@@ -42,11 +43,22 @@ val evaluate :
 (** Run the program on every (image, true class) pair, sequentially,
     against the one given oracle.  [max_queries] bounds each individual
     attack (default: the full perturbation space); [goal] defaults to
-    untargeted. *)
+    untargeted.
+
+    [caches] memoizes perturbation scores per image: slot [i] of the
+    store backs sample [i], and the same store handed to every call over
+    the same samples (as the synthesizer does across MH proposals) makes
+    repeated evaluation cost one forward pass per distinct perturbation
+    instead of one per query.  Metering stays above the cache, so the
+    returned evaluation is bit-identical with and without [caches].
+    Raises [Invalid_argument] if the store size differs from the sample
+    count, or if [oracle] carries an {e attached} per-image cache (which
+    cannot be correct for a multi-image batch). *)
 
 val evaluate_parallel :
   ?max_queries:int ->
   ?goal:Sketch.goal ->
+  ?caches:Score_cache.store ->
   pool:Domain_pool.Pool.t ->
   Oracle.t ->
   Condition.program ->
@@ -60,7 +72,14 @@ val evaluate_parallel :
     unbudgeted, for any pool size.  (With an oracle-level budget the
     sequential evaluator shares one budget across images while clones
     meter independently; synthesis uses unbudgeted oracles and caps per
-    image via [max_queries].) *)
+    image via [max_queries].)
+
+    [caches] follows the same per-image contract as {!evaluate}, and is
+    safe under parallelism by ownership rather than locking: clones drop
+    any attached cache ({!Oracle.clone}), each image's slot is re-attached
+    explicitly to that image's clone, and at any instant an image — hence
+    its cache — is held by exactly one domain; the pool's map barrier
+    orders hand-offs between evaluations. *)
 
 val score : beta:float -> float -> float
 (** [score ~beta avg_queries = exp (-. beta *. avg_queries)]. *)

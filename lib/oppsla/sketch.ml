@@ -27,29 +27,60 @@ let closest_loc queue ~d1 ~d2 (pair : Pair.t) =
          let candidate = Pair.make ~loc ~corner:pair.corner in
          if Pair_queue.mem queue candidate then Some candidate else None)
 
-let attack ?max_queries ?(goal = Untargeted) ?(on_query = fun _ _ _ -> ())
-    oracle program ~image ~true_class =
+let cache_key (pair : Pair.t) =
+  Score_cache.Corner
+    {
+      row = pair.loc.Location.row;
+      col = pair.loc.Location.col;
+      corner = pair.corner;
+    }
+
+let attack ?max_queries ?(goal = Untargeted) ?cache
+    ?(on_query = fun _ _ _ -> ()) oracle program ~image ~true_class =
+  let cache =
+    match cache with Some _ as c -> c | None -> Oracle.cache oracle
+  in
   let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
   let limit =
     match max_queries with Some q -> q | None -> Pair.count ~d1 ~d2
   in
-  (* Unmetered by design; see the interface comment. *)
-  let clean_scores = Oracle.unmetered_scores oracle image in
+  (* Unmetered by design; see the interface comment.  The clean scores
+     share the per-image cache (key [Clean]) so repeated attacks on the
+     same image pay the clean forward pass once. *)
+  let clean_scores =
+    match cache with
+    | None -> Oracle.unmetered_scores oracle image
+    | Some c ->
+        Score_cache.find_or_add c Score_cache.Clean ~compute:(fun () ->
+            Oracle.unmetered_scores oracle image)
+  in
   let spent = ref 0 in
   (* Query a candidate pair.  Raises [Found] on success and
      [Out_of_queries] when either the local cap or the oracle budget is
-     hit. *)
+     hit.  With a cache, the perturbed tensor is only materialized on a
+     miss (or on success, for the result). *)
   let check pair =
     if !spent >= limit then raise Out_of_queries;
-    let candidate = perturb image pair in
-    let scores =
-      try Oracle.scores oracle candidate
+    let scores, candidate =
+      try
+        match cache with
+        | None ->
+            let x' = perturb image pair in
+            (Oracle.scores oracle x', Some x')
+        | Some c ->
+            ( Oracle.scores_memo oracle c ~key:(cache_key pair)
+                ~input:(fun () -> perturb image pair),
+              None )
       with Oracle.Budget_exhausted _ -> raise Out_of_queries
     in
     incr spent;
     on_query !spent pair scores;
-    if goal_reached goal ~true_class (Tensor.argmax scores) then
-      raise (Found (pair, candidate));
+    if goal_reached goal ~true_class (Tensor.argmax scores) then begin
+      let adversarial =
+        match candidate with Some x' -> x' | None -> perturb image pair
+      in
+      raise (Found (pair, adversarial))
+    end;
     scores
   in
   let ctx_of pair perturbed_scores : Condition.ctx =

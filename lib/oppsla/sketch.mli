@@ -41,9 +41,16 @@ val perturb : Tensor.t -> Pair.t -> Tensor.t
 (** [perturb x pair] is [x[l <- p]]: a copy of [x] with the pair's pixel
     overwritten by its corner value. *)
 
+val cache_key : Pair.t -> Score_cache.key
+(** The {!Score_cache} key of a pair's perturbation:
+    [Corner {row; col; corner}].  Shared with baselines that query the
+    same finite space (Sparse-RS at [k = 1]), so their caches interoperate
+    with the sketch's. *)
+
 val attack :
   ?max_queries:int ->
   ?goal:goal ->
+  ?cache:Score_cache.t ->
   ?on_query:(int -> Pair.t -> Tensor.t -> unit) ->
   Oracle.t ->
   Condition.program ->
@@ -54,10 +61,20 @@ val attack :
     exhausted, when [max_queries] attack queries have been spent, or when
     the oracle's own budget runs out.  [max_queries] defaults to the full
     space size [8 * d1 * d2] (the attack never needs more).  [goal]
-    defaults to [Untargeted].  [on_query] is an instrumentation hook
-    called after every metered query with the 1-based query index, the
-    candidate pair, and the returned score vector (used by
-    {!Analysis.traced_attack}). *)
+    defaults to [Untargeted].
+
+    [cache] is this image's perturbation-score memo table (defaulting to
+    the oracle's attached cache, {!Oracle.cache}); queries are answered
+    through {!Oracle.scores_memo}, so metering — the query counter, the
+    budget exhaustion point, [queries] in the result — is bit-identical
+    with and without it, and so are the score vectors every condition
+    sees.  The cache must belong to [image] (see {!Score_cache}).
+
+    [on_query] is an instrumentation hook called after every metered
+    query with the 1-based query index, the candidate pair, and the
+    returned score vector (used by {!Analysis.traced_attack}); with a
+    cache the vector may be shared with the memo table, so hooks must not
+    mutate it. *)
 
 val success_exists :
   ?goal:goal -> Oracle.t -> image:Tensor.t -> true_class:int -> bool

@@ -37,7 +37,7 @@ let default_config =
     evaluator = None;
   }
 
-let synthesize ?(config = default_config) ?pool g oracle ~training =
+let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
   if Array.length training = 0 then
     invalid_arg "Synthesizer.synthesize: empty training set";
   let gen_config = Gen.config_for_image (fst training.(0)) in
@@ -47,11 +47,11 @@ let synthesize ?(config = default_config) ?pool g oracle ~training =
     | None, Some pool ->
         fun program samples ->
           Score.evaluate_parallel ?max_queries:config.max_queries_per_image
-            ~goal:config.goal ~pool oracle program samples
+            ~goal:config.goal ?caches ~pool oracle program samples
     | None, None ->
         fun program samples ->
           Score.evaluate ?max_queries:config.max_queries_per_image
-            ~goal:config.goal oracle program samples
+            ~goal:config.goal ?caches oracle program samples
   in
   let synth_queries = ref 0 in
   let eval_counted program =

@@ -50,6 +50,7 @@ val default_config : config
 val synthesize :
   ?config:config ->
   ?pool:Domain_pool.Pool.t ->
+  ?caches:Score_cache.store ->
   Prng.t ->
   Oracle.t ->
   training:(Tensor.t * int) array ->
@@ -64,4 +65,12 @@ val synthesize :
     of [oracle], results merged in image order — which leaves the
     accepted-program trace and all query accounting bit-identical to the
     sequential default for any pool size.  An explicit [config.evaluator]
-    always wins over [pool]. *)
+    always wins over [pool].
+
+    [caches] (one {!Score_cache.t} per training image, shared across
+    every candidate program of the run) memoizes the perturbation forward
+    passes that successive MH proposals re-pose; because metering stays
+    above the cache, the trace, query spend and outcome are bit-identical
+    with and without it — this is the synthesis wall-clock lever, not a
+    semantics knob.  Ignored when [config.evaluator] is set (a custom
+    evaluator owns its own caching). *)

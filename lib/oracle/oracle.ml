@@ -4,13 +4,21 @@ type t = {
   classes : int;
   mutable count : int;
   mutable limit : int option;
+  mutable memo : Score_cache.t option;
 }
 
 exception Budget_exhausted of int
 
 let of_fn ?budget ?(name = "fn") ~num_classes fn =
   if num_classes <= 0 then invalid_arg "Oracle.of_fn: num_classes <= 0";
-  { fn; oracle_name = name; classes = num_classes; count = 0; limit = budget }
+  {
+    fn;
+    oracle_name = name;
+    classes = num_classes;
+    count = 0;
+    limit = budget;
+    memo = None;
+  }
 
 let of_network ?budget net =
   {
@@ -19,19 +27,33 @@ let of_network ?budget net =
     classes = net.Nn.Network.num_classes;
     count = 0;
     limit = budget;
+    memo = None;
   }
 
-let scores t x =
+let meter t =
   (match t.limit with
   | Some b when t.count >= b -> raise (Budget_exhausted b)
   | _ -> ());
-  t.count <- t.count + 1;
-  let s = t.fn x in
+  t.count <- t.count + 1
+
+let validated t s =
   if Tensor.numel s <> t.classes then
     invalid_arg
       (Printf.sprintf "Oracle(%s): scoring function returned %d scores, expected %d"
          t.oracle_name (Tensor.numel s) t.classes);
   s
+
+let scores t x =
+  meter t;
+  validated t (t.fn x)
+
+(* The metering-above-cache invariant lives here: the query is charged
+   (and Budget_exhausted raised) before the cache is consulted, so hits
+   and misses are indistinguishable to the query accounting. *)
+let scores_memo t cache ~key ~input =
+  meter t;
+  Score_cache.find_or_add cache key ~compute:(fun () ->
+      validated t (t.fn (input ())))
 
 let classify t x = Tensor.argmax (scores t x)
 let score_of t x c = Tensor.get_flat (scores t x) c
@@ -46,7 +68,15 @@ let remaining t =
 let exhausted t =
   match t.limit with Some b -> t.count >= b | None -> false
 
-let clone t = { t with count = 0 }
+let set_cache t c = t.memo <- c
+let cache t = t.memo
+
+(* Clones DROP the attached cache (as well as the count): a cache is
+   per-image, per-owner mutable state, and the whole point of cloning is
+   to fan the oracle out across domains — sharing the table would alias
+   one unsynchronized Hashtbl across workers. *)
+let clone t = { t with count = 0; memo = None }
+
 let num_classes t = t.classes
 let name t = t.oracle_name
 let unmetered_classify t x = Tensor.argmax (t.fn x)

@@ -7,7 +7,14 @@
     budget is set, raises {!Budget_exhausted} once the budget is spent.
 
     The oracle returns the full softmax score vector, matching the paper's
-    [N(x) in R^c] (score-based black-box access). *)
+    [N(x) in R^c] (score-based black-box access).
+
+    {b Caching.}  An oracle may carry an attached {!Score_cache.t}
+    ({!set_cache}) memoizing the score vectors of one base image's
+    perturbations.  The cache sits strictly {e under} the metering layer:
+    {!scores_memo} charges the counter and enforces the budget {e before}
+    the lookup, so query accounting is bit-identical with and without a
+    cache — caching trades forward passes, never queries. *)
 
 type t
 
@@ -32,6 +39,27 @@ val classify : t -> Tensor.t -> int
 val score_of : t -> Tensor.t -> int -> float
 (** [score_of t x c] is [(scores t x).(c)] — one metered query. *)
 
+val meter : t -> unit
+(** The metering half of {!scores} on its own: raise {!Budget_exhausted}
+    if the budget is spent, otherwise charge one query.  Exposed so
+    caching layers can keep metering {e above} the cache; never call it
+    without answering the query it charges for. *)
+
+val scores_memo :
+  t ->
+  Score_cache.t ->
+  key:Score_cache.key ->
+  input:(unit -> Tensor.t) ->
+  Tensor.t
+(** One metered query answered through a cache.  Meters exactly like
+    {!scores} — same counter increment, same {!Budget_exhausted} at the
+    same query index — then returns the cached score vector for [key],
+    calling [input] to construct the query tensor only on a miss.  The
+    caller owns the key discipline: [key] must uniquely identify the
+    perturbed input within the cache's base image (see
+    {!Score_cache.key}).  The returned tensor is shared with the cache;
+    treat it as immutable. *)
+
 val queries : t -> int
 (** Queries posed since creation or the last {!reset}. *)
 
@@ -45,12 +73,27 @@ val remaining : t -> int option
 
 val exhausted : t -> bool
 
+val set_cache : t -> Score_cache.t option -> unit
+(** Attach (or detach, with [None]) a per-image score cache.  The cache
+    must belong to the one base image this handle is about to attack —
+    attaching it is how per-image cache slots are threaded through code
+    whose signatures only carry an oracle (e.g.
+    {!Evalharness.Attackers.t}). *)
+
+val cache : t -> Score_cache.t option
+(** The attached cache, if any.  {!Oppsla.Sketch.attack} and the
+    baselines consult this when no explicit cache is passed. *)
+
 val clone : t -> t
 (** A fresh metered handle onto the same scoring function: same name,
-    classes and budget, but an independent query counter starting at 0.
-    This is the sanctioned way to fan an oracle out across domains — the
-    counter is plain mutable state, so domains must never share one
-    handle.  Clones meter their budgets independently; parallel
+    classes and budget, but an independent query counter starting at 0
+    and {b no attached cache}.  This is the sanctioned way to fan an
+    oracle out across domains — the counter is plain mutable state, so
+    domains must never share one handle, and a {!Score_cache.t} is plain
+    mutable state too, so a clone deliberately {e drops} it rather than
+    aliasing one unsynchronized table across workers
+    ({!Oppsla.Score.evaluate_parallel} re-attaches the correct per-image
+    slot explicitly).  Clones meter their budgets independently; parallel
     evaluation of budgeted oracles is therefore per-clone, not global
     (see {!Oppsla.Score.evaluate_parallel}). *)
 

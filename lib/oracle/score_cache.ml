@@ -1,0 +1,121 @@
+type key =
+  | Clean
+  | Corner of { row : int; col : int; corner : int }
+  | Custom of string
+
+type t = {
+  table : (key, Tensor.t) Hashtbl.t;
+  order : key Queue.t;  (* insertion order; head = eviction candidate *)
+  capacity : int option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable payload : int;  (* floats resident across all entries *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Score_cache.create: capacity < 1"
+  | _ -> ());
+  {
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    payload = 0;
+  }
+
+let evict_overflow t =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.table > cap do
+        match Queue.take_opt t.order with
+        | None -> assert false (* every resident entry is queued *)
+        | Some oldest -> (
+            match Hashtbl.find_opt t.table oldest with
+            | None -> () (* already displaced by a re-insert *)
+            | Some v ->
+                Hashtbl.remove t.table oldest;
+                t.payload <- t.payload - Tensor.numel v;
+                t.evictions <- t.evictions + 1)
+      done
+
+let find_or_add t key ~compute =
+  match Hashtbl.find_opt t.table key with
+  | Some s ->
+      t.hits <- t.hits + 1;
+      s
+  | None ->
+      t.misses <- t.misses + 1;
+      let s = compute () in
+      Hashtbl.replace t.table key s;
+      Queue.add key t.order;
+      t.payload <- t.payload + Tensor.numel s;
+      evict_overflow t;
+      s
+
+let find t key = Hashtbl.find_opt t.table key
+let mem t key = Hashtbl.mem t.table key
+let length t = Hashtbl.length t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order;
+  t.payload <- 0
+
+(* Payload floats are 8 bytes each; ~64 bytes/entry covers the boxed
+   tensor, hashtable bucket and order-queue cell.  An estimate is enough:
+   the number is observability, not an allocator contract. *)
+let entry_overhead = 64
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+    bytes = (t.payload * 8) + (Hashtbl.length t.table * entry_overhead);
+  }
+
+let zero_stats = { hits = 0; misses = 0; evictions = 0; entries = 0; bytes = 0 }
+
+let add_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evictions = a.evictions + b.evictions;
+    entries = a.entries + b.entries;
+    bytes = a.bytes + b.bytes;
+  }
+
+let hit_rate s =
+  let looked = s.hits + s.misses in
+  if looked = 0 then None
+  else Some (float_of_int s.hits /. float_of_int looked)
+
+type store = t array
+
+let store ?capacity n =
+  if n < 0 then invalid_arg "Score_cache.store: negative size";
+  Array.init n (fun _ -> create ?capacity ())
+
+let image_cache s i =
+  if i < 0 || i >= Array.length s then
+    invalid_arg
+      (Printf.sprintf "Score_cache.image_cache: index %d outside [0, %d)" i
+         (Array.length s));
+  s.(i)
+
+let store_size = Array.length
+let store_stats s = Array.fold_left (fun acc c -> add_stats acc (stats c)) zero_stats s

@@ -1,12 +1,16 @@
 (* Standalone differential checker, wired into the `runtest` alias under
-   OCAMLRUNPARAM=b at --domains 1 and --domains 4 (see test/dune).
+   OCAMLRUNPARAM=b at every combination of --domains 1/4 and --cache
+   on/off (see test/dune).
 
    For randomized programs, images and training-set sizes it asserts that
    Score.evaluate_parallel over a pool of the requested width returns
    bit-identical query accounting to the sequential Score.evaluate, and
    that the synthesizer's accepted-program trace is evaluator-independent.
-   Exits non-zero (with a backtrace, courtesy of OCAMLRUNPARAM=b) on the
-   first divergence. *)
+   With --cache on, the uncached sequential evaluation stays the
+   reference and the cached sequential (cold and warm store) and cached
+   parallel evaluations are checked against it — the memo layer must be
+   invisible to query accounting.  Exits non-zero (with a backtrace,
+   courtesy of OCAMLRUNPARAM=b) on the first divergence. *)
 
 module Parallel = Evalharness.Parallel
 module Score = Oppsla.Score
@@ -44,17 +48,29 @@ let check_identical ctx (seq : Score.evaluation) (par : Score.evaluation) =
   then fail "%s: per-image query counts diverged" ctx
 
 let () =
-  let domains =
-    match Array.to_list Sys.argv with
-    | _ :: "--domains" :: n :: _ -> (
+  let rec parse domains cache = function
+    | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some d when d >= 1 -> d
+        | Some d when d >= 1 -> parse d cache rest
         | _ -> fail "diff_runner: bad --domains %s" n)
-    | _ -> 4
+    | "--cache" :: v :: rest -> (
+        match v with
+        | "on" -> parse domains true rest
+        | "off" -> parse domains false rest
+        | _ -> fail "diff_runner: bad --cache %s (expected on|off)" v)
+    | [] -> (domains, cache)
+    | a :: _ -> fail "diff_runner: unknown argument %s" a
+  in
+  let domains, cache =
+    parse 4 false (List.tl (Array.to_list Sys.argv))
+  in
+  let store_for samples =
+    if cache then Some (Score_cache.store (Array.length samples)) else None
   in
   let gen_config = { Oppsla.Gen.d1 = size; d2 = size } in
   Parallel.Pool.with_pool ~domains (fun pool ->
-      (* Evaluation differential. *)
+      (* Evaluation differential.  The uncached sequential run is always
+         the reference. *)
       for trial = 0 to 11 do
         let g = Prng.of_int ((domains * 7919) + trial) in
         let samples = training_set (Prng.split g) (1 + Prng.int g 8) in
@@ -62,17 +78,35 @@ let () =
         let max_queries =
           if Prng.bool g then None else Some (1 + Prng.int g 80)
         in
-        let seq =
+        let ctx kind =
+          Printf.sprintf "trial %d (domains %d, cache %b, %s)" trial domains
+            cache kind
+        in
+        let reference =
           Score.evaluate ?max_queries (mean_threshold_oracle ()) program
             samples
         in
+        (match store_for samples with
+        | Some _ as caches ->
+            (* Cold store, then the same store warm (every lookup hits),
+               then a parallel run on a fresh store. *)
+            let cold =
+              Score.evaluate ?max_queries ?caches (mean_threshold_oracle ())
+                program samples
+            in
+            check_identical (ctx "cached sequential, cold") reference cold;
+            let warm =
+              Score.evaluate ?max_queries ?caches (mean_threshold_oracle ())
+                program samples
+            in
+            check_identical (ctx "cached sequential, warm") reference warm
+        | None -> ());
         let par =
-          Score.evaluate_parallel ?max_queries ~pool
-            (mean_threshold_oracle ()) program samples
+          Score.evaluate_parallel ?max_queries
+            ?caches:(store_for samples) ~pool (mean_threshold_oracle ())
+            program samples
         in
-        check_identical
-          (Printf.sprintf "trial %d (domains %d)" trial domains)
-          seq par
+        check_identical (ctx "parallel") reference par
       done;
       (* Synthesizer trace differential. *)
       let training = training_set (Prng.of_int 42) 5 in
@@ -88,24 +122,37 @@ let () =
           (mean_threshold_oracle ()) ~training
       in
       let par =
-        Synthesizer.synthesize ~config ~pool (Prng.of_int 11)
-          (mean_threshold_oracle ()) ~training
+        Synthesizer.synthesize ~config ~pool ?caches:(store_for training)
+          (Prng.of_int 11) (mean_threshold_oracle ()) ~training
       in
-      if seq.Synthesizer.synth_queries <> par.Synthesizer.synth_queries then
-        fail "synthesizer: query spend diverged (%d <> %d)"
-          seq.Synthesizer.synth_queries par.Synthesizer.synth_queries;
-      List.iter2
-        (fun (a : Synthesizer.iteration) (b : Synthesizer.iteration) ->
-          if
-            a.Synthesizer.accepted <> b.Synthesizer.accepted
-            || a.Synthesizer.avg_queries <> b.Synthesizer.avg_queries
-            || not
-                 (Oppsla.Condition.equal_program a.Synthesizer.program
-                    b.Synthesizer.program)
-          then fail "synthesizer: trace diverged at iteration %d"
-              a.Synthesizer.index)
-        seq.Synthesizer.trace par.Synthesizer.trace;
+      let check_traces a_name (a : Synthesizer.outcome)
+          (b : Synthesizer.outcome) =
+        if a.Synthesizer.synth_queries <> b.Synthesizer.synth_queries then
+          fail "synthesizer (%s): query spend diverged (%d <> %d)" a_name
+            a.Synthesizer.synth_queries b.Synthesizer.synth_queries;
+        List.iter2
+          (fun (x : Synthesizer.iteration) (y : Synthesizer.iteration) ->
+            if
+              x.Synthesizer.accepted <> y.Synthesizer.accepted
+              || x.Synthesizer.avg_queries <> y.Synthesizer.avg_queries
+              || not
+                   (Oppsla.Condition.equal_program x.Synthesizer.program
+                      y.Synthesizer.program)
+            then
+              fail "synthesizer (%s): trace diverged at iteration %d" a_name
+                x.Synthesizer.index)
+          a.Synthesizer.trace b.Synthesizer.trace
+      in
+      check_traces "parallel" seq par;
+      if cache then begin
+        let cached_seq =
+          Synthesizer.synthesize ~config ?caches:(store_for training)
+            (Prng.of_int 11) (mean_threshold_oracle ()) ~training
+        in
+        check_traces "cached sequential" seq cached_seq
+      end;
       Printf.printf
         "diff_runner: sequential and %d-domain evaluation bit-identical \
-         (12 evaluation trials + synthesis trace)\n"
-        domains)
+         with cache %s (12 evaluation trials + synthesis trace)\n"
+        domains
+        (if cache then "on" else "off"))

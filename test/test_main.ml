@@ -17,6 +17,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("evalharness", Test_evalharness.suite);
       ("parallel_eval", Test_parallel_eval.suite);
+      ("cache_eval", Test_cache_eval.suite);
       ("stats", Test_stats.suite);
       ("curves", Test_curves.suite);
       ("report", Test_report.suite);

@@ -73,6 +73,22 @@ let of_fn_validates_classes () =
        false
      with Invalid_argument _ -> true)
 
+let clone_independent_and_cacheless () =
+  let o = Helpers.mean_threshold_oracle ~budget:5 () in
+  ignore (Oracle.scores o image);
+  Oracle.set_cache o (Some (Score_cache.create ()));
+  let c = Oracle.clone o in
+  Alcotest.(check int) "clone counter starts at 0" 0 (Oracle.queries c);
+  Alcotest.(check (option int)) "clone inherits the budget" (Some 5)
+    (Oracle.budget c);
+  (* A clone is meant to cross a domain boundary, so it must not alias
+     the parent's unsynchronized memo table. *)
+  Alcotest.(check bool) "clone drops the cache" true (Oracle.cache c = None);
+  Alcotest.(check bool) "parent keeps the cache" true
+    (Oracle.cache o <> None);
+  ignore (Oracle.scores c image);
+  Alcotest.(check int) "counters are independent" 1 (Oracle.queries o)
+
 let of_network_metadata () =
   let net =
     Nn.Zoo.vgg_tiny (Prng.of_int 3) ~image_size:16 ~num_classes:10
@@ -91,5 +107,7 @@ let suite =
     Alcotest.test_case "set_budget" `Quick set_budget_dynamic;
     Alcotest.test_case "unmetered calls" `Quick unmetered_does_not_count;
     Alcotest.test_case "of_fn validation" `Quick of_fn_validates_classes;
+    Alcotest.test_case "clone: fresh counter, no cache" `Quick
+      clone_independent_and_cacheless;
     Alcotest.test_case "of_network metadata" `Quick of_network_metadata;
   ]
