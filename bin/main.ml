@@ -71,6 +71,23 @@ let cache_arg =
   in
   Arg.(value & vflag true [ cache; no_cache ])
 
+let batch_arg =
+  let doc =
+    "Speculative candidate batch width: attacks pose up to this many \
+     candidates per forward-pass chunk.  Results, query counts and \
+     synthesis traces are bit-identical at every width (metering happens \
+     at consumption); 1 is the sequential path."
+  in
+  Arg.(
+    value
+    & opt int Oppsla.Sketch.default_batch
+    & info [ "batch"; "b" ] ~doc)
+
+let check_batch batch k =
+  if batch < 1 then
+    `Error (false, Printf.sprintf "--batch must be >= 1 (got %d)" batch)
+  else k ()
+
 let class_arg =
   let doc = "Class id the program is synthesized for / attacked in." in
   Arg.(value & opt int 0 & info [ "class"; "c" ] ~doc)
@@ -107,36 +124,38 @@ let synthesize_cmd =
   let iters_arg =
     Arg.(value & opt int 40 & info [ "iters" ] ~doc:"MH iterations.")
   in
-  let run dataset arch seed artifacts class_id iters domains cache =
-    with_spec dataset (fun spec ->
-        if class_id < 0 || class_id >= spec.Dataset.num_classes then
-          `Error
-            ( false,
-              Printf.sprintf "class %d out of range [0, %d)" class_id
-                spec.Dataset.num_classes )
-        else begin
-          let config = workbench_config artifacts seed in
-          let c = Workbench.load_classifier config spec arch in
-          let params =
-            {
-              Workbench.default_synth_params with
-              iters;
-              domains = domains_opt domains;
-              cache;
-            }
-          in
+  let run dataset arch seed artifacts class_id iters domains cache batch =
+    with_spec dataset @@ fun spec ->
+    check_batch batch @@ fun () ->
+    if class_id < 0 || class_id >= spec.Dataset.num_classes then
+      `Error
+        ( false,
+          Printf.sprintf "class %d out of range [0, %d)" class_id
+            spec.Dataset.num_classes )
+    else begin
+      let config = workbench_config artifacts seed in
+      let c = Workbench.load_classifier config spec arch in
+      let params =
+        {
+          Workbench.default_synth_params with
+          iters;
+          domains = domains_opt domains;
+          cache;
+          batch;
+        }
+      in
           let programs = Workbench.synthesize_programs ~params config c in
-          Printf.printf "class %d (%s): %s\n" class_id
-            spec.Dataset.class_names.(class_id)
-            (Oppsla.Dsl.print_program programs.(class_id));
-          `Ok ()
-        end)
+      Printf.printf "class %d (%s): %s\n" class_id
+        spec.Dataset.class_names.(class_id)
+        (Oppsla.Dsl.print_program programs.(class_id));
+      `Ok ()
+    end
   in
   let term =
     Term.(
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
-       $ class_arg $ iters_arg $ domains_arg $ cache_arg))
+       $ class_arg $ iters_arg $ domains_arg $ cache_arg $ batch_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
@@ -177,8 +196,9 @@ let attack_cmd =
              file on success.")
   in
   let run dataset arch seed artifacts class_id index program_text target
-      save_ppm =
-    with_spec dataset (fun spec ->
+      save_ppm batch =
+    with_spec dataset @@ fun spec ->
+    check_batch batch (fun () ->
         let config = workbench_config artifacts seed in
         let c = Workbench.load_classifier config spec arch in
         let candidates =
@@ -215,7 +235,10 @@ let attack_cmd =
             if target < 0 then Oppsla.Sketch.Untargeted
             else Oppsla.Sketch.Targeted target
           in
-          let r = Oppsla.Sketch.attack ~goal oracle program ~image ~true_class in
+          let r =
+            Oppsla.Sketch.attack ~goal ~batch oracle program ~image
+              ~true_class
+          in
           (match r.Oppsla.Sketch.adversarial with
           | Some (pair, adversarial) ->
               let new_class =
@@ -248,7 +271,8 @@ let attack_cmd =
     Term.(
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
-       $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg))
+       $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg
+       $ batch_arg))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a single test image with a program.")
@@ -282,7 +306,8 @@ let eval_cmd =
     let doc = "Experiment to run: fig3, table1, fig4, table2 or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run seed artifacts domains cache experiment =
+  let run seed artifacts domains cache batch experiment =
+    check_batch batch @@ fun () ->
     let config = workbench_config artifacts seed in
     let base = Experiments.default_scale in
     let scale =
@@ -290,6 +315,7 @@ let eval_cmd =
         base with
         Experiments.domains = domains_opt domains;
         cache;
+        batch;
         synth = { base.Experiments.synth with Workbench.cache };
         imagenet_synth =
           { base.Experiments.imagenet_synth with Workbench.cache };
@@ -327,7 +353,7 @@ let eval_cmd =
     Term.(
       ret
         (const run $ seed_arg $ artifacts_arg $ domains_arg $ cache_arg
-       $ experiment_arg))
+       $ batch_arg $ experiment_arg))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")

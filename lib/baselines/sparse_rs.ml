@@ -36,7 +36,8 @@ let perturb_set image pairs =
     (fun acc pair -> Oppsla.Sketch.perturb acc pair)
     image pairs
 
-let attack_multi ?config ~k g oracle ~image ~true_class =
+let attack_multi ?config ?(batch = Oppsla.Sketch.default_batch) ~k g oracle
+    ~image ~true_class =
   let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
   if k < 1 || k > d1 * d2 then
     invalid_arg
@@ -47,7 +48,6 @@ let attack_multi ?config ~k g oracle ~image ~true_class =
     | Some c -> c
     | None -> default_config ~max_queries:(Oppsla.Pair.count ~d1 ~d2)
   in
-  let cache = Oracle.cache oracle in
   (* A singleton set is exactly a sketch perturbation, so it shares the
      sketch's corner key space (cross-attacker hits on the same image);
      larger sets get an order-independent id-list key. *)
@@ -60,34 +60,35 @@ let attack_multi ?config ~k g oracle ~image ~true_class =
           ("pairs:" ^ String.concat "," (List.map string_of_int ids))
   in
   let spent = ref 0 in
-  let query pairs =
+  let batcher = Batcher.create ~width:batch oracle in
+  let candidate_of pairs =
+    { Batcher.key = cache_key pairs; input = (fun () -> perturb_set image pairs) }
+  in
+  let query ?speculate pairs =
     if !spent >= config.max_queries then
       raise (Done { adversarial = None; queries = !spent });
-    let scores, candidate =
-      try
-        match cache with
-        | None ->
-            let candidate = perturb_set image pairs in
-            (Oracle.scores oracle candidate, Some candidate)
-        | Some c ->
-            ( Oracle.scores_memo oracle c ~key:(cache_key pairs)
-                ~input:(fun () -> perturb_set image pairs),
-              None )
+    let scores =
+      try Batcher.query batcher ?speculate (candidate_of pairs)
       with Oracle.Budget_exhausted _ ->
         raise (Done { adversarial = None; queries = !spent })
     in
     incr spent;
-    if Tensor.argmax scores <> true_class then begin
-      let candidate =
-        match candidate with
-        | Some c -> c
-        | None -> perturb_set image pairs
-      in
-      raise (Done { adversarial = Some (pairs, candidate); queries = !spent })
-    end;
+    if Tensor.argmax scores <> true_class then
+      raise
+        (Done
+           {
+             adversarial = Some (pairs, perturb_set image pairs);
+             queries = !spent;
+           });
     margin scores true_class
   in
-  let random_loc_excluding excluded =
+  (* Proposal generation is a pure function of an explicit PRNG and an
+     explicit query index, so the batcher can speculate future proposals
+     from a {!Prng.copy} clone without advancing the real stream: the
+     real state only moves when a proposal is actually generated, which
+     keeps the draw sequence — hence everything downstream — bit-identical
+     to the sequential path at every batch width. *)
+  let random_loc_excluding ~g excluded =
     let rec draw () =
       let loc = Oppsla.Location.make ~row:(Prng.int g d1) ~col:(Prng.int g d2) in
       if List.exists (Oppsla.Location.equal loc) excluded then draw () else loc
@@ -99,7 +100,8 @@ let attack_multi ?config ~k g oracle ~image ~true_class =
       if n = 0 then acc
       else begin
         let loc =
-          random_loc_excluding (List.map (fun (p : Oppsla.Pair.t) -> p.loc) acc)
+          random_loc_excluding ~g
+            (List.map (fun (p : Oppsla.Pair.t) -> p.loc) acc)
         in
         build (Oppsla.Pair.make ~loc ~corner:(Prng.int g 8) :: acc) (n - 1)
       end
@@ -108,8 +110,8 @@ let attack_multi ?config ~k g oracle ~image ~true_class =
   in
   (* Resample [count] of the pixels: each selected slot gets either a
      fresh location (exploration) or only a fresh color. *)
-  let propose current =
-    let explore = explore_probability config !spent in
+  let propose ~g ~spent current =
+    let explore = explore_probability config spent in
     let count = max 1 (int_of_float (Float.round (explore *. float_of_int k))) in
     let selected = Prng.sample_without_replacement g count (Array.init k Fun.id) in
     let next = Array.of_list current in
@@ -131,18 +133,41 @@ let attack_multi ?config ~k g oracle ~image ~true_class =
           in
           next.(i) <-
             Oppsla.Pair.make
-              ~loc:(random_loc_excluding others)
+              ~loc:(random_loc_excluding ~g others)
               ~corner:(Prng.int g 8)
         end)
       selected;
     Array.to_list next
   in
+  (* Speculate assuming every pending proposal is rejected: [base] stays
+     current, the PRNG clone advances exactly as the real stream will on
+     rejection, and the [i]-th future proposal is generated at the query
+     index the sequential path would use.  An acceptance diverges the
+     key stream and the batcher rebuilds — never a correctness event. *)
+  let query_speculating base pairs =
+    let spec_g = ref None in
+    let speculate i =
+      if i >= config.max_queries - !spent - 1 then None
+      else begin
+        let g' =
+          match !spec_g with
+          | Some g' -> g'
+          | None ->
+              let g' = Prng.copy g in
+              spec_g := Some g';
+              g'
+        in
+        Some (candidate_of (propose ~g:g' ~spent:(!spent + 1 + i) base))
+      end
+    in
+    query ~speculate pairs
+  in
   try
     let current = ref (random_set ()) in
-    let current_margin = ref (query !current) in
+    let current_margin = ref (query_speculating !current !current) in
     while true do
-      let proposal = propose !current in
-      let m = query proposal in
+      let proposal = propose ~g ~spent:!spent !current in
+      let m = query_speculating !current proposal in
       if m <= !current_margin then begin
         current := proposal;
         current_margin := m
@@ -151,8 +176,8 @@ let attack_multi ?config ~k g oracle ~image ~true_class =
     assert false
   with Done r -> r
 
-let attack ?config g oracle ~image ~true_class =
-  let r = attack_multi ?config ~k:1 g oracle ~image ~true_class in
+let attack ?config ?batch g oracle ~image ~true_class =
+  let r = attack_multi ?config ?batch ~k:1 g oracle ~image ~true_class in
   {
     Oppsla.Sketch.adversarial =
       Option.map

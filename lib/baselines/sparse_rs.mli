@@ -25,6 +25,7 @@ val default_config : max_queries:int -> config
 
 val attack :
   ?config:config ->
+  ?batch:int ->
   Prng.t ->
   Oracle.t ->
   image:Tensor.t ->
@@ -40,7 +41,15 @@ val attack :
     corner key space ({!Oppsla.Sketch.cache_key}), so hits carry across
     attackers on the same image; k > 1 sets key on the sorted pair-id
     list.  Metering stays above the cache — queries and outcomes are
-    bit-identical either way. *)
+    bit-identical either way.
+
+    [batch] (default {!Oppsla.Sketch.default_batch}) is the speculative
+    chunk width: future proposals are pre-generated from a {!Prng.copy}
+    clone of the PRNG under the assumption that pending proposals are
+    rejected, and evaluated in one batched forward pass ({!Batcher}).
+    The real PRNG stream only advances when a proposal is actually
+    generated, so draws, query counts and outcomes are bit-identical at
+    every width. *)
 
 (** {1 Few-pixel attacks}
 
@@ -59,6 +68,7 @@ type multi_result = {
 
 val attack_multi :
   ?config:config ->
+  ?batch:int ->
   k:int ->
   Prng.t ->
   Oracle.t ->

@@ -36,7 +36,8 @@ let nearest_corner_pair ~row ~col cand =
   let corner = (bit cand.(2) * 4) + (bit cand.(3) * 2) + bit cand.(4) in
   Oppsla.Pair.make ~loc:(Oppsla.Location.make ~row ~col) ~corner
 
-let attack ?config g oracle ~image ~true_class =
+let attack ?config ?(batch = Oppsla.Sketch.default_batch) g oracle ~image
+    ~true_class =
   let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
   let config =
     match config with
@@ -45,8 +46,15 @@ let attack ?config g oracle ~image ~true_class =
   in
   if config.population < 4 then
     invalid_arg "Su_opa.attack: population must be at least 4 for DE/rand/1";
-  let cache = Oracle.cache oracle in
   let spent = ref 0 in
+  let batcher = Batcher.create ~width:batch oracle in
+  let candidate_of cand =
+    let row, col = pixel_of image cand in
+    {
+      Batcher.key = cache_key ~row ~col cand;
+      input = (fun () -> build image ~row ~col cand);
+    }
+  in
   (* Candidates are evaluated in batches (the whole initial population,
      then one generation at a time), and success is only declared after a
      batch completes — matching the published implementation, whose
@@ -55,35 +63,24 @@ let attack ?config g oracle ~image ~true_class =
   let finish () = raise (Done { adversarial = !found; queries = !spent }) in
   let check_batch () = if !found <> None then finish () in
   (* Fitness = true-class score of the perturbed image (minimized). *)
-  let fitness cand =
+  let fitness ?speculate cand =
     if !spent >= config.max_queries then finish ();
-    let row, col = pixel_of image cand in
-    (* The uncached path builds the tensor eagerly (exactly as before the
-       cache existed); the cached path defers it to the miss thunk and
-       rebuilds on success only. *)
-    let scores, candidate =
-      try
-        match cache with
-        | None ->
-            let x' = build image ~row ~col cand in
-            (Oracle.scores oracle x', Some x')
-        | Some c ->
-            ( Oracle.scores_memo oracle c
-                ~key:(cache_key ~row ~col cand)
-                ~input:(fun () -> build image ~row ~col cand),
-              None )
+    let scores =
+      try Batcher.query batcher ?speculate (candidate_of cand)
       with Oracle.Budget_exhausted _ -> finish ()
     in
     incr spent;
     if !found = None && Tensor.argmax scores <> true_class then begin
-      let x' =
-        match candidate with
-        | Some x' -> x'
-        | None -> build image ~row ~col cand
-      in
-      found := Some (nearest_corner_pair ~row ~col cand, x')
+      let row, col = pixel_of image cand in
+      found :=
+        Some (nearest_corner_pair ~row ~col cand, build image ~row ~col cand)
     end;
     Tensor.get_flat scores true_class
+  in
+  (* Cap speculation at the local query budget: the [i]-th future
+     candidate is only consumable while [spent + 1 + i < max_queries]. *)
+  let within_budget i k =
+    if i >= config.max_queries - !spent - 1 then None else k ()
   in
   let random_candidate () =
     [|
@@ -94,45 +91,89 @@ let attack ?config g oracle ~image ~true_class =
       clamp 0. 1. (Prng.normal g ~mu:0.5 ~sigma:0.3 ());
     |]
   in
+  (* DE/rand/1 mutation for slot [i], drawing from an explicit PRNG so
+     speculation can run it on a {!Prng.copy} clone without advancing the
+     real stream. *)
+  let gen_mutant ~g i =
+    let pick () =
+      let rec draw () =
+        let j = Prng.int g config.population in
+        if j = i then draw () else j
+      in
+      draw ()
+    in
+    let r1 = pick () in
+    let r2 =
+      let rec draw () =
+        let j = pick () in
+        if j = r1 then draw () else j
+      in
+      draw ()
+    in
+    let r3 =
+      let rec draw () =
+        let j = pick () in
+        if j = r1 || j = r2 then draw () else j
+      in
+      draw ()
+    in
+    r1, r2, r3
+  in
   try
+    (* The initial population is drawn before any query, so its fitness
+       sweep is fully speculable: while evaluating member [i] the batcher
+       may prepare members [i+1 ...] directly from the array. *)
     let pop = Array.init config.population (fun _ -> random_candidate ()) in
-    let fit = Array.map fitness pop in
+    let fit =
+      Array.mapi
+        (fun i cand ->
+          let speculate j =
+            within_budget j (fun () ->
+                if i + 1 + j < config.population then
+                  Some (candidate_of pop.(i + 1 + j))
+                else None)
+          in
+          fitness ~speculate cand)
+        pop
+    in
     check_batch ();
+    let build_mutant (r1, r2, r3) =
+      let mutant =
+        Array.init 5 (fun k ->
+            pop.(r1).(k) +. (config.f *. (pop.(r2).(k) -. pop.(r3).(k))))
+      in
+      mutant.(0) <- clamp 0. (float_of_int d1 -. 1e-6) mutant.(0);
+      mutant.(1) <- clamp 0. (float_of_int d2 -. 1e-6) mutant.(1);
+      for k = 2 to 4 do
+        mutant.(k) <- clamp 0. 1. mutant.(k)
+      done;
+      mutant
+    in
     while true do
       for i = 0 to config.population - 1 do
-        (* Three distinct members, all different from i. *)
-        let pick () =
-          let rec draw () =
-            let j = Prng.int g config.population in
-            if j = i then draw () else j
-          in
-          draw ()
+        let mutant = build_mutant (gen_mutant ~g i) in
+        (* Speculate the rest of the generation assuming every pending
+           mutant is rejected (population unchanged): draws come from a
+           PRNG clone, so the real stream only advances when the real
+           mutant is generated.  An acceptance diverges the key stream
+           and the batcher rebuilds from true state. *)
+        let spec_g = ref None in
+        let speculate j =
+          within_budget j (fun () ->
+              if i + 1 + j < config.population then begin
+                let g' =
+                  match !spec_g with
+                  | Some g' -> g'
+                  | None ->
+                      let g' = Prng.copy g in
+                      spec_g := Some g';
+                      g'
+                in
+                Some (candidate_of (build_mutant (gen_mutant ~g:g' (i + 1 + j))))
+              end
+              else None)
         in
-        let r1 = pick () in
-        let r2 =
-          let rec draw () =
-            let j = pick () in
-            if j = r1 then draw () else j
-          in
-          draw ()
-        in
-        let r3 =
-          let rec draw () =
-            let j = pick () in
-            if j = r1 || j = r2 then draw () else j
-          in
-          draw ()
-        in
-        let mutant =
-          Array.init 5 (fun k ->
-              pop.(r1).(k) +. (config.f *. (pop.(r2).(k) -. pop.(r3).(k))))
-        in
-        mutant.(0) <- clamp 0. (float_of_int d1 -. 1e-6) mutant.(0);
-        mutant.(1) <- clamp 0. (float_of_int d2 -. 1e-6) mutant.(1);
-        for k = 2 to 4 do
-          mutant.(k) <- clamp 0. 1. mutant.(k)
-        done;
-        let mf = fitness mutant in
+        let mf = fitness ~speculate mutant in
         if mf <= fit.(i) then begin
           pop.(i) <- mutant;
           fit.(i) <- mf

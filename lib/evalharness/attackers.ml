@@ -4,6 +4,7 @@ type t = {
     Prng.t ->
     Oracle.t ->
     max_queries:int ->
+    batch:int ->
     image:Tensor.t ->
     true_class:int ->
     Oppsla.Sketch.result;
@@ -13,51 +14,53 @@ let oppsla ~programs =
   {
     name = "OPPSLA";
     run =
-      (fun _g oracle ~max_queries ~image ~true_class ->
+      (fun _g oracle ~max_queries ~batch ~image ~true_class ->
         if true_class < 0 || true_class >= Array.length programs then
           invalid_arg
             (Printf.sprintf "Attackers.oppsla: no program for class %d"
                true_class);
-        Oppsla.Sketch.attack ~max_queries oracle programs.(true_class) ~image
-          ~true_class);
+        Oppsla.Sketch.attack ~max_queries ~batch oracle programs.(true_class)
+          ~image ~true_class);
   }
 
 let oppsla_single program =
   {
     name = "OPPSLA(single)";
     run =
-      (fun _g oracle ~max_queries ~image ~true_class ->
-        Oppsla.Sketch.attack ~max_queries oracle program ~image ~true_class);
+      (fun _g oracle ~max_queries ~batch ~image ~true_class ->
+        Oppsla.Sketch.attack ~max_queries ~batch oracle program ~image
+          ~true_class);
   }
 
 let sketch_false =
   {
     name = "Sketch+False";
     run =
-      (fun _g oracle ~max_queries ~image ~true_class ->
-        Baselines.Fixed.attack ~max_queries oracle ~image ~true_class);
+      (fun _g oracle ~max_queries ~batch ~image ~true_class ->
+        Baselines.Fixed.attack ~max_queries ~batch oracle ~image ~true_class);
   }
 
 let sparse_rs =
   {
     name = "Sparse-RS";
     run =
-      (fun g oracle ~max_queries ~image ~true_class ->
+      (fun g oracle ~max_queries ~batch ~image ~true_class ->
         let config = Baselines.Sparse_rs.default_config ~max_queries in
-        Baselines.Sparse_rs.attack ~config g oracle ~image ~true_class);
+        Baselines.Sparse_rs.attack ~config ~batch g oracle ~image ~true_class);
   }
 
 let su_opa ?(population = 400) () =
   {
     name = "SuOPA";
     run =
-      (fun g oracle ~max_queries ~image ~true_class ->
+      (fun g oracle ~max_queries ~batch ~image ~true_class ->
         let config =
           { (Baselines.Su_opa.default_config ~max_queries) with population }
         in
-        Baselines.Su_opa.attack ~config g oracle ~image ~true_class);
+        Baselines.Su_opa.attack ~config ~batch g oracle ~image ~true_class);
   }
 
-let run_one t ~seed ~oracle_factory ~max_queries ~image ~true_class =
+let run_one ?(batch = Oppsla.Sketch.default_batch) t ~seed ~oracle_factory
+    ~max_queries ~image ~true_class =
   let g = Prng.named_stream (Prng.of_int seed) ("attack/" ^ t.name) in
-  t.run g (oracle_factory ()) ~max_queries ~image ~true_class
+  t.run g (oracle_factory ()) ~max_queries ~batch ~image ~true_class

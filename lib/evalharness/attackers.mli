@@ -2,7 +2,10 @@
 
     An attacker takes a fresh per-image RNG and oracle and produces a
     {!Oppsla.Sketch.result}.  Deterministic attacks (the sketch family)
-    ignore the RNG. *)
+    ignore the RNG.  [batch] is the speculative candidate chunk width
+    every attack forwards to its {!Batcher}; results are bit-identical at
+    every width (only wall-clock changes), so it is an engine knob, not
+    an experiment parameter. *)
 
 type t = {
   name : string;
@@ -10,6 +13,7 @@ type t = {
     Prng.t ->
     Oracle.t ->
     max_queries:int ->
+    batch:int ->
     image:Tensor.t ->
     true_class:int ->
     Oppsla.Sketch.result;
@@ -29,6 +33,7 @@ val sparse_rs : t
 val su_opa : ?population:int -> unit -> t
 
 val run_one :
+  ?batch:int ->
   t ->
   seed:int ->
   oracle_factory:(unit -> Oracle.t) ->
@@ -37,4 +42,5 @@ val run_one :
   true_class:int ->
   Oppsla.Sketch.result
 (** Run an attacker on one image with a seed derived from [seed] (so
-    randomized attacks are reproducible image-by-image). *)
+    randomized attacks are reproducible image-by-image).  [batch]
+    defaults to {!Oppsla.Sketch.default_batch}. *)

@@ -1,6 +1,7 @@
 type scale = {
   domains : int option;
   cache : bool;
+  batch : int;
   budgets : int list;
   max_queries_cifar : int;
   max_queries_imagenet : int;
@@ -19,6 +20,7 @@ let default_scale =
   {
     domains = None;
     cache = true;
+    batch = Oppsla.Sketch.default_batch;
     budgets = [ 50; 200 ];
     (* Full corner space for the CIFAR regime: below the full space the
        per-program success sets diverge and "average queries over
@@ -46,6 +48,7 @@ let quick_scale =
   {
     domains = None;
     cache = true;
+    batch = Oppsla.Sketch.default_batch;
     budgets = [ 25; 50 ];
     max_queries_cifar = 256;
     max_queries_imagenet = 256;
@@ -99,7 +102,10 @@ let with_experiment_pool scale (config : Workbench.config) name f =
            s.Parallel.Pool.busy_seconds);
       result)
 
+(* [scale.batch] is the run's single batching knob: it overrides the
+   synth params' own width so synthesis and attack phases agree. *)
 let attackers_for scale synth_params c config pool =
+  let synth_params = { synth_params with Workbench.batch = scale.batch } in
   let programs =
     Workbench.synthesize_programs ~params:synth_params ~pool config c
   in
@@ -129,6 +135,8 @@ let attack_caches scale (c : Workbench.classifier) =
 let fig3_for_classifier scale config synth_params max_queries pool
     (c : Workbench.classifier) =
   let caches = attack_caches scale c in
+  let attackers = attackers_for scale synth_params c config pool in
+  Batcher.reset_global_stats ();
   let rows =
     List.map
       (fun attacker ->
@@ -137,8 +145,8 @@ let fig3_for_classifier scale config synth_params max_queries pool
              attacker.Attackers.name c.Workbench.arch
              (Array.length c.Workbench.test));
         let records =
-          Runner.run ~pool ?caches ~seed:scale.attack_seed ~max_queries
-            attacker c c.Workbench.test
+          Runner.run ~pool ?caches ~batch:scale.batch ~seed:scale.attack_seed
+            ~max_queries attacker c c.Workbench.test
         in
         let budgets = scale.budgets @ [ max_queries ] in
         {
@@ -156,11 +164,14 @@ let fig3_for_classifier scale config synth_params max_queries pool
               budgets;
           avg_queries = Runner.avg_queries records;
         })
-      (attackers_for scale synth_params c config pool)
+      attackers
   in
   Workbench.log_cache_stats config
     (Printf.sprintf "fig3 %s" c.Workbench.arch)
     caches;
+  Workbench.log_batch_stats config
+    (Printf.sprintf "fig3 %s" c.Workbench.arch)
+    (Batcher.global_stats ());
   rows
 
 let fig3_cifar ?(scale = default_scale) config =
@@ -191,9 +202,10 @@ type table1 = {
 let table1 ?(scale = default_scale) config =
   with_experiment_pool scale config "table1" (fun pool ->
       let suite = Array.of_list (Workbench.cifar_suite config) in
+      let synth_params = { scale.synth with Workbench.batch = scale.batch } in
       let programs =
         Array.map
-          (Workbench.synthesize_programs ~params:scale.synth ~pool config)
+          (Workbench.synthesize_programs ~params:synth_params ~pool config)
           suite
       in
       let n = Array.length suite in
@@ -203,6 +215,7 @@ let table1 ?(scale = default_scale) config =
                programs: every OPPSLA run explores the same corner space
                on the same images, so cross-source hit rates are high. *)
             let caches = attack_caches scale suite.(target) in
+            Batcher.reset_global_stats ();
             let row =
               Array.init n (fun source ->
                   config.Workbench.log
@@ -213,7 +226,8 @@ let table1 ?(scale = default_scale) config =
                     Attackers.oppsla ~programs:programs.(source)
                   in
                   let records =
-                    Runner.run ~pool ?caches ~seed:scale.attack_seed
+                    Runner.run ~pool ?caches ~batch:scale.batch
+                      ~seed:scale.attack_seed
                       ~max_queries:scale.max_queries_cifar attacker
                       suite.(target) suite.(target).Workbench.test
                   in
@@ -222,6 +236,9 @@ let table1 ?(scale = default_scale) config =
             Workbench.log_cache_stats config
               (Printf.sprintf "table1 target %s" suite.(target).Workbench.arch)
               caches;
+            Workbench.log_batch_stats config
+              (Printf.sprintf "table1 target %s" suite.(target).Workbench.arch)
+              (Batcher.global_stats ());
             row)
       in
       {
@@ -268,7 +285,8 @@ let fig4 ?(scale = default_scale) config =
   let evaluate_on_heldout program =
     let e =
       Workbench.parallel_evaluator ~pool ?caches:heldout_caches
-        ~max_queries:scale.max_queries_cifar c program heldout
+        ~max_queries:scale.max_queries_cifar ~batch:scale.batch c program
+        heldout
     in
     e.Oppsla.Score.avg_queries
   in
@@ -279,6 +297,7 @@ let fig4 ?(scale = default_scale) config =
       max_iters = scale.fig4_iters;
       max_queries_per_image =
         Some scale.synth.Workbench.synth_max_queries_per_image;
+      batch = scale.batch;
     }
   in
   let g =
@@ -290,6 +309,7 @@ let fig4 ?(scale = default_scale) config =
     if scale.cache then Some (Score_cache.store (Array.length training))
     else None
   in
+  Batcher.reset_global_stats ();
   let out =
     Oppsla.Synthesizer.synthesize ~config:synth_config ~pool ?caches:synth_caches
       g
@@ -320,6 +340,7 @@ let fig4 ?(scale = default_scale) config =
   in
   Workbench.log_cache_stats config "fig4 synthesis" synth_caches;
   Workbench.log_cache_stats config "fig4 held-out" heldout_caches;
+  Workbench.log_batch_stats config "fig4" (Batcher.global_stats ());
   result
 
 (* Table 2 *)
@@ -344,7 +365,7 @@ let table2 ?(scale = default_scale) config =
         config.Workbench.log
           (Printf.sprintf "[table2] %s vs %s" attacker.Attackers.name
              c.Workbench.arch);
-        Runner.run ~pool ?caches ~seed:scale.attack_seed
+        Runner.run ~pool ?caches ~batch:scale.batch ~seed:scale.attack_seed
           ~max_queries:scale.max_queries_cifar attacker c c.Workbench.test
       in
       let row approach records =
@@ -357,14 +378,17 @@ let table2 ?(scale = default_scale) config =
         }
       in
       let oppsla_programs =
-        Workbench.synthesize_programs ~params:scale.synth ~pool config c
+        Workbench.synthesize_programs
+          ~params:{ scale.synth with Workbench.batch = scale.batch }
+          ~pool config c
       in
       let random_programs =
         Workbench.sketch_random_programs ~samples:scale.random_samples
           ~max_queries_per_image:
             scale.synth.Workbench.synth_max_queries_per_image
-          ~cache:scale.synth.Workbench.cache ~pool config c
+          ~cache:scale.synth.Workbench.cache ~batch:scale.batch ~pool config c
       in
+      Batcher.reset_global_stats ();
       let rows =
         [
           row "OPPSLA" (run (Attackers.oppsla ~programs:oppsla_programs));
@@ -377,5 +401,8 @@ let table2 ?(scale = default_scale) config =
       Workbench.log_cache_stats config
         (Printf.sprintf "table2 %s" c.Workbench.arch)
         caches;
+      Workbench.log_batch_stats config
+        (Printf.sprintf "table2 %s" c.Workbench.arch)
+        (Batcher.global_stats ());
       rows)
     suite

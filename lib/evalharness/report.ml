@@ -140,6 +140,43 @@ let render_cache_stats (s : Score_cache.stats) =
           ];
         ]
 
+let render_batch_stats (s : Batcher.stats) =
+  let specs = s.Batcher.buffer_hits + s.Batcher.discarded in
+  let accuracy =
+    if specs = 0 then "-"
+    else percent (float_of_int s.Batcher.buffer_hits /. float_of_int specs)
+  in
+  let avg_chunk =
+    if s.Batcher.batches = 0 then "-"
+    else
+      Printf.sprintf "%.1f"
+        (float_of_int s.Batcher.prepared /. float_of_int s.Batcher.batches)
+  in
+  "Speculative batching\n"
+  ^ table
+      ~headers:
+        [
+          "queries";
+          "chunks";
+          "prepared";
+          "avg chunk";
+          "buffer hits";
+          "discarded";
+          "speculation accuracy";
+        ]
+      ~rows:
+        [
+          [
+            string_of_int s.Batcher.queries;
+            string_of_int s.Batcher.batches;
+            string_of_int s.Batcher.prepared;
+            avg_chunk;
+            string_of_int s.Batcher.buffer_hits;
+            string_of_int s.Batcher.discarded;
+            accuracy;
+          ];
+        ]
+
 let render_table2 (rows : Experiments.table2_row list) =
   let headers =
     [ "classifier"; "approach"; "success"; "avg #queries"; "median #queries" ]

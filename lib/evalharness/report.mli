@@ -26,3 +26,9 @@ val render_cache_stats : Score_cache.stats -> string
     estimated tensor footprint in megabytes.  Works on a single cache's
     {!Score_cache.stats} or a store-wide {!Score_cache.store_stats}
     aggregate. *)
+
+val render_batch_stats : Batcher.stats -> string
+(** One-row table of the speculative batcher's counters: metered queries,
+    chunks resolved, candidates prepared per chunk, buffer hits vs
+    discarded speculations, and the resulting speculation accuracy.
+    Rendered next to the cache and pool statistics in run reports. *)

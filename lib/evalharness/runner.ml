@@ -1,7 +1,7 @@
 type record = { true_class : int; success : bool; queries : int }
 
-let run ?domains ?pool ?caches ~seed ~max_queries (attacker : Attackers.t)
-    classifier samples =
+let run ?domains ?pool ?caches ?(batch = Oppsla.Sketch.default_batch) ~seed
+    ~max_queries (attacker : Attackers.t) classifier samples =
   (match caches with
   | Some store when Score_cache.store_size store <> Array.length samples ->
       invalid_arg
@@ -24,7 +24,9 @@ let run ?domains ?pool ?caches ~seed ~max_queries (attacker : Attackers.t)
     | Some store ->
         Oracle.set_cache oracle (Some (Score_cache.image_cache store i))
     | None -> ());
-    let r = attacker.Attackers.run g oracle ~max_queries ~image ~true_class in
+    let r =
+      attacker.Attackers.run g oracle ~max_queries ~batch ~image ~true_class
+    in
     {
       true_class;
       success = r.Oppsla.Sketch.adversarial <> None;

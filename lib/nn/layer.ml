@@ -196,6 +196,127 @@ and forward_norm ~train n x =
   if train then n.norm_cache <- Some (x, mu, inv_std);
   y
 
+(* Batched forward.
+
+   Inference over a whole candidate batch at once: NCHW in, and from the
+   first [Flatten] on, [|n; features|].  Each image's result is bit-equal
+   to [forward ~train:false] via the GEMM path — every kernel used below
+   accumulates per output element in an order independent of the batch
+   width.  This path NEVER touches the training caches, so attack
+   workloads retain no input tensors between queries. *)
+
+let rec forward_batch layer x =
+  match layer with
+  | Conv c ->
+      Tensor.conv2d_gemm_batch ~stride:c.stride ~pad:c.pad x
+        ~weight:c.cw.value ~bias:(Some c.cb.value)
+  | Dense d ->
+      let y = Tensor.matmul_nt x d.dw.value in
+      let n = Tensor.dim y 0 and out_dim = Tensor.dim y 1 in
+      let yd = y.Tensor.data and bd = d.db.value.Tensor.data in
+      for img = 0 to n - 1 do
+        let off = img * out_dim in
+        for j = 0 to out_dim - 1 do
+          yd.(off + j) <- yd.(off + j) +. bd.(j)
+        done
+      done;
+      y
+  | Relu _ -> Tensor.relu x
+  | Max_pool p ->
+      let y, _ = Tensor.max_pool2d ~stride:p.mstride ~size:p.msize (fuse_nc x) in
+      unfuse_nc x y
+  | Avg_pool p -> unfuse_nc x (Tensor.avg_pool2d ~stride:p.astride ~size:p.asize (fuse_nc x))
+  | Global_avg_pool _ ->
+      let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+      Tensor.reshape (Tensor.global_avg_pool (fuse_nc x)) [| n; c |]
+  | Flatten _ ->
+      let n = Tensor.dim x 0 in
+      Tensor.reshape x [| n; Tensor.numel x / n |]
+  | Norm n -> forward_norm_batch n x
+  | Residual { body; projection } ->
+      let skip =
+        match projection with None -> x | Some p -> forward_batch p x
+      in
+      Tensor.add (forward_batch body x) skip
+  | Inception i ->
+      Tensor.concat_channels_batch
+        (List.map (fun b -> forward_batch b x) i.branches)
+  | Seq layers -> List.fold_left (fun acc l -> forward_batch l acc) x layers
+  | Dense_block b ->
+      List.fold_left
+        (fun feat conv ->
+          let y = forward_batch conv feat in
+          Tensor.concat_channels_batch [ feat; y ])
+        x b.convs
+
+(* Pooling and global averaging act per channel plane, so an NCHW batch
+   folds to [(n*c); h; w], runs the single-image kernel, and unfolds. *)
+and fuse_nc x =
+  if Tensor.ndim x <> 4 then
+    invalid_arg "Layer.forward_batch: expected an NCHW tensor";
+  let s = Tensor.shape x in
+  Tensor.reshape x [| s.(0) * s.(1); s.(2); s.(3) |]
+
+and unfuse_nc x y =
+  let s = Tensor.shape x and p = Tensor.shape y in
+  Tensor.reshape y [| s.(0); s.(1); p.(1); p.(2) |]
+
+and forward_norm_batch n x =
+  if Tensor.ndim x <> 4 then
+    invalid_arg "Layer.channel_norm: expected an NCHW tensor";
+  let nb = Tensor.dim x 0
+  and c = Tensor.dim x 1
+  and h = Tensor.dim x 2
+  and w = Tensor.dim x 3 in
+  let m = float_of_int (h * w) in
+  let y = Tensor.zeros [| nb; c; h; w |] in
+  let xd = x.Tensor.data and yd = y.Tensor.data in
+  (* Same per-plane reductions as [forward_norm], plane by plane; the
+     channel of plane [p] is [p mod c]. *)
+  for plane = 0 to (nb * c) - 1 do
+    let off = plane * h * w and ch = plane mod c in
+    let acc = ref 0. in
+    for i = 0 to (h * w) - 1 do
+      acc := !acc +. Array.unsafe_get xd (off + i)
+    done;
+    let mean = !acc /. m in
+    let vacc = ref 0. in
+    for i = 0 to (h * w) - 1 do
+      let d = Array.unsafe_get xd (off + i) -. mean in
+      vacc := !vacc +. (d *. d)
+    done;
+    let istd = 1. /. sqrt ((!vacc /. m) +. norm_eps) in
+    let gam = Tensor.get_flat n.gamma.value ch
+    and bet = Tensor.get_flat n.beta.value ch in
+    for i = 0 to (h * w) - 1 do
+      let xhat = (Array.unsafe_get xd (off + i) -. mean) *. istd in
+      Array.unsafe_set yd (off + i) ((gam *. xhat) +. bet)
+    done
+  done;
+  y
+
+(* Cache management *)
+
+let rec clear_caches = function
+  | Conv c -> c.conv_x <- None
+  | Dense d -> d.dense_x <- None
+  | Relu r -> r.relu_x <- None
+  | Max_pool p -> p.mcache <- None
+  | Avg_pool p -> p.acache <- None
+  | Global_avg_pool p -> p.gcache <- None
+  | Flatten f -> f.fcache <- None
+  | Norm n -> n.norm_cache <- None
+  | Residual { body; projection } ->
+      clear_caches body;
+      Option.iter clear_caches projection
+  | Inception i ->
+      i.icache <- None;
+      List.iter clear_caches i.branches
+  | Seq layers -> List.iter clear_caches layers
+  | Dense_block b -> List.iter clear_caches b.convs
+
+let children = function Seq layers -> layers | layer -> [ layer ]
+
 (* Backward *)
 
 let rec backward layer dout =

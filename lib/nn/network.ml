@@ -20,9 +20,60 @@ let create ~name ~input_shape ~num_classes layers =
          num_classes);
   { name; input_shape = Array.copy input_shape; num_classes; stack }
 
-let logits t x = Layer.forward ~train:false t.stack x
-let scores t x = Tensor.softmax (logits t x)
+(* Legacy single-image path: direct scalar convolution loops.  Kept as
+   the baseline the batched GEMM engine is benchmarked and differentially
+   tested against. *)
+let logits_direct t x = Layer.forward ~train:false t.stack x
+let scores_direct t x = Tensor.softmax (logits_direct t x)
+
+let logits_batch t xs =
+  if Tensor.ndim xs <> 4 then
+    invalid_arg "Network.logits_batch: expected an NCHW batch";
+  Layer.forward_batch t.stack xs
+
+let scores_batch t xs =
+  let l = logits_batch t xs in
+  let n = Tensor.dim l 0 and classes = Tensor.dim l 1 in
+  let out = Tensor.zeros [| n; classes |] in
+  let ld = l.Tensor.data and od = out.Tensor.data in
+  (* Row-wise softmax with the exact operation order of
+     [Tensor.softmax] (max, exp-shift, sum, scale by 1/z) so each row is
+     bit-equal to the single-image score vector. *)
+  for img = 0 to n - 1 do
+    let off = img * classes in
+    let m = ref ld.(off) in
+    for j = 1 to classes - 1 do
+      if ld.(off + j) > !m then m := ld.(off + j)
+    done;
+    let z = ref 0. in
+    for j = 0 to classes - 1 do
+      let e = exp (ld.(off + j) -. !m) in
+      od.(off + j) <- e;
+      z := !z +. e
+    done;
+    let inv = 1. /. !z in
+    for j = 0 to classes - 1 do
+      od.(off + j) <- inv *. od.(off + j)
+    done
+  done;
+  out
+
+(* Single-image inference delegates to the batched engine at width 1, so
+   the whole system exercises one forward-pass implementation. *)
+let batch_of_one x =
+  if Tensor.ndim x <> 3 then
+    invalid_arg "Network: single-image inference expects a CHW image";
+  let s = Tensor.shape x in
+  Tensor.reshape x [| 1; s.(0); s.(1); s.(2) |]
+
+let logits t x =
+  Tensor.reshape (logits_batch t (batch_of_one x)) [| t.num_classes |]
+
+let scores t x =
+  Tensor.reshape (scores_batch t (batch_of_one x)) [| t.num_classes |]
+
 let classify t x = Tensor.argmax (logits t x)
+let clear_caches t = Layer.clear_caches t.stack
 let forward_train t x = Layer.forward ~train:true t.stack x
 let backward t dlogits = Layer.backward t.stack dlogits
 let params t = Layer.params t.stack

@@ -80,4 +80,8 @@ let fit ?config ?test g net train =
     config.log report;
     reports := report :: !reports
   done;
+  (* Training leaves each layer's last forward-pass intermediates cached
+     (inputs, switches, norm stats) — dead weight for the inference-only
+     attack workloads that follow. *)
+  Network.clear_caches net;
   List.rev !reports

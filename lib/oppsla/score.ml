@@ -62,16 +62,17 @@ let check_caches name caches oracle samples =
 
 let slot caches i = Option.map (fun s -> Score_cache.image_cache s i) caches
 
-let evaluate ?max_queries ?goal ?caches oracle program samples =
+let evaluate ?max_queries ?goal ?caches ?batch oracle program samples =
   check_caches "Score.evaluate" caches oracle samples;
   of_results
     (Array.mapi
        (fun i (image, true_class) ->
-         Sketch.attack ?max_queries ?goal ?cache:(slot caches i) oracle
+         Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch oracle
            program ~image ~true_class)
        samples)
 
-let evaluate_parallel ?max_queries ?goal ?caches ~pool oracle program samples =
+let evaluate_parallel ?max_queries ?goal ?caches ?batch ~pool oracle program
+    samples =
   check_caches "Score.evaluate_parallel" caches oracle samples;
   of_results
     (Domain_pool.Pool.map pool
@@ -79,7 +80,7 @@ let evaluate_parallel ?max_queries ?goal ?caches ~pool oracle program samples =
          (* The clone has no attached cache by construction; the image's
             own slot is re-attached explicitly, so a cache is only ever
             touched by the one domain attacking its image. *)
-         Sketch.attack ?max_queries ?goal ?cache:(slot caches i)
+         Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch
            (Oracle.clone oracle) program ~image ~true_class)
        (Array.mapi (fun i s -> (i, s)) samples))
 

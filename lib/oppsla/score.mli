@@ -36,6 +36,7 @@ val evaluate :
   ?max_queries:int ->
   ?goal:Sketch.goal ->
   ?caches:Score_cache.store ->
+  ?batch:int ->
   Oracle.t ->
   Condition.program ->
   (Tensor.t * int) array ->
@@ -53,12 +54,17 @@ val evaluate :
     returned evaluation is bit-identical with and without [caches].
     Raises [Invalid_argument] if the store size differs from the sample
     count, or if [oracle] carries an {e attached} per-image cache (which
-    cannot be correct for a multi-image batch). *)
+    cannot be correct for a multi-image batch).
+
+    [batch] (default {!Sketch.default_batch}) is the speculative chunk
+    width forwarded to every per-image {!Sketch.attack}; the evaluation
+    is bit-identical at every width (see {!Batcher}). *)
 
 val evaluate_parallel :
   ?max_queries:int ->
   ?goal:Sketch.goal ->
   ?caches:Score_cache.store ->
+  ?batch:int ->
   pool:Domain_pool.Pool.t ->
   Oracle.t ->
   Condition.program ->
@@ -79,7 +85,8 @@ val evaluate_parallel :
     any attached cache ({!Oracle.clone}), each image's slot is re-attached
     explicitly to that image's clone, and at any instant an image — hence
     its cache — is held by exactly one domain; the pool's map barrier
-    orders hand-offs between evaluations. *)
+    orders hand-offs between evaluations.  [batch] is forwarded to each
+    image's attack exactly as in {!evaluate}. *)
 
 val score : beta:float -> float -> float
 (** [score ~beta avg_queries = exp (-. beta *. avg_queries)]. *)

@@ -35,7 +35,9 @@ let cache_key (pair : Pair.t) =
       corner = pair.corner;
     }
 
-let attack ?max_queries ?(goal = Untargeted) ?cache
+let default_batch = 16
+
+let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
     ?(on_query = fun _ _ _ -> ()) oracle program ~image ~true_class =
   let cache =
     match cache with Some _ as c -> c | None -> Oracle.cache oracle
@@ -55,32 +57,25 @@ let attack ?max_queries ?(goal = Untargeted) ?cache
             Oracle.unmetered_scores oracle image)
   in
   let spent = ref 0 in
-  (* Query a candidate pair.  Raises [Found] on success and
-     [Out_of_queries] when either the local cap or the oracle budget is
-     hit.  With a cache, the perturbed tensor is only materialized on a
-     miss (or on success, for the result). *)
-  let check pair =
+  let batcher = Batcher.create ?cache ~width:batch oracle in
+  let candidate_of pair =
+    { Batcher.key = cache_key pair; input = (fun () -> perturb image pair) }
+  in
+  (* Query a candidate pair, possibly served from the batcher's
+     speculative buffer.  Raises [Found] on success and [Out_of_queries]
+     when either the local cap or the oracle budget is hit.  The
+     perturbed tensor is only materialized on a cache/buffer miss (or on
+     success, for the result). *)
+  let check ?speculate pair =
     if !spent >= limit then raise Out_of_queries;
-    let scores, candidate =
-      try
-        match cache with
-        | None ->
-            let x' = perturb image pair in
-            (Oracle.scores oracle x', Some x')
-        | Some c ->
-            ( Oracle.scores_memo oracle c ~key:(cache_key pair)
-                ~input:(fun () -> perturb image pair),
-              None )
+    let scores =
+      try Batcher.query batcher ?speculate (candidate_of pair)
       with Oracle.Budget_exhausted _ -> raise Out_of_queries
     in
     incr spent;
     on_query !spent pair scores;
-    if goal_reached goal ~true_class (Tensor.argmax scores) then begin
-      let adversarial =
-        match candidate with Some x' -> x' | None -> perturb image pair
-      in
-      raise (Found (pair, adversarial))
-    end;
+    if goal_reached goal ~true_class (Tensor.argmax scores) then
+      raise (Found (pair, perturb image pair));
     scores
   in
   let ctx_of pair perturbed_scores : Condition.ctx =
@@ -88,12 +83,24 @@ let attack ?max_queries ?(goal = Untargeted) ?cache
   in
   let queue = Pair_queue.full_space ~d1 ~d2 ~image in
   let b1, b2, b3, b4 = Condition.conditions program in
+  (* Speculation for the main loop: if no condition fires on this pair
+     (the common case — and the only case for the Sketch+False baseline),
+     the next candidates are exactly the queue's front entries.  Any
+     condition that does fire mutates the queue or detours through the
+     eager phase, which changes the next key and makes the batcher
+     discard its buffer — accounting stays exact either way.  Filling is
+     capped by the local query budget so the tail of an attack never
+     over-prepares. *)
+  let speculate_from_queue i =
+    if i >= limit - !spent - 1 then None
+    else Option.map candidate_of (Pair_queue.front_nth queue i)
+  in
   try
     let rec main_loop () =
       match Pair_queue.pop queue with
       | None -> { adversarial = None; queries = !spent }
       | Some pair ->
-          let ctx = ctx_of pair (check pair) in
+          let ctx = ctx_of pair (check ~speculate:speculate_from_queue pair) in
           if Condition.eval b1 ctx then
             List.iter (Pair_queue.push_back queue)
               (closest_loc queue ~d1 ~d2 pair);

@@ -21,6 +21,7 @@ type config = {
   goal : Sketch.goal;
   max_queries_per_image : int option;
   max_synth_queries : int option;
+  batch : int;
   on_iteration : iteration -> unit;
   evaluator :
     (Condition.program -> (Tensor.t * int) array -> Score.evaluation) option;
@@ -33,6 +34,7 @@ let default_config =
     goal = Sketch.Untargeted;
     max_queries_per_image = None;
     max_synth_queries = None;
+    batch = Sketch.default_batch;
     on_iteration = (fun _ -> ());
     evaluator = None;
   }
@@ -47,11 +49,13 @@ let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
     | None, Some pool ->
         fun program samples ->
           Score.evaluate_parallel ?max_queries:config.max_queries_per_image
-            ~goal:config.goal ?caches ~pool oracle program samples
+            ~goal:config.goal ?caches ~batch:config.batch ~pool oracle program
+            samples
     | None, None ->
         fun program samples ->
           Score.evaluate ?max_queries:config.max_queries_per_image
-            ~goal:config.goal ?caches oracle program samples
+            ~goal:config.goal ?caches ~batch:config.batch oracle program
+            samples
   in
   let synth_queries = ref 0 in
   let eval_counted program =

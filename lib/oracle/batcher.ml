@@ -1,0 +1,150 @@
+(* Speculative candidate batching over a metered oracle.
+
+   Attackers are sequential decision processes: candidate [j+1] may
+   depend on the answer to candidate [j].  Posing candidates one by one
+   keeps accounting trivial but wastes the batched forward pass.  The
+   batcher closes the gap speculatively: when the attacker asks for a
+   candidate, it also asks the attacker (via [speculate]) which
+   candidates it WOULD pose next if nothing interesting happens, resolves
+   the whole chunk in one unmetered batched forward pass, and buffers the
+   results.  Subsequent queries are served from the buffer as long as the
+   requested key matches the buffered head; any deviation (the attacker
+   reacted to an answer) discards the buffer and rebuilds it from the
+   attacker's true state.
+
+   Accounting is exact by construction, not by rollback: the forward
+   passes are speculative and unmetered ({!Oracle.eval_batch}), while the
+   query counter is charged at consumption time only, one query per
+   served candidate, in the exact order the attacker poses them.  Query
+   counts, budget-exhaustion indices, success flags and synthesizer
+   traces are therefore bit-identical to the sequential path at every
+   batch width — mis-speculation costs wall-clock, never queries. *)
+
+type candidate = { key : Score_cache.key; input : unit -> Tensor.t }
+
+type t = {
+  oracle : Oracle.t;
+  cache : Score_cache.t option;
+  width : int;
+  mutable buf : (Score_cache.key * Tensor.t) list; (* head = next expected *)
+}
+
+type stats = {
+  queries : int;
+  batches : int;
+  prepared : int;
+  buffer_hits : int;
+  discarded : int;
+}
+
+(* Global counters, aggregated across every batcher (and every domain —
+   attacks under the pool run concurrently, hence atomics). *)
+let g_queries = Atomic.make 0
+let g_batches = Atomic.make 0
+let g_prepared = Atomic.make 0
+let g_buffer_hits = Atomic.make 0
+let g_discarded = Atomic.make 0
+let bump c n = ignore (Atomic.fetch_and_add c n)
+
+let global_stats () =
+  {
+    queries = Atomic.get g_queries;
+    batches = Atomic.get g_batches;
+    prepared = Atomic.get g_prepared;
+    buffer_hits = Atomic.get g_buffer_hits;
+    discarded = Atomic.get g_discarded;
+  }
+
+let reset_global_stats () =
+  Atomic.set g_queries 0;
+  Atomic.set g_batches 0;
+  Atomic.set g_prepared 0;
+  Atomic.set g_buffer_hits 0;
+  Atomic.set g_discarded 0
+
+let zero_stats =
+  { queries = 0; batches = 0; prepared = 0; buffer_hits = 0; discarded = 0 }
+
+let add_stats a b =
+  {
+    queries = a.queries + b.queries;
+    batches = a.batches + b.batches;
+    prepared = a.prepared + b.prepared;
+    buffer_hits = a.buffer_hits + b.buffer_hits;
+    discarded = a.discarded + b.discarded;
+  }
+
+let create ?cache ~width oracle =
+  if width < 1 then invalid_arg "Batcher.create: width < 1";
+  let cache = match cache with Some _ as c -> c | None -> Oracle.cache oracle in
+  { oracle; cache; width; buf = [] }
+
+let width t = t.width
+
+let drop_buffer t =
+  match t.buf with
+  | [] -> ()
+  | l ->
+      bump g_discarded (List.length l);
+      t.buf <- []
+
+(* Resolve a chunk of candidates without metering: cache hits first, the
+   misses in one batched forward pass, results stored under their keys. *)
+let prepare t chunk =
+  bump g_batches 1;
+  bump g_prepared (Array.length chunk);
+  let resolved = Array.make (Array.length chunk) None in
+  (match t.cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i cand -> resolved.(i) <- Score_cache.find_counted c cand.key)
+        chunk);
+  let missing = ref [] in
+  for i = Array.length chunk - 1 downto 0 do
+    if resolved.(i) = None then missing := i :: !missing
+  done;
+  let missing = Array.of_list !missing in
+  if Array.length missing > 0 then begin
+    let outs =
+      Oracle.eval_batch t.oracle
+        (Array.map (fun i -> chunk.(i).input ()) missing)
+    in
+    Array.iteri
+      (fun j i ->
+        resolved.(i) <- Some outs.(j);
+        match t.cache with
+        | Some c -> Score_cache.add c chunk.(i).key outs.(j)
+        | None -> ())
+      missing
+  end;
+  t.buf <-
+    Array.to_list
+      (Array.mapi (fun i cand -> (cand.key, Option.get resolved.(i))) chunk)
+
+let no_speculation : int -> candidate option = fun _ -> None
+
+let query t ?(speculate = no_speculation) cand =
+  (match t.buf with
+  | (k, _) :: _ when k = cand.key -> bump g_buffer_hits 1
+  | _ ->
+      drop_buffer t;
+      let chunk = ref [ cand ] and filled = ref 1 and stop = ref false in
+      while (not !stop) && !filled < t.width do
+        match speculate (!filled - 1) with
+        | None -> stop := true
+        | Some c ->
+            chunk := c :: !chunk;
+            incr filled
+      done;
+      prepare t (Array.of_list (List.rev !chunk)));
+  match t.buf with
+  | [] -> assert false
+  | (_, s) :: rest ->
+      (* Metering happens here — at consumption, never at preparation —
+         so the counter advances in the attacker's true query order and
+         Budget_exhausted fires at the sequential path's exact index. *)
+      Oracle.meter t.oracle;
+      bump g_queries 1;
+      t.buf <- rest;
+      s

@@ -1,5 +1,6 @@
 type t = {
   fn : Tensor.t -> Tensor.t;
+  fn_batch : (Tensor.t array -> Tensor.t array) option;
   oracle_name : string;
   classes : int;
   mutable count : int;
@@ -9,10 +10,11 @@ type t = {
 
 exception Budget_exhausted of int
 
-let of_fn ?budget ?(name = "fn") ~num_classes fn =
+let of_fn ?budget ?batch_fn ?(name = "fn") ~num_classes fn =
   if num_classes <= 0 then invalid_arg "Oracle.of_fn: num_classes <= 0";
   {
     fn;
+    fn_batch = batch_fn;
     oracle_name = name;
     classes = num_classes;
     count = 0;
@@ -21,8 +23,31 @@ let of_fn ?budget ?(name = "fn") ~num_classes fn =
   }
 
 let of_network ?budget net =
+  let fn_batch xs =
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else begin
+      let s = Tensor.shape xs.(0) in
+      if Array.length s <> 3 then
+        invalid_arg "Oracle.of_network: batch entries must be CHW images";
+      let image = s.(0) * s.(1) * s.(2) in
+      let batch = Tensor.zeros [| n; s.(0); s.(1); s.(2) |] in
+      Array.iteri
+        (fun i x ->
+          if Tensor.shape x <> s then
+            invalid_arg "Oracle.of_network: mixed shapes in one batch";
+          Array.blit x.Tensor.data 0 batch.Tensor.data (i * image) image)
+        xs;
+      let out = Nn.Network.scores_batch net batch in
+      let classes = Tensor.dim out 1 in
+      Array.init n (fun i ->
+          Tensor.init [| classes |] (fun j ->
+              Tensor.get_flat out ((i * classes) + j)))
+    end
+  in
   {
     fn = Nn.Network.scores net;
+    fn_batch = Some fn_batch;
     oracle_name = net.Nn.Network.name;
     classes = net.Nn.Network.num_classes;
     count = 0;
@@ -54,6 +79,62 @@ let scores_memo t cache ~key ~input =
   meter t;
   Score_cache.find_or_add cache key ~compute:(fun () ->
       validated t (t.fn (input ())))
+
+(* Unmetered batched forward pass: the speculative half of the batched
+   query path.  Falls back to mapping [fn] when the scoring function has
+   no batched form (toy oracles), which keeps the accounting semantics
+   testable independently of the GEMM engine. *)
+let eval_batch t xs =
+  match t.fn_batch with
+  | Some fb -> Array.map (validated t) (fb xs)
+  | None -> Array.map (fun x -> validated t (t.fn x)) xs
+
+let scores_batch t ?cache ~keys ~inputs ~consume () =
+  let n = Array.length inputs in
+  if Array.length keys <> n then
+    invalid_arg "Oracle.scores_batch: keys and inputs must have equal length";
+  (* Speculative phase: resolve every slot's score vector without
+     touching the query counter.  Cache hits leave the batch before the
+     forward pass; misses are evaluated in one batched call and stored. *)
+  let resolved = Array.make n None in
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i key ->
+          match key with
+          | None -> ()
+          | Some k -> resolved.(i) <- Score_cache.find_counted c k)
+        keys);
+  let missing = ref [] in
+  for i = n - 1 downto 0 do
+    if resolved.(i) = None then missing := i :: !missing
+  done;
+  let missing = Array.of_list !missing in
+  if Array.length missing > 0 then begin
+    let outs = eval_batch t (Array.map (fun i -> inputs.(i) ()) missing) in
+    Array.iteri
+      (fun j i ->
+        resolved.(i) <- Some outs.(j);
+        match (cache, keys.(i)) with
+        | Some c, Some k -> Score_cache.add c k outs.(j)
+        | _ -> ())
+      missing
+  end;
+  (* Accounting phase: charge slots strictly in submission order.  A
+     budget exhausted at slot [j] raises after slots [0, j) were consumed
+     and charged — the same query index as the sequential path; results
+     for the remaining slots are discarded (speculation cost wall-clock,
+     never queries). *)
+  let consumed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !consumed < n do
+    let i = !consumed in
+    meter t;
+    consumed := i + 1;
+    continue_ := consume i (Option.get resolved.(i))
+  done;
+  !consumed
 
 let classify t x = Tensor.argmax (scores t x)
 let score_of t x c = Tensor.get_flat (scores t x) c

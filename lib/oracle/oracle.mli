@@ -22,12 +22,21 @@ exception Budget_exhausted of int
 (** Carries the budget that was exhausted. *)
 
 val of_network : ?budget:int -> Nn.Network.t -> t
+(** Network-backed oracle.  Batched queries ({!eval_batch},
+    {!scores_batch}, {!Batcher}) run through
+    {!Nn.Network.scores_batch} — one im2col+GEMM forward pass for the
+    whole chunk. *)
 
 val of_fn :
-  ?budget:int -> ?name:string -> num_classes:int ->
+  ?budget:int ->
+  ?batch_fn:(Tensor.t array -> Tensor.t array) ->
+  ?name:string -> num_classes:int ->
   (Tensor.t -> Tensor.t) -> t
 (** Wrap an arbitrary scoring function (tests, toy classifiers).  The
-    function must return a score vector of length [num_classes]. *)
+    function must return a score vector of length [num_classes].
+    Without [batch_fn], batched queries fall back to mapping the
+    single-image function — accounting semantics are identical either
+    way, only wall-clock differs. *)
 
 val scores : t -> Tensor.t -> Tensor.t
 (** One metered query.  Raises {!Budget_exhausted} if the budget is
@@ -59,6 +68,34 @@ val scores_memo :
     perturbed input within the cache's base image (see
     {!Score_cache.key}).  The returned tensor is shared with the cache;
     treat it as immutable. *)
+
+val eval_batch : t -> Tensor.t array -> Tensor.t array
+(** Unmetered batched forward pass — the {e speculative} half of the
+    batched query path.  Deliberately not a query: callers
+    ({!scores_batch}, {!Batcher}) must meter each slot at consumption
+    time, in submission order, so speculation can never perturb query
+    accounting.  Never call it from attack code directly. *)
+
+val scores_batch :
+  t ->
+  ?cache:Score_cache.t ->
+  keys:Score_cache.key option array ->
+  inputs:(unit -> Tensor.t) array ->
+  consume:(int -> Tensor.t -> bool) ->
+  unit ->
+  int
+(** One speculative chunk of queries with sequential accounting.
+
+    First every slot's score vector is resolved without touching the
+    query counter: slots whose [key] is resident in [cache] leave the
+    batch (a counted hit), the rest are evaluated in one {!eval_batch}
+    call and stored under their keys ([None] keys bypass the cache).
+    Then slots are walked strictly in submission order: each is charged
+    one query — raising {!Budget_exhausted} at exactly the query index
+    the sequential path would — and handed to [consume], which returns
+    [false] to stop (e.g. on attack success).  Returns the number of
+    slots consumed; results past the stopping slot are discarded, so
+    only [stop + 1] queries are ever charged. *)
 
 val queries : t -> int
 (** Queries posed since creation or the last {!reset}. *)

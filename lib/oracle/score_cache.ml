@@ -66,6 +66,23 @@ let find_or_add t key ~compute =
       s
 
 let find t key = Hashtbl.find_opt t.table key
+
+let find_counted t key =
+  match Hashtbl.find_opt t.table key with
+  | Some s ->
+      t.hits <- t.hits + 1;
+      Some s
+  | None -> None
+
+let add t key s =
+  if not (Hashtbl.mem t.table key) then begin
+    t.misses <- t.misses + 1;
+    Hashtbl.replace t.table key s;
+    Queue.add key t.order;
+    t.payload <- t.payload + Tensor.numel s;
+    evict_overflow t
+  end
+
 let mem t key = Hashtbl.mem t.table key
 let length t = Hashtbl.length t.table
 

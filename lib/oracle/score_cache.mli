@@ -70,6 +70,19 @@ val find_or_add : t -> key -> compute:(unit -> Tensor.t) -> Tensor.t
     input belongs inside it. *)
 
 val find : t -> key -> Tensor.t option
+(** Silent probe: no statistics are touched. *)
+
+val find_counted : t -> key -> Tensor.t option
+(** Probe counted as a hit when present (a miss is only counted when the
+    computed vector is stored with {!add}).  The batched oracle path uses
+    this pair instead of {!find_or_add} because its lookups and fills are
+    separated by one batched forward pass over all missing slots. *)
+
+val add : t -> key -> Tensor.t -> unit
+(** Store a computed vector, counted as a miss.  A no-op if [key] is
+    already resident (the first stored vector wins, matching
+    {!find_or_add}). *)
+
 val mem : t -> key -> bool
 val length : t -> int
 

@@ -101,7 +101,19 @@ let div a b = map2 ( /. ) a b
 let scale k t = map (fun v -> k *. v) t
 let add_scalar k t = map (fun v -> k +. v) t
 let neg t = map (fun v -> -.v) t
-let relu t = map (fun v -> if v > 0. then v else 0.) t
+(* Specialized (not [map]-based): polymorphic [Array.map] boxes every
+   float on its way through the closure, which makes relu a measurable
+   slice of inference.  [Array.make] zero-fills, so only positive
+   entries need a store. *)
+let relu t =
+  let d = t.data in
+  let n = Array.length d in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get d i in
+    if v > 0. then Array.unsafe_set out i v
+  done;
+  { shape = Array.copy t.shape; data = out }
 
 let clip ~lo ~hi t =
   map (fun v -> if v < lo then lo else if v > hi then hi else v) t
@@ -157,9 +169,11 @@ let argmax t =
 
 let dot a b =
   if not (same_shape a b) then fail_shape "dot" a.shape b.shape;
+  (* Shapes validated above, so the reduction can use unsafe accesses. *)
+  let ad = a.data and bd = b.data in
   let acc = ref 0. in
   for i = 0 to numel a - 1 do
-    acc := !acc +. (a.data.(i) *. b.data.(i))
+    acc := !acc +. (Array.unsafe_get ad i *. Array.unsafe_get bd i)
   done;
   !acc
 
@@ -177,6 +191,139 @@ let check_rank name t r =
       (Printf.sprintf "Tensor.%s: expected rank %d, got %s" name r
          (shape_to_string t.shape))
 
+(* Accumulating GEMM kernel: [od] (pre-initialized by the caller, e.g.
+   with zeros or a broadcast bias) gains [a * b].  Shapes must already be
+   validated; every index below is in bounds by construction, so the
+   kernel runs on [Array.unsafe_get]/[unsafe_set].  4x4 register tiling:
+   sixteen accumulators live across the whole [p] loop (the local float
+   refs do not escape, so ocamlopt unboxes them), so each output element
+   is read and written exactly once instead of once per [p].  Each output
+   element is accumulated in ascending-[p] order regardless of [m], [n]
+   or the tiling, which keeps results independent of how callers batch
+   their columns — the invariant the batched inference engine relies
+   on. *)
+let gemm_acc ?(ooff = 0) ~m ~k ~n ad bd od =
+  (* Column blocking: sweep [jb] columns at a time so the [k * jb] panel
+     of [bd] stays resident in cache while every row block passes over
+     it — without it, each of the [m/4] row blocks re-streams the whole
+     [k * n] matrix from memory (megabytes for batched im2col).  The
+     block width targets a ~256 KB panel, is a multiple of 4 so only the
+     final block can leave a column remainder, and never shrinks below
+     16 columns. *)
+  let jb = max 16 (32768 / max 1 k land lnot 3) in
+  let jlo = ref 0 in
+  while !jlo < n do
+    let jhi = min n (!jlo + jb) in
+  let i = ref 0 in
+  while !i + 4 <= m do
+    let i0 = !i in
+    let a0 = i0 * k and a1 = (i0 + 1) * k
+    and a2 = (i0 + 2) * k and a3 = (i0 + 3) * k in
+    let o0 = ooff + (i0 * n)
+    and o1 = ooff + ((i0 + 1) * n)
+    and o2 = ooff + ((i0 + 2) * n)
+    and o3 = ooff + ((i0 + 3) * n) in
+    let j = ref !jlo in
+    while !j + 4 <= jhi do
+      let j0 = !j in
+      let c00 = ref (Array.unsafe_get od (o0 + j0))
+      and c01 = ref (Array.unsafe_get od (o0 + j0 + 1))
+      and c02 = ref (Array.unsafe_get od (o0 + j0 + 2))
+      and c03 = ref (Array.unsafe_get od (o0 + j0 + 3))
+      and c10 = ref (Array.unsafe_get od (o1 + j0))
+      and c11 = ref (Array.unsafe_get od (o1 + j0 + 1))
+      and c12 = ref (Array.unsafe_get od (o1 + j0 + 2))
+      and c13 = ref (Array.unsafe_get od (o1 + j0 + 3))
+      and c20 = ref (Array.unsafe_get od (o2 + j0))
+      and c21 = ref (Array.unsafe_get od (o2 + j0 + 1))
+      and c22 = ref (Array.unsafe_get od (o2 + j0 + 2))
+      and c23 = ref (Array.unsafe_get od (o2 + j0 + 3))
+      and c30 = ref (Array.unsafe_get od (o3 + j0))
+      and c31 = ref (Array.unsafe_get od (o3 + j0 + 1))
+      and c32 = ref (Array.unsafe_get od (o3 + j0 + 2))
+      and c33 = ref (Array.unsafe_get od (o3 + j0 + 3)) in
+      for p = 0 to k - 1 do
+        let v0 = Array.unsafe_get ad (a0 + p)
+        and v1 = Array.unsafe_get ad (a1 + p)
+        and v2 = Array.unsafe_get ad (a2 + p)
+        and v3 = Array.unsafe_get ad (a3 + p)
+        and boff = (p * n) + j0 in
+        let b0 = Array.unsafe_get bd boff
+        and b1 = Array.unsafe_get bd (boff + 1)
+        and b2 = Array.unsafe_get bd (boff + 2)
+        and b3 = Array.unsafe_get bd (boff + 3) in
+        c00 := !c00 +. (v0 *. b0);
+        c01 := !c01 +. (v0 *. b1);
+        c02 := !c02 +. (v0 *. b2);
+        c03 := !c03 +. (v0 *. b3);
+        c10 := !c10 +. (v1 *. b0);
+        c11 := !c11 +. (v1 *. b1);
+        c12 := !c12 +. (v1 *. b2);
+        c13 := !c13 +. (v1 *. b3);
+        c20 := !c20 +. (v2 *. b0);
+        c21 := !c21 +. (v2 *. b1);
+        c22 := !c22 +. (v2 *. b2);
+        c23 := !c23 +. (v2 *. b3);
+        c30 := !c30 +. (v3 *. b0);
+        c31 := !c31 +. (v3 *. b1);
+        c32 := !c32 +. (v3 *. b2);
+        c33 := !c33 +. (v3 *. b3)
+      done;
+      Array.unsafe_set od (o0 + j0) !c00;
+      Array.unsafe_set od (o0 + j0 + 1) !c01;
+      Array.unsafe_set od (o0 + j0 + 2) !c02;
+      Array.unsafe_set od (o0 + j0 + 3) !c03;
+      Array.unsafe_set od (o1 + j0) !c10;
+      Array.unsafe_set od (o1 + j0 + 1) !c11;
+      Array.unsafe_set od (o1 + j0 + 2) !c12;
+      Array.unsafe_set od (o1 + j0 + 3) !c13;
+      Array.unsafe_set od (o2 + j0) !c20;
+      Array.unsafe_set od (o2 + j0 + 1) !c21;
+      Array.unsafe_set od (o2 + j0 + 2) !c22;
+      Array.unsafe_set od (o2 + j0 + 3) !c23;
+      Array.unsafe_set od (o3 + j0) !c30;
+      Array.unsafe_set od (o3 + j0 + 1) !c31;
+      Array.unsafe_set od (o3 + j0 + 2) !c32;
+      Array.unsafe_set od (o3 + j0 + 3) !c33;
+      j := j0 + 4
+    done;
+    while !j < jhi do
+      let j0 = !j in
+      let c0 = ref (Array.unsafe_get od (o0 + j0))
+      and c1 = ref (Array.unsafe_get od (o1 + j0))
+      and c2 = ref (Array.unsafe_get od (o2 + j0))
+      and c3 = ref (Array.unsafe_get od (o3 + j0)) in
+      for p = 0 to k - 1 do
+        let bv = Array.unsafe_get bd ((p * n) + j0) in
+        c0 := !c0 +. (Array.unsafe_get ad (a0 + p) *. bv);
+        c1 := !c1 +. (Array.unsafe_get ad (a1 + p) *. bv);
+        c2 := !c2 +. (Array.unsafe_get ad (a2 + p) *. bv);
+        c3 := !c3 +. (Array.unsafe_get ad (a3 + p) *. bv)
+      done;
+      Array.unsafe_set od (o0 + j0) !c0;
+      Array.unsafe_set od (o1 + j0) !c1;
+      Array.unsafe_set od (o2 + j0) !c2;
+      Array.unsafe_set od (o3 + j0) !c3;
+      incr j
+    done;
+    i := i0 + 4
+  done;
+  for i = !i to m - 1 do
+    let aoff = i * k and orow = ooff + (i * n) in
+    for j = !jlo to jhi - 1 do
+      let acc = ref (Array.unsafe_get od (orow + j)) in
+      for p = 0 to k - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (aoff + p)
+             *. Array.unsafe_get bd ((p * n) + j))
+      done;
+      Array.unsafe_set od (orow + j) !acc
+    done
+  done;
+    jlo := jhi
+  done
+
 let matmul a b =
   check_rank "matmul" a 2;
   check_rank "matmul" b 2;
@@ -184,16 +331,31 @@ let matmul a b =
   let k' = b.shape.(0) and n = b.shape.(1) in
   if k <> k' then fail_shape "matmul" a.shape b.shape;
   let out = zeros [| m; n |] in
+  gemm_acc ~m ~k ~n a.data b.data out.data;
+  out
+
+let matmul_nt a b =
+  check_rank "matmul_nt" a 2;
+  check_rank "matmul_nt" b 2;
+  let m = a.shape.(0) and k = a.shape.(1) in
+  let n = b.shape.(0) and k' = b.shape.(1) in
+  if k <> k' then fail_shape "matmul_nt" a.shape b.shape;
+  let out = zeros [| m; n |] in
   let ad = a.data and bd = b.data and od = out.data in
+  (* Dot-product formulation: out[i, j] = Σ_p b[j, p] * a[i, p], with the
+     reduction in ascending-[p] order so a row of the result is bit-equal
+     to [matvec b a_row] (multiplication commutes bitwise in IEEE754). *)
   for i = 0 to m - 1 do
-    for p = 0 to k - 1 do
-      let av = ad.((i * k) + p) in
-      if av <> 0. then begin
-        let boff = p * n and ooff = i * n in
-        for j = 0 to n - 1 do
-          od.(ooff + j) <- od.(ooff + j) +. (av *. bd.(boff + j))
-        done
-      end
+    let aoff = i * k and ooff = i * n in
+    for j = 0 to n - 1 do
+      let boff = j * k in
+      let acc = ref 0. in
+      for p = 0 to k - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get bd (boff + p) *. Array.unsafe_get ad (aoff + p))
+      done;
+      Array.unsafe_set od (ooff + j) !acc
     done
   done;
   out
@@ -302,6 +464,63 @@ let conv2d ?(stride = 1) ?(pad = 0) x ~weight ~bias =
   done;
   out
 
+(* Truncating integer division rounds toward zero; these round toward
+   -inf / +inf for the (possibly negative) padded-coordinate algebra. *)
+let div_floor a b = if a >= 0 then a / b else -((-a + b - 1) / b)
+let div_ceil a b = if a >= 0 then (a + b - 1) / b else -(-a / b)
+
+(* Copy the patch matrix of one CHW image into [od], whose rows are
+   [total_cols] wide, starting at column [col_off].  Out-of-image (padded)
+   entries are written as explicit zeros — only the pad fringe, so every
+   output position is stored exactly once and callers can hand over an
+   uninitialized (reused) buffer without a multi-megabyte memset pass.
+   The in-bounds ranges are computed per (ky, kx) tap, so the copy loops
+   run without per-element branches on [Array.unsafe_*]. *)
+let im2col_into ~stride ~pad ~kh ~kw ~in_c ~h ~w ~oh ~ow ~total_cols ~col_off
+    ~xoff xd od =
+  for ic = 0 to in_c - 1 do
+    for ky = 0 to kh - 1 do
+      (* iy = oy*stride - pad + ky must lie in [0, h). *)
+      let oy_lo = max 0 (div_ceil (pad - ky) stride)
+      and oy_hi = min (oh - 1) (div_floor (h - 1 + pad - ky) stride) in
+      for kx = 0 to kw - 1 do
+        let row = (((ic * kh) + ky) * kw) + kx in
+        let ox_lo = max 0 (div_ceil (pad - kx) stride)
+        and ox_hi = min (ow - 1) (div_floor (w - 1 + pad - kx) stride) in
+        let rbase = (row * total_cols) + col_off in
+        if oy_lo > oy_hi || ox_lo > ox_hi then
+          (* This tap never lands in-image: the whole row is padding. *)
+          for oy = 0 to oh - 1 do
+            Array.fill od (rbase + (oy * ow)) ow 0.
+          done
+        else begin
+        for oy = 0 to oy_lo - 1 do
+          Array.fill od (rbase + (oy * ow)) ow 0.
+        done;
+        for oy = oy_hi + 1 to oh - 1 do
+          Array.fill od (rbase + (oy * ow)) ow 0.
+        done;
+        for oy = oy_lo to oy_hi do
+          let iy = (oy * stride) - pad + ky in
+          let orow = rbase + (oy * ow)
+          and xrow = xoff + (((ic * h) + iy) * w) - pad + kx in
+          Array.fill od orow ox_lo 0.;
+          Array.fill od (orow + ox_hi + 1) (ow - ox_hi - 1) 0.;
+          if stride = 1 then
+            for ox = ox_lo to ox_hi do
+              Array.unsafe_set od (orow + ox) (Array.unsafe_get xd (xrow + ox))
+            done
+          else
+            for ox = ox_lo to ox_hi do
+              Array.unsafe_set od (orow + ox)
+                (Array.unsafe_get xd (xrow + (ox * stride)))
+            done
+        done
+        end
+      done
+    done
+  done
+
 let im2col ?(stride = 1) ?(pad = 0) ~kh ~kw x =
   check_rank "im2col" x 3;
   let in_c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
@@ -310,24 +529,28 @@ let im2col ?(stride = 1) ?(pad = 0) ~kh ~kw x =
     invalid_arg "Tensor.im2col: kernel larger than padded input";
   let rows = in_c * kh * kw and cols = oh * ow in
   let out = zeros [| rows; cols |] in
-  let xd = x.data and od = out.data in
-  for ic = 0 to in_c - 1 do
-    for ky = 0 to kh - 1 do
-      for kx = 0 to kw - 1 do
-        let row = (((ic * kh) + ky) * kw) + kx in
-        for oy = 0 to oh - 1 do
-          let iy = (oy * stride) - pad + ky in
-          if iy >= 0 && iy < h then begin
-            for ox = 0 to ow - 1 do
-              let ix = (ox * stride) - pad + kx in
-              if ix >= 0 && ix < w then
-                od.((row * cols) + (oy * ow) + ox) <-
-                  xd.((((ic * h) + iy) * w) + ix)
-            done
-          end
-        done
-      done
-    done
+  im2col_into ~stride ~pad ~kh ~kw ~in_c ~h ~w ~oh ~ow ~total_cols:cols
+    ~col_off:0 ~xoff:0 x.data out.data;
+  out
+
+let im2col_batch ?(stride = 1) ?(pad = 0) ~kh ~kw x =
+  check_rank "im2col_batch" x 4;
+  let n = x.shape.(0)
+  and in_c = x.shape.(1)
+  and h = x.shape.(2)
+  and w = x.shape.(3) in
+  let oh = conv_out_dim h kh stride pad and ow = conv_out_dim w kw stride pad in
+  if oh <= 0 || ow <= 0 then
+    invalid_arg "Tensor.im2col_batch: kernel larger than padded input";
+  let rows = in_c * kh * kw and cols = oh * ow in
+  let out = zeros [| rows; n * cols |] in
+  (* One shared patch matrix for the whole batch: image [img] owns the
+     column block [img*oh*ow, (img+1)*oh*ow). *)
+  let image = in_c * h * w in
+  for img = 0 to n - 1 do
+    im2col_into ~stride ~pad ~kh ~kw ~in_c ~h ~w ~oh ~ow
+      ~total_cols:(n * cols) ~col_off:(img * cols) ~xoff:(img * image) x.data
+      out.data
   done;
   out
 
@@ -342,18 +565,78 @@ let conv2d_gemm ?(stride = 1) ?(pad = 0) x ~weight ~bias =
   if in_c <> win_c then fail_shape "conv2d_gemm" x.shape weight.shape;
   let oh = conv_out_dim h kh stride pad and ow = conv_out_dim w kw stride pad in
   let patches = im2col ~stride ~pad ~kh ~kw x in
-  let wmat = reshape weight [| out_c; in_c * kh * kw |] in
-  let flat = matmul wmat patches in
-  let out = reshape flat [| out_c; oh; ow |] in
+  let kk = in_c * kh * kw and cols = oh * ow in
+  let out = zeros [| out_c; oh; ow |] in
+  (* Seed each output row with its bias BEFORE the GEMM so the per-element
+     accumulation order (bias first, then taps in ascending ic/ky/kx order)
+     matches [conv2d] exactly: the two formulations are bit-identical, not
+     merely close. *)
   (match bias with
   | None -> ()
   | Some bt ->
       for oc = 0 to out_c - 1 do
-        let b = bt.data.(oc) and off = oc * oh * ow in
-        for i = 0 to (oh * ow) - 1 do
-          out.data.(off + i) <- out.data.(off + i) +. b
-        done
+        Array.fill out.data (oc * cols) cols bt.data.(oc)
       done);
+  gemm_acc ~m:out_c ~k:kk ~n:cols weight.data patches.data out.data;
+  out
+
+(* Per-domain scratch for the batched conv GEMM path.  The per-image
+   patch matrix is short-lived but sizable (tens of KB per conv call),
+   so allocating it fresh per call hammers the major heap — it exceeds
+   the minor-heap large-object threshold.  Each domain keeps one
+   growable buffer and reuses it across calls; it is dead before
+   [conv2d_gemm_batch] returns, so reuse on the next call is safe even
+   when layers chain.  Resident cost per domain is bounded by the
+   largest conv it evaluates. *)
+let col_scratch : float array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let scratch key len =
+  let r = Domain.DLS.get key in
+  if Array.length !r < len then r := Array.make len 0.;
+  !r
+
+let conv2d_gemm_batch ?(stride = 1) ?(pad = 0) x ~weight ~bias =
+  check_rank "conv2d_gemm_batch" x 4;
+  check_rank "conv2d_gemm_batch" weight 4;
+  let n = x.shape.(0)
+  and in_c = x.shape.(1)
+  and h = x.shape.(2)
+  and w = x.shape.(3) in
+  let out_c = weight.shape.(0)
+  and win_c = weight.shape.(1)
+  and kh = weight.shape.(2)
+  and kw = weight.shape.(3) in
+  if in_c <> win_c then fail_shape "conv2d_gemm_batch" x.shape weight.shape;
+  let oh = conv_out_dim h kh stride pad and ow = conv_out_dim w kw stride pad in
+  let kk = in_c * kh * kw and cols = oh * ow in
+  let image = in_c * h * w in
+  (* Image-by-image GEMMs over a small per-image patch panel, rather
+     than one giant [kk; n*cols] GEMM: image [img]'s output block
+     [out_c; oh; ow] is contiguous in NCHW, so each GEMM accumulates
+     straight into the output tensor (no flat buffer, no scatter pass),
+     and the panel plus the weights stay cache-resident across the
+     back-to-back per-image GEMMs instead of streaming megabytes per
+     chunk.  Per-element accumulation is still bias-seeded then
+     ascending-[p], so results are bit-identical to [conv2d] and
+     independent of the batch width.  im2col writes every panel position
+     (padding as explicit zeros), so the reused scratch needs no
+     re-zeroing pass. *)
+  let patches = scratch col_scratch (kk * cols) in
+  let out = zeros [| n; out_c; oh; ow |] in
+  let ostride = out_c * cols in
+  for img = 0 to n - 1 do
+    im2col_into ~stride ~pad ~kh ~kw ~in_c ~h ~w ~oh ~ow ~total_cols:cols
+      ~col_off:0 ~xoff:(img * image) x.data patches;
+    let obase = img * ostride in
+    (match bias with
+    | None -> () (* [out] is zero-initialized *)
+    | Some bt ->
+        for oc = 0 to out_c - 1 do
+          Array.fill out.data (obase + (oc * cols)) cols bt.data.(oc)
+        done);
+    gemm_acc ~ooff:obase ~m:out_c ~k:kk ~n:cols weight.data patches out.data
+  done;
   out
 
 let conv2d_backward ?(stride = 1) ?(pad = 0) ~x ~weight dout =
@@ -413,17 +696,22 @@ let max_pool2d ?stride ~size x =
   let out = zeros [| c; oh; ow |] in
   let switches = Array.make (c * oh * ow) 0 in
   let xd = x.data and od = out.data in
+  (* [conv_out_dim] with pad 0 guarantees (oh-1)*stride + size <= h (and
+     likewise for width), so every window is fully in-bounds: the scan
+     runs branch- and bounds-check-free. *)
   for ch = 0 to c - 1 do
     for oy = 0 to oh - 1 do
       for ox = 0 to ow - 1 do
         let best = ref neg_infinity and besti = ref 0 in
+        let base = (((ch * h) + (oy * stride)) * w) + (ox * stride) in
         for ky = 0 to size - 1 do
+          let rowb = base + (ky * w) in
           for kx = 0 to size - 1 do
-            let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
-            if iy < h && ix < w then begin
-              let idx = (((ch * h) + iy) * w) + ix in
-              if xd.(idx) > !best then begin
-                best := xd.(idx);
+            begin
+              let idx = rowb + kx in
+              let v = Array.unsafe_get xd idx in
+              if v > !best then begin
+                best := v;
                 besti := idx
               end
             end
@@ -560,6 +848,35 @@ let concat_channels ts =
           Array.blit t.data 0 out.data !off (numel t);
           off := !off + numel t)
         ts;
+      out
+
+let concat_channels_batch ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat_channels_batch: empty list"
+  | first :: _ ->
+      List.iter (fun t -> check_rank "concat_channels_batch" t 4) ts;
+      let n = first.shape.(0)
+      and h = first.shape.(2)
+      and w = first.shape.(3) in
+      List.iter
+        (fun t ->
+          if t.shape.(0) <> n || t.shape.(2) <> h || t.shape.(3) <> w then
+            fail_shape "concat_channels_batch" first.shape t.shape)
+        ts;
+      let total_c = List.fold_left (fun acc t -> acc + t.shape.(1)) 0 ts in
+      let plane = h * w in
+      let out = zeros [| n; total_c; h; w |] in
+      for img = 0 to n - 1 do
+        let base = img * total_c * plane in
+        let off = ref 0 in
+        List.iter
+          (fun t ->
+            let c = t.shape.(1) in
+            Array.blit t.data (img * c * plane) out.data (base + !off)
+              (c * plane);
+            off := !off + (c * plane))
+          ts
+      done;
       out
 
 let split_channels t counts =

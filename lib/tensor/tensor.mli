@@ -117,7 +117,16 @@ val linf_norm : t -> float
 (** {1 Linear algebra} *)
 
 val matmul : t -> t -> t
-(** [matmul a b] for [a : (m, k)] and [b : (k, n)] is [(m, n)]. *)
+(** [matmul a b] for [a : (m, k)] and [b : (k, n)] is [(m, n)].  Shapes
+    are validated once up front; the kernel then runs unsafe, 4-way
+    row-unrolled loops.  Every output element is accumulated in
+    ascending-[k] order independent of the operand widths, so results do
+    not depend on how callers batch their columns. *)
+
+val matmul_nt : t -> t -> t
+(** [matmul_nt a b] for [a : (m, k)] and [b : (n, k)] is [a bᵀ : (m, n)].
+    Row [i] of the result is bit-equal to [matvec b a_i] — used by the
+    batched dense layer so batching cannot perturb single-image scores. *)
 
 val matvec : t -> t -> t
 (** [matvec a x] for [a : (m, k)] and [x : (k)] is [(m)]. *)
@@ -142,13 +151,34 @@ val conv2d : ?stride:int -> ?pad:int -> t -> weight:t -> bias:t option -> t
 val im2col : ?stride:int -> ?pad:int -> kh:int -> kw:int -> t -> t
 (** Patch-matrix expansion of a CHW tensor:
     [(in_c * kh * kw, oh * ow)], column [o] holding the receptive field
-    of output position [o] (zero-padded outside the image). *)
+    of output position [o] (zero-padded outside the image).  Valid output
+    ranges are precomputed per kernel tap, so the copy loops carry no
+    per-element bounds branches. *)
+
+val im2col_batch : ?stride:int -> ?pad:int -> kh:int -> kw:int -> t -> t
+(** Batched {!im2col} over an NCHW tensor, producing one shared patch
+    matrix [(in_c * kh * kw, n * oh * ow)] in which image [i] owns the
+    column block [i*oh*ow, (i+1)*oh*ow) (memory cost: [kh*kw] copies of
+    the input batch).  {!conv2d_gemm_batch} instead walks the batch with
+    a reusable per-image panel to keep its working set cache-sized; this
+    whole-batch expansion remains the reference formulation the tests
+    check it against. *)
 
 val conv2d_gemm : ?stride:int -> ?pad:int -> t -> weight:t -> bias:t option -> t
-(** Convolution via {!im2col} + {!matmul}.  Numerically identical to
-    {!conv2d} (same summation order per output); exists as the classical
-    alternative formulation and is ablated against the direct loop in the
-    micro benchmark. *)
+(** Convolution via {!im2col} + GEMM.  The output is seeded with the bias
+    before the GEMM accumulates taps in ascending ic/ky/kx order — the
+    same per-element summation order as {!conv2d}, so the two
+    formulations agree bit-for-bit on finite inputs.  Ablated against the
+    direct loop in the micro benchmark. *)
+
+val conv2d_gemm_batch :
+  ?stride:int -> ?pad:int -> t -> weight:t -> bias:t option -> t
+(** Batched {!conv2d_gemm} over NCHW input: per-image GEMMs over a
+    per-domain reusable patch panel, each accumulating straight into the
+    image's contiguous output block (small working set, no per-call
+    patch-matrix allocation).  Image [i] of the result is bit-equal to
+    [conv2d_gemm] of image [i] alone (the GEMM accumulation order is
+    batch-width independent). *)
 
 val conv2d_backward :
   ?stride:int ->
@@ -194,6 +224,10 @@ val cross_entropy_grad : t -> int -> t
 
 val concat_channels : t list -> t
 (** Concatenate CHW tensors with equal H and W along the channel axis. *)
+
+val concat_channels_batch : t list -> t
+(** Batched {!concat_channels}: NCHW tensors with equal N, H and W are
+    concatenated along the channel axis, image by image. *)
 
 val split_channels : t -> int list -> t list
 (** Inverse of {!concat_channels} given the channel counts. *)

@@ -1,6 +1,6 @@
 (* Standalone differential checker, wired into the `runtest` alias under
-   OCAMLRUNPARAM=b at every combination of --domains 1/4 and --cache
-   on/off (see test/dune).
+   OCAMLRUNPARAM=b at every combination of --domains 1/4, --cache on/off
+   and --batch 1/16 (see test/dune).
 
    For randomized programs, images and training-set sizes it asserts that
    Score.evaluate_parallel over a pool of the requested width returns
@@ -9,8 +9,11 @@
    With --cache on, the uncached sequential evaluation stays the
    reference and the cached sequential (cold and warm store) and cached
    parallel evaluations are checked against it — the memo layer must be
-   invisible to query accounting.  Exits non-zero (with a backtrace,
-   courtesy of OCAMLRUNPARAM=b) on the first divergence. *)
+   invisible to query accounting.  The reference always runs at batch
+   width 1 (the sequential path); --batch sets the speculative chunk
+   width of every checked run, so a width-16 run is differenced against
+   the width-1 ground truth.  Exits non-zero (with a backtrace, courtesy
+   of OCAMLRUNPARAM=b) on the first divergence. *)
 
 module Parallel = Evalharness.Parallel
 module Score = Oppsla.Score
@@ -48,21 +51,26 @@ let check_identical ctx (seq : Score.evaluation) (par : Score.evaluation) =
   then fail "%s: per-image query counts diverged" ctx
 
 let () =
-  let rec parse domains cache = function
+  let rec parse domains cache batch = function
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some d when d >= 1 -> parse d cache rest
+        | Some d when d >= 1 -> parse d cache batch rest
         | _ -> fail "diff_runner: bad --domains %s" n)
     | "--cache" :: v :: rest -> (
         match v with
-        | "on" -> parse domains true rest
-        | "off" -> parse domains false rest
+        | "on" -> parse domains true batch rest
+        | "off" -> parse domains false batch rest
         | _ -> fail "diff_runner: bad --cache %s (expected on|off)" v)
-    | [] -> (domains, cache)
+    | "--batch" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some b when b >= 1 -> parse domains cache b rest
+        | _ -> fail "diff_runner: bad --batch %s" n)
+    | [] -> (domains, cache, batch)
     | a :: _ -> fail "diff_runner: unknown argument %s" a
   in
-  let domains, cache =
-    parse 4 false (List.tl (Array.to_list Sys.argv))
+  let domains, cache, batch =
+    parse 4 false Oppsla.Sketch.default_batch
+      (List.tl (Array.to_list Sys.argv))
   in
   let store_for samples =
     if cache then Some (Score_cache.store (Array.length samples)) else None
@@ -79,30 +87,32 @@ let () =
           if Prng.bool g then None else Some (1 + Prng.int g 80)
         in
         let ctx kind =
-          Printf.sprintf "trial %d (domains %d, cache %b, %s)" trial domains
-            cache kind
+          Printf.sprintf "trial %d (domains %d, cache %b, batch %d, %s)"
+            trial domains cache batch kind
         in
+        (* The reference is always the uncached sequential path at batch
+           width 1: every other configuration must reproduce it. *)
         let reference =
-          Score.evaluate ?max_queries (mean_threshold_oracle ()) program
-            samples
+          Score.evaluate ?max_queries ~batch:1 (mean_threshold_oracle ())
+            program samples
         in
         (match store_for samples with
         | Some _ as caches ->
             (* Cold store, then the same store warm (every lookup hits),
                then a parallel run on a fresh store. *)
             let cold =
-              Score.evaluate ?max_queries ?caches (mean_threshold_oracle ())
-                program samples
+              Score.evaluate ?max_queries ?caches ~batch
+                (mean_threshold_oracle ()) program samples
             in
             check_identical (ctx "cached sequential, cold") reference cold;
             let warm =
-              Score.evaluate ?max_queries ?caches (mean_threshold_oracle ())
-                program samples
+              Score.evaluate ?max_queries ?caches ~batch
+                (mean_threshold_oracle ()) program samples
             in
             check_identical (ctx "cached sequential, warm") reference warm
         | None -> ());
         let par =
-          Score.evaluate_parallel ?max_queries
+          Score.evaluate_parallel ?max_queries ~batch
             ?caches:(store_for samples) ~pool (mean_threshold_oracle ())
             program samples
         in
@@ -118,9 +128,11 @@ let () =
         }
       in
       let seq =
-        Synthesizer.synthesize ~config (Prng.of_int 11)
-          (mean_threshold_oracle ()) ~training
+        Synthesizer.synthesize
+          ~config:{ config with Synthesizer.batch = 1 }
+          (Prng.of_int 11) (mean_threshold_oracle ()) ~training
       in
+      let config = { config with Synthesizer.batch } in
       let par =
         Synthesizer.synthesize ~config ~pool ?caches:(store_for training)
           (Prng.of_int 11) (mean_threshold_oracle ()) ~training
@@ -153,6 +165,8 @@ let () =
       end;
       Printf.printf
         "diff_runner: sequential and %d-domain evaluation bit-identical \
-         with cache %s (12 evaluation trials + synthesis trace)\n"
+         with cache %s at batch width %d (12 evaluation trials + \
+         synthesis trace)\n"
         domains
-        (if cache then "on" else "off"))
+        (if cache then "on" else "off")
+        batch)

@@ -1,0 +1,435 @@
+(* The batched-inference differential suite.
+
+   Two contracts are enforced here.  First, the im2col+GEMM engine is a
+   pure reformulation: matmul agrees with the naive triple loop exactly,
+   conv2d_gemm / conv2d_gemm_batch agree with the direct conv2d
+   bit-for-bit, and Network.scores_batch row [i] equals the single-image
+   Network.scores of image [i] element-for-element.  Second, speculative
+   candidate batching is invisible to accounting: forward passes are
+   unmetered, queries are charged one at a time at consumption, and every
+   attack observable — query counts, success flags, adversarial pairs,
+   per-query traces, Budget_exhausted indices — is bit-identical at every
+   batch width. *)
+
+module Sketch = Oppsla.Sketch
+module C = Oppsla.Condition
+
+let size = 4
+
+(* {1 Kernels} *)
+
+let matmul_golden () =
+  let a = Tensor.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let b = Tensor.of_array [| 3; 2 |] [| 7.; 8.; 9.; 10.; 11.; 12. |] in
+  Alcotest.(check (array (float 0.)))
+    "2x3 * 3x2" [| 58.; 64.; 139.; 154. |] (Tensor.matmul a b).Tensor.data;
+  Alcotest.(check (list int))
+    "result shape" [ 2; 2 ]
+    (Array.to_list (Tensor.shape (Tensor.matmul a b)));
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Tensor.Shape_mismatch _ -> true
+  in
+  let bad = Tensor.of_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check bool) "matmul inner mismatch" true
+    (raises (fun () -> Tensor.matmul a bad));
+  Alcotest.(check bool) "matmul_nt inner mismatch" true
+    (raises (fun () -> Tensor.matmul_nt a bad));
+  Alcotest.(check bool) "matvec mismatch" true
+    (raises (fun () -> Tensor.matvec a (Tensor.of_array [| 2 |] [| 1.; 2. |])))
+
+(* The blocked/tiled GEMM must agree exactly with the textbook triple
+   loop: every output element accumulates in ascending-k order whatever
+   the tiling, so there is no tolerance here. *)
+let matmul_matches_naive () =
+  let g = Prng.of_int 7 in
+  List.iter
+    (fun (m, k, n) ->
+      let a = Tensor.randn g [| m; k |] in
+      let b = Tensor.randn g [| k; n |] in
+      let naive =
+        Tensor.init [| m; n |] (fun o ->
+            let i = o / n and j = o mod n in
+            let acc = ref 0. in
+            for p = 0 to k - 1 do
+              acc :=
+                !acc
+                +. (Tensor.get_flat a ((i * k) + p)
+                   *. Tensor.get_flat b ((p * n) + j))
+            done;
+            !acc)
+      in
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "matmul %dx%dx%d = naive" m k n)
+        naive.Tensor.data
+        (Tensor.matmul a b).Tensor.data)
+    (* Sizes straddling the 4x4 register tile and the column blocking:
+       remainders in every dimension, plus a k large enough to force
+       multiple j-blocks. *)
+    [ (1, 1, 1); (3, 5, 7); (4, 4, 4); (6, 9, 5); (17, 33, 19); (2, 700, 70) ]
+
+let matmul_nt_rows_are_matvec () =
+  let g = Prng.of_int 8 in
+  let m = 5 and k = 11 and n = 6 in
+  let a = Tensor.randn g [| m; k |] in
+  let b = Tensor.randn g [| n; k |] in
+  let out = Tensor.matmul_nt a b in
+  for i = 0 to m - 1 do
+    let row =
+      Tensor.init [| k |] (fun p -> Tensor.get_flat a ((i * k) + p))
+    in
+    let mv = Tensor.matvec b row in
+    for j = 0 to n - 1 do
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "row %d col %d" i j)
+        (Tensor.get_flat mv j)
+        (Tensor.get_flat out ((i * n) + j))
+    done
+  done
+
+let im2col_batch_blocks () =
+  let g = Prng.of_int 9 in
+  let n = 3 and c = 2 and h = 5 and w = 4 in
+  let batch = Tensor.randn g [| n; c; h; w |] in
+  let image = c * h * w in
+  List.iter
+    (fun (stride, pad, kh, kw) ->
+      let big = Tensor.im2col_batch ~stride ~pad ~kh ~kw batch in
+      let rows = Tensor.dim big 0 and total = Tensor.dim big 1 in
+      let cols = total / n in
+      Alcotest.(check int) "patch rows" (c * kh * kw) rows;
+      for img = 0 to n - 1 do
+        let x =
+          Tensor.init [| c; h; w |] (fun o ->
+              Tensor.get_flat batch ((img * image) + o))
+        in
+        let one = Tensor.im2col ~stride ~pad ~kh ~kw x in
+        Alcotest.(check int) "column block width" cols (Tensor.dim one 1);
+        for r = 0 to rows - 1 do
+          for o = 0 to cols - 1 do
+            Alcotest.(check (float 0.))
+              (Printf.sprintf "s%d p%d img %d (%d,%d)" stride pad img r o)
+              (Tensor.get_flat one ((r * cols) + o))
+              (Tensor.get_flat big ((r * total) + (img * cols) + o))
+          done
+        done
+      done)
+    [ (1, 0, 3, 3); (1, 1, 3, 3); (2, 1, 3, 3); (1, 2, 2, 2) ]
+
+let conv_gemm_agrees () =
+  let g = Prng.of_int 10 in
+  let n = 3 and in_c = 2 and h = 6 and w = 5 and out_c = 4 in
+  let image = in_c * h * w in
+  let batch = Tensor.randn g [| n; in_c; h; w |] in
+  List.iter
+    (fun (stride, pad, k, with_bias) ->
+      let weight = Tensor.randn g [| out_c; in_c; k; k |] in
+      let bias =
+        if with_bias then Some (Tensor.randn g [| out_c |]) else None
+      in
+      let name =
+        Printf.sprintf "k%d s%d p%d bias:%b" k stride pad with_bias
+      in
+      let batched =
+        Tensor.conv2d_gemm_batch ~stride ~pad batch ~weight ~bias
+      in
+      let ostride = Tensor.numel batched / n in
+      for img = 0 to n - 1 do
+        let x =
+          Tensor.init [| in_c; h; w |] (fun o ->
+              Tensor.get_flat batch ((img * image) + o))
+        in
+        let direct = Tensor.conv2d ~stride ~pad x ~weight ~bias in
+        let gemm = Tensor.conv2d_gemm ~stride ~pad x ~weight ~bias in
+        Alcotest.(check (array (float 0.)))
+          (name ^ ": gemm = direct") direct.Tensor.data gemm.Tensor.data;
+        Alcotest.(check (array (float 0.)))
+          (Printf.sprintf "%s: batched image %d = direct" name img)
+          direct.Tensor.data
+          (Array.sub batched.Tensor.data (img * ostride) ostride)
+      done)
+    [
+      (1, 0, 3, true);
+      (1, 1, 3, true);
+      (1, 1, 3, false);
+      (2, 1, 3, true);
+      (1, 2, 2, true);
+      (2, 0, 1, false);
+    ]
+
+(* {1 Network engine} *)
+
+(* Property test: on a real (randomly initialised) conv net, row [i] of
+   scores_batch is element-for-element equal to the single-image scores
+   of image [i], for every batch width tried. *)
+let qcheck_scores_batch_matches_single =
+  QCheck.Test.make ~name:"Network.scores_batch = per-image scores" ~count:25
+    QCheck.(pair (int_range 0 9999) (int_range 1 5))
+    (fun (seed, n) ->
+      let g = Prng.of_int seed in
+      let net = Nn.Zoo.vgg_tiny (Prng.split g) ~image_size:8 ~num_classes:4 in
+      let image = 3 * 8 * 8 in
+      let batch = Tensor.rand_uniform g [| n; 3; 8; 8 |] in
+      let out = Nn.Network.scores_batch net batch in
+      let classes = Tensor.dim out 1 in
+      let ok = ref (classes = 4) in
+      for i = 0 to n - 1 do
+        let x =
+          Tensor.init [| 3; 8; 8 |] (fun o ->
+              Tensor.get_flat batch ((i * image) + o))
+        in
+        let single = Nn.Network.scores net x in
+        for j = 0 to classes - 1 do
+          if
+            Tensor.get_flat single j
+            <> Tensor.get_flat out ((i * classes) + j)
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* {1 Batcher mechanics} *)
+
+let counting_oracle ?budget calls =
+  Oracle.of_fn ?budget ~name:"counting" ~num_classes:2 (fun x ->
+      incr calls;
+      let m = Tensor.mean x in
+      Tensor.of_array [| 2 |] [| 1. -. m; m |])
+
+let cand v =
+  {
+    Batcher.key = Score_cache.Custom (string_of_int v);
+    input = (fun () -> Tensor.create [| 2; 2 |] (float_of_int v /. 10.));
+  }
+
+let batcher_metering_and_speculation () =
+  Batcher.reset_global_stats ();
+  let calls = ref 0 in
+  let oracle = counting_oracle calls in
+  let t = Batcher.create ~width:4 oracle in
+  let plan = [| cand 1; cand 2; cand 3 |] in
+  let speculate i = if i < 2 then Some plan.(i + 1) else None in
+  (* First query builds a 3-candidate chunk: one batched forward pass,
+     three scoring-function calls, ONE metered query. *)
+  let s1 = Batcher.query t ~speculate plan.(0) in
+  Alcotest.(check (float 0.)) "answer for candidate 1" 0.1
+    (Tensor.get_flat s1 1);
+  Alcotest.(check int) "forwards are speculative" 3 !calls;
+  Alcotest.(check int) "one metered query" 1 (Oracle.queries oracle);
+  (* Second query is served from the buffer: no new forward. *)
+  let s2 = Batcher.query t ~speculate plan.(1) in
+  Alcotest.(check (float 0.)) "answer for candidate 2" 0.2
+    (Tensor.get_flat s2 1);
+  Alcotest.(check int) "no new forward" 3 !calls;
+  Alcotest.(check int) "two metered queries" 2 (Oracle.queries oracle);
+  (* Changing course discards the rest of the buffer (candidate 3) and
+     rebuilds from the new head. *)
+  let s9 = Batcher.query t (cand 9) in
+  Alcotest.(check (float 0.)) "answer after mis-speculation" 0.9
+    (Tensor.get_flat s9 1);
+  Alcotest.(check int) "rebuild evaluates the new head" 4 !calls;
+  Alcotest.(check int) "three metered queries" 3 (Oracle.queries oracle);
+  let s = Batcher.global_stats () in
+  Alcotest.(check int) "stats: queries" 3 s.Batcher.queries;
+  Alcotest.(check int) "stats: chunks" 2 s.Batcher.batches;
+  Alcotest.(check int) "stats: prepared" 4 s.Batcher.prepared;
+  Alcotest.(check int) "stats: buffer hits" 1 s.Batcher.buffer_hits;
+  Alcotest.(check int) "stats: discarded" 1 s.Batcher.discarded
+
+let batcher_cache_excludes_hits () =
+  let calls = ref 0 in
+  let oracle = counting_oracle calls in
+  let cache = Score_cache.create () in
+  (* Pre-resolve candidate 2: the forward pass must skip it. *)
+  ignore
+    (Score_cache.find_or_add cache (cand 2).Batcher.key ~compute:(fun () ->
+         Tensor.of_array [| 2 |] [| 0.8; 0.2 |]));
+  let t = Batcher.create ~cache ~width:4 oracle in
+  let plan = [| cand 1; cand 2; cand 3 |] in
+  let speculate i = if i < 2 then Some plan.(i + 1) else None in
+  ignore (Batcher.query t ~speculate plan.(0));
+  Alcotest.(check int) "cache hit left the forward pass" 2 !calls;
+  let s2 = Batcher.query t ~speculate plan.(1) in
+  Alcotest.(check (float 0.)) "cached answer served" 0.2
+    (Tensor.get_flat s2 1);
+  Alcotest.(check int) "no extra forward" 2 !calls;
+  Alcotest.(check int) "hits are still metered" 2 (Oracle.queries oracle);
+  (* Newly computed slots were stored for later reuse. *)
+  Alcotest.(check bool) "misses were cached" true
+    (Score_cache.mem cache (cand 1).Batcher.key
+    && Score_cache.mem cache (cand 3).Batcher.key)
+
+(* Budget exhaustion fires at exactly the sequential query index even
+   when the answer is already sitting in the buffer: the speculative
+   forward pass resolved candidate 3 for free, but consuming it is the
+   third query against a budget of 2. *)
+let batcher_budget_exact_index () =
+  let calls = ref 0 in
+  let oracle = counting_oracle ~budget:2 calls in
+  let t = Batcher.create ~width:4 oracle in
+  let plan = [| cand 1; cand 2; cand 3; cand 4 |] in
+  let speculate i = if i < 3 then Some plan.(i + 1) else None in
+  ignore (Batcher.query t ~speculate plan.(0));
+  Alcotest.(check int) "whole chunk resolved speculatively" 4 !calls;
+  ignore (Batcher.query t ~speculate plan.(1));
+  Alcotest.(check int) "budget spent" 2 (Oracle.queries oracle);
+  Alcotest.(check bool) "third consumption raises at index 2" true
+    (try
+       ignore (Batcher.query t ~speculate plan.(2));
+       false
+     with Oracle.Budget_exhausted 2 -> true);
+  Alcotest.(check int) "no forward after exhaustion" 4 !calls
+
+let batcher_width_one_never_speculates () =
+  let calls = ref 0 in
+  let speculated = ref 0 in
+  let t = Batcher.create ~width:1 (counting_oracle calls) in
+  let speculate _ =
+    incr speculated;
+    Some (cand 2)
+  in
+  ignore (Batcher.query t ~speculate (cand 1));
+  ignore (Batcher.query t ~speculate (cand 2));
+  Alcotest.(check int) "width 1 is the sequential path" 0 !speculated;
+  Alcotest.(check int) "one forward per query" 2 !calls;
+  Alcotest.(check bool) "width < 1 rejected" true
+    (try
+       ignore (Batcher.create ~width:0 (counting_oracle calls));
+       false
+     with Invalid_argument _ -> true)
+
+(* {1 Attack-level width identity} *)
+
+let check_result name (seq : Sketch.result) (b : Sketch.result) =
+  Alcotest.(check int) (name ^ ": queries") seq.Sketch.queries b.Sketch.queries;
+  match (seq.Sketch.adversarial, b.Sketch.adversarial) with
+  | None, None -> ()
+  | Some (p_seq, x_seq), Some (p_b, x_b) ->
+      Alcotest.(check bool)
+        (name ^ ": same adversarial pair")
+        true
+        (Oppsla.Pair.equal p_seq p_b);
+      Alcotest.(check (array (float 0.)))
+        (name ^ ": same adversarial tensor")
+        x_seq.Tensor.data x_b.Tensor.data
+  | _ -> Alcotest.fail (name ^ ": success flag diverged")
+
+(* Sketch at widths 2/4/16 vs the sequential width 1: result AND the
+   full per-query (index, pair, scores) trace, across random programs,
+   random caps and a tight oracle budget (so exhaustion points are
+   exercised too). *)
+let sketch_width_identity () =
+  let gen_config = Helpers.gen_config ~size in
+  for trial = 0 to 7 do
+    let g = Prng.of_int (300 + trial) in
+    let image =
+      Tensor.rand_uniform (Prng.split g) ~lo:0.35 ~hi:0.65 [| 3; size; size |]
+    in
+    let program = Oppsla.Gen.random_program gen_config g in
+    let max_queries = if Prng.bool g then None else Some (1 + Prng.int g 40) in
+    let budget = if trial mod 3 = 0 then Some (1 + Prng.int g 20) else None in
+    let trace batch =
+      let log = ref [] in
+      let r =
+        Sketch.attack ?max_queries ~batch
+          ~on_query:(fun i pair scores ->
+            log := (i, pair, Array.copy scores.Tensor.data) :: !log)
+          (Helpers.mean_threshold_oracle ?budget ())
+          program ~image ~true_class:0
+      in
+      (r, List.rev !log)
+    in
+    let seq, seq_log = trace 1 in
+    List.iter
+      (fun batch ->
+        let b, b_log = trace batch in
+        let name = Printf.sprintf "sketch trial %d width %d" trial batch in
+        check_result name seq b;
+        Alcotest.(check int) (name ^ ": trace length")
+          (List.length seq_log) (List.length b_log);
+        List.iter2
+          (fun (i_seq, p_seq, s_seq) (i_b, p_b, s_b) ->
+            Alcotest.(check int) (name ^ ": query index") i_seq i_b;
+            Alcotest.(check bool) (name ^ ": queried pair") true
+              (Oppsla.Pair.equal p_seq p_b);
+            Alcotest.(check (array (float 0.)))
+              (name ^ ": score vector") s_seq s_b)
+          seq_log b_log)
+      [ 2; 4; 16 ]
+  done
+
+(* Sketch width identity on a real network oracle: the batched path runs
+   the im2col+GEMM engine while width 1 answers image by image, so this
+   closes the loop between the two halves of the suite. *)
+let sketch_width_identity_on_network () =
+  let g = Prng.of_int 77 in
+  let net = Nn.Zoo.vgg_tiny (Prng.split g) ~image_size:8 ~num_classes:3 in
+  let image = Tensor.rand_uniform g [| 3; 8; 8 |] in
+  let program = Oppsla.Gen.random_program (Helpers.gen_config ~size:8) g in
+  let run batch =
+    Sketch.attack ~batch ~max_queries:48
+      (Oracle.of_network net)
+      program ~image ~true_class:0
+  in
+  let seq = run 1 in
+  List.iter
+    (fun batch ->
+      check_result (Printf.sprintf "network width %d" batch) seq (run batch))
+    [ 4; 16 ]
+
+let baselines_width_identity () =
+  let g = Prng.of_int 400 in
+  let image =
+    Tensor.rand_uniform (Prng.split g) ~lo:0.42 ~hi:0.58 [| 3; size; size |]
+  in
+  let fixed batch =
+    Baselines.Fixed.attack ~batch
+      (Helpers.mean_threshold_oracle ())
+      ~image ~true_class:0
+  in
+  check_result "fixed" (fixed 1) (fixed 16);
+  let su_opa batch =
+    let config = { Baselines.Su_opa.population = 6; f = 0.5; max_queries = 80 } in
+    Baselines.Su_opa.attack ~config ~batch (Prng.of_int 13)
+      (Helpers.mean_threshold_oracle ())
+      ~image ~true_class:0
+  in
+  check_result "su_opa" (su_opa 1) (su_opa 16);
+  let sparse_rs batch =
+    let config = { Baselines.Sparse_rs.max_queries = 96; min_explore = 0.1 } in
+    Baselines.Sparse_rs.attack ~config ~batch (Prng.of_int 5)
+      (Helpers.mean_threshold_oracle ())
+      ~image ~true_class:0
+  in
+  check_result "sparse_rs" (sparse_rs 1) (sparse_rs 16)
+
+let suite =
+  [
+    Alcotest.test_case "matmul golden values and shape guards" `Quick
+      matmul_golden;
+    Alcotest.test_case "matmul = naive triple loop (exact)" `Quick
+      matmul_matches_naive;
+    Alcotest.test_case "matmul_nt rows = matvec" `Quick
+      matmul_nt_rows_are_matvec;
+    Alcotest.test_case "im2col_batch column blocks = per-image im2col" `Quick
+      im2col_batch_blocks;
+    Alcotest.test_case "conv2d_gemm/_batch = direct conv2d (exact)" `Quick
+      conv_gemm_agrees;
+    QCheck_alcotest.to_alcotest qcheck_scores_batch_matches_single;
+    Alcotest.test_case "batcher: metering, speculation, mis-speculation"
+      `Quick batcher_metering_and_speculation;
+    Alcotest.test_case "batcher: cache hits leave the forward pass" `Quick
+      batcher_cache_excludes_hits;
+    Alcotest.test_case "batcher: Budget_exhausted at the exact index" `Quick
+      batcher_budget_exact_index;
+    Alcotest.test_case "batcher: width 1 degenerates to sequential" `Quick
+      batcher_width_one_never_speculates;
+    Alcotest.test_case "sketch: widths 2/4/16 = width 1 (results + traces)"
+      `Quick sketch_width_identity;
+    Alcotest.test_case "sketch: width identity on a conv-net oracle" `Quick
+      sketch_width_identity_on_network;
+    Alcotest.test_case "baselines: width 16 = width 1" `Quick
+      baselines_width_identity;
+  ]

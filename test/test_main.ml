@@ -18,6 +18,7 @@ let () =
       ("evalharness", Test_evalharness.suite);
       ("parallel_eval", Test_parallel_eval.suite);
       ("cache_eval", Test_cache_eval.suite);
+      ("batch_eval", Test_batch_eval.suite);
       ("stats", Test_stats.suite);
       ("curves", Test_curves.suite);
       ("report", Test_report.suite);
