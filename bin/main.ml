@@ -92,6 +92,34 @@ let class_arg =
   let doc = "Class id the program is synthesized for / attacked in." in
   Arg.(value & opt int 0 & info [ "class"; "c" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the run's spans (oracle \
+     queries, batcher chunks, pool jobs, per-layer forward passes, \
+     synthesizer iterations) to $(docv); open it in chrome://tracing or \
+     Perfetto.  Tracing is observation-only: results, query counts and \
+     synthesis traces are bit-identical with it on or off."
+  in
+  Arg.(value & opt string "" & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Dump the process-wide metrics registry (counters, gauges, \
+     histograms) as JSON to $(docv) when the command finishes."
+  in
+  Arg.(value & opt string "" & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Bracket a command with the telemetry sinks: open the trace file before
+   any instrumented code runs, and flush trace + metrics even when the
+   command raises. *)
+let with_telemetry ~trace ~metrics f =
+  if trace <> "" then Telemetry.Trace.to_file trace;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Trace.close ();
+      if metrics <> "" then Telemetry.Metrics.write_json metrics)
+    f
+
 let with_spec dataset f =
   match spec_of_name dataset with
   | Error msg -> `Error (false, msg)
@@ -124,7 +152,8 @@ let synthesize_cmd =
   let iters_arg =
     Arg.(value & opt int 40 & info [ "iters" ] ~doc:"MH iterations.")
   in
-  let run dataset arch seed artifacts class_id iters domains cache batch =
+  let run dataset arch seed artifacts class_id iters domains cache batch
+      trace metrics =
     with_spec dataset @@ fun spec ->
     check_batch batch @@ fun () ->
     if class_id < 0 || class_id >= spec.Dataset.num_classes then
@@ -133,6 +162,7 @@ let synthesize_cmd =
           Printf.sprintf "class %d out of range [0, %d)" class_id
             spec.Dataset.num_classes )
     else begin
+      with_telemetry ~trace ~metrics @@ fun () ->
       let config = workbench_config artifacts seed in
       let c = Workbench.load_classifier config spec arch in
       let params =
@@ -155,7 +185,8 @@ let synthesize_cmd =
     Term.(
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
-       $ class_arg $ iters_arg $ domains_arg $ cache_arg $ batch_arg))
+       $ class_arg $ iters_arg $ domains_arg $ cache_arg $ batch_arg
+       $ trace_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
@@ -196,7 +227,7 @@ let attack_cmd =
              file on success.")
   in
   let run dataset arch seed artifacts class_id index program_text target
-      save_ppm batch =
+      save_ppm batch trace metrics =
     with_spec dataset @@ fun spec ->
     check_batch batch (fun () ->
         let config = workbench_config artifacts seed in
@@ -218,6 +249,7 @@ let attack_cmd =
               Printf.sprintf "index %d out of range [0, %d)" index
                 (Array.length candidates) )
         else begin
+          with_telemetry ~trace ~metrics @@ fun () ->
           let program =
             if program_text = "" then
               (Workbench.synthesize_programs config c).(class_id)
@@ -272,7 +304,7 @@ let attack_cmd =
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
        $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg
-       $ batch_arg))
+       $ batch_arg $ trace_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a single test image with a program.")
@@ -306,8 +338,9 @@ let eval_cmd =
     let doc = "Experiment to run: fig3, table1, fig4, table2 or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run seed artifacts domains cache batch experiment =
+  let run seed artifacts domains cache batch trace metrics experiment =
     check_batch batch @@ fun () ->
+    with_telemetry ~trace ~metrics @@ fun () ->
     let config = workbench_config artifacts seed in
     let base = Experiments.default_scale in
     let scale =
@@ -353,7 +386,7 @@ let eval_cmd =
     Term.(
       ret
         (const run $ seed_arg $ artifacts_arg $ domains_arg $ cache_arg
-       $ batch_arg $ experiment_arg))
+       $ batch_arg $ trace_arg $ metrics_arg $ experiment_arg))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")

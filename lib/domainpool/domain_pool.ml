@@ -1,5 +1,19 @@
 let domain_count () = min 8 (Domain.recommended_domain_count ())
 
+(* Registry mirrors of the per-pool counters: the consolidated telemetry
+   view ([--metrics FILE], Report's Telemetry section) sums scheduling
+   activity across every pool the process created. *)
+let m_jobs = Telemetry.Metrics.counter "pool.jobs"
+let m_tasks = Telemetry.Metrics.counter "pool.tasks"
+let m_steals = Telemetry.Metrics.counter "pool.steals"
+let g_domains = Telemetry.Metrics.gauge "pool.domains"
+
+let h_job_seconds =
+  Telemetry.Metrics.histogram ~buckets:Telemetry.Metrics.time_buckets
+    "pool.job_seconds"
+
+let h_job_tasks = Telemetry.Metrics.histogram "pool.job_tasks"
+
 module Pool = struct
   type stats = {
     domains : int;
@@ -70,6 +84,7 @@ module Pool = struct
     t.workers <-
       Array.init (total - 1) (fun _ ->
           Domain.spawn (fun () -> worker_loop t (-1)));
+    Telemetry.Gauge.set g_domains (float_of_int total);
     t
 
   let size t = t.total
@@ -104,15 +119,27 @@ module Pool = struct
     s
 
   let finish_job t t0 n =
+    let dt = Unix.gettimeofday () -. t0 in
     Mutex.lock t.m;
     t.current <- None;
     t.jobs_served <- t.jobs_served + 1;
-    t.busy <- t.busy +. (Unix.gettimeofday () -. t0);
+    t.busy <- t.busy +. dt;
     Atomic.set t.tasks (Atomic.get t.tasks + n);
-    Mutex.unlock t.m
+    Mutex.unlock t.m;
+    Telemetry.Counter.incr m_jobs;
+    Telemetry.Counter.add m_tasks n;
+    Telemetry.Histogram.observe h_job_seconds dt;
+    Telemetry.Histogram.observe h_job_tasks (float_of_int n)
 
   let map t f xs =
     if t.stop then invalid_arg "Domain_pool.Pool.map: pool is shut down";
+    Telemetry.Trace.span "pool.map" ~cat:"pool"
+      ~args:(fun () ->
+        [
+          ("tasks", Telemetry.Trace.Int (Array.length xs));
+          ("domains", Telemetry.Trace.Int t.total);
+        ])
+    @@ fun () ->
     let n = Array.length xs in
     if n = 0 then [||]
     else if t.total = 1 || n = 1 then begin
@@ -146,7 +173,10 @@ module Pool = struct
                 match f xs.(i) with
                 | v ->
                     results.(i) <- Some v;
-                    if stealing then Atomic.incr t.steals
+                    if stealing then begin
+                      Atomic.incr t.steals;
+                      Telemetry.Counter.incr m_steals
+                    end
                 | exception e ->
                     let bt = Printexc.get_raw_backtrace () in
                     ignore (Atomic.compare_and_set failure None (Some (e, bt))))

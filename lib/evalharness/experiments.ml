@@ -96,10 +96,10 @@ let with_experiment_pool scale (config : Workbench.config) name f =
       let s = Parallel.Pool.stats pool in
       config.Workbench.log
         (Printf.sprintf
-           "[%s] pool: %d domains, %d jobs, %d tasks (%d stolen), %.1fs busy"
+           "[%s] pool: %d domains, %d jobs, %d tasks (%d stolen), %ss busy"
            name s.Parallel.Pool.domains s.Parallel.Pool.jobs
            s.Parallel.Pool.tasks s.Parallel.Pool.steals
-           s.Parallel.Pool.busy_seconds);
+           (Telemetry.Fmt.f1 s.Parallel.Pool.busy_seconds));
       result)
 
 (* [scale.batch] is the run's single batching knob: it overrides the

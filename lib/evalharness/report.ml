@@ -28,11 +28,11 @@ let table ~headers ~rows =
     @ List.map render_row rows
     @ [ rule ])
 
-let float_opt = function
-  | None -> "-"
-  | Some v -> Printf.sprintf "%.2f" v
-
-let percent v = Printf.sprintf "%.1f%%" (100. *. v)
+(* All float rendering goes through [Telemetry.Fmt] — the one shared
+   formatter set — so the report, workbench logs and bench output cannot
+   drift apart in precision. *)
+let float_opt = function None -> "-" | Some v -> Telemetry.Fmt.f2 v
+let percent = Telemetry.Fmt.percent
 
 let render_fig3 (rows : Experiments.fig3_row list) =
   match rows with
@@ -95,7 +95,7 @@ let render_fig4 (f : Experiments.fig4) =
 let render_pool_stats (s : Parallel.Pool.stats) =
   let throughput =
     if s.Parallel.Pool.busy_seconds > 0. then
-      Printf.sprintf "%.1f"
+      Telemetry.Fmt.f1
         (float_of_int s.Parallel.Pool.tasks /. s.Parallel.Pool.busy_seconds)
     else "-"
   in
@@ -110,7 +110,7 @@ let render_pool_stats (s : Parallel.Pool.stats) =
             string_of_int s.Parallel.Pool.jobs;
             string_of_int s.Parallel.Pool.tasks;
             string_of_int s.Parallel.Pool.steals;
-            Printf.sprintf "%.2f" s.Parallel.Pool.busy_seconds;
+            Telemetry.Fmt.f2 s.Parallel.Pool.busy_seconds;
             throughput;
           ];
         ]
@@ -135,8 +135,7 @@ let render_cache_stats (s : Score_cache.stats) =
             hit_rate;
             string_of_int s.Score_cache.entries;
             string_of_int s.Score_cache.evictions;
-            Printf.sprintf "%.1f"
-              (float_of_int s.Score_cache.bytes /. 1048576.);
+            Telemetry.Fmt.mb s.Score_cache.bytes;
           ];
         ]
 
@@ -149,7 +148,7 @@ let render_batch_stats (s : Batcher.stats) =
   let avg_chunk =
     if s.Batcher.batches = 0 then "-"
     else
-      Printf.sprintf "%.1f"
+      Telemetry.Fmt.f1
         (float_of_int s.Batcher.prepared /. float_of_int s.Batcher.batches)
   in
   "Speculative batching\n"
@@ -176,6 +175,22 @@ let render_batch_stats (s : Batcher.stats) =
             accuracy;
           ];
         ]
+
+(* Consolidated run-telemetry section.  Sub-tables always appear in the
+   same order (pool, cache, batch) regardless of argument order at the
+   call site, so reports from different runs line up when diffed. *)
+let render_telemetry ?pool ?cache ?batch () =
+  let sections =
+    List.filter_map Fun.id
+      [
+        Option.map render_pool_stats pool;
+        Option.map render_cache_stats cache;
+        Option.map render_batch_stats batch;
+      ]
+  in
+  match sections with
+  | [] -> "Telemetry: (no instrumented subsystems active)"
+  | _ -> "Telemetry\n=========\n" ^ String.concat "\n\n" sections
 
 let render_table2 (rows : Experiments.table2_row list) =
   let headers =

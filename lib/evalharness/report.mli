@@ -32,3 +32,13 @@ val render_batch_stats : Batcher.stats -> string
     chunks resolved, candidates prepared per chunk, buffer hits vs
     discarded speculations, and the resulting speculation accuracy.
     Rendered next to the cache and pool statistics in run reports. *)
+
+val render_telemetry :
+  ?pool:Parallel.Pool.stats ->
+  ?cache:Score_cache.stats ->
+  ?batch:Batcher.stats ->
+  unit ->
+  string
+(** One consolidated "Telemetry" section stacking whichever sub-tables
+    were passed, always in pool → cache → batch order so reports diff
+    cleanly across runs.  All floats render through {!Telemetry.Fmt}. *)

@@ -219,6 +219,8 @@ let default_synth_params =
     batch = Oppsla.Sketch.default_batch;
   }
 
+(* Workbench log lines render floats through [Telemetry.Fmt], the same
+   formatters Report uses, so the two outputs can't drift in precision. *)
 let log_cache_stats config label = function
   | None -> ()
   | Some store ->
@@ -226,11 +228,12 @@ let log_cache_stats config label = function
       let hit_rate = Option.value ~default:0. (Score_cache.hit_rate s) in
       config.log
         (Printf.sprintf
-           "[workbench] %s cache: %d hits / %d misses (%.1f%% hit rate), %d \
-            entries, %.1f MB"
-           label s.Score_cache.hits s.Score_cache.misses (100. *. hit_rate)
+           "[workbench] %s cache: %d hits / %d misses (%s hit rate), %d \
+            entries, %s MB"
+           label s.Score_cache.hits s.Score_cache.misses
+           (Telemetry.Fmt.percent hit_rate)
            s.Score_cache.entries
-           (float_of_int s.Score_cache.bytes /. 1048576.))
+           (Telemetry.Fmt.mb s.Score_cache.bytes))
 
 (* The batcher's counters are global, so callers bracket the run:
    [Batcher.reset_global_stats] before, [log_batch_stats] after. *)
@@ -244,9 +247,10 @@ let log_batch_stats config label (s : Batcher.stats) =
     config.log
       (Printf.sprintf
          "[workbench] %s batch: %d queries in %d chunks (%d prepared, %d \
-          buffer hits, %d discarded, %.1f%% speculation accuracy)"
+          buffer hits, %d discarded, %s speculation accuracy)"
          label s.Batcher.queries s.Batcher.batches s.Batcher.prepared
-         s.Batcher.buffer_hits s.Batcher.discarded (100. *. hit_rate))
+         s.Batcher.buffer_hits s.Batcher.discarded
+         (Telemetry.Fmt.percent hit_rate))
   end
 
 (* Program caches: one line per class, in the DSL concrete syntax. *)

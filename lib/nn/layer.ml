@@ -208,9 +208,32 @@ and forward_norm ~train n x =
 let rec forward_batch layer x =
   match layer with
   | Conv c ->
-      Tensor.conv2d_gemm_batch ~stride:c.stride ~pad:c.pad x
-        ~weight:c.cw.value ~bias:(Some c.cb.value)
+      (* Per-layer conv timing: one span per batched GEMM forward, the
+         breakdown the trace viewer groups the hot path by.  Disabled
+         path is one branch; args (shapes) are built lazily. *)
+      Telemetry.Trace.span "conv2d_gemm_batch" ~cat:"tensor"
+        ~args:(fun () ->
+          let s = Tensor.shape c.cw.value in
+          [
+            ("n", Telemetry.Trace.Int (Tensor.dim x 0));
+            ("in_c", Telemetry.Trace.Int s.(1));
+            ("out_c", Telemetry.Trace.Int s.(0));
+            ("k", Telemetry.Trace.Int s.(2));
+            ("stride", Telemetry.Trace.Int c.stride);
+            ("pad", Telemetry.Trace.Int c.pad);
+          ])
+        (fun () ->
+          Tensor.conv2d_gemm_batch ~stride:c.stride ~pad:c.pad x
+            ~weight:c.cw.value ~bias:(Some c.cb.value))
   | Dense d ->
+      Telemetry.Trace.span "dense_batch" ~cat:"tensor"
+        ~args:(fun () ->
+          [
+            ("n", Telemetry.Trace.Int (Tensor.dim x 0));
+            ("in_dim", Telemetry.Trace.Int (Tensor.dim d.dw.value 1));
+            ("out_dim", Telemetry.Trace.Int (Tensor.dim d.dw.value 0));
+          ])
+      @@ fun () ->
       let y = Tensor.matmul_nt x d.dw.value in
       let n = Tensor.dim y 0 and out_dim = Tensor.dim y 1 in
       let yd = y.Tensor.data and bd = d.db.value.Tensor.data in

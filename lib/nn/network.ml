@@ -29,7 +29,13 @@ let scores_direct t x = Tensor.softmax (logits_direct t x)
 let logits_batch t xs =
   if Tensor.ndim xs <> 4 then
     invalid_arg "Network.logits_batch: expected an NCHW batch";
-  Layer.forward_batch t.stack xs
+  Telemetry.Trace.span "network.forward_batch" ~cat:"nn"
+    ~args:(fun () ->
+      [
+        ("net", Telemetry.Trace.Str t.name);
+        ("n", Telemetry.Trace.Int (Tensor.dim xs 0));
+      ])
+    (fun () -> Layer.forward_batch t.stack xs)
 
 let scores_batch t xs =
   let l = logits_batch t xs in

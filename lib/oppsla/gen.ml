@@ -33,9 +33,18 @@ let random_program config g =
 
 (* Node addressing for mutation: slot 0 is the root; slots 1-4 are the
    conditions; 5-8 the function nodes; 9-12 the constant nodes. *)
-let mutate config g program =
-  let slot = Prng.int g 13 in
-  if slot = 0 then random_program config g
+let slot_kind slot =
+  if slot < 0 || slot > 12 then invalid_arg "Gen.slot_kind: slot out of range"
+  else if slot = 0 then "root"
+  else
+    match (slot - 1) / 4 with
+    | 0 -> "condition"
+    | 1 -> "function"
+    | _ -> "constant"
+
+let mutate_slot config g program ~slot =
+  if slot < 0 || slot > 12 then invalid_arg "Gen.mutate_slot: slot out of range"
+  else if slot = 0 then random_program config g
   else begin
     let conds = Condition.program_to_array program in
     let k = (slot - 1) mod 4 in
@@ -57,3 +66,5 @@ let mutate config g program =
     conds.(k) <- new_cond;
     Condition.program_of_array conds
   end
+
+let mutate config g program = mutate_slot config g program ~slot:(Prng.int g 13)

@@ -28,4 +28,20 @@ val mutate : config -> Prng.t -> Condition.program -> Condition.program
     resamples the threshold from the function's range; mutating a
     condition or the root regenerates the whole subtree.  A [Const]
     baseline condition has no function/constant children, so selecting
-    either slot regenerates the whole condition. *)
+    either slot regenerates the whole condition.
+
+    Equivalent to drawing [slot] uniformly from [0, 12] and calling
+    {!mutate_slot} — the RNG draw order is identical, so callers that
+    need the chosen slot (e.g. to label the proposal kind in telemetry)
+    can perform the draw themselves without perturbing the stream. *)
+
+val mutate_slot :
+  config -> Prng.t -> Condition.program -> slot:int -> Condition.program
+(** {!mutate} with the node choice made by the caller.  [slot] must lie
+    in [0, 12] (see the addressing comment on {!mutate}); raises
+    [Invalid_argument] otherwise. *)
+
+val slot_kind : int -> string
+(** The node class a mutation slot addresses: ["root"], ["condition"],
+    ["function"] or ["constant"].  Raises [Invalid_argument] outside
+    [0, 12]. *)

@@ -37,8 +37,22 @@ let cache_key (pair : Pair.t) =
 
 let default_batch = 16
 
+(* Attack-level telemetry: outcome counters plus the
+   queries-to-success/-failure distributions — the histogram form of the
+   paper's objective (average queries per successful attack).  All
+   observation, no accounting: query counts and success flags stay
+   bit-identical with telemetry on or off. *)
+let m_attacks = Telemetry.Metrics.counter "attack.attempts"
+let m_successes = Telemetry.Metrics.counter "attack.successes"
+let m_failures = Telemetry.Metrics.counter "attack.failures"
+let h_queries_to_success =
+  Telemetry.Metrics.histogram "attack.queries_to_success"
+let h_queries_to_failure =
+  Telemetry.Metrics.histogram "attack.queries_to_failure"
+
 let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
     ?(on_query = fun _ _ _ -> ()) oracle program ~image ~true_class =
+  let run () =
   let cache =
     match cache with Some _ as c -> c | None -> Oracle.cache oracle
   in
@@ -152,6 +166,32 @@ let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
   | Found (pair, candidate) ->
       { adversarial = Some (pair, candidate); queries = !spent }
   | Out_of_queries -> { adversarial = None; queries = !spent }
+  in
+  Telemetry.Counter.incr m_attacks;
+  let outcome = ref None in
+  Telemetry.Trace.span "sketch.attack" ~cat:"attack"
+    ~args:(fun () ->
+      match !outcome with
+      | None -> []
+      | Some r ->
+          [
+            ("queries", Telemetry.Trace.Int r.queries);
+            ("success", Telemetry.Trace.Bool (r.adversarial <> None));
+            ("true_class", Telemetry.Trace.Int true_class);
+            ("batch", Telemetry.Trace.Int batch);
+          ])
+    (fun () ->
+      let r = run () in
+      outcome := Some r;
+      let q = float_of_int r.queries in
+      (match r.adversarial with
+      | Some _ ->
+          Telemetry.Counter.incr m_successes;
+          Telemetry.Histogram.observe h_queries_to_success q
+      | None ->
+          Telemetry.Counter.incr m_failures;
+          Telemetry.Histogram.observe h_queries_to_failure q);
+      r)
 
 let success_exists ?(goal = Untargeted) oracle ~image ~true_class =
   let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in

@@ -27,6 +27,25 @@ type config = {
     (Condition.program -> (Tensor.t * int) array -> Score.evaluation) option;
 }
 
+(* MH-loop telemetry: iteration/acceptance counters, per-node-class
+   proposal counters, and one instant trace event per iteration carrying
+   the score trajectory.  Observation only — the proposal slot is drawn
+   exactly where [Gen.mutate] would draw it, so the RNG stream (and
+   therefore the synthesizer trace) is bit-identical with telemetry on
+   or off. *)
+let m_iterations = Telemetry.Metrics.counter "synth.iterations"
+let m_accepted = Telemetry.Metrics.counter "synth.accepted"
+let m_prop_root = Telemetry.Metrics.counter "synth.proposals.root"
+let m_prop_condition = Telemetry.Metrics.counter "synth.proposals.condition"
+let m_prop_function = Telemetry.Metrics.counter "synth.proposals.function"
+let m_prop_constant = Telemetry.Metrics.counter "synth.proposals.constant"
+
+let proposal_counter = function
+  | "root" -> m_prop_root
+  | "condition" -> m_prop_condition
+  | "function" -> m_prop_function
+  | _ -> m_prop_constant
+
 let default_config =
   {
     beta = 0.02;
@@ -59,15 +78,27 @@ let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
   in
   let synth_queries = ref 0 in
   let eval_counted program =
+    let avg = ref nan in
+    let queries = ref 0 in
+    Telemetry.Trace.span "synth.evaluate" ~cat:"synth"
+      ~args:(fun () ->
+        [
+          ("samples", Telemetry.Trace.Int (Array.length training));
+          ("avg_queries", Telemetry.Trace.Float !avg);
+          ("queries", Telemetry.Trace.Int !queries);
+        ])
+    @@ fun () ->
     let e = evaluate program training in
     synth_queries := !synth_queries + e.Score.total_queries;
+    avg := e.Score.avg_queries;
+    queries := e.Score.total_queries;
     e.Score.avg_queries
   in
   let current = ref (Gen.random_program gen_config g) in
   let current_avg = ref (eval_counted !current) in
   let best = ref !current and best_avg = ref !current_avg in
   let trace = ref [] in
-  let record index program avg_queries accepted =
+  let record ~kind index program avg_queries accepted =
     let it =
       {
         index;
@@ -77,10 +108,21 @@ let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
         synth_queries_total = !synth_queries;
       }
     in
+    Telemetry.Counter.incr m_iterations;
+    if accepted then Telemetry.Counter.incr m_accepted;
+    Telemetry.Trace.instant "synth.iteration" ~cat:"synth"
+      ~args:(fun () ->
+        [
+          ("index", Telemetry.Trace.Int index);
+          ("kind", Telemetry.Trace.Str kind);
+          ("avg_queries", Telemetry.Trace.Float avg_queries);
+          ("accepted", Telemetry.Trace.Bool accepted);
+          ("synth_queries_total", Telemetry.Trace.Int !synth_queries);
+        ]);
     config.on_iteration it;
     trace := it :: !trace
   in
-  record 0 !current !current_avg true;
+  record ~kind:"seed" 0 !current !current_avg true;
   let budget_left () =
     match config.max_synth_queries with
     | None -> true
@@ -88,7 +130,12 @@ let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
   in
   let iter = ref 1 in
   while !iter <= config.max_iters && budget_left () do
-    let proposal = Gen.mutate gen_config g !current in
+    (* Same draw [Gen.mutate] performs, pulled up so the proposal's node
+       class can be counted without a second RNG draw. *)
+    let slot = Prng.int g 13 in
+    let kind = Gen.slot_kind slot in
+    Telemetry.Counter.incr (proposal_counter kind);
+    let proposal = Gen.mutate_slot gen_config g !current ~slot in
     let proposal_avg = eval_counted proposal in
     let ratio =
       Score.acceptance_ratio ~beta:config.beta ~current:!current_avg
@@ -103,7 +150,7 @@ let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
       best := proposal;
       best_avg := proposal_avg
     end;
-    record !iter proposal proposal_avg accepted;
+    record ~kind !iter proposal proposal_avg accepted;
     incr iter
   done;
   {

@@ -38,29 +38,48 @@ type stats = {
 }
 
 (* Global counters, aggregated across every batcher (and every domain —
-   attacks under the pool run concurrently, hence atomics). *)
-let g_queries = Atomic.make 0
-let g_batches = Atomic.make 0
-let g_prepared = Atomic.make 0
-let g_buffer_hits = Atomic.make 0
-let g_discarded = Atomic.make 0
-let bump c n = ignore (Atomic.fetch_and_add c n)
+   attacks under the pool run concurrently, hence atomics).  They live
+   in the process-wide telemetry registry: [global_stats] is now a view
+   over the registry, so `--metrics FILE` and the consolidated report
+   section read the same numbers the legacy stats API returns. *)
+let g_queries = Telemetry.Metrics.counter "batcher.queries"
+let g_batches = Telemetry.Metrics.counter "batcher.chunks"
+let g_prepared = Telemetry.Metrics.counter "batcher.prepared"
+let g_buffer_hits = Telemetry.Metrics.counter "batcher.buffer_hits"
+let g_discarded = Telemetry.Metrics.counter "batcher.discarded"
+
+(* Chunk-width and mis-speculation distributions: how wide the
+   speculative forward passes actually run, and how much prepared work
+   each deviation throws away. *)
+let h_chunk_width =
+  Telemetry.Metrics.histogram
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+    "batcher.chunk_width"
+
+let h_discarded =
+  Telemetry.Metrics.histogram
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+    "batcher.discarded_per_misspeculation"
+
+let bump = Telemetry.Counter.add
 
 let global_stats () =
   {
-    queries = Atomic.get g_queries;
-    batches = Atomic.get g_batches;
-    prepared = Atomic.get g_prepared;
-    buffer_hits = Atomic.get g_buffer_hits;
-    discarded = Atomic.get g_discarded;
+    queries = Telemetry.Counter.get g_queries;
+    batches = Telemetry.Counter.get g_batches;
+    prepared = Telemetry.Counter.get g_prepared;
+    buffer_hits = Telemetry.Counter.get g_buffer_hits;
+    discarded = Telemetry.Counter.get g_discarded;
   }
 
 let reset_global_stats () =
-  Atomic.set g_queries 0;
-  Atomic.set g_batches 0;
-  Atomic.set g_prepared 0;
-  Atomic.set g_buffer_hits 0;
-  Atomic.set g_discarded 0
+  Telemetry.Counter.reset g_queries;
+  Telemetry.Counter.reset g_batches;
+  Telemetry.Counter.reset g_prepared;
+  Telemetry.Counter.reset g_buffer_hits;
+  Telemetry.Counter.reset g_discarded;
+  Telemetry.Histogram.reset h_chunk_width;
+  Telemetry.Histogram.reset h_discarded
 
 let zero_stats =
   { queries = 0; batches = 0; prepared = 0; buffer_hits = 0; discarded = 0 }
@@ -85,7 +104,9 @@ let drop_buffer t =
   match t.buf with
   | [] -> ()
   | l ->
-      bump g_discarded (List.length l);
+      let n = List.length l in
+      bump g_discarded n;
+      Telemetry.Histogram.observe h_discarded (float_of_int n);
       t.buf <- []
 
 (* Resolve a chunk of candidates without metering: cache hits first, the
@@ -93,6 +114,8 @@ let drop_buffer t =
 let prepare t chunk =
   bump g_batches 1;
   bump g_prepared (Array.length chunk);
+  Telemetry.Histogram.observe h_chunk_width
+    (float_of_int (Array.length chunk));
   let resolved = Array.make (Array.length chunk) None in
   (match t.cache with
   | None -> ()
@@ -107,8 +130,15 @@ let prepare t chunk =
   let missing = Array.of_list !missing in
   if Array.length missing > 0 then begin
     let outs =
-      Oracle.eval_batch t.oracle
-        (Array.map (fun i -> chunk.(i).input ()) missing)
+      Telemetry.Trace.span "batcher.prepare" ~cat:"oracle"
+        ~args:(fun () ->
+          [
+            ("chunk", Telemetry.Trace.Int (Array.length chunk));
+            ("forwarded", Telemetry.Trace.Int (Array.length missing));
+          ])
+        (fun () ->
+          Oracle.eval_batch t.oracle
+            (Array.map (fun i -> chunk.(i).input ()) missing))
     in
     Array.iteri
       (fun j i ->
@@ -144,7 +174,7 @@ let query t ?(speculate = no_speculation) cand =
       (* Metering happens here — at consumption, never at preparation —
          so the counter advances in the attacker's true query order and
          Budget_exhausted fires at the sequential path's exact index. *)
-      Oracle.meter t.oracle;
+      Oracle.meter ~kind:(Score_cache.key_kind cand.key) t.oracle;
       bump g_queries 1;
       t.buf <- rest;
       s

@@ -10,6 +10,24 @@ type t = {
 
 exception Budget_exhausted of int
 
+(* Process-wide query metering: the total plus a per-key-kind split
+   (clean/corner/custom for keyed queries through the cache/batcher
+   layers, unkeyed for direct [scores] calls).  The split does not
+   change accounting — it is a registry mirror of the same counter
+   increments. *)
+let m_q_total = Telemetry.Metrics.counter "oracle.queries.total"
+let m_q_clean = Telemetry.Metrics.counter "oracle.queries.clean"
+let m_q_corner = Telemetry.Metrics.counter "oracle.queries.corner"
+let m_q_custom = Telemetry.Metrics.counter "oracle.queries.custom"
+let m_q_unkeyed = Telemetry.Metrics.counter "oracle.queries.unkeyed"
+let m_batch_forwards = Telemetry.Metrics.counter "oracle.batch_forwards"
+
+let kind_counter = function
+  | Some "clean" -> m_q_clean
+  | Some "corner" -> m_q_corner
+  | Some "custom" -> m_q_custom
+  | Some _ | None -> m_q_unkeyed
+
 let of_fn ?budget ?batch_fn ?(name = "fn") ~num_classes fn =
   if num_classes <= 0 then invalid_arg "Oracle.of_fn: num_classes <= 0";
   {
@@ -55,11 +73,13 @@ let of_network ?budget net =
     memo = None;
   }
 
-let meter t =
+let meter ?kind t =
   (match t.limit with
   | Some b when t.count >= b -> raise (Budget_exhausted b)
   | _ -> ());
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  Telemetry.Counter.incr m_q_total;
+  Telemetry.Counter.incr (kind_counter kind)
 
 let validated t s =
   if Tensor.numel s <> t.classes then
@@ -76,7 +96,7 @@ let scores t x =
    (and Budget_exhausted raised) before the cache is consulted, so hits
    and misses are indistinguishable to the query accounting. *)
 let scores_memo t cache ~key ~input =
-  meter t;
+  meter ~kind:(Score_cache.key_kind key) t;
   Score_cache.find_or_add cache key ~compute:(fun () ->
       validated t (t.fn (input ())))
 
@@ -85,9 +105,13 @@ let scores_memo t cache ~key ~input =
    no batched form (toy oracles), which keeps the accounting semantics
    testable independently of the GEMM engine. *)
 let eval_batch t xs =
-  match t.fn_batch with
-  | Some fb -> Array.map (validated t) (fb xs)
-  | None -> Array.map (fun x -> validated t (t.fn x)) xs
+  Telemetry.Counter.incr m_batch_forwards;
+  Telemetry.Trace.span "oracle.eval_batch" ~cat:"oracle"
+    ~args:(fun () -> [ ("n", Telemetry.Trace.Int (Array.length xs)) ])
+    (fun () ->
+      match t.fn_batch with
+      | Some fb -> Array.map (validated t) (fb xs)
+      | None -> Array.map (fun x -> validated t (t.fn x)) xs)
 
 let scores_batch t ?cache ~keys ~inputs ~consume () =
   let n = Array.length inputs in
@@ -130,7 +154,7 @@ let scores_batch t ?cache ~keys ~inputs ~consume () =
   let continue_ = ref true in
   while !continue_ && !consumed < n do
     let i = !consumed in
-    meter t;
+    meter ?kind:(Option.map Score_cache.key_kind keys.(i)) t;
     consumed := i + 1;
     continue_ := consume i (Option.get resolved.(i))
   done;

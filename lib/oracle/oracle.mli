@@ -48,11 +48,13 @@ val classify : t -> Tensor.t -> int
 val score_of : t -> Tensor.t -> int -> float
 (** [score_of t x c] is [(scores t x).(c)] — one metered query. *)
 
-val meter : t -> unit
+val meter : ?kind:string -> t -> unit
 (** The metering half of {!scores} on its own: raise {!Budget_exhausted}
     if the budget is spent, otherwise charge one query.  Exposed so
     caching layers can keep metering {e above} the cache; never call it
-    without answering the query it charges for. *)
+    without answering the query it charges for.  [kind] (a
+    {!Score_cache.key_kind} label) only routes the telemetry per-kind
+    counter [oracle.queries.<kind>]; it never affects accounting. *)
 
 val scores_memo :
   t ->

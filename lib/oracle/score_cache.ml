@@ -3,6 +3,19 @@ type key =
   | Corner of { row : int; col : int; corner : int }
   | Custom of string
 
+let key_kind = function
+  | Clean -> "clean"
+  | Corner _ -> "corner"
+  | Custom _ -> "custom"
+
+(* Process-wide mirrors of the per-instance counters below: each cache
+   instance is owned by one domain (per-image ownership), but the
+   consolidated telemetry view sums across all instances and domains,
+   hence registry counters. *)
+let m_hits = Telemetry.Metrics.counter "cache.hits"
+let m_misses = Telemetry.Metrics.counter "cache.misses"
+let m_evictions = Telemetry.Metrics.counter "cache.evictions"
+
 type t = {
   table : (key, Tensor.t) Hashtbl.t;
   order : key Queue.t;  (* insertion order; head = eviction candidate *)
@@ -48,16 +61,19 @@ let evict_overflow t =
             | Some v ->
                 Hashtbl.remove t.table oldest;
                 t.payload <- t.payload - Tensor.numel v;
-                t.evictions <- t.evictions + 1)
+                t.evictions <- t.evictions + 1;
+                Telemetry.Counter.incr m_evictions)
       done
 
 let find_or_add t key ~compute =
   match Hashtbl.find_opt t.table key with
   | Some s ->
       t.hits <- t.hits + 1;
+      Telemetry.Counter.incr m_hits;
       s
   | None ->
       t.misses <- t.misses + 1;
+      Telemetry.Counter.incr m_misses;
       let s = compute () in
       Hashtbl.replace t.table key s;
       Queue.add key t.order;
@@ -71,12 +87,14 @@ let find_counted t key =
   match Hashtbl.find_opt t.table key with
   | Some s ->
       t.hits <- t.hits + 1;
+      Telemetry.Counter.incr m_hits;
       Some s
   | None -> None
 
 let add t key s =
   if not (Hashtbl.mem t.table key) then begin
     t.misses <- t.misses + 1;
+    Telemetry.Counter.incr m_misses;
     Hashtbl.replace t.table key s;
     Queue.add key t.order;
     t.payload <- t.payload + Tensor.numel s;

@@ -47,6 +47,11 @@ type key =
           must prefix their encodings distinctly so key spaces cannot
           collide. *)
 
+val key_kind : key -> string
+(** ["clean"], ["corner"] or ["custom"] — the label the telemetry layer
+    files per-key-kind query counters under
+    ([oracle.queries.<kind>]). *)
+
 type t
 
 type stats = {

@@ -1,0 +1,171 @@
+(** Zero-dependency metrics and tracing for the attack pipeline.
+
+    OPPSLA's objective is a measured quantity — queries per attack — so
+    the pipeline needs visibility into how queries and wall-clock are
+    spent, per stage, not just end-of-run averages.  This module is the
+    one observability substrate every layer shares:
+
+    - {!Metrics}: a process-wide, domain-safe registry of named
+      {!Counter}s, {!Gauge}s and fixed-bucket {!Histogram}s.  All
+      mutation is lock-free ([Atomic]); registration (rare) takes a
+      mutex.  Metrics are always on — one atomic add per event — and
+      dumpable as JSON ([--metrics FILE]).
+    - {!Trace}: span tracing against a monotonic clock, emitting Chrome
+      trace-event–format JSONL ([--trace FILE]) viewable in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.  The
+      default sink is the null sink: with tracing disabled every span
+      costs exactly one atomic load and branch, and instrumented code is
+      observably inert — query counts, success flags and synthesizer
+      traces are bit-identical with tracing on or off
+      ([test/diff_runner.ml --trace on|off] enforces this).
+
+    The library sits below every other layer (it depends only on [unix])
+    so tensor kernels, the oracle, the domain pool and the synthesizer
+    can all instrument through it without dependency cycles. *)
+
+(** {1 Clock} *)
+
+module Clock : sig
+  val now_us : unit -> float
+  (** Microseconds since process start.  Monotonic by construction: the
+      raw wall clock is clamped so consecutive reads never decrease,
+      even across domains (a shared atomic high-water mark). *)
+end
+
+(** {1 Metric handles}
+
+    Handles are obtained from the {!Metrics} registry and are safe to
+    share across domains. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+
+  val reset : t -> unit
+  (** Zero the counter (benchmark brackets and tests only). *)
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val get : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  type snapshot = {
+    uppers : float array;  (** inclusive upper bounds, ascending *)
+    counts : int array;  (** per-bucket counts, same length as [uppers] *)
+    overflow : int;  (** observations above the last bound *)
+    count : int;  (** total observations *)
+    sum : float;  (** sum of observed values *)
+  }
+
+  val observe : t -> float -> unit
+  (** Record one observation into the first bucket whose upper bound is
+      [>=] the value (the overflow bucket if none is).  Lock-free; the
+      invariant [sum of counts + overflow = count] holds at every
+      quiescent point and is property-tested. *)
+
+  val snapshot : t -> snapshot
+  val reset : t -> unit
+end
+
+(** {1 The registry} *)
+
+module Metrics : sig
+  val counter : string -> Counter.t
+  (** Register (or fetch, if already registered) the counter named
+      [name].  Raises [Invalid_argument] if the name is registered as a
+      different metric kind. *)
+
+  val gauge : string -> Gauge.t
+
+  val histogram : ?buckets:float array -> string -> Histogram.t
+  (** [buckets] are inclusive upper bounds, strictly ascending (default
+      {!default_buckets}); ignored when the histogram already exists.
+      Raises [Invalid_argument] on an empty or non-ascending array, or
+      on a kind clash. *)
+
+  val default_buckets : float array
+  (** Powers of two from 1 to 4096 — sized for query counts. *)
+
+  val time_buckets : float array
+  (** Decade-spaced seconds from 10us to 100s — sized for span-shaped
+      durations observed as histogram values. *)
+
+  val dump_json : unit -> string
+  (** All registered metrics as one JSON object, names sorted, shaped
+      [{"counters": {...}, "gauges": {...}, "histograms": {...}}].
+      Histograms carry their bucket bounds, per-bucket counts, overflow,
+      total count and sum. *)
+
+  val write_json : string -> unit
+  (** [dump_json] to a file. *)
+
+  val reset : unit -> unit
+  (** Zero every registered metric (handles stay valid).  For benchmark
+      A/B brackets and tests; never called on production paths. *)
+end
+
+(** {1 Tracing} *)
+
+module Trace : sig
+  type arg = Int of int | Float of float | Bool of bool | Str of string
+
+  val enabled : unit -> bool
+  (** One atomic load.  Instrumentation may use this to skip building
+      dynamic span metadata on the disabled path. *)
+
+  val to_file : string -> unit
+  (** Open [path] as the trace sink and enable tracing.  The file is a
+      Chrome trace-event JSON array written one event per line (JSONL
+      body), loadable by [chrome://tracing] and Perfetto.  Raises
+      [Invalid_argument] if tracing is already active. *)
+
+  val close : unit -> unit
+  (** Terminate the JSON array, close the sink and disable tracing.
+      Idempotent; a later {!to_file} may start a fresh trace. *)
+
+  val span : ?cat:string -> ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
+  (** [span name f] runs [f] and, when tracing is enabled, emits one
+      complete ("ph":"X") event covering [f]'s execution on the calling
+      domain's track.  [args] is evaluated {e after} [f] returns (or
+      raises), so it may read state the body just updated; it is never
+      evaluated on the disabled path, which costs one branch.  Never
+      alters [f]'s result or exception. *)
+
+  val instant : ?cat:string -> ?args:(unit -> (string * arg) list) -> string -> unit
+  (** A zero-duration event ("ph":"i", thread scope) — point-in-time
+      markers such as one Metropolis-Hastings iteration's outcome. *)
+
+  val without : (unit -> 'a) -> 'a
+  (** Run [f] with tracing temporarily disabled (the differential
+      checker computes its untraced reference this way without closing
+      the sink). *)
+end
+
+(** {1 Shared numeric formatting}
+
+    One formatter for every surface that renders telemetry — [Report]'s
+    tables, the workbench log lines, the bench harness — so the
+    renderings of the same quantity cannot drift apart. *)
+
+module Fmt : sig
+  val f1 : float -> string
+  (** One decimal: ["12.3"]. *)
+
+  val f2 : float -> string
+  (** Two decimals: ["12.34"]. *)
+
+  val percent : float -> string
+  (** [0.59 -> "59.0%"]. *)
+
+  val mb : int -> string
+  (** Bytes as one-decimal megabytes: [1048576 -> "1.0"]. *)
+end

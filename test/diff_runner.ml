@@ -1,6 +1,12 @@
 (* Standalone differential checker, wired into the `runtest` alias under
-   OCAMLRUNPARAM=b at every combination of --domains 1/4, --cache on/off
-   and --batch 1/16 (see test/dune).
+   OCAMLRUNPARAM=b at every combination of --domains 1/4, --cache on/off,
+   --batch 1/16 and --trace on/off (see test/dune).
+
+   --trace on opens a real Chrome-trace sink for the whole run and
+   computes every reference under [Telemetry.Trace.without], so each
+   check differences a traced run against an untraced one in the same
+   process — telemetry must be observation-only, with query accounting
+   and synthesis traces bit-identical either way.
 
    For randomized programs, images and training-set sizes it asserts that
    Score.evaluate_parallel over a pool of the requested width returns
@@ -51,27 +57,44 @@ let check_identical ctx (seq : Score.evaluation) (par : Score.evaluation) =
   then fail "%s: per-image query counts diverged" ctx
 
 let () =
-  let rec parse domains cache batch = function
+  let rec parse domains cache batch trace = function
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some d when d >= 1 -> parse d cache batch rest
+        | Some d when d >= 1 -> parse d cache batch trace rest
         | _ -> fail "diff_runner: bad --domains %s" n)
     | "--cache" :: v :: rest -> (
         match v with
-        | "on" -> parse domains true batch rest
-        | "off" -> parse domains false batch rest
+        | "on" -> parse domains true batch trace rest
+        | "off" -> parse domains false batch trace rest
         | _ -> fail "diff_runner: bad --cache %s (expected on|off)" v)
     | "--batch" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some b when b >= 1 -> parse domains cache b rest
+        | Some b when b >= 1 -> parse domains cache b trace rest
         | _ -> fail "diff_runner: bad --batch %s" n)
-    | [] -> (domains, cache, batch)
+    | "--trace" :: v :: rest -> (
+        match v with
+        | "on" -> parse domains cache batch true rest
+        | "off" -> parse domains cache batch false rest
+        | _ -> fail "diff_runner: bad --trace %s (expected on|off)" v)
+    | [] -> (domains, cache, batch, trace)
     | a :: _ -> fail "diff_runner: unknown argument %s" a
   in
-  let domains, cache, batch =
-    parse 4 false Oppsla.Sketch.default_batch
+  let domains, cache, batch, trace =
+    parse 4 false Oppsla.Sketch.default_batch false
       (List.tl (Array.to_list Sys.argv))
   in
+  (* With --trace on, checked runs emit real trace events while every
+     reference is computed with the sink masked: a live on-vs-off
+     differential inside one process. *)
+  let trace_file =
+    if trace then begin
+      let f = Filename.temp_file "oppsla_diff_trace" ".json" in
+      Telemetry.Trace.to_file f;
+      Some f
+    end
+    else None
+  in
+  let untraced f = if trace then Telemetry.Trace.without f else f () in
   let store_for samples =
     if cache then Some (Score_cache.store (Array.length samples)) else None
   in
@@ -93,8 +116,9 @@ let () =
         (* The reference is always the uncached sequential path at batch
            width 1: every other configuration must reproduce it. *)
         let reference =
-          Score.evaluate ?max_queries ~batch:1 (mean_threshold_oracle ())
-            program samples
+          untraced (fun () ->
+              Score.evaluate ?max_queries ~batch:1 (mean_threshold_oracle ())
+                program samples)
         in
         (match store_for samples with
         | Some _ as caches ->
@@ -128,9 +152,10 @@ let () =
         }
       in
       let seq =
-        Synthesizer.synthesize
-          ~config:{ config with Synthesizer.batch = 1 }
-          (Prng.of_int 11) (mean_threshold_oracle ()) ~training
+        untraced (fun () ->
+            Synthesizer.synthesize
+              ~config:{ config with Synthesizer.batch = 1 }
+              (Prng.of_int 11) (mean_threshold_oracle ()) ~training)
       in
       let config = { config with Synthesizer.batch } in
       let par =
@@ -163,10 +188,29 @@ let () =
         in
         check_traces "cached sequential" seq cached_seq
       end;
+      (match trace_file with
+      | None -> ()
+      | Some f ->
+          Telemetry.Trace.close ();
+          (* The traced arm must actually have emitted events — an empty
+             trace would mean the differential tested nothing. *)
+          let ic = open_in f in
+          let lines = ref 0 in
+          (try
+             while true do
+               ignore (input_line ic);
+               incr lines
+             done
+           with End_of_file -> close_in ic);
+          if !lines <= 2 then
+            fail "diff_runner: --trace on produced an empty trace (%d lines)"
+              !lines;
+          Sys.remove f);
       Printf.printf
         "diff_runner: sequential and %d-domain evaluation bit-identical \
-         with cache %s at batch width %d (12 evaluation trials + \
-         synthesis trace)\n"
+         with cache %s at batch width %d, trace %s (12 evaluation trials \
+         + synthesis trace)\n"
         domains
         (if cache then "on" else "off")
-        batch)
+        batch
+        (if trace then "on" else "off"))

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "oppsla"
     [
       ("prng", Test_prng.suite);
+      ("telemetry", Test_telemetry.suite);
       ("tensor", Test_tensor.suite);
       ("nn", Test_nn.suite);
       ("dataset", Test_dataset.suite);

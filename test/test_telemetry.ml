@@ -1,0 +1,317 @@
+(* Tests for the telemetry subsystem: registry semantics, domain-safety
+   of the metric primitives, trace emission, and the null-sink identity
+   that lets instrumentation live on hot paths.
+
+   The registry is process-global, so every metric here uses a fresh
+   "test.*" name — tests must not collide with the production metrics
+   (oracle.*, cache.*, ...) that other suites bump as a side effect. *)
+
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "test.%s.%d" prefix !n
+
+(* {1 Registry} *)
+
+let counter_semantics () =
+  let name = fresh "counter" in
+  let c = Telemetry.Metrics.counter name in
+  Alcotest.(check int) "starts at 0" 0 (Telemetry.Counter.get c);
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Telemetry.Counter.get c);
+  let c' = Telemetry.Metrics.counter name in
+  Telemetry.Counter.incr c';
+  Alcotest.(check int) "same name, same counter" 43 (Telemetry.Counter.get c);
+  Telemetry.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Telemetry.Counter.get c)
+
+let gauge_semantics () =
+  let g = Telemetry.Metrics.gauge (fresh "gauge") in
+  Alcotest.(check (float 0.)) "starts at 0" 0. (Telemetry.Gauge.get g);
+  Telemetry.Gauge.set g 2.5;
+  Alcotest.(check (float 0.)) "set" 2.5 (Telemetry.Gauge.get g)
+
+let kind_clash_rejected () =
+  let name = fresh "clash" in
+  ignore (Telemetry.Metrics.counter name);
+  (try
+     ignore (Telemetry.Metrics.histogram name);
+     Alcotest.fail "histogram under a counter's name should raise"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Telemetry.Metrics.gauge name);
+    Alcotest.fail "gauge under a counter's name should raise"
+  with Invalid_argument _ -> ()
+
+let histogram_semantics () =
+  let h =
+    Telemetry.Metrics.histogram ~buckets:[| 1.; 2.; 4. |] (fresh "hist")
+  in
+  List.iter (Telemetry.Histogram.observe h) [ 0.5; 1.; 1.5; 3.; 100. ];
+  let s = Telemetry.Histogram.snapshot h in
+  (* Bucket semantics are "le": v <= upper lands in the first matching
+     bucket, anything past the last bound overflows. *)
+  Alcotest.(check (array (float 0.))) "bounds" [| 1.; 2.; 4. |]
+    s.Telemetry.Histogram.uppers;
+  Alcotest.(check (array int)) "per-bucket counts" [| 2; 1; 1 |]
+    s.Telemetry.Histogram.counts;
+  Alcotest.(check int) "overflow" 1 s.Telemetry.Histogram.overflow;
+  Alcotest.(check int) "total count" 5 s.Telemetry.Histogram.count;
+  Alcotest.(check (float 1e-9)) "sum" 106. s.Telemetry.Histogram.sum;
+  Telemetry.Histogram.reset h;
+  let s = Telemetry.Histogram.snapshot h in
+  Alcotest.(check int) "reset count" 0 s.Telemetry.Histogram.count;
+  Alcotest.(check int) "reset overflow" 0 s.Telemetry.Histogram.overflow
+
+let histogram_rejects_bad_buckets () =
+  (try
+     ignore (Telemetry.Metrics.histogram ~buckets:[||] (fresh "bad"));
+     Alcotest.fail "empty bucket array should raise"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Telemetry.Metrics.histogram ~buckets:[| 2.; 1. |] (fresh "bad"));
+    Alcotest.fail "non-ascending bounds should raise"
+  with Invalid_argument _ -> ()
+
+let dump_json_contains_registered () =
+  let cname = fresh "json_counter" in
+  let c = Telemetry.Metrics.counter cname in
+  Telemetry.Counter.add c 7;
+  let hname = fresh "json_hist" in
+  let h = Telemetry.Metrics.histogram ~buckets:[| 1.; 2. |] hname in
+  Telemetry.Histogram.observe h 1.5;
+  let json = Telemetry.Metrics.dump_json () in
+  let contains sub =
+    let n = String.length json and m = String.length sub in
+    let rec scan i =
+      i + m <= n && (String.sub json i m = sub || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "counter dumped" true
+    (contains (Printf.sprintf "%S: 7" cname));
+  Alcotest.(check bool) "histogram dumped" true
+    (contains (Printf.sprintf "%S: {\"count\": 1" hname));
+  Alcotest.(check bool) "bucket bound dumped" true
+    (contains "{\"le\": 1, \"count\": 0}")
+
+(* {1 Domain-safety} *)
+
+(* 4 domains hammer one counter and one histogram concurrently; every
+   increment must survive (atomicity), and the histogram's buckets must
+   account for every observation. *)
+let concurrent_bumps () =
+  let c = Telemetry.Metrics.counter (fresh "conc_counter") in
+  let h =
+    Telemetry.Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8. |]
+      (fresh "conc_hist")
+  in
+  let per_domain = 10_000 and domains = 4 in
+  let worker d =
+    Domain.spawn (fun () ->
+        for i = 0 to per_domain - 1 do
+          Telemetry.Counter.incr c;
+          Telemetry.Histogram.observe h (float_of_int ((i + d) mod 10))
+        done)
+  in
+  let ds = List.init domains worker in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost counter increments" (domains * per_domain)
+    (Telemetry.Counter.get c);
+  let s = Telemetry.Histogram.snapshot h in
+  Alcotest.(check int) "no lost observations" (domains * per_domain)
+    s.Telemetry.Histogram.count;
+  Alcotest.(check int) "buckets account for every observation"
+    s.Telemetry.Histogram.count
+    (Array.fold_left ( + ) s.Telemetry.Histogram.overflow
+       s.Telemetry.Histogram.counts)
+
+(* {1 Tracing} *)
+
+(* Minimal field extraction for the emitted JSONL — enough to check
+   names, timestamps and durations without a JSON parser. *)
+let field_string line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  let n = String.length line and m = String.length pat in
+  let rec scan i = if i + m > n then None else if String.sub line i m = pat then Some (i + m) else scan (i + 1) in
+  Option.map
+    (fun start ->
+      let stop = String.index_from line start '"' in
+      String.sub line start (stop - start))
+    (scan 0)
+
+let field_float line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let n = String.length line and m = String.length pat in
+  let rec scan i = if i + m > n then None else if String.sub line i m = pat then Some (i + m) else scan (i + 1) in
+  Option.map
+    (fun start ->
+      let stop = ref start in
+      while
+        !stop < n
+        && (match line.[!stop] with
+           | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string (String.sub line start (!stop - start)))
+    (scan 0)
+
+let with_trace_file f =
+  let path = Filename.temp_file "oppsla_test_trace" ".json" in
+  Telemetry.Trace.to_file path;
+  let finish () =
+    Telemetry.Trace.close ();
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    Sys.remove path;
+    List.rev !lines
+  in
+  match f () with
+  | () -> finish ()
+  | exception e ->
+      ignore (finish ());
+      raise e
+
+let span_nesting_and_ordering () =
+  let lines =
+    with_trace_file (fun () ->
+        Telemetry.Trace.span "outer" ~cat:"test" (fun () ->
+            Telemetry.Trace.span "inner" ~cat:"test"
+              ~args:(fun () -> [ ("k", Telemetry.Trace.Int 3) ])
+              (fun () -> ignore (Sys.opaque_identity (ref 0)));
+            Telemetry.Trace.instant "mark" ~cat:"test"))
+  in
+  Alcotest.(check string) "array opened" "[" (List.hd lines);
+  Alcotest.(check string) "array closed" "{}]" (List.nth lines (List.length lines - 1));
+  let events =
+    List.filter (fun l -> String.length l > 2 && l.[0] = '{') lines
+  in
+  let named name =
+    match
+      List.find_opt (fun l -> field_string l "name" = Some name) events
+    with
+    | Some l -> l
+    | None -> Alcotest.failf "no %S event in trace" name
+  in
+  let outer = named "outer" and inner = named "inner" and mark = named "mark" in
+  Alcotest.(check (option string)) "complete events" (Some "X")
+    (field_string outer "ph");
+  Alcotest.(check (option string)) "instant event" (Some "i")
+    (field_string mark "ph");
+  Alcotest.(check bool) "inner args emitted" true
+    (field_float inner "k" = Some 3.);
+  (* Completion order: inner finishes (and is emitted) before outer. *)
+  let index l = Option.get (List.find_index (( = ) l) events) in
+  Alcotest.(check bool) "inner emitted before outer" true
+    (index inner < index outer);
+  (* Containment on the trace timeline. *)
+  let ts l = Option.get (field_float l "ts")
+  and dur l = Option.get (field_float l "dur") in
+  Alcotest.(check bool) "inner starts inside outer" true
+    (ts inner >= ts outer);
+  Alcotest.(check bool) "inner ends inside outer" true
+    (ts inner +. dur inner <= ts outer +. dur outer +. 1e-6)
+
+let span_reraises_and_still_emits () =
+  let lines =
+    with_trace_file (fun () ->
+        try
+          Telemetry.Trace.span "boom" ~cat:"test" (fun () ->
+              failwith "expected")
+        with Failure _ -> ())
+  in
+  Alcotest.(check bool) "event emitted despite the raise" true
+    (List.exists (fun l -> field_string l "name" = Some "boom") lines)
+
+let null_sink_is_identity () =
+  Alcotest.(check bool) "tracing disabled by default" false
+    (Telemetry.Trace.enabled ());
+  let args_evaluated = ref false in
+  let r =
+    Telemetry.Trace.span "off"
+      ~args:(fun () ->
+        args_evaluated := true;
+        [])
+      (fun () -> 17)
+  in
+  Alcotest.(check int) "span returns the body's value" 17 r;
+  Alcotest.(check bool) "args closure never evaluated when disabled" false
+    !args_evaluated;
+  Telemetry.Trace.instant "off-instant";
+  (* Exceptions pass through untouched on the disabled path. *)
+  Alcotest.check_raises "raises pass through" (Failure "x") (fun () ->
+      Telemetry.Trace.span "off" (fun () -> failwith "x"))
+
+let without_masks_and_restores () =
+  let lines =
+    with_trace_file (fun () ->
+        Alcotest.(check bool) "enabled inside sink" true
+          (Telemetry.Trace.enabled ());
+        Telemetry.Trace.without (fun () ->
+            Alcotest.(check bool) "masked" false (Telemetry.Trace.enabled ());
+            Telemetry.Trace.span "hidden" (fun () -> ()));
+        Alcotest.(check bool) "restored" true (Telemetry.Trace.enabled ());
+        Telemetry.Trace.span "visible" (fun () -> ()))
+  in
+  Alcotest.(check bool) "masked span not emitted" false
+    (List.exists (fun l -> field_string l "name" = Some "hidden") lines);
+  Alcotest.(check bool) "span after restore emitted" true
+    (List.exists (fun l -> field_string l "name" = Some "visible") lines)
+
+(* {1 Properties} *)
+
+(* Whatever is observed, bucket counts (including overflow) always sum to
+   the total observation count, and the sum telemetry matches a direct
+   fold over the observations. *)
+let qcheck_histogram_conservation =
+  QCheck.Test.make ~name:"histogram buckets sum to observation count"
+    ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 5) (float_range 0.1 10.))
+        (small_list (float_range (-100.) 100.)))
+    (fun (bounds, values) ->
+      let bounds = List.sort_uniq compare bounds in
+      let h =
+        Telemetry.Metrics.histogram
+          ~buckets:(Array.of_list bounds)
+          (fresh "prop")
+      in
+      List.iter (Telemetry.Histogram.observe h) values;
+      let s = Telemetry.Histogram.snapshot h in
+      let bucket_total =
+        Array.fold_left ( + ) s.Telemetry.Histogram.overflow
+          s.Telemetry.Histogram.counts
+      in
+      s.Telemetry.Histogram.count = List.length values
+      && bucket_total = s.Telemetry.Histogram.count
+      && s.Telemetry.Histogram.sum = List.fold_left ( +. ) 0. values)
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick counter_semantics;
+    Alcotest.test_case "gauge semantics" `Quick gauge_semantics;
+    Alcotest.test_case "kind clash rejected" `Quick kind_clash_rejected;
+    Alcotest.test_case "histogram semantics" `Quick histogram_semantics;
+    Alcotest.test_case "histogram validates buckets" `Quick
+      histogram_rejects_bad_buckets;
+    Alcotest.test_case "dump_json" `Quick dump_json_contains_registered;
+    Alcotest.test_case "concurrent bumps (4 domains)" `Quick concurrent_bumps;
+    Alcotest.test_case "span nesting and ordering" `Quick
+      span_nesting_and_ordering;
+    Alcotest.test_case "span re-raises and still emits" `Quick
+      span_reraises_and_still_emits;
+    Alcotest.test_case "null sink is identity" `Quick null_sink_is_identity;
+    Alcotest.test_case "without masks and restores" `Quick
+      without_masks_and_restores;
+    QCheck_alcotest.to_alcotest qcheck_histogram_conservation;
+  ]
