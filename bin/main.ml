@@ -109,16 +109,64 @@ let metrics_arg =
   in
   Arg.(value & opt string "" & info [ "metrics" ] ~docv:"FILE" ~doc)
 
-(* Bracket a command with the telemetry sinks: open the trace file before
-   any instrumented code runs, and flush trace + metrics even when the
-   command raises. *)
-let with_telemetry ~trace ~metrics f =
-  if trace <> "" then Telemetry.Trace.to_file trace;
-  Fun.protect
-    ~finally:(fun () ->
-      Telemetry.Trace.close ();
-      if metrics <> "" then Telemetry.Metrics.write_json metrics)
+let serve_metrics_arg =
+  let doc =
+    "Serve the live observatory on 127.0.0.1:$(docv) for the duration of \
+     the command: GET /metrics (Prometheus text exposition of the \
+     registry), /healthz (ok/stalled from the heartbeat watchdog) and \
+     /snapshot.json (the registry as JSON).  Port 0 picks an ephemeral \
+     port (logged to stderr).  Also starts the background runtime \
+     sampler.  Observation-only: results and query counts are \
+     bit-identical with the observatory on or off."
+  in
+  Arg.(value & opt (some int) None & info [ "serve-metrics" ] ~docv:"PORT" ~doc)
+
+let snapshot_arg =
+  let doc =
+    "Append one JSONL snapshot of the metrics registry to $(docv) per \
+     sampler tick (see $(b,--snapshot-interval))."
+  in
+  Arg.(value & opt string "" & info [ "snapshot" ] ~docv:"FILE" ~doc)
+
+let snapshot_interval_arg =
+  let doc = "Background sampler tick interval in seconds." in
+  Arg.(
+    value & opt float 1.0 & info [ "snapshot-interval" ] ~docv:"SEC" ~doc)
+
+let stall_timeout_arg =
+  let doc =
+    "Abort the run (exit 3) when an instrumented loop (sketch attack, \
+     baseline search, synthesizer MH chain) is active but records no \
+     heartbeat progress for $(docv) seconds.  Also sets the /healthz \
+     stall threshold."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "stall-timeout" ] ~docv:"SEC" ~doc)
+
+(* Bracket a command with the observability stack (shared with the bench
+   via Telemetry.Obs): open the trace file before any instrumented code
+   runs, serve /metrics and run the sampler while the command does, and
+   flush trace + metrics even when the command raises. *)
+let with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
+    ~stall_timeout f =
+  let nonempty s = if s = "" then None else Some s in
+  Telemetry.Obs.with_observability ~log:log_stderr
+    {
+      Telemetry.Obs.trace = nonempty trace;
+      metrics = nonempty metrics;
+      serve_port = serve;
+      snapshot = nonempty snapshot;
+      snapshot_interval_s = snapshot_interval;
+      stall_timeout_s = stall_timeout;
+    }
     f
+
+(* The consolidated telemetry section is empty (and unprinted) unless
+   instrumentation actually recorded something this run. *)
+let print_telemetry_report () =
+  match Report.render_telemetry () with
+  | "" -> ()
+  | s -> print_endline s
 
 let with_spec dataset f =
   match spec_of_name dataset with
@@ -153,7 +201,7 @@ let synthesize_cmd =
     Arg.(value & opt int 40 & info [ "iters" ] ~doc:"MH iterations.")
   in
   let run dataset arch seed artifacts class_id iters domains cache batch
-      trace metrics =
+      trace metrics serve snapshot snapshot_interval stall_timeout =
     with_spec dataset @@ fun spec ->
     check_batch batch @@ fun () ->
     if class_id < 0 || class_id >= spec.Dataset.num_classes then
@@ -162,7 +210,9 @@ let synthesize_cmd =
           Printf.sprintf "class %d out of range [0, %d)" class_id
             spec.Dataset.num_classes )
     else begin
-      with_telemetry ~trace ~metrics @@ fun () ->
+      with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
+        ~stall_timeout
+      @@ fun () ->
       let config = workbench_config artifacts seed in
       let c = Workbench.load_classifier config spec arch in
       let params =
@@ -186,7 +236,8 @@ let synthesize_cmd =
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
        $ class_arg $ iters_arg $ domains_arg $ cache_arg $ batch_arg
-       $ trace_arg $ metrics_arg))
+       $ trace_arg $ metrics_arg $ serve_metrics_arg $ snapshot_arg
+       $ snapshot_interval_arg $ stall_timeout_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
@@ -227,7 +278,8 @@ let attack_cmd =
              file on success.")
   in
   let run dataset arch seed artifacts class_id index program_text target
-      save_ppm batch trace metrics =
+      save_ppm batch trace metrics serve snapshot snapshot_interval
+      stall_timeout =
     with_spec dataset @@ fun spec ->
     check_batch batch (fun () ->
         let config = workbench_config artifacts seed in
@@ -249,7 +301,9 @@ let attack_cmd =
               Printf.sprintf "index %d out of range [0, %d)" index
                 (Array.length candidates) )
         else begin
-          with_telemetry ~trace ~metrics @@ fun () ->
+          with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
+            ~stall_timeout
+          @@ fun () ->
           let program =
             if program_text = "" then
               (Workbench.synthesize_programs config c).(class_id)
@@ -296,6 +350,7 @@ let attack_cmd =
           | None ->
               Printf.printf "no one-pixel adversarial example (%d queries)\n"
                 r.Oppsla.Sketch.queries);
+          print_telemetry_report ();
           `Ok ()
         end)
   in
@@ -304,7 +359,8 @@ let attack_cmd =
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
        $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg
-       $ batch_arg $ trace_arg $ metrics_arg))
+       $ batch_arg $ trace_arg $ metrics_arg $ serve_metrics_arg
+       $ snapshot_arg $ snapshot_interval_arg $ stall_timeout_arg))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a single test image with a program.")
@@ -338,9 +394,12 @@ let eval_cmd =
     let doc = "Experiment to run: fig3, table1, fig4, table2 or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let run seed artifacts domains cache batch trace metrics experiment =
+  let run seed artifacts domains cache batch trace metrics serve snapshot
+      snapshot_interval stall_timeout experiment =
     check_batch batch @@ fun () ->
-    with_telemetry ~trace ~metrics @@ fun () ->
+    with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
+      ~stall_timeout
+    @@ fun () ->
     let config = workbench_config artifacts seed in
     let base = Experiments.default_scale in
     let scale =
@@ -374,9 +433,11 @@ let eval_cmd =
             run_one e;
             print_newline ())
           [ "fig3"; "table1"; "fig4"; "table2" ];
+        print_telemetry_report ();
         `Ok ()
     | ("fig3" | "table1" | "fig4" | "table2") as e ->
         run_one e;
+        print_telemetry_report ();
         `Ok ()
     | other ->
         `Error
@@ -386,7 +447,9 @@ let eval_cmd =
     Term.(
       ret
         (const run $ seed_arg $ artifacts_arg $ domains_arg $ cache_arg
-       $ batch_arg $ trace_arg $ metrics_arg $ experiment_arg))
+       $ batch_arg $ trace_arg $ metrics_arg $ serve_metrics_arg
+       $ snapshot_arg $ snapshot_interval_arg $ stall_timeout_arg
+       $ experiment_arg))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")

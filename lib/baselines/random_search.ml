@@ -20,10 +20,16 @@ let synthesize ?(samples = 210) ?max_queries_per_image ?caches ?batch
   in
   let spent = ref 0 in
   let best = ref None in
-  for _ = 1 to samples do
+  (* One heartbeat per sampled program: each draw evaluates the whole
+     training set, so this is the coarse outer-progress signal (the
+     per-query beats in Sketch.attack cover the inner loop). *)
+  let wd = Telemetry.Watchdog.loop "baseline.random_search" in
+  Telemetry.Watchdog.with_loop wd @@ fun () ->
+  for i = 1 to samples do
     let program = Oppsla.Gen.random_program gen_config g in
     let e = evaluate program training in
     spent := !spent + e.Oppsla.Score.total_queries;
+    Telemetry.Watchdog.beat ~iteration:i ~queries:!spent wd;
     match !best with
     | Some (_, avg) when avg <= e.Oppsla.Score.avg_queries -> ()
     | _ -> best := Some (program, e.Oppsla.Score.avg_queries)

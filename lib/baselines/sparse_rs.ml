@@ -31,6 +31,10 @@ type multi_result = {
 
 exception Done of multi_result
 
+(* Stall-watchdog heartbeat, one beat per metered query (observation
+   only — no RNG draw, no metering). *)
+let wd = Telemetry.Watchdog.loop "baseline.sparse_rs"
+
 let perturb_set image pairs =
   List.fold_left
     (fun acc pair -> Oppsla.Sketch.perturb acc pair)
@@ -73,6 +77,7 @@ let attack_multi ?config ?(batch = Oppsla.Sketch.default_batch) ~k g oracle
         raise (Done { adversarial = None; queries = !spent })
     in
     incr spent;
+    Telemetry.Watchdog.beat ~queries:!spent wd;
     if Tensor.argmax scores <> true_class then
       raise
         (Done
@@ -162,6 +167,7 @@ let attack_multi ?config ?(batch = Oppsla.Sketch.default_batch) ~k g oracle
     in
     query ~speculate pairs
   in
+  Telemetry.Watchdog.with_loop wd @@ fun () ->
   try
     let current = ref (random_set ()) in
     let current_margin = ref (query_speculating !current !current) in

@@ -31,6 +31,9 @@ let cache_key ~row ~col cand =
 
 exception Done of Oppsla.Sketch.result
 
+(* Stall-watchdog heartbeat, one beat per metered query. *)
+let wd = Telemetry.Watchdog.loop "baseline.su_opa"
+
 let nearest_corner_pair ~row ~col cand =
   let bit v = if v >= 0.5 then 1 else 0 in
   let corner = (bit cand.(2) * 4) + (bit cand.(3) * 2) + bit cand.(4) in
@@ -70,6 +73,7 @@ let attack ?config ?(batch = Oppsla.Sketch.default_batch) g oracle ~image
       with Oracle.Budget_exhausted _ -> finish ()
     in
     incr spent;
+    Telemetry.Watchdog.beat ~queries:!spent wd;
     if !found = None && Tensor.argmax scores <> true_class then begin
       let row, col = pixel_of image cand in
       found :=
@@ -119,6 +123,7 @@ let attack ?config ?(batch = Oppsla.Sketch.default_batch) g oracle ~image
     in
     r1, r2, r3
   in
+  Telemetry.Watchdog.with_loop wd @@ fun () ->
   try
     (* The initial population is drawn before any query, so its fitness
        sweep is fully speculable: while evaluating member [i] the batcher

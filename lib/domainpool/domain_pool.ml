@@ -14,6 +14,10 @@ let h_job_seconds =
 
 let h_job_tasks = Telemetry.Metrics.histogram "pool.job_tasks"
 
+(* Tasks submitted by the job currently running (0 when the pool is
+   idle) — the queue-depth signal the background sampler snapshots. *)
+let g_job_inflight = Telemetry.Metrics.gauge "pool.job_inflight"
+
 module Pool = struct
   type stats = {
     domains : int;
@@ -128,6 +132,7 @@ module Pool = struct
     Mutex.unlock t.m;
     Telemetry.Counter.incr m_jobs;
     Telemetry.Counter.add m_tasks n;
+    Telemetry.Gauge.set g_job_inflight 0.;
     Telemetry.Histogram.observe h_job_seconds dt;
     Telemetry.Histogram.observe h_job_tasks (float_of_int n)
 
@@ -144,6 +149,7 @@ module Pool = struct
     if n = 0 then [||]
     else if t.total = 1 || n = 1 then begin
       let t0 = Unix.gettimeofday () in
+      Telemetry.Gauge.set g_job_inflight (float_of_int n);
       (* Inline fast path: exceptions from [f] propagate directly, and a
          raise on item [i] abandons items after [i] just like the
          parallel path does. *)
@@ -153,6 +159,7 @@ module Pool = struct
     end
     else begin
       let t0 = Unix.gettimeofday () in
+      Telemetry.Gauge.set g_job_inflight (float_of_int n);
       let results = Array.make n None in
       let next = Atomic.make 0 in
       let completed = Atomic.make 0 in

@@ -1,0 +1,86 @@
+(** Bench regression gate.
+
+    Compares freshly produced bench JSON against the committed
+    [BENCH_*.json] baselines and reports gated metrics that moved past a
+    noise tolerance in the bad direction.  Which direction is bad is
+    derived from the leaf field name: [*seconds*] and
+    [*overhead_fraction*] must not grow; [*speedup*], [*images_per_sec*],
+    [*hit_rate*] and [*per_s*] must not shrink; every other field
+    (counts, flags, notes) is context and is not gated.  Baselines with
+    magnitude under [min_magnitude] are skipped — sub-centisecond
+    per-layer timings jitter by whole multiples between runs.
+
+    Used by [bench regress] and the [tools/regress] CLI, both of which
+    exit nonzero when {!passed} is false. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val parse_json : string -> json
+(** Parse the JSON subset our bench writer emits.  Raises
+    {!Parse_error} with an offset on malformed input. *)
+
+val parse_file : string -> json
+
+val flatten : json -> (string * float) list
+(** Every numeric leaf as a dotted/indexed path:
+    [{"runs": [{"s": 1.5}]}] yields [[("runs[0].s", 1.5)]]. *)
+
+type direction = Lower_better | Higher_better | Ungated
+
+val direction_of : string -> direction
+(** The gate policy for a flattened metric path (keyed on its leaf). *)
+
+type finding = {
+  metric : string;
+  baseline : float;
+  fresh : float;
+  change : float;  (** signed fractional change; positive = grew *)
+}
+
+type report = {
+  checked : int;  (** gated metrics present in both files *)
+  regressions : finding list;
+  improvements : finding list;
+      (** moved past tolerance in the good direction (informational) *)
+  missing : string list;  (** gated in the baseline, absent fresh *)
+}
+
+val default_tolerance : float
+(** 0.10 — tolerates 10% run-to-run noise while catching a 20% slide. *)
+
+val default_min_magnitude : float
+
+val compare_metrics :
+  ?tolerance:float ->
+  ?min_magnitude:float ->
+  baseline:(string * float) list ->
+  fresh:(string * float) list ->
+  unit ->
+  report
+
+val compare_files :
+  ?tolerance:float ->
+  ?min_magnitude:float ->
+  baseline:string ->
+  fresh:string ->
+  unit ->
+  report
+
+val passed : report -> bool
+(** No regressions and no missing gated metrics. *)
+
+val render : label:string -> report -> string
+(** Human-readable verdict block (one line per finding). *)
+
+val degrade : ?factor:float -> (string * float) list -> (string * float) list
+(** Push every gated metric [factor] (default 1.2) past its baseline in
+    the bad direction — the synthetic failure the gate's smoke test must
+    catch. *)

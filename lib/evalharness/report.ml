@@ -176,9 +176,101 @@ let render_batch_stats (s : Batcher.stats) =
           ];
         ]
 
+(* Attack-outcome quantiles, straight from the registry histograms the
+   sketch maintains.  Rendered only when at least one attack succeeded,
+   so runs that never attacked print nothing. *)
+let render_attack_quantiles () =
+  let h = Telemetry.Metrics.histogram "attack.queries_to_success" in
+  let s = Telemetry.Histogram.snapshot h in
+  if s.Telemetry.Histogram.count = 0 then None
+  else
+    let q p = Telemetry.Histogram.quantile_of_snapshot s p in
+    Some
+      (Printf.sprintf
+         "Attack outcomes\nqueries to success: p50 %s, p90 %s, p99 %s \
+          (bucket-interpolated, %d successes, %d failures)"
+         (Telemetry.Fmt.f1 (q 0.5))
+         (Telemetry.Fmt.f1 (q 0.9))
+         (Telemetry.Fmt.f1 (q 0.99))
+         s.Telemetry.Histogram.count
+         (Telemetry.Counter.get (Telemetry.Metrics.counter "attack.failures")))
+
+(* Watchdog summary: which instrumented loops ran and where they last
+   reported progress.  Rendered only when some loop actually beat. *)
+let render_watchdog () =
+  let statuses =
+    List.filter
+      (fun (s : Telemetry.Watchdog.status) -> s.Telemetry.Watchdog.beats > 0)
+      (Telemetry.Watchdog.snapshot ())
+  in
+  if statuses = [] then None
+  else
+    let opt = function None -> "-" | Some v -> string_of_int v in
+    Some
+      ("Stall watchdog\n"
+      ^ table
+          ~headers:
+            [ "loop"; "active"; "beats"; "image"; "iteration"; "queries" ]
+          ~rows:
+            (List.map
+               (fun (s : Telemetry.Watchdog.status) ->
+                 [
+                   s.Telemetry.Watchdog.name;
+                   string_of_int s.Telemetry.Watchdog.active;
+                   string_of_int s.Telemetry.Watchdog.beats;
+                   opt s.Telemetry.Watchdog.image;
+                   opt s.Telemetry.Watchdog.iteration;
+                   opt s.Telemetry.Watchdog.queries;
+                 ])
+               statuses))
+
+(* Background-sampler summary: only meaningful when a sampler ran
+   (sampler.samples > 0); the gauges hold its last tick. *)
+let render_sampler () =
+  let samples =
+    Telemetry.Counter.get (Telemetry.Metrics.counter "sampler.samples")
+  in
+  if samples = 0 then None
+  else
+    let gauge name =
+      Telemetry.Gauge.get (Telemetry.Metrics.gauge name)
+    in
+    Some
+      ("Runtime sampler (last tick)\n"
+      ^ table
+          ~headers:
+            [
+              "samples";
+              "uptime (s)";
+              "cpu user (s)";
+              "heap (MB)";
+              "minor gcs";
+              "major gcs";
+              "queries/s";
+              "stalls";
+            ]
+          ~rows:
+            [
+              [
+                string_of_int samples;
+                Telemetry.Fmt.f1 (gauge "process.uptime_seconds");
+                Telemetry.Fmt.f1 (gauge "process.cpu_user_seconds");
+                Telemetry.Fmt.f1 (gauge "process.heap_mb");
+                Printf.sprintf "%.0f" (gauge "process.minor_collections");
+                Printf.sprintf "%.0f" (gauge "process.major_collections");
+                Telemetry.Fmt.f1 (gauge "oracle.query_rate_per_s");
+                string_of_int
+                  (Telemetry.Counter.get
+                     (Telemetry.Metrics.counter "watchdog.stalls"));
+              ];
+            ])
+
 (* Consolidated run-telemetry section.  Sub-tables always appear in the
-   same order (pool, cache, batch) regardless of argument order at the
-   call site, so reports from different runs line up when diffed. *)
+   same order (pool, cache, batch, quantiles, watchdog, sampler)
+   regardless of argument order at the call site, so reports from
+   different runs line up when diffed.  Returns "" when there is
+   nothing to report — callers print nothing rather than a dangling
+   header for runs with no instrumentation active. *)
 let render_telemetry ?pool ?cache ?batch () =
   let sections =
     List.filter_map Fun.id
@@ -186,10 +278,13 @@ let render_telemetry ?pool ?cache ?batch () =
         Option.map render_pool_stats pool;
         Option.map render_cache_stats cache;
         Option.map render_batch_stats batch;
+        render_attack_quantiles ();
+        render_watchdog ();
+        render_sampler ();
       ]
   in
   match sections with
-  | [] -> "Telemetry: (no instrumented subsystems active)"
+  | [] -> ""
   | _ -> "Telemetry\n=========\n" ^ String.concat "\n\n" sections
 
 let render_table2 (rows : Experiments.table2_row list) =

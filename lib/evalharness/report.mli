@@ -40,5 +40,12 @@ val render_telemetry :
   unit ->
   string
 (** One consolidated "Telemetry" section stacking whichever sub-tables
-    were passed, always in pool → cache → batch order so reports diff
-    cleanly across runs.  All floats render through {!Telemetry.Fmt}. *)
+    were passed plus registry-derived summaries, always in pool → cache
+    → batch → attack quantiles → watchdog → sampler order so reports
+    diff cleanly across runs.  The attack-quantile line
+    (bucket-interpolated p50/p90/p99 queries-to-success) appears once
+    an attack has succeeded, the watchdog table once an instrumented
+    loop has beaten, and the sampler table once a background sampler
+    has ticked.  Returns [""] when there is nothing to report, so runs
+    without instrumentation print no dangling header.  All floats
+    render through {!Telemetry.Fmt}. *)

@@ -10,7 +10,12 @@ let run ?domains ?pool ?caches ?(batch = Oppsla.Sketch.default_batch) ~seed
            (Array.length samples))
   | _ -> ());
   let indexed = Array.mapi (fun i s -> (i, s)) samples in
+  (* Stamp the image index onto the harness heartbeat so /healthz shows
+     which sample a wedged run was on (the attackers themselves beat
+     per query under their own loop names). *)
+  let wd = Telemetry.Watchdog.loop "runner.attack" in
   let attack_one (i, (image, true_class)) =
+    Telemetry.Watchdog.beat ~image:i wd;
     let g =
       Prng.named_stream (Prng.of_int seed)
         (Printf.sprintf "run/%s/%d" attacker.Attackers.name i)
@@ -33,6 +38,7 @@ let run ?domains ?pool ?caches ?(batch = Oppsla.Sketch.default_batch) ~seed
       queries = r.Oppsla.Sketch.queries;
     }
   in
+  Telemetry.Watchdog.with_loop wd @@ fun () ->
   match pool with
   | Some pool -> Parallel.Pool.map pool attack_one indexed
   | None -> Parallel.map ?domains attack_one indexed

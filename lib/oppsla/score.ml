@@ -62,11 +62,17 @@ let check_caches name caches oracle samples =
 
 let slot caches i = Option.map (fun s -> Score_cache.image_cache s i) caches
 
+(* Same heartbeat slot Sketch.attack beats per query; the evaluators
+   stamp the image index onto it so /healthz shows which sample a
+   wedged evaluation was working on (last-writer-wins across domains). *)
+let wd_attack = Telemetry.Watchdog.loop "sketch.attack"
+
 let evaluate ?max_queries ?goal ?caches ?batch oracle program samples =
   check_caches "Score.evaluate" caches oracle samples;
   of_results
     (Array.mapi
        (fun i (image, true_class) ->
+         Telemetry.Watchdog.beat ~image:i wd_attack;
          Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch oracle
            program ~image ~true_class)
        samples)
@@ -80,6 +86,7 @@ let evaluate_parallel ?max_queries ?goal ?caches ?batch ~pool oracle program
          (* The clone has no attached cache by construction; the image's
             own slot is re-attached explicitly, so a cache is only ever
             touched by the one domain attacking its image. *)
+         Telemetry.Watchdog.beat ~image:i wd_attack;
          Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch
            (Oracle.clone oracle) program ~image ~true_class)
        (Array.mapi (fun i s -> (i, s)) samples))

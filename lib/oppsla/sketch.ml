@@ -50,6 +50,10 @@ let h_queries_to_success =
 let h_queries_to_failure =
   Telemetry.Metrics.histogram "attack.queries_to_failure"
 
+(* Stall-watchdog heartbeat: every metered query beats, so a sketch
+   attack that stops beating has genuinely wedged (or the oracle has). *)
+let wd_attack = Telemetry.Watchdog.loop "sketch.attack"
+
 let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
     ?(on_query = fun _ _ _ -> ()) oracle program ~image ~true_class =
   let run () =
@@ -87,6 +91,7 @@ let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
       with Oracle.Budget_exhausted _ -> raise Out_of_queries
     in
     incr spent;
+    Telemetry.Watchdog.beat ~queries:!spent wd_attack;
     on_query !spent pair scores;
     if goal_reached goal ~true_class (Tensor.argmax scores) then
       raise (Found (pair, perturb image pair));
@@ -181,7 +186,7 @@ let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
             ("batch", Telemetry.Trace.Int batch);
           ])
     (fun () ->
-      let r = run () in
+      let r = Telemetry.Watchdog.with_loop wd_attack run in
       outcome := Some r;
       let q = float_of_int r.queries in
       (match r.adversarial with

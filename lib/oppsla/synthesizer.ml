@@ -46,6 +46,12 @@ let proposal_counter = function
   | "function" -> m_prop_function
   | _ -> m_prop_constant
 
+(* Heartbeat: one beat per recorded MH iteration.  A full-scale
+   iteration evaluates hundreds of training images, so the stall
+   threshold for this loop is effectively per-evaluation — the
+   per-query beats inside Sketch.attack cover the inner progress. *)
+let wd_synth = Telemetry.Watchdog.loop "synth.mh"
+
 let default_config =
   {
     beta = 0.02;
@@ -94,6 +100,7 @@ let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
     queries := e.Score.total_queries;
     e.Score.avg_queries
   in
+  Telemetry.Watchdog.with_loop wd_synth @@ fun () ->
   let current = ref (Gen.random_program gen_config g) in
   let current_avg = ref (eval_counted !current) in
   let best = ref !current and best_avg = ref !current_avg in
@@ -110,6 +117,7 @@ let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
     in
     Telemetry.Counter.incr m_iterations;
     if accepted then Telemetry.Counter.incr m_accepted;
+    Telemetry.Watchdog.beat ~iteration:index ~queries:!synth_queries wd_synth;
     Telemetry.Trace.instant "synth.iteration" ~cat:"synth"
       ~args:(fun () ->
         [

@@ -1,0 +1,74 @@
+(* Prometheus text exposition (format version 0.0.4) over the metrics
+   registry.  [render] works on an explicit metric list so golden tests
+   can exercise the formatter without touching the global registry;
+   [prometheus] snapshots the registry and renders it.
+
+   Read-only: snapshotting a metric is atomic loads, so the exporter can
+   run concurrently with the attack loops without perturbing them. *)
+
+type metric =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * Core.Histogram.snapshot
+
+(* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our registry
+   uses dotted names ("oracle.queries.total"), so dots (and anything
+   else illegal) become underscores. *)
+let sanitize_name s =
+  let b = Buffer.create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' ->
+          if i = 0 then Buffer.add_char b '_';
+          Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    s;
+  Buffer.contents b
+
+let float_repr v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Core.Metrics.json_float v
+
+let of_registry () =
+  Core.Metrics.sorted_metrics ()
+  |> List.map (fun (name, m) ->
+         match m with
+         | Core.C c -> Counter (name, Core.Counter.get c)
+         | Core.G g -> Gauge (name, Core.Gauge.get g)
+         | Core.H h -> Histogram (name, Core.Histogram.snapshot h))
+
+let render metrics =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter (name, v) ->
+          let name = sanitize_name name in
+          line "# TYPE %s counter" name;
+          line "%s %d" name v
+      | Gauge (name, v) ->
+          let name = sanitize_name name in
+          line "# TYPE %s gauge" name;
+          line "%s %s" name (float_repr v)
+      | Histogram (name, s) ->
+          let name = sanitize_name name in
+          line "# TYPE %s histogram" name;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i upper ->
+              cum := !cum + s.Core.Histogram.counts.(i);
+              line "%s_bucket{le=\"%s\"} %d" name (float_repr upper) !cum)
+            s.Core.Histogram.uppers;
+          (* +Inf bucket is cumulative over everything, i.e. the count. *)
+          line "%s_bucket{le=\"+Inf\"} %d" name s.Core.Histogram.count;
+          line "%s_sum %s" name (float_repr s.Core.Histogram.sum);
+          line "%s_count %d" name s.Core.Histogram.count)
+    metrics;
+  Buffer.contents b
+
+let prometheus () = render (of_registry ())

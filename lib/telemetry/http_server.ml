@@ -1,0 +1,237 @@
+(* Minimal metrics endpoint: stdlib+unix+threads only, one dedicated
+   accept thread (never a pool worker), serving
+
+     GET /metrics        Prometheus text exposition of the registry
+     GET /healthz        200 {"status":"ok"} / 503 {"status":"stalled"}
+     GET /snapshot.json  the registry as JSON (same shape as --metrics)
+
+   The accept loop runs on a systhread of the launching domain, NOT a
+   dedicated domain: OCaml 5 minor collections are stop-the-world
+   across domains, so even a domain parked in select drags every minor
+   GC through a cross-domain wakeup — measured at +100-200% on the
+   attack workload on a 1-core host — while a same-domain thread
+   blocked in select has released the runtime lock and joins no
+   barrier (measured at noise level).
+
+   Connections are handled serially in the accept thread — scrapes are
+   rare (seconds apart) and responses are small, so a handler pool
+   would only add surface.  A broken client connection kills that one
+   response, never the loop.  Binds 127.0.0.1 only: this is an
+   operator's local scrape target, not a public listener. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stall_after_s : float;
+  stop_requested : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let http_date () =
+  (* Not load-bearing; some scrapers log it. *)
+  let open Unix in
+  let t = gmtime (time ()) in
+  let day = [| "Sun"; "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat" |].(t.tm_wday) in
+  let mon =
+    [| "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun"; "Jul"; "Aug"; "Sep"; "Oct"; "Nov"; "Dec" |].(t.tm_mon)
+  in
+  Printf.sprintf "%s, %02d %s %04d %02d:%02d:%02d GMT" day t.tm_mday mon
+    (t.tm_year + 1900) t.tm_hour t.tm_min t.tm_sec
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let respond fd ~status ~content_type body =
+  let reason =
+    match status with
+    | 200 -> "OK"
+    | 404 -> "Not Found"
+    | 503 -> "Service Unavailable"
+    | _ -> "Error"
+  in
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nDate: %s\r\nContent-Type: %s\r\nContent-Length: \
+        %d\r\nConnection: close\r\n\r\n%s"
+       status reason (http_date ()) content_type (String.length body) body)
+
+let healthz_body stall_after_s =
+  let stalled = Watchdog.stalled ~stall_after_s () in
+  let entry (s : Watchdog.status) =
+    let opt name = function
+      | Some v -> Printf.sprintf ", \"%s\": %d" name v
+      | None -> ""
+    in
+    Printf.sprintf "{\"loop\": \"%s\", \"idle_s\": %s, \"beats\": %d%s%s%s}"
+      (Core.Metrics.json_escape s.Watchdog.name)
+      (Core.Metrics.json_float s.Watchdog.idle_s)
+      s.Watchdog.beats
+      (opt "image" s.Watchdog.image)
+      (opt "iteration" s.Watchdog.iteration)
+      (opt "queries" s.Watchdog.queries)
+  in
+  let status = if stalled = [] then "ok" else "stalled" in
+  let body =
+    Printf.sprintf "{\"status\": \"%s\", \"stall_after_s\": %s, \"stalled\": [%s]}\n"
+      status
+      (Core.Metrics.json_float stall_after_s)
+      (String.concat ", " (List.map entry stalled))
+  in
+  ((if stalled = [] then 200 else 503), body)
+
+(* Read the request head (up to the blank line), size-capped; we only
+   need the request line. *)
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 16384 then None
+    else
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then None
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        (* Head complete once the blank line arrives (or the client
+           half-closed after the request line). *)
+        let have_head =
+          let rec find i =
+            i + 3 < String.length s
+            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+          in
+          String.length s >= 4 && find 0
+        in
+        if have_head then Some s else go ()
+      end
+  in
+  match go () with
+  | None -> None
+  | Some head -> (
+      match String.index_opt head '\r' with
+      | None -> None
+      | Some eol -> Some (String.sub head 0 eol))
+
+let handle t fd =
+  match read_request_line fd with
+  | None -> ()
+  | Some line -> (
+      let path =
+        match String.split_on_char ' ' line with
+        | _meth :: path :: _ -> path
+        | _ -> "/"
+      in
+      match path with
+      | "/metrics" ->
+          respond fd ~status:200
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+            (Exporter.prometheus ())
+      | "/healthz" ->
+          let status, body = healthz_body t.stall_after_s in
+          respond fd ~status ~content_type:"application/json" body
+      | "/snapshot.json" ->
+          respond fd ~status:200 ~content_type:"application/json"
+            (Core.Metrics.dump_json ())
+      | _ -> respond fd ~status:404 ~content_type:"text/plain" "not found\n")
+
+(* A thread blocked in [accept] is not reliably woken by another thread
+   closing the listen socket, so the loop selects with a short timeout
+   and re-checks the stop flag between waits; the socket is non-blocking
+   in case a ready connection resets before we accept it. *)
+let accept_loop t =
+  while not (Atomic.get t.stop_requested) do
+    match Unix.select [ t.sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.sock with
+        | fd, _ ->
+            (try handle t fd with _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error _ ->
+            if not (Atomic.get t.stop_requested) then Unix.sleepf 0.01)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        if not (Atomic.get t.stop_requested) then Unix.sleepf 0.01
+  done
+
+let start ?(stall_after_s = 30.) ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     Unix.close sock;
+     raise e);
+  Unix.listen sock 16;
+  Unix.set_nonblock sock;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      sock;
+      port;
+      stall_after_s;
+      stop_requested = Atomic.make false;
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.exchange t.stop_requested true) then begin
+    (* The accept loop re-checks the flag at least every 0.2s. *)
+    (match t.thread with Some th -> Thread.join th | None -> ());
+    t.thread <- None;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end
+
+(* Tiny blocking HTTP/1.1 GET against localhost — the one client used
+   by tests, the observe bench and diff_runner, so there is exactly one
+   copy.  Returns (status, body). *)
+let fetch ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      write_all sock
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n" path);
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> ( try int_of_string code with _ -> 0)
+        | _ -> 0
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub raw start (String.length raw - start)
+      in
+      (status, body))

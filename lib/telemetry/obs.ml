@@ -1,0 +1,118 @@
+(* Shared observability bracket and flag plumbing for bin/main.ml and
+   bench/main.ml: one place that knows how to open the trace sink,
+   start the metrics HTTP server and the background sampler, and tear
+   everything down (flushing --metrics) even when the wrapped command
+   raises.  Keeping it here means the CLI and the bench cannot drift
+   apart in flag spelling or shutdown order. *)
+
+type config = {
+  trace : string option;  (* --trace FILE: Chrome trace-event JSONL *)
+  metrics : string option;  (* --metrics FILE: registry JSON at exit *)
+  serve_port : int option;  (* --serve-metrics PORT: /metrics endpoint *)
+  snapshot : string option;  (* --snapshot FILE: JSONL registry ticks *)
+  snapshot_interval_s : float;  (* --snapshot-interval SEC *)
+  stall_timeout_s : float option;  (* --stall-timeout SEC: abort stalls *)
+}
+
+let default =
+  {
+    trace = None;
+    metrics = None;
+    serve_port = None;
+    snapshot = None;
+    snapshot_interval_s = 1.0;
+    stall_timeout_s = None;
+  }
+
+let active c =
+  c.trace <> None || c.metrics <> None || c.serve_port <> None
+  || c.snapshot <> None || c.stall_timeout_s <> None
+
+(* Stall threshold for /healthz and the sampler: --stall-timeout when
+   given (which also makes a stall fatal), a permissive default
+   otherwise. *)
+let stall_after_s c = Option.value c.stall_timeout_s ~default:30.
+
+(* The sampler only runs when something consumes its output: a scrape
+   endpoint, a snapshot file, or a fatal stall timeout. *)
+let wants_sampler c =
+  c.serve_port <> None || c.snapshot <> None || c.stall_timeout_s <> None
+
+(* Argv-scanning helpers for the bench's hand-rolled flag parsing
+   (cmdliner handles both spellings natively on the bin side).  Both
+   "--flag VALUE" and "--flag=VALUE" are accepted. *)
+let split_eq flag a =
+  let prefix = flag ^ "=" in
+  let n = String.length prefix in
+  if String.length a > n && String.sub a 0 n = prefix then
+    Some (String.sub a n (String.length a - n))
+  else None
+
+let find_flag args ~flag =
+  let rec go = function
+    | a :: v :: _ when a = flag -> Some v
+    | a :: rest -> ( match split_eq flag a with Some v -> Some v | None -> go rest)
+    | [] -> None
+  in
+  go args
+
+(* Drop [flags] (value-taking, either spelling) from an argv list. *)
+let strip_flags args ~flags =
+  let rec go = function
+    | a :: _ :: rest when List.mem a flags -> go rest
+    | a :: rest when List.exists (fun f -> split_eq f a <> None) flags -> go rest
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go args
+
+type t = {
+  server : Http_server.t option;
+  sampler : Sampler.t option;
+  config : config;
+}
+
+let start ?(log = ignore) config =
+  (match config.trace with Some f -> Core.Trace.to_file f | None -> ());
+  let server =
+    Option.map
+      (fun port ->
+        let s =
+          Http_server.start ~stall_after_s:(stall_after_s config) ~port ()
+        in
+        log
+          (Printf.sprintf "serving metrics on http://127.0.0.1:%d/metrics"
+             (Http_server.port s));
+        s)
+      config.serve_port
+  in
+  let sampler =
+    if wants_sampler config then
+      Some
+        (Sampler.start
+           {
+             Sampler.interval_s = config.snapshot_interval_s;
+             snapshot_path = config.snapshot;
+             stall_after_s = stall_after_s config;
+             abort_on_stall = config.stall_timeout_s <> None;
+           })
+    else None
+  in
+  { server; sampler; config }
+
+let stop t =
+  (* Sampler first (it reads the registry and watchdog), then the
+     server, then flush the file sinks. *)
+  (match t.sampler with Some s -> Sampler.stop s | None -> ());
+  (match t.server with Some s -> Http_server.stop s | None -> ());
+  Core.Trace.close ();
+  match t.config.metrics with
+  | Some f -> Core.Metrics.write_json f
+  | None -> ()
+
+let with_observability ?log config f =
+  if not (active config) then f ()
+  else begin
+    let t = start ?log config in
+    Fun.protect ~finally:(fun () -> stop t) f
+  end

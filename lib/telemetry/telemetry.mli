@@ -74,6 +74,18 @@ module Histogram : sig
 
   val snapshot : t -> snapshot
   val reset : t -> unit
+
+  val quantile : t -> float -> float
+  (** [quantile t q] is the bucket-interpolated [q]-quantile (q in
+      [0, 1]) of the recorded distribution: linear interpolation inside
+      the first bucket whose cumulative count reaches [q * count], with
+      the first bucket's lower edge taken as 0.  Values recorded above
+      the last bound clamp to that bound (the registry keeps no exact
+      values past it), and an empty histogram yields [nan].  Raises
+      [Invalid_argument] if [q] is outside [0, 1]. *)
+
+  val quantile_of_snapshot : snapshot -> float -> float
+  (** Same, over an already-taken {!snapshot}. *)
 end
 
 (** {1 The registry} *)
@@ -168,4 +180,185 @@ module Fmt : sig
 
   val mb : int -> string
   (** Bytes as one-decimal megabytes: [1048576 -> "1.0"]. *)
+end
+
+(** {1 Stall watchdog}
+
+    Long-running loops (the attack sketch, the baselines' searches, the
+    synthesizer's MH chain) register a named heartbeat slot and [beat]
+    it as they make progress.  The {!Sampler} and the [/healthz]
+    endpoint flag loops that are active but have stopped beating.
+    Beats are a few atomic stores — observation-only by construction. *)
+
+module Watchdog : sig
+  type t
+  (** One named loop's heartbeat slot; safe to share across domains
+      (parallel evaluation beats one slot from many workers). *)
+
+  val loop : string -> t
+  (** Register (or fetch) the slot named [name]. *)
+
+  val enter : t -> unit
+  (** Mark one entry into the loop (counts concurrent entries). *)
+
+  val leave : t -> unit
+
+  val with_loop : t -> (unit -> 'a) -> 'a
+  (** [enter]/[leave] bracket, exception-safe. *)
+
+  val beat : ?image:int -> ?iteration:int -> ?queries:int -> t -> unit
+  (** Record progress: refresh the slot's last-beat time and, when
+      given, the loop's current image index / iteration / queries
+      spent (last-writer-wins across domains). *)
+
+  type status = {
+    name : string;
+    active : int;  (** concurrent entries right now *)
+    beats : int;  (** lifetime beat count *)
+    idle_s : float;  (** seconds since the last beat (or entry) *)
+    image : int option;
+    iteration : int option;
+    queries : int option;
+  }
+
+  val snapshot : ?now_us:float -> unit -> status list
+  (** All slots, name-sorted.  [now_us] (a {!Clock.now_us} value)
+      pins the idle computation for deterministic tests. *)
+
+  val stalled : ?now_us:float -> stall_after_s:float -> unit -> status list
+  (** Slots that are active but have not beaten for more than
+      [stall_after_s] seconds.  Inactive slots never stall. *)
+
+  val reset : unit -> unit
+  (** Forget every slot (tests only). *)
+end
+
+(** {1 Prometheus exporter} *)
+
+module Exporter : sig
+  type metric =
+    | Counter of string * int
+    | Gauge of string * float
+    | Histogram of string * Histogram.snapshot
+
+  val sanitize_name : string -> string
+  (** Map a registry name onto the Prometheus name charset
+      ([[a-zA-Z0-9_:]], no leading digit): dots and other illegal
+      characters become underscores. *)
+
+  val of_registry : unit -> metric list
+  (** Snapshot the registry (name-sorted, atomic loads only). *)
+
+  val render : metric list -> string
+  (** Prometheus text exposition format 0.0.4: [# TYPE] comment per
+      metric; histograms as cumulative [_bucket{le="..."}] lines ending
+      with [le="+Inf"] (= total count) plus [_sum] and [_count]. *)
+
+  val prometheus : unit -> string
+  (** [render (of_registry ())]. *)
+end
+
+(** {1 Background sampler} *)
+
+module Sampler : sig
+  type config = {
+    interval_s : float;
+    snapshot_path : string option;
+        (** append one JSONL registry snapshot per tick *)
+    stall_after_s : float;  (** watchdog threshold *)
+    abort_on_stall : bool;  (** exit 3 when a loop first stalls *)
+  }
+
+  val default : config
+  (** 1s interval, no snapshot file, 30s stall threshold, no abort. *)
+
+  type t
+
+  val start : config -> t
+  (** Spawn the sampling thread — a systhread of the calling domain,
+      never a pool worker and never a separate domain (a parked
+      observer domain would drag every stop-the-world minor collection
+      through a cross-domain barrier).  Each tick folds
+      process gauges into the registry — [process.uptime_seconds],
+      [process.cpu_{user,system}_seconds], [process.heap_mb],
+      [process.{minor,major}_collections], [process.minor_words],
+      [oracle.query_rate_per_s] — plus [watchdog.active_loops] /
+      [watchdog.stalled_loops] gauges, the [sampler.samples] counter,
+      and a [watchdog.stalls] counter + trace instant on each fresh
+      stall.  Guaranteed to take at least one sample before {!stop}
+      returns.  Observation-only: atomic loads and process syscalls;
+      never touches RNG, metering or cache state. *)
+
+  val sample_now : t -> unit
+  (** Take one tick synchronously (deterministic tests). *)
+
+  val stop : t -> unit
+  (** Interrupt the sleep, join the thread, take a final tick and close
+      the snapshot file.  Idempotent. *)
+end
+
+(** {1 Metrics HTTP endpoint} *)
+
+module Http_server : sig
+  type t
+
+  val start : ?stall_after_s:float -> port:int -> unit -> t
+  (** Bind 127.0.0.1:[port] ([port = 0] picks an ephemeral port — see
+      {!port}) and serve, from one dedicated accept thread (a systhread
+      of the calling domain — never a pool worker, never a separate
+      domain): [GET /metrics] (Prometheus text, format 0.0.4),
+      [GET /healthz] (200 [{"status": "ok"}] or 503
+      [{"status": "stalled", "stalled": [...]}] from the watchdog, with
+      [stall_after_s] defaulting to 30), and [GET /snapshot.json] (the
+      registry as JSON).  Read-only against the registry. *)
+
+  val port : t -> int
+  (** The bound port (resolves [port = 0]). *)
+
+  val stop : t -> unit
+  (** Close the listener and join the serving thread.  Idempotent. *)
+
+  val fetch : port:int -> string -> int * string
+  (** Blocking [GET] of [path] against [127.0.0.1:port]; returns
+      (status code, body).  The one HTTP client shared by the tests,
+      the observe bench and the differential runner. *)
+end
+
+(** {1 CLI observability bracket} *)
+
+module Obs : sig
+  type config = {
+    trace : string option;  (** [--trace FILE] *)
+    metrics : string option;  (** [--metrics FILE] *)
+    serve_port : int option;  (** [--serve-metrics PORT] *)
+    snapshot : string option;  (** [--snapshot FILE] *)
+    snapshot_interval_s : float;  (** [--snapshot-interval SEC] *)
+    stall_timeout_s : float option;  (** [--stall-timeout SEC] *)
+  }
+
+  val default : config
+  val active : config -> bool
+
+  val find_flag : string list -> flag:string -> string option
+  (** Scan an argv list for [--flag VALUE] or [--flag=VALUE] — the
+      shared parser behind the bench's hand-rolled flags (cmdliner
+      accepts both spellings natively on the bin side). *)
+
+  val strip_flags : string list -> flags:string list -> string list
+  (** Remove the given value-taking flags (either spelling) from an
+      argv list. *)
+
+  type t
+
+  val start : ?log:(string -> unit) -> config -> t
+  (** Open the trace sink, start the HTTP server ([serve_port]) and the
+      sampler (when a scrape endpoint, snapshot file or stall timeout
+      asks for one; [stall_timeout_s] makes stalls abort the process). *)
+
+  val stop : t -> unit
+  (** Stop sampler then server, close the trace, write [--metrics]. *)
+
+  val with_observability : ?log:(string -> unit) -> config -> (unit -> 'a) -> 'a
+  (** [start]/[stop] bracket, exception-safe; a no-op (beyond calling
+      the function) when {!active} is false. *)
 end

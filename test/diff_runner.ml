@@ -1,12 +1,19 @@
 (* Standalone differential checker, wired into the `runtest` alias under
    OCAMLRUNPARAM=b at every combination of --domains 1/4, --cache on/off,
-   --batch 1/16 and --trace on/off (see test/dune).
+   --batch 1/16, --trace on/off and --observe on/off (see test/dune).
 
    --trace on opens a real Chrome-trace sink for the whole run and
    computes every reference under [Telemetry.Trace.without], so each
    check differences a traced run against an untraced one in the same
    process — telemetry must be observation-only, with query accounting
    and synthesis traces bit-identical either way.
+
+   --observe on additionally runs the full live observatory around the
+   whole grid: an HTTP metrics server on an ephemeral port plus the
+   background runtime sampler ticking every 20 ms.  Both only read the
+   registry, so every differential below must still hold bit-identically
+   while they run; at the end the runner fetches /metrics and /healthz
+   from its own server and asserts a valid, non-stalled response.
 
    For randomized programs, images and training-set sizes it asserts that
    Score.evaluate_parallel over a pool of the requested width returns
@@ -57,31 +64,55 @@ let check_identical ctx (seq : Score.evaluation) (par : Score.evaluation) =
   then fail "%s: per-image query counts diverged" ctx
 
 let () =
-  let rec parse domains cache batch trace = function
+  let rec parse domains cache batch trace observe = function
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some d when d >= 1 -> parse d cache batch trace rest
+        | Some d when d >= 1 -> parse d cache batch trace observe rest
         | _ -> fail "diff_runner: bad --domains %s" n)
     | "--cache" :: v :: rest -> (
         match v with
-        | "on" -> parse domains true batch trace rest
-        | "off" -> parse domains false batch trace rest
+        | "on" -> parse domains true batch trace observe rest
+        | "off" -> parse domains false batch trace observe rest
         | _ -> fail "diff_runner: bad --cache %s (expected on|off)" v)
     | "--batch" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some b when b >= 1 -> parse domains cache b trace rest
+        | Some b when b >= 1 -> parse domains cache b trace observe rest
         | _ -> fail "diff_runner: bad --batch %s" n)
     | "--trace" :: v :: rest -> (
         match v with
-        | "on" -> parse domains cache batch true rest
-        | "off" -> parse domains cache batch false rest
+        | "on" -> parse domains cache batch true observe rest
+        | "off" -> parse domains cache batch false observe rest
         | _ -> fail "diff_runner: bad --trace %s (expected on|off)" v)
-    | [] -> (domains, cache, batch, trace)
+    | "--observe" :: v :: rest -> (
+        match v with
+        | "on" -> parse domains cache batch trace true rest
+        | "off" -> parse domains cache batch trace false rest
+        | _ -> fail "diff_runner: bad --observe %s (expected on|off)" v)
+    | [] -> (domains, cache, batch, trace, observe)
     | a :: _ -> fail "diff_runner: unknown argument %s" a
   in
-  let domains, cache, batch, trace =
-    parse 4 false Oppsla.Sketch.default_batch false
+  let domains, cache, batch, trace, observe =
+    parse 4 false Oppsla.Sketch.default_batch false false
       (List.tl (Array.to_list Sys.argv))
+  in
+  (* With --observe on, the metrics server and runtime sampler run live
+     around the whole grid.  Both are read-only consumers of the
+     registry; the differentials below verify they stay that way. *)
+  let observatory =
+    if observe then begin
+      let server = Telemetry.Http_server.start ~stall_after_s:60. ~port:0 () in
+      let sampler =
+        Telemetry.Sampler.start
+          {
+            Telemetry.Sampler.interval_s = 0.02;
+            snapshot_path = None;
+            stall_after_s = 60.;
+            abort_on_stall = false;
+          }
+      in
+      Some (server, sampler)
+    end
+    else None
   in
   (* With --trace on, checked runs emit real trace events while every
      reference is computed with the sink masked: a live on-vs-off
@@ -206,11 +237,45 @@ let () =
             fail "diff_runner: --trace on produced an empty trace (%d lines)"
               !lines;
           Sys.remove f);
+      (match observatory with
+      | None -> ()
+      | Some (server, sampler) ->
+          (* The observed arm must have actually been observable: a valid
+             Prometheus exposition and a non-stalled health verdict from
+             the live server, and at least one sampler tick. *)
+          let port = Telemetry.Http_server.port server in
+          let status, body = Telemetry.Http_server.fetch ~port "/metrics" in
+          if status <> 200 then
+            fail "diff_runner: GET /metrics returned %d" status;
+          if String.length body = 0 then
+            fail "diff_runner: GET /metrics returned an empty body";
+          let contains_sub ~sub s =
+            let n = String.length sub and m = String.length s in
+            let rec go i =
+              i + n <= m && (String.sub s i n = sub || go (i + 1))
+            in
+            n = 0 || go 0
+          in
+          if not (contains_sub ~sub:"# TYPE" body) then
+            fail "diff_runner: /metrics body is not a Prometheus exposition";
+          let hstatus, hbody = Telemetry.Http_server.fetch ~port "/healthz" in
+          if hstatus <> 200 then
+            fail "diff_runner: GET /healthz returned %d (%s)" hstatus hbody;
+          if not (contains_sub ~sub:{|"status": "ok"|} hbody) then
+            fail "diff_runner: /healthz did not report ok: %s" hbody;
+          Telemetry.Sampler.stop sampler;
+          Telemetry.Http_server.stop server;
+          if
+            Telemetry.Counter.get
+              (Telemetry.Metrics.counter "sampler.samples")
+            = 0
+          then fail "diff_runner: sampler never ticked");
       Printf.printf
         "diff_runner: sequential and %d-domain evaluation bit-identical \
-         with cache %s at batch width %d, trace %s (12 evaluation trials \
-         + synthesis trace)\n"
+         with cache %s at batch width %d, trace %s, observe %s (12 \
+         evaluation trials + synthesis trace)\n"
         domains
         (if cache then "on" else "off")
         batch
-        (if trace then "on" else "off"))
+        (if trace then "on" else "off")
+        (if observe then "on" else "off"))

@@ -1,0 +1,228 @@
+(* Tests for the Prometheus exporter and the metrics HTTP endpoint:
+   golden text exposition, name sanitization, a cumulative-bucket
+   property, and a live round-trip against an in-test server.
+
+   Like test_telemetry, registry-touching tests use fresh "test.*"
+   names so they cannot collide with production metrics bumped by other
+   suites in the same process. *)
+
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "test.exporter.%s.%d" prefix !n
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* {1 Name sanitization} *)
+
+let sanitize_cases () =
+  let check input expected =
+    Alcotest.(check string) input expected
+      (Telemetry.Exporter.sanitize_name input)
+  in
+  check "oracle.queries.total" "oracle_queries_total";
+  check "already_legal:name" "already_legal:name";
+  check "dash-and/slash" "dash_and_slash";
+  check "9lives" "_9lives";
+  check "mix.9.z" "mix_9_z"
+
+(* {1 Golden render}
+
+   The formatter over an explicit metric list, so the expected text is
+   written out in full — any formatting drift (type comments, cumulative
+   buckets, +Inf handling, float rendering) fails loudly here. *)
+
+let golden_render () =
+  let snapshot =
+    {
+      Telemetry.Histogram.uppers = [| 1.; 2.; 4. |];
+      counts = [| 2; 1; 1 |];
+      overflow = 3;
+      count = 7;
+      sum = 106.5;
+    }
+  in
+  let rendered =
+    Telemetry.Exporter.render
+      [
+        Telemetry.Exporter.Counter ("oracle.queries.total", 42);
+        Telemetry.Exporter.Gauge ("process.heap_mb", 12.5);
+        Telemetry.Exporter.Histogram ("attack.queries_to_success", snapshot);
+      ]
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE oracle_queries_total counter";
+        "oracle_queries_total 42";
+        "# TYPE process_heap_mb gauge";
+        "process_heap_mb 12.5";
+        "# TYPE attack_queries_to_success histogram";
+        "attack_queries_to_success_bucket{le=\"1\"} 2";
+        "attack_queries_to_success_bucket{le=\"2\"} 3";
+        "attack_queries_to_success_bucket{le=\"4\"} 4";
+        "attack_queries_to_success_bucket{le=\"+Inf\"} 7";
+        "attack_queries_to_success_sum 106.5";
+        "attack_queries_to_success_count 7";
+        "";
+      ]
+  in
+  Alcotest.(check string) "exposition text" expected rendered
+
+let gauge_special_floats () =
+  let rendered =
+    Telemetry.Exporter.render
+      [
+        Telemetry.Exporter.Gauge ("g.nan", Float.nan);
+        Telemetry.Exporter.Gauge ("g.inf", Float.infinity);
+        Telemetry.Exporter.Gauge ("g.ninf", Float.neg_infinity);
+      ]
+  in
+  Alcotest.(check bool) "NaN" true (contains_sub ~sub:"g_nan NaN\n" rendered);
+  Alcotest.(check bool) "+Inf" true
+    (contains_sub ~sub:"g_inf +Inf\n" rendered);
+  Alcotest.(check bool) "-Inf" true
+    (contains_sub ~sub:"g_ninf -Inf\n" rendered)
+
+let of_registry_reflects_values () =
+  let cname = fresh "counter" in
+  let c = Telemetry.Metrics.counter cname in
+  Telemetry.Counter.add c 5;
+  let found =
+    List.find_map
+      (function
+        | Telemetry.Exporter.Counter (n, v) when n = cname -> Some v
+        | _ -> None)
+      (Telemetry.Exporter.of_registry ())
+  in
+  Alcotest.(check (option int)) "registry counter exported" (Some 5) found;
+  (* And the fully rendered exposition names it with the sanitized
+     spelling. *)
+  Alcotest.(check bool) "prometheus () names it" true
+    (contains_sub
+       ~sub:(Telemetry.Exporter.sanitize_name cname)
+       (Telemetry.Exporter.prometheus ()))
+
+(* {1 Cumulative-bucket property}
+
+   For any observation set, the rendered _bucket series must be
+   non-decreasing and end at the +Inf bucket, which must equal both the
+   _count line and the true observation count. *)
+
+let bucket_lines name rendered =
+  let prefix = Printf.sprintf "%s_bucket{le=\"" (Telemetry.Exporter.sanitize_name name) in
+  String.split_on_char '\n' rendered
+  |> List.filter_map (fun l ->
+         if String.length l > String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix
+         then
+           match String.rindex_opt l ' ' with
+           | Some i ->
+               Some
+                 (int_of_string
+                    (String.sub l (i + 1) (String.length l - i - 1)))
+           | None -> None
+         else None)
+
+let qcheck_cumulative_buckets =
+  QCheck.Test.make ~name:"rendered histogram buckets are cumulative"
+    ~count:100
+    QCheck.(small_list (float_range (-10.) 100.))
+    (fun values ->
+      let name = fresh "prop" in
+      let h =
+        Telemetry.Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8.; 16. |] name
+      in
+      List.iter (Telemetry.Histogram.observe h) values;
+      let s = Telemetry.Histogram.snapshot h in
+      let rendered =
+        Telemetry.Exporter.render [ Telemetry.Exporter.Histogram (name, s) ]
+      in
+      let buckets = bucket_lines name rendered in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      List.length buckets = 6 (* 5 bounds + the +Inf bucket *)
+      && non_decreasing buckets
+      && List.nth buckets 5 = List.length values
+      && contains_sub
+           ~sub:
+             (Printf.sprintf "%s_count %d"
+                (Telemetry.Exporter.sanitize_name name)
+                (List.length values))
+           rendered)
+
+(* {1 HTTP round-trip}
+
+   A live server on an ephemeral port, scraped through the same client
+   the bench uses.  Also drives /healthz through a full stall: a fresh
+   watchdog loop entered but never beating flips the verdict to 503,
+   and leaving the loop recovers it. *)
+
+let http_round_trip () =
+  let server = Telemetry.Http_server.start ~stall_after_s:60. ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Http_server.stop server)
+    (fun () ->
+      let port = Telemetry.Http_server.port server in
+      Alcotest.(check bool) "ephemeral port resolved" true (port > 0);
+      let c = Telemetry.Metrics.counter (fresh "served") in
+      Telemetry.Counter.add c 3;
+      let status, body = Telemetry.Http_server.fetch ~port "/metrics" in
+      Alcotest.(check int) "/metrics status" 200 status;
+      Alcotest.(check bool) "/metrics is an exposition" true
+        (contains_sub ~sub:"# TYPE " body);
+      Alcotest.(check bool) "/metrics carries the fresh counter" true
+        (contains_sub ~sub:"_served_" body);
+      let status, body = Telemetry.Http_server.fetch ~port "/healthz" in
+      Alcotest.(check int) "/healthz status" 200 status;
+      Alcotest.(check bool) "/healthz ok" true
+        (contains_sub ~sub:{|"status": "ok"|} body);
+      let status, body = Telemetry.Http_server.fetch ~port "/snapshot.json" in
+      Alcotest.(check int) "/snapshot.json status" 200 status;
+      Alcotest.(check bool) "/snapshot.json is the registry dump" true
+        (contains_sub ~sub:{|"counters"|} body);
+      let status, _ = Telemetry.Http_server.fetch ~port "/nope" in
+      Alcotest.(check int) "unknown path is 404" 404 status)
+
+let healthz_stall_and_recovery () =
+  (* stall_after_s = 0: any active loop that is not beating this very
+     microsecond counts as stalled, so entering without beating flips
+     the verdict deterministically. *)
+  let server = Telemetry.Http_server.start ~stall_after_s:0. ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Http_server.stop server)
+    (fun () ->
+      let port = Telemetry.Http_server.port server in
+      let loop_name = fresh "stall_loop" in
+      let wd = Telemetry.Watchdog.loop loop_name in
+      Telemetry.Watchdog.enter wd;
+      let status, body = Telemetry.Http_server.fetch ~port "/healthz" in
+      Alcotest.(check int) "stalled loop yields 503" 503 status;
+      Alcotest.(check bool) "verdict is stalled" true
+        (contains_sub ~sub:{|"status": "stalled"|} body);
+      Alcotest.(check bool) "stalled loop is named" true
+        (contains_sub ~sub:loop_name body);
+      Telemetry.Watchdog.leave wd;
+      let status, body = Telemetry.Http_server.fetch ~port "/healthz" in
+      Alcotest.(check int) "inactive loop cannot stall" 200 status;
+      Alcotest.(check bool) "verdict recovered" true
+        (contains_sub ~sub:{|"status": "ok"|} body))
+
+let suite =
+  [
+    Alcotest.test_case "sanitize_name" `Quick sanitize_cases;
+    Alcotest.test_case "golden exposition" `Quick golden_render;
+    Alcotest.test_case "special float gauges" `Quick gauge_special_floats;
+    Alcotest.test_case "of_registry reflects values" `Quick
+      of_registry_reflects_values;
+    QCheck_alcotest.to_alcotest qcheck_cumulative_buckets;
+    Alcotest.test_case "HTTP round-trip" `Quick http_round_trip;
+    Alcotest.test_case "healthz stall and recovery" `Quick
+      healthz_stall_and_recovery;
+  ]

@@ -5,6 +5,7 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("telemetry", Test_telemetry.suite);
+      ("exporter", Test_exporter.suite);
       ("tensor", Test_tensor.suite);
       ("nn", Test_nn.suite);
       ("dataset", Test_dataset.suite);

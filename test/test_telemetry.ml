@@ -267,6 +267,193 @@ let without_masks_and_restores () =
   Alcotest.(check bool) "span after restore emitted" true
     (List.exists (fun l -> field_string l "name" = Some "visible") lines)
 
+(* {1 Quantiles} *)
+
+let quantile_empty_is_nan () =
+  let h = Telemetry.Metrics.histogram ~buckets:[| 1.; 2. |] (fresh "qempty") in
+  Alcotest.(check bool) "empty histogram yields nan" true
+    (Float.is_nan (Telemetry.Histogram.quantile h 0.5))
+
+let quantile_rejects_out_of_range () =
+  let h = Telemetry.Metrics.histogram ~buckets:[| 1. |] (fresh "qrange") in
+  Telemetry.Histogram.observe h 0.5;
+  List.iter
+    (fun q ->
+      try
+        ignore (Telemetry.Histogram.quantile h q);
+        Alcotest.failf "quantile %g should raise" q
+      with Invalid_argument _ -> ())
+    [ -0.01; 1.01; Float.nan ]
+
+let quantile_interpolation () =
+  (* 10 observations, all in the (2, 4] bucket: the cumulative count
+     first reaches q*10 in that bucket for every q, so quantiles
+     interpolate linearly across [2, 4]. *)
+  let h =
+    Telemetry.Metrics.histogram ~buckets:[| 2.; 4.; 8. |] (fresh "qinterp")
+  in
+  for _ = 1 to 10 do
+    Telemetry.Histogram.observe h 3.
+  done;
+  Alcotest.(check (float 1e-9)) "p50 is the bucket midpoint" 3.
+    (Telemetry.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p100 is the bucket's upper bound" 4.
+    (Telemetry.Histogram.quantile h 1.);
+  (* q = 0 needs the smallest cumulative rank (>= 0), reached already by
+     the first bucket with any mass — interpolating to its lower edge. *)
+  Alcotest.(check (float 1e-9)) "p0 is the bucket's lower edge" 2.
+    (Telemetry.Histogram.quantile h 0.)
+
+let quantile_first_bucket_lower_edge_is_zero () =
+  let h = Telemetry.Metrics.histogram ~buckets:[| 10.; 20. |] (fresh "qzero") in
+  for _ = 1 to 4 do
+    Telemetry.Histogram.observe h 5.
+  done;
+  (* All mass in the first bucket, lower edge 0: p50 lands mid-bucket. *)
+  Alcotest.(check (float 1e-9)) "p50 interpolates from 0" 5.
+    (Telemetry.Histogram.quantile h 0.5)
+
+let quantile_overflow_clamps () =
+  let h = Telemetry.Metrics.histogram ~buckets:[| 1.; 2. |] (fresh "qclamp") in
+  Telemetry.Histogram.observe h 0.5;
+  Telemetry.Histogram.observe h 1000.;
+  Telemetry.Histogram.observe h 2000.;
+  (* Two of three observations overflowed: upper quantiles clamp to the
+     last finite bound, since the registry keeps no values past it. *)
+  Alcotest.(check (float 1e-9)) "p99 clamps to the last bound" 2.
+    (Telemetry.Histogram.quantile h 0.99)
+
+(* {1 Watchdog} *)
+
+let watchdog_snapshot_and_stall () =
+  let name = fresh "wd" in
+  let wd = Telemetry.Watchdog.loop name in
+  Alcotest.(check bool) "same name, same slot" true
+    (wd == Telemetry.Watchdog.loop name);
+  let find statuses =
+    match
+      List.find_opt
+        (fun (s : Telemetry.Watchdog.status) -> s.Telemetry.Watchdog.name = name)
+        statuses
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "slot %s missing from snapshot" name
+  in
+  let s = find (Telemetry.Watchdog.snapshot ()) in
+  Alcotest.(check int) "inactive before enter" 0 s.Telemetry.Watchdog.active;
+  Alcotest.(check int) "no beats yet" 0 s.Telemetry.Watchdog.beats;
+  Alcotest.(check (option int)) "no image yet" None s.Telemetry.Watchdog.image;
+  Telemetry.Watchdog.enter wd;
+  Telemetry.Watchdog.beat ~image:7 ~queries:123 wd;
+  let beat_us = Telemetry.Clock.now_us () in
+  (* Pinning now_us makes idle arithmetic deterministic: 5 simulated
+     seconds after the beat the loop is stalled for any threshold < 5. *)
+  let later = beat_us +. 5e6 in
+  let s = find (Telemetry.Watchdog.snapshot ~now_us:later ()) in
+  Alcotest.(check int) "active after enter" 1 s.Telemetry.Watchdog.active;
+  Alcotest.(check int) "one beat" 1 s.Telemetry.Watchdog.beats;
+  Alcotest.(check (option int)) "image reported" (Some 7)
+    s.Telemetry.Watchdog.image;
+  Alcotest.(check (option int)) "queries reported" (Some 123)
+    s.Telemetry.Watchdog.queries;
+  Alcotest.(check (option int)) "iteration still unset" None
+    s.Telemetry.Watchdog.iteration;
+  Alcotest.(check bool) "idle accounts the simulated gap" true
+    (s.Telemetry.Watchdog.idle_s >= 5.0 && s.Telemetry.Watchdog.idle_s < 6.0);
+  let stalled_names ~stall_after_s ~now_us =
+    List.map
+      (fun (s : Telemetry.Watchdog.status) -> s.Telemetry.Watchdog.name)
+      (Telemetry.Watchdog.stalled ~now_us ~stall_after_s ())
+  in
+  Alcotest.(check bool) "stalled past the threshold" true
+    (List.mem name (stalled_names ~stall_after_s:4. ~now_us:later));
+  Alcotest.(check bool) "not stalled within the threshold" false
+    (List.mem name (stalled_names ~stall_after_s:6. ~now_us:later));
+  Telemetry.Watchdog.beat wd;
+  Alcotest.(check bool) "a beat clears the stall" false
+    (List.mem name
+       (stalled_names ~stall_after_s:4.
+          ~now_us:(Telemetry.Clock.now_us () +. 1.)));
+  Telemetry.Watchdog.leave wd;
+  Alcotest.(check bool) "inactive loops never stall" false
+    (List.mem name (stalled_names ~stall_after_s:0. ~now_us:(later +. 1e9)))
+
+let watchdog_with_loop_is_exception_safe () =
+  let name = fresh "wd_exn" in
+  let wd = Telemetry.Watchdog.loop name in
+  (try Telemetry.Watchdog.with_loop wd (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let status =
+    List.find
+      (fun (s : Telemetry.Watchdog.status) -> s.Telemetry.Watchdog.name = name)
+      (Telemetry.Watchdog.snapshot ())
+  in
+  Alcotest.(check int) "leave ran despite the raise" 0
+    status.Telemetry.Watchdog.active
+
+(* {1 Sampler} *)
+
+let sampler_ticks_and_snapshots () =
+  let path = Filename.temp_file "oppsla_test_sampler" ".jsonl" in
+  let before =
+    Telemetry.Counter.get (Telemetry.Metrics.counter "sampler.samples")
+  in
+  let s =
+    Telemetry.Sampler.start
+      {
+        Telemetry.Sampler.interval_s = 0.01;
+        snapshot_path = Some path;
+        stall_after_s = 60.;
+        abort_on_stall = false;
+      }
+  in
+  Telemetry.Sampler.sample_now s;
+  Telemetry.Sampler.stop s;
+  Telemetry.Sampler.stop s (* idempotent *);
+  let after =
+    Telemetry.Counter.get (Telemetry.Metrics.counter "sampler.samples")
+  in
+  (* start takes an immediate tick, sample_now another, stop a final
+     one: at least three. *)
+  Alcotest.(check bool) "at least three ticks" true (after - before >= 3);
+  Alcotest.(check bool) "uptime gauge set" true
+    (Telemetry.Gauge.get (Telemetry.Metrics.gauge "process.uptime_seconds")
+    > 0.);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  Alcotest.(check bool) "one JSONL snapshot per tick" true
+    (List.length !lines >= 3);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "snapshot line carries the registry" true
+        (String.length l > 2
+        && l.[0] = '{'
+        && l.[String.length l - 1] = '}'))
+    !lines
+
+(* {1 Obs flag parsing} *)
+
+let obs_flag_parsing () =
+  let args = [ "--trace"; "t.json"; "--metrics=m.json"; "positional" ] in
+  Alcotest.(check (option string)) "space-separated spelling"
+    (Some "t.json")
+    (Telemetry.Obs.find_flag args ~flag:"--trace");
+  Alcotest.(check (option string)) "equals spelling" (Some "m.json")
+    (Telemetry.Obs.find_flag args ~flag:"--metrics");
+  Alcotest.(check (option string)) "absent flag" None
+    (Telemetry.Obs.find_flag args ~flag:"--snapshot");
+  Alcotest.(check (list string)) "strip removes both spellings"
+    [ "positional" ]
+    (Telemetry.Obs.strip_flags args ~flags:[ "--trace"; "--metrics" ]);
+  Alcotest.(check (list string)) "strip leaves unrelated flags" args
+    (Telemetry.Obs.strip_flags args ~flags:[ "--snapshot" ])
+
 (* {1 Properties} *)
 
 (* Whatever is observed, bucket counts (including overflow) always sum to
@@ -313,5 +500,21 @@ let suite =
     Alcotest.test_case "null sink is identity" `Quick null_sink_is_identity;
     Alcotest.test_case "without masks and restores" `Quick
       without_masks_and_restores;
+    Alcotest.test_case "quantile of empty histogram" `Quick
+      quantile_empty_is_nan;
+    Alcotest.test_case "quantile rejects out-of-range q" `Quick
+      quantile_rejects_out_of_range;
+    Alcotest.test_case "quantile interpolation" `Quick quantile_interpolation;
+    Alcotest.test_case "quantile first-bucket lower edge" `Quick
+      quantile_first_bucket_lower_edge_is_zero;
+    Alcotest.test_case "quantile clamps past the last bound" `Quick
+      quantile_overflow_clamps;
+    Alcotest.test_case "watchdog snapshot and stall" `Quick
+      watchdog_snapshot_and_stall;
+    Alcotest.test_case "watchdog with_loop is exception-safe" `Quick
+      watchdog_with_loop_is_exception_safe;
+    Alcotest.test_case "sampler ticks and snapshots" `Quick
+      sampler_ticks_and_snapshots;
+    Alcotest.test_case "obs flag parsing" `Quick obs_flag_parsing;
     QCheck_alcotest.to_alcotest qcheck_histogram_conservation;
   ]
