@@ -198,10 +198,62 @@ let train_cmd =
 
 let synthesize_cmd =
   let iters_arg =
-    Arg.(value & opt int 40 & info [ "iters" ] ~doc:"MH iterations.")
+    Arg.(
+      value & opt int 40
+      & info [ "iters" ]
+          ~doc:"MH iterations (rounds per island with --islands).")
+  in
+  let islands_arg =
+    let doc =
+      "Island-model synthesis: run $(docv) tempered MH chains in lockstep \
+       rounds with periodic ring migration of elite programs.  The elite \
+       trace is bit-identical for a fixed seed whatever --domains, \
+       --cache, --batch or kill/resume history."
+    in
+    Arg.(value & opt int 1 & info [ "islands" ] ~docv:"K" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Write the full island-synthesis state (every island's PRNG \
+       streams, chain position, elite and trace) to $(docv) at round \
+       boundaries; versioned, checksummed, written atomically.  Implies \
+       the island path even at --islands 1."
+    in
+    Arg.(value & opt string "" & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume island synthesis from the --checkpoint file and replay the \
+       remaining rounds to exactly the trace an uninterrupted run \
+       produces.  Fails loudly on missing, damaged or mismatched \
+       checkpoints."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let early_stop_arg =
+    let on =
+      ( true,
+        Arg.info [ "early-stop" ]
+          ~doc:
+            "PAC candidate pruning: evaluate proposals on a per-proposal \
+             random image subset and abandon a candidate once a \
+             Hoeffding-style certified lower bound on its average proves \
+             it cannot beat the incumbent.  Kills bad candidates after a \
+             handful of images instead of the full training set; prunes \
+             only candidates exact scoring would have rejected." )
+    in
+    let off =
+      ( false,
+        Arg.info [ "no-early-stop" ]
+          ~doc:
+            "Score every proposal on the full training set (the default; \
+             reproduces exact pre-pruning scoring bit for bit)." )
+    in
+    Arg.(value & vflag false [ on; off ])
   in
   let run dataset arch seed artifacts class_id iters domains cache batch
-      trace metrics serve snapshot snapshot_interval stall_timeout =
+      islands checkpoint resume early_stop trace metrics serve snapshot
+      snapshot_interval stall_timeout =
     with_spec dataset @@ fun spec ->
     check_batch batch @@ fun () ->
     if class_id < 0 || class_id >= spec.Dataset.num_classes then
@@ -209,25 +261,94 @@ let synthesize_cmd =
         ( false,
           Printf.sprintf "class %d out of range [0, %d)" class_id
             spec.Dataset.num_classes )
+    else if islands < 1 then
+      `Error (false, Printf.sprintf "--islands must be >= 1 (got %d)" islands)
+    else if resume && checkpoint = "" then
+      `Error (false, "--resume requires --checkpoint FILE")
     else begin
       with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
         ~stall_timeout
       @@ fun () ->
       let config = workbench_config artifacts seed in
       let c = Workbench.load_classifier config spec arch in
-      let params =
-        {
-          Workbench.default_synth_params with
-          iters;
-          domains = domains_opt domains;
-          cache;
-          batch;
-        }
-      in
-          let programs = Workbench.synthesize_programs ~params config c in
-      Printf.printf "class %d (%s): %s\n" class_id
-        spec.Dataset.class_names.(class_id)
-        (Oppsla.Dsl.print_program programs.(class_id));
+      if islands > 1 || checkpoint <> "" then begin
+        (* Island path: uncached (per-run) synthesis on the class's
+           training set, reported per island.  Not persisted to the
+           artifact cache — checkpoints are the resumable artifact. *)
+        let training = c.Workbench.synth_sets.(class_id) in
+        if Array.length training = 0 then
+          Printf.printf
+            "class %d (%s): no correctly classified synthesis images\n"
+            class_id
+            spec.Dataset.class_names.(class_id)
+        else begin
+          let icfg =
+            {
+              Oppsla.Islands.default_config with
+              Oppsla.Islands.islands;
+              rounds = iters;
+              max_queries_per_image =
+                Some
+                  Workbench.default_synth_params
+                    .Workbench.synth_max_queries_per_image;
+              batch;
+              early_stop =
+                (if early_stop then Some Oppsla.Score.default_pac else None);
+              checkpoint = (if checkpoint = "" then None else Some checkpoint);
+            }
+          in
+          let caches =
+            if cache then Some (Score_cache.store (Array.length training))
+            else None
+          in
+          let g =
+            Prng.named_stream (Prng.of_int seed)
+              (Printf.sprintf "islands-cli/class-%d" class_id)
+          in
+          let synthesize pool =
+            Oppsla.Islands.synthesize ~config:icfg ?pool ?caches ~resume g
+              (Workbench.oracle_factory c ())
+              ~training
+          in
+          let out =
+            match domains_opt domains with
+            | None -> synthesize None
+            | Some domains ->
+                Evalharness.Parallel.Pool.with_pool ~domains (fun pool ->
+                    synthesize (Some pool))
+          in
+          Printf.printf "class %d (%s)\n%s\n" class_id
+            spec.Dataset.class_names.(class_id)
+            (Report.render_islands out);
+          if checkpoint <> "" then begin
+            let i = Oppsla.Islands.checkpoint_info checkpoint in
+            Printf.printf
+              "checkpoint %s: %d islands, %d training images, %d rounds \
+               done, %d queries, %d trace entries\n"
+              checkpoint i.Oppsla.Islands.info_islands
+              i.Oppsla.Islands.info_training
+              i.Oppsla.Islands.info_rounds_done
+              i.Oppsla.Islands.info_synth_queries
+              i.Oppsla.Islands.info_trace_length
+          end;
+          print_telemetry_report ()
+        end
+      end
+      else begin
+        let params =
+          {
+            Workbench.default_synth_params with
+            iters;
+            domains = domains_opt domains;
+            cache;
+            batch;
+          }
+        in
+        let programs = Workbench.synthesize_programs ~params config c in
+        Printf.printf "class %d (%s): %s\n" class_id
+          spec.Dataset.class_names.(class_id)
+          (Oppsla.Dsl.print_program programs.(class_id))
+      end;
       `Ok ()
     end
   in
@@ -236,13 +357,16 @@ let synthesize_cmd =
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
        $ class_arg $ iters_arg $ domains_arg $ cache_arg $ batch_arg
+       $ islands_arg $ checkpoint_arg $ resume_arg $ early_stop_arg
        $ trace_arg $ metrics_arg $ serve_metrics_arg $ snapshot_arg
        $ snapshot_interval_arg $ stall_timeout_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:
-         "Synthesize per-class adversarial programs (cached) and print one.")
+         "Synthesize per-class adversarial programs (cached) and print \
+          one; --islands runs the distributed island model with \
+          checkpoint/resume.")
     term
 
 (* attack *)

@@ -287,6 +287,51 @@ let render_telemetry ?pool ?cache ?batch () =
   | [] -> ""
   | _ -> "Telemetry\n=========\n" ^ String.concat "\n\n" sections
 
+let render_islands (o : Oppsla.Islands.outcome) =
+  let headers =
+    [
+      "island";
+      "beta";
+      "final avg";
+      "best avg";
+      "proposals";
+      "accepted";
+      "pruned";
+      "migrations in";
+      "queries";
+    ]
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (r : Oppsla.Islands.island_report) ->
+           [
+             string_of_int r.Oppsla.Islands.island;
+             Printf.sprintf "%.4g" r.Oppsla.Islands.beta;
+             Telemetry.Fmt.f2 r.Oppsla.Islands.final_avg_queries;
+             Telemetry.Fmt.f2 r.Oppsla.Islands.best_avg_queries;
+             string_of_int r.Oppsla.Islands.proposals;
+             string_of_int r.Oppsla.Islands.accepted;
+             string_of_int r.Oppsla.Islands.pruned;
+             string_of_int r.Oppsla.Islands.migrations_in;
+             string_of_int r.Oppsla.Islands.queries;
+           ])
+         o.Oppsla.Islands.islands)
+  in
+  let resumed =
+    match o.Oppsla.Islands.resumed_at with
+    | None -> ""
+    | Some r -> Printf.sprintf ", resumed from round %d" r
+  in
+  Printf.sprintf
+    "Island synthesis (%d rounds, %d migrations, %d queries%s)\n%s\nbest: \
+     %s (%s avg #queries)"
+    o.Oppsla.Islands.rounds_completed o.Oppsla.Islands.migrations
+    o.Oppsla.Islands.synth_queries resumed
+    (table ~headers ~rows)
+    (Oppsla.Dsl.print_program o.Oppsla.Islands.best)
+    (Telemetry.Fmt.f2 o.Oppsla.Islands.best_avg_queries)
+
 let render_table2 (rows : Experiments.table2_row list) =
   let headers =
     [ "classifier"; "approach"; "success"; "avg #queries"; "median #queries" ]

@@ -33,6 +33,13 @@ val render_batch_stats : Batcher.stats -> string
     discarded speculations, and the resulting speculation accuracy.
     Rendered next to the cache and pool statistics in run reports. *)
 
+val render_islands : Oppsla.Islands.outcome -> string
+(** Per-island table of an archipelago run — temperature, final and best
+    averages, proposal/acceptance/pruning counters, elite adoptions and
+    query spend per island — headed by the run totals and followed by
+    the overall best program.  Notes the resume round when the run was
+    restored from a checkpoint. *)
+
 val render_telemetry :
   ?pool:Parallel.Pool.stats ->
   ?cache:Score_cache.stats ->

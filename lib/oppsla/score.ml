@@ -91,6 +91,135 @@ let evaluate_parallel ?max_queries ?goal ?caches ?batch ~pool oracle program
            (Oracle.clone oracle) program ~image ~true_class)
        (Array.mapi (fun i s -> (i, s)) samples))
 
+(* PAC early stopping (ROADMAP item 3): evaluate a candidate on a
+   permuted prefix of the training set and abandon it as soon as a lower
+   bound on its final average exceeds the incumbent's.  Two bounds are
+   combined; whichever is larger prunes:
+
+   - a *certified* optimistic-completion bound: every unevaluated image
+     could still succeed in one query, so the final average over
+     successes is at least (sq + n_rem) / (succ + n_rem) — monotone
+     algebra, no probability involved;
+   - a Hoeffding bound on the mean over successes: with [succ] success
+     samples in [0, range], the empirical mean overestimates the true
+     mean by more than range * sqrt(ln(1/delta) / (2 succ)) with
+     probability at most delta.
+
+   A candidate that is never pruned completes on every image, and the
+   integer per-image results are merged in input order by [of_results],
+   so [Complete] is bit-identical to the exact evaluators regardless of
+   the visiting order. *)
+
+type pac = { delta : float; min_images : int; stage : int; range : float option }
+
+let default_pac = { delta = 0.05; min_images = 10; stage = 10; range = None }
+
+type pruned_stats = {
+  lower_bound : float;
+  images_seen : int;
+  queries_spent : int;
+}
+
+type staged = Complete of evaluation | Pruned of pruned_stats
+
+let evaluate_pac ?max_queries ?goal ?caches ?batch ?pool ~pac ~threshold ~order
+    oracle program samples =
+  check_caches "Score.evaluate_pac" caches oracle samples;
+  let n = Array.length samples in
+  if Array.length order <> n then
+    invalid_arg
+      (Printf.sprintf "Score.evaluate_pac: order has %d entries for %d samples"
+         (Array.length order) n);
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then
+        invalid_arg "Score.evaluate_pac: order is not a permutation";
+      seen.(i) <- true)
+    order;
+  let range =
+    match (pac.range, max_queries) with
+    | Some r, _ -> r
+    | None, Some cap -> float_of_int cap
+    | None, None ->
+        invalid_arg
+          "Score.evaluate_pac: the Hoeffding bound needs pac.range or \
+           max_queries"
+  in
+  if pac.stage <= 0 then invalid_arg "Score.evaluate_pac: stage must be positive";
+  let results = Array.make n None in
+  let fill k =
+    let i = order.(k) in
+    let image, true_class = samples.(i) in
+    Telemetry.Watchdog.beat ~image:i wd_attack;
+    let o = match pool with None -> oracle | Some _ -> Oracle.clone oracle in
+    (i, Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch o program
+          ~image ~true_class)
+  in
+  let run_stage lo hi =
+    match pool with
+    | None ->
+        for k = lo to hi - 1 do
+          let i, r = fill k in
+          results.(i) <- Some r
+        done
+    | Some pool ->
+        Array.iter
+          (fun (i, r) -> results.(i) <- Some r)
+          (Domain_pool.Pool.map pool fill
+             (Array.init (hi - lo) (fun j -> lo + j)))
+  in
+  let evaluated = ref 0 in
+  let verdict = ref None in
+  while !verdict = None && !evaluated < n do
+    let hi = min n (!evaluated + pac.stage) in
+    run_stage !evaluated hi;
+    evaluated := hi;
+    if !evaluated < n && !evaluated >= pac.min_images then begin
+      let succ = ref 0 and sq = ref 0 and spent = ref 0 in
+      for k = 0 to !evaluated - 1 do
+        match results.(order.(k)) with
+        | Some (r : Sketch.result) ->
+            spent := !spent + r.Sketch.queries;
+            if r.Sketch.adversarial <> None then begin
+              incr succ;
+              sq := !sq + r.Sketch.queries
+            end
+        | None -> assert false
+      done;
+      let n_rem = n - !evaluated in
+      let certified =
+        (* succ + n_rem > 0 here because n_rem >= 1. *)
+        float_of_int (!sq + n_rem) /. float_of_int (!succ + n_rem)
+      in
+      let statistical =
+        if !succ = 0 then neg_infinity
+        else
+          (float_of_int !sq /. float_of_int !succ)
+          -. (range
+             *. sqrt (log (1. /. pac.delta) /. (2. *. float_of_int !succ)))
+      in
+      let lower_bound = Float.max certified statistical in
+      if lower_bound > threshold then
+        verdict :=
+          Some
+            (Pruned
+               {
+                 lower_bound;
+                 images_seen = !evaluated;
+                 queries_spent = !spent;
+               })
+    end
+  done;
+  match !verdict with
+  | Some v -> v
+  | None ->
+      Complete
+        (of_results
+           (Array.map
+              (function Some r -> r | None -> assert false)
+              results))
+
 let score ~beta avg_queries = exp (-.beta *. avg_queries)
 
 let acceptance_ratio ~beta ~current ~proposal =

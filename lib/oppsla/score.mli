@@ -88,6 +88,75 @@ val evaluate_parallel :
     orders hand-offs between evaluations.  [batch] is forwarded to each
     image's attack exactly as in {!evaluate}. *)
 
+(** {2 PAC early stopping}
+
+    Statistical candidate pruning for the synthesizer (ROADMAP item 3,
+    motivated by Bastani-style statistical sketching): a candidate is
+    evaluated on a caller-permuted prefix of the training set, and
+    abandoned once a lower bound on its final average query count
+    provably (or with probability [1 - delta]) exceeds a threshold —
+    typically the incumbent program's average.  Bad candidates die after
+    [min_images] images instead of the full set. *)
+
+type pac = {
+  delta : float;
+      (** Hoeffding confidence parameter: the statistical part of the
+          bound wrongly prunes a candidate with probability at most
+          [delta] per check; default 0.05 *)
+  min_images : int;
+      (** never prune before this many images were evaluated; default 10 *)
+  stage : int;
+      (** evaluate this many images between bound checks; default 10 *)
+  range : float option;
+      (** assumed per-image query range for the Hoeffding bound; [None]
+          uses [max_queries] (the per-attack cap), which is the widest
+          sound choice.  A tighter, workload-informed range prunes
+          earlier at the same [delta]. *)
+}
+
+val default_pac : pac
+
+type pruned_stats = {
+  lower_bound : float;
+      (** the bound that fired: a certified optimistic-completion bound
+          or the Hoeffding lower confidence bound, whichever is larger *)
+  images_seen : int;  (** images evaluated before pruning *)
+  queries_spent : int;  (** oracle queries those images cost *)
+}
+
+type staged = Complete of evaluation | Pruned of pruned_stats
+
+val evaluate_pac :
+  ?max_queries:int ->
+  ?goal:Sketch.goal ->
+  ?caches:Score_cache.store ->
+  ?batch:int ->
+  ?pool:Domain_pool.Pool.t ->
+  pac:pac ->
+  threshold:float ->
+  order:int array ->
+  Oracle.t ->
+  Condition.program ->
+  (Tensor.t * int) array ->
+  staged
+(** [evaluate_pac ~pac ~threshold ~order oracle program samples] evaluates
+    [samples] in the order given by the permutation [order] (the caller
+    draws it from a dedicated PRNG stream so replay is deterministic), in
+    stages of [pac.stage] images; after each stage with at least
+    [pac.min_images] images done, it prunes iff the combined lower bound
+    exceeds [threshold].
+
+    [Complete e] is {e bit-identical} to {!evaluate} (and, given [pool],
+    to {!evaluate_parallel}) on the same arguments: every image is
+    evaluated exactly once, per-image results are merged in input order,
+    and with an unbudgeted oracle the visiting order cannot affect any
+    per-image result.  [Pruned] reports the bound and the partial spend;
+    the caller treats the candidate as rejected.
+
+    Raises [Invalid_argument] if [order] is not a permutation of the
+    sample indices, if [pac.stage <= 0], or if neither [pac.range] nor
+    [max_queries] is given (the Hoeffding bound needs a range). *)
+
 val score : beta:float -> float -> float
 (** [score ~beta avg_queries = exp (-. beta *. avg_queries)]. *)
 

@@ -12,8 +12,13 @@
 type iteration = {
   index : int;  (** 0 is the initial random program *)
   program : Condition.program;
-  avg_queries : float;  (** training-set average of the proposal *)
+  avg_queries : float;
+      (** training-set average of the proposal; for a pruned proposal,
+          the early-stop lower bound that killed it *)
   accepted : bool;
+  pruned : bool;
+      (** the proposal was abandoned by PAC early stopping before the
+          full training set was evaluated (implies [not accepted]) *)
   synth_queries_total : int;
       (** cumulative oracle queries spent by the synthesis so far *)
 }
@@ -49,6 +54,18 @@ type config = {
           sequential {!Score.evaluate} against the given oracle is used.
           Synthesis query accounting always comes from the returned
           evaluations' [total_queries]. *)
+  early_stop : Score.pac option;
+      (** when set (and [evaluator] is [None]), proposals are scored with
+          {!Score.evaluate_pac}: each candidate is evaluated in a
+          per-iteration permuted order drawn from a dedicated
+          [named_stream] of the chain seed, and abandoned once its
+          early-stop lower bound exceeds the incumbent's average.  Pruned
+          proposals are rejected without an acceptance draw, so the chain
+          stream [g] sees one fewer draw on those iterations — early
+          stopping trades exact MH semantics for queries, which is why
+          [None] (the default, and the [--no-early-stop] CLI hatch)
+          restores bit-exact scoring.  Given the same seed, early-stopped
+          synthesis is itself fully deterministic. *)
 }
 
 val default_config : config

@@ -40,6 +40,24 @@ let named_stream g name =
 
 let copy g = { state = g.state; root = g.root }
 
+(* Serialization for checkpoint files: the full generator identity is the
+   (state, root) pair, printed as fixed-width hex behind a format tag so a
+   future layout change can be detected instead of misparsed. *)
+let save g = Printf.sprintf "splitmix64:%016Lx:%016Lx" g.state g.root
+
+let restore s =
+  let fail () = invalid_arg ("Prng.restore: malformed state " ^ String.escaped s) in
+  match String.split_on_char ':' s with
+  | [ "splitmix64"; state; root ]
+    when String.length state = 16 && String.length root = 16 -> (
+      let parse h =
+        match Int64.of_string_opt ("0x" ^ h) with
+        | Some v -> v
+        | None -> fail ()
+      in
+      { state = parse state; root = parse root })
+  | _ -> fail ()
+
 let int g n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling on the top 62 bits keeps the draw exactly uniform. *)

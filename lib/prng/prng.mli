@@ -31,6 +31,17 @@ val copy : t -> t
 (** [copy g] duplicates the current state; both generators then produce the
     same future stream. *)
 
+val save : t -> string
+(** [save g] serializes the complete generator identity (current position
+    and root seed) to a single printable token, for embedding in
+    checkpoint files.  [restore (save g)] produces a generator whose
+    future stream — including streams later derived via {!named_stream} —
+    is bit-identical to [g]'s. *)
+
+val restore : string -> t
+(** Inverse of {!save}.  Raises [Invalid_argument] on a token that [save]
+    did not produce. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

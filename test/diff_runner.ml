@@ -1,6 +1,7 @@
 (* Standalone differential checker, wired into the `runtest` alias under
    OCAMLRUNPARAM=b at every combination of --domains 1/4, --cache on/off,
-   --batch 1/16, --trace on/off and --observe on/off (see test/dune).
+   --batch 1/16, --trace on/off and --observe on/off, plus an
+   --islands 4 sub-grid (see test/dune).
 
    --trace on opens a real Chrome-trace sink for the whole run and
    computes every reference under [Telemetry.Trace.without], so each
@@ -64,35 +65,39 @@ let check_identical ctx (seq : Score.evaluation) (par : Score.evaluation) =
   then fail "%s: per-image query counts diverged" ctx
 
 let () =
-  let rec parse domains cache batch trace observe = function
+  let rec parse domains cache batch trace observe islands = function
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some d when d >= 1 -> parse d cache batch trace observe rest
+        | Some d when d >= 1 -> parse d cache batch trace observe islands rest
         | _ -> fail "diff_runner: bad --domains %s" n)
     | "--cache" :: v :: rest -> (
         match v with
-        | "on" -> parse domains true batch trace observe rest
-        | "off" -> parse domains false batch trace observe rest
+        | "on" -> parse domains true batch trace observe islands rest
+        | "off" -> parse domains false batch trace observe islands rest
         | _ -> fail "diff_runner: bad --cache %s (expected on|off)" v)
     | "--batch" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some b when b >= 1 -> parse domains cache b trace observe rest
+        | Some b when b >= 1 -> parse domains cache b trace observe islands rest
         | _ -> fail "diff_runner: bad --batch %s" n)
     | "--trace" :: v :: rest -> (
         match v with
-        | "on" -> parse domains cache batch true observe rest
-        | "off" -> parse domains cache batch false observe rest
+        | "on" -> parse domains cache batch true observe islands rest
+        | "off" -> parse domains cache batch false observe islands rest
         | _ -> fail "diff_runner: bad --trace %s (expected on|off)" v)
     | "--observe" :: v :: rest -> (
         match v with
-        | "on" -> parse domains cache batch trace true rest
-        | "off" -> parse domains cache batch trace false rest
+        | "on" -> parse domains cache batch trace true islands rest
+        | "off" -> parse domains cache batch trace false islands rest
         | _ -> fail "diff_runner: bad --observe %s (expected on|off)" v)
-    | [] -> (domains, cache, batch, trace, observe)
+    | "--islands" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 -> parse domains cache batch trace observe k rest
+        | _ -> fail "diff_runner: bad --islands %s" n)
+    | [] -> (domains, cache, batch, trace, observe, islands)
     | a :: _ -> fail "diff_runner: unknown argument %s" a
   in
-  let domains, cache, batch, trace, observe =
-    parse 4 false Oppsla.Sketch.default_batch false false
+  let domains, cache, batch, trace, observe, islands =
+    parse 4 false Oppsla.Sketch.default_batch false false 1
       (List.tl (Array.to_list Sys.argv))
   in
   (* With --observe on, the metrics server and runtime sampler run live
@@ -219,6 +224,69 @@ let () =
         in
         check_traces "cached sequential" seq cached_seq
       end;
+      (* Island-model differential: with --islands K > 1, the whole
+         archipelago trace must be invariant under the same axes.  The
+         reference is the sequential batch-1 run (no pool, no cache);
+         the checked run applies this grid point's pool, cache and batch
+         settings.  Early stopping stays off here — its determinism has
+         its own suite in test_islands.ml — so every proposal is scored
+         exactly on both arms. *)
+      if islands > 1 then begin
+        let training = training_set (Prng.of_int 23) 5 in
+        let icfg =
+          {
+            Oppsla.Islands.default_config with
+            Oppsla.Islands.islands;
+            rounds = 4;
+            migration_period = 2;
+            max_queries_per_image = Some 64;
+          }
+        in
+        let run ~use_pool cfg =
+          Oppsla.Islands.synthesize ~config:cfg
+            ?pool:(if use_pool then Some pool else None)
+            ?caches:(if use_pool then store_for training else None)
+            (Prng.of_int 23) (mean_threshold_oracle ()) ~training
+        in
+        let ref_out =
+          untraced (fun () ->
+              run ~use_pool:false { icfg with Oppsla.Islands.batch = 1 })
+        in
+        let par_out = run ~use_pool:true { icfg with Oppsla.Islands.batch } in
+        if ref_out.Oppsla.Islands.synth_queries
+           <> par_out.Oppsla.Islands.synth_queries
+        then
+          fail "islands: query spend diverged (%d <> %d)"
+            ref_out.Oppsla.Islands.synth_queries
+            par_out.Oppsla.Islands.synth_queries;
+        if
+          ref_out.Oppsla.Islands.best_avg_queries
+          <> par_out.Oppsla.Islands.best_avg_queries
+          || not
+               (Oppsla.Condition.equal_program ref_out.Oppsla.Islands.best
+                  par_out.Oppsla.Islands.best)
+        then fail "islands: best program diverged";
+        if
+          List.length ref_out.Oppsla.Islands.trace
+          <> List.length par_out.Oppsla.Islands.trace
+        then fail "islands: trace length diverged";
+        List.iter2
+          (fun (x : Oppsla.Islands.entry) (y : Oppsla.Islands.entry) ->
+            if
+              x.Oppsla.Islands.round <> y.Oppsla.Islands.round
+              || x.Oppsla.Islands.island <> y.Oppsla.Islands.island
+              || x.Oppsla.Islands.accepted <> y.Oppsla.Islands.accepted
+              || x.Oppsla.Islands.avg_queries <> y.Oppsla.Islands.avg_queries
+              || x.Oppsla.Islands.queries_total
+                 <> y.Oppsla.Islands.queries_total
+              || not
+                   (Oppsla.Condition.equal_program x.Oppsla.Islands.program
+                      y.Oppsla.Islands.program)
+            then
+              fail "islands: trace diverged at round %d island %d"
+                x.Oppsla.Islands.round x.Oppsla.Islands.island)
+          ref_out.Oppsla.Islands.trace par_out.Oppsla.Islands.trace
+      end;
       (match trace_file with
       | None -> ()
       | Some f ->
@@ -272,10 +340,12 @@ let () =
           then fail "diff_runner: sampler never ticked");
       Printf.printf
         "diff_runner: sequential and %d-domain evaluation bit-identical \
-         with cache %s at batch width %d, trace %s, observe %s (12 \
-         evaluation trials + synthesis trace)\n"
+         with cache %s at batch width %d, trace %s, observe %s, islands \
+         %d (12 evaluation trials + synthesis trace%s)\n"
         domains
         (if cache then "on" else "off")
         batch
         (if trace then "on" else "off")
-        (if observe then "on" else "off"))
+        (if observe then "on" else "off")
+        islands
+        (if islands > 1 then " + island-model trace" else ""))

@@ -30,6 +30,21 @@ let constant_oracle ?budget ~num_classes ~winner () =
 (* A uniform image of the given side and brightness. *)
 let flat_image ~size v = Tensor.create [| 3; size; size |] v
 
+(* A flat image with one off-value pixel.  Against the mean-threshold
+   oracle a feasible flat image always falls to the first candidate the
+   attack tries (the farthest-corner heuristic IS the max-delta move),
+   so query counts carry no information.  Planting a single special
+   pixel whose farthest corner is the only first-block winner pushes
+   the success deep into the search order, and how deep now depends on
+   the program's queue edits — which is what scoring is supposed to
+   measure. *)
+let special_pixel_image ~size ~base ~v ~row ~col =
+  let img = flat_image ~size base in
+  for c = 0 to 2 do
+    Tensor.set img [| c; row; col |] v
+  done;
+  img
+
 (* Count how many corner pairs flip the mean-threshold oracle for a flat
    image: used to cross-check attack success sets. *)
 let gen_config ~size = { Oppsla.Gen.d1 = size; d2 = size }

@@ -126,6 +126,30 @@ let mutation_on_const_program () =
        (fun c -> match c with C.Cmp _ -> true | C.Const _ -> false)
        (C.program_to_array !p))
 
+(* PR 4 pulled the slot draw out of [Gen.mutate] so the synthesizer can
+   classify proposals without a second draw; until now the equivalence
+   was only asserted indirectly through the telemetry differentials.
+   Directly: drawing the slot first and calling [mutate_slot] must yield
+   the same program AND leave the generator at the same stream position
+   (identical subsequent draw sequence) as one [mutate] call. *)
+let qcheck_mutate_slot_preserves_draw_order =
+  QCheck.Test.make ~name:"mutate_slot preserves mutate's draw sequence"
+    ~count:300 QCheck.small_int (fun seed ->
+      let g1 = Prng.of_int seed and g2 = Prng.of_int seed in
+      let p = Gen.random_program config (Prng.of_int (seed + 7919)) in
+      let a = Gen.mutate config g1 p in
+      let b =
+        let slot = Prng.int g2 13 in
+        Gen.mutate_slot config g2 p ~slot
+      in
+      let rec draws g n =
+        if n = 0 then []
+        else
+          let v = Prng.next_int64 g in
+          v :: draws g (n - 1)
+      in
+      C.equal_program a b && draws g1 8 = draws g2 8)
+
 let suite =
   [
     Alcotest.test_case "config from image" `Quick config_from_image;
@@ -140,4 +164,5 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_thresholds_in_range;
     QCheck_alcotest.to_alcotest qcheck_mutation_well_typed;
     QCheck_alcotest.to_alcotest qcheck_mutation_changes_at_most_whole_program;
+    QCheck_alcotest.to_alcotest qcheck_mutate_slot_preserves_draw_order;
   ]

@@ -16,6 +16,7 @@ let () =
       ("gen", Test_gen.suite);
       ("sketch", Test_sketch.suite);
       ("synthesizer", Test_synth.suite);
+      ("islands", Test_islands.suite);
       ("baselines", Test_baselines.suite);
       ("evalharness", Test_evalharness.suite);
       ("parallel_eval", Test_parallel_eval.suite);

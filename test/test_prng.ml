@@ -168,9 +168,44 @@ let qcheck_int_in_bounds =
       let v = Prng.int_in g lo hi in
       v >= lo && v <= hi)
 
+let save_restore_roundtrip () =
+  let g = Prng.of_int 97 in
+  for _ = 1 to 23 do
+    ignore (Prng.next_int64 g)
+  done;
+  let g' = Prng.restore (Prng.save g) in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "restored stream" (Prng.next_int64 g)
+      (Prng.next_int64 g')
+  done;
+  (* The root survives the round-trip too: named streams derived from
+     the restored generator match the original's. *)
+  let a = Prng.named_stream g "x" and b = Prng.named_stream g' "x" in
+  Alcotest.(check int64) "restored root" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let restore_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try
+           ignore (Prng.restore s);
+           false
+         with Invalid_argument _ -> true))
+    [
+      "";
+      "splitmix64";
+      "splitmix64:00:11";
+      "splitmix64:zzzzzzzzzzzzzzzz:0000000000000000";
+      "mt19937:0000000000000000:0000000000000000";
+    ]
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick determinism;
+    Alcotest.test_case "save/restore round-trip" `Quick save_restore_roundtrip;
+    Alcotest.test_case "restore rejects garbage" `Quick
+      restore_rejects_garbage;
     Alcotest.test_case "different seeds" `Quick different_seeds;
     Alcotest.test_case "copy shares future" `Quick copy_shares_future;
     Alcotest.test_case "split independence" `Quick split_independent;

@@ -100,9 +100,49 @@ let render_table2_contents () =
         (Helpers.contains s needle))
     [ "33.3%"; "100.00"; "9.00"; "success"; "Sparse-RS" ]
 
+let render_islands_contents () =
+  (* A real (tiny) archipelago run rather than a hand-built record: the
+     renderer must agree with whatever shape the synthesis produces. *)
+  let training =
+    [|
+      (Helpers.flat_image ~size:4 0.49, 0); (Helpers.flat_image ~size:4 0.52, 1);
+    |]
+  in
+  let cfg =
+    {
+      Oppsla.Islands.default_config with
+      Oppsla.Islands.islands = 2;
+      rounds = 3;
+      migration_period = 2;
+      max_queries_per_image = Some 64;
+    }
+  in
+  let out =
+    Oppsla.Islands.synthesize ~config:cfg (Prng.of_int 3)
+      (Helpers.mean_threshold_oracle ()) ~training
+  in
+  let s = Report.render_islands out in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Helpers.contains s needle))
+    [
+      "Island synthesis";
+      "3 rounds";
+      "island";
+      "beta";
+      "migrations in";
+      "pruned";
+      "best: B1";
+      Printf.sprintf "%d queries" out.Oppsla.Islands.synth_queries;
+    ];
+  Alcotest.(check bool) "one row per island" true
+    (Helpers.contains s "| 0 " && Helpers.contains s "| 1 ")
+
 let suite =
   [
     Alcotest.test_case "render fig3" `Quick render_fig3_contents;
+    Alcotest.test_case "render islands" `Quick render_islands_contents;
     Alcotest.test_case "render fig3 empty" `Quick render_fig3_empty;
     Alcotest.test_case "render table1" `Quick render_table1_contents;
     Alcotest.test_case "render fig4" `Quick render_fig4_contents;

@@ -190,6 +190,187 @@ let on_iteration_hook_called () =
   ignore (Synthesizer.synthesize ~config:cfg (Prng.of_int 10) (oracle ()) ~training);
   Alcotest.(check int) "hook fired" 6 !seen
 
+(* --- PAC early stopping --- *)
+
+(* A corpus with enough spread that bad proposals visibly burn queries.
+   Flat images are useless here — when feasible they fall to the very
+   first candidate regardless of the program — so most images plant one
+   special pixel (see [Helpers.special_pixel_image]) whose winning
+   corner sits deep in the default search order.  Programs that edit
+   the queue shift how deep, giving per-program averages anywhere from
+   ~3 to ~22 queries on this corpus.  Two flat images keep the easy
+   1-query case represented. *)
+let pac_training =
+  [|
+    (Helpers.special_pixel_image ~size ~base:0.52 ~v:0.10 ~row:3 ~col:3, 0);
+    (Helpers.special_pixel_image ~size ~base:0.48 ~v:0.90 ~row:3 ~col:3, 1);
+    (Helpers.special_pixel_image ~size ~base:0.52 ~v:0.10 ~row:0 ~col:3, 0);
+    (Helpers.special_pixel_image ~size ~base:0.48 ~v:0.90 ~row:3 ~col:0, 1);
+    (Helpers.special_pixel_image ~size ~base:0.53 ~v:0.05 ~row:2 ~col:3, 0);
+    (Helpers.special_pixel_image ~size ~base:0.47 ~v:0.95 ~row:3 ~col:2, 1);
+    (Helpers.flat_image ~size 0.49, 0);
+    (Helpers.flat_image ~size 0.52, 1);
+  |]
+
+let aggressive_pac = { Score.default_pac with min_images = 2; stage = 1 }
+
+(* With threshold = infinity nothing can be pruned, and the staged
+   evaluator must reproduce the exact evaluator bit for bit, whatever
+   visiting order the permutation picked. *)
+let qcheck_pac_complete_is_exact =
+  QCheck.Test.make ~name:"evaluate_pac completion is bit-exact" ~count:40
+    QCheck.small_int (fun seed ->
+      let g = Prng.of_int (seed + 101) in
+      let gen_config = Helpers.gen_config ~size in
+      let program = Oppsla.Gen.random_program gen_config g in
+      let order = Prng.permutation g (Array.length pac_training) in
+      let exact =
+        Score.evaluate ~max_queries:128 (oracle ()) program pac_training
+      in
+      match
+        Score.evaluate_pac ~max_queries:128 ~pac:aggressive_pac
+          ~threshold:infinity ~order (oracle ()) program pac_training
+      with
+      | Score.Complete e ->
+          e.Score.avg_queries = exact.Score.avg_queries
+          && e.Score.total_queries = exact.Score.total_queries
+          && e.Score.successes = exact.Score.successes
+          && Array.for_all2
+               (fun (a : Score.image_eval) (b : Score.image_eval) ->
+                 a.Score.queries = b.Score.queries
+                 && a.Score.success = b.Score.success)
+               e.Score.per_image exact.Score.per_image
+      | Score.Pruned _ -> false)
+
+let pac_prunes_against_low_threshold () =
+  (* Any candidate looks hopeless against an unbeatable incumbent, so
+     the certified bound must fire and spend less than a full pass. *)
+  let g = Prng.of_int 5 in
+  let program = Oppsla.Gen.random_program (Helpers.gen_config ~size) g in
+  let order = Prng.permutation g (Array.length pac_training) in
+  let full = Score.evaluate ~max_queries:128 (oracle ()) program pac_training in
+  match
+    Score.evaluate_pac ~max_queries:128 ~pac:aggressive_pac ~threshold:0.5
+      ~order (oracle ()) program pac_training
+  with
+  | Score.Complete _ -> Alcotest.fail "expected pruning against threshold 0.5"
+  | Score.Pruned p ->
+      Alcotest.(check bool) "spent less than full evaluation" true
+        (p.Score.queries_spent < full.Score.total_queries);
+      Alcotest.(check bool) "bound exceeds threshold" true
+        (p.Score.lower_bound > 0.5);
+      Alcotest.(check bool) "saw at least min_images" true
+        (p.Score.images_seen >= aggressive_pac.Score.min_images)
+
+let pac_rejects_bad_order () =
+  let program = C.const_false_program in
+  let bad_order = [| 0; 0; 1; 2; 3; 4; 5; 6 |] in
+  Alcotest.(check bool) "duplicate order rejected" true
+    (try
+       ignore
+         (Score.evaluate_pac ~max_queries:128 ~pac:Score.default_pac
+            ~threshold:infinity ~order:bad_order (oracle ()) program
+            pac_training);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "missing range rejected" true
+    (try
+       ignore
+         (Score.evaluate_pac ~pac:Score.default_pac ~threshold:infinity
+            ~order:(Array.init 8 (fun i -> i))
+            (oracle ()) program pac_training);
+       false
+     with Invalid_argument _ -> true)
+
+(* The headline soundness property: on a seeded corpus, every proposal
+   the synthesizer prunes is one the full evaluation would have scored
+   strictly worse than the incumbent of that iteration — early stopping
+   only ever kills candidates exact scoring would not have kept. *)
+let pac_never_prunes_keepers () =
+  let cfg =
+    {
+      Synthesizer.default_config with
+      max_iters = 40;
+      max_queries_per_image = Some 128;
+      early_stop = Some aggressive_pac;
+    }
+  in
+  let out =
+    Synthesizer.synthesize ~config:cfg (Prng.of_int 21) (oracle ())
+      ~training:pac_training
+  in
+  let pruned_total = ref 0 in
+  let incumbent = ref nan in
+  List.iter
+    (fun (it : Synthesizer.iteration) ->
+      if it.Synthesizer.index = 0 then incumbent := it.Synthesizer.avg_queries
+      else if it.Synthesizer.pruned then begin
+        incr pruned_total;
+        Alcotest.(check bool) "pruned implies rejected" false
+          it.Synthesizer.accepted;
+        let full =
+          Score.evaluate ~max_queries:128 (oracle ()) it.Synthesizer.program
+            pac_training
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf
+             "iteration %d: full avg %.3f must beat incumbent %.3f to be \
+              wrongly pruned"
+             it.Synthesizer.index full.Score.avg_queries !incumbent)
+          true
+          (full.Score.avg_queries > !incumbent)
+      end
+      else if it.Synthesizer.accepted then
+        incumbent := it.Synthesizer.avg_queries)
+    out.Synthesizer.trace;
+  (* The property must not hold vacuously. *)
+  Alcotest.(check bool) "at least one proposal was pruned" true
+    (!pruned_total > 0)
+
+(* The --no-early-stop escape hatch: early_stop = None must reproduce
+   the scores this synthesizer produced before PAC pruning existed.
+   The golden numbers were recorded on the pre-PR code at this exact
+   configuration (seed 7, 8 iterations, cap 64, 3-image corpus). *)
+let no_early_stop_matches_pre_pac_golden () =
+  let out =
+    Synthesizer.synthesize ~config:(config 8) (Prng.of_int 7) (oracle ())
+      ~training
+  in
+  Alcotest.(check int) "pre-PR query spend" 594 out.Synthesizer.synth_queries;
+  Alcotest.(check (float 0.)) "pre-PR final average" 1.
+    out.Synthesizer.final_avg_queries;
+  Alcotest.(check string) "pre-PR final program"
+    "B1: max(pert) < 0.17598642404620646; B2: min(orig) > \
+     0.96032900810871424; B3: min(orig) < 0.41503141680443933; B4: \
+     min(orig) > 0.87961369762781705"
+    (Oppsla.Dsl.print_program out.Synthesizer.final);
+  List.iter
+    (fun (it : Synthesizer.iteration) ->
+      Alcotest.(check bool) "nothing pruned" false it.Synthesizer.pruned)
+    out.Synthesizer.trace
+
+let early_stop_deterministic_and_cheaper () =
+  let cfg early_stop =
+    {
+      Synthesizer.default_config with
+      max_iters = 40;
+      max_queries_per_image = Some 128;
+      early_stop;
+    }
+  in
+  let run es =
+    Synthesizer.synthesize ~config:(cfg es) (Prng.of_int 21) (oracle ())
+      ~training:pac_training
+  in
+  let a = run (Some aggressive_pac) and b = run (Some aggressive_pac) in
+  Alcotest.(check int) "deterministic spend" a.Synthesizer.synth_queries
+    b.Synthesizer.synth_queries;
+  Alcotest.(check bool) "same final" true
+    (C.equal_program a.Synthesizer.final b.Synthesizer.final);
+  let exact = run None in
+  Alcotest.(check bool) "early stopping saves queries" true
+    (a.Synthesizer.synth_queries < exact.Synthesizer.synth_queries)
+
 let suite =
   [
     Alcotest.test_case "score shape" `Quick score_function_shape;
@@ -207,4 +388,14 @@ let suite =
     Alcotest.test_case "custom evaluator" `Quick custom_evaluator_used;
     Alcotest.test_case "empty training raises" `Quick empty_training_raises;
     Alcotest.test_case "on_iteration hook" `Quick on_iteration_hook_called;
+    QCheck_alcotest.to_alcotest qcheck_pac_complete_is_exact;
+    Alcotest.test_case "pac prunes against low threshold" `Quick
+      pac_prunes_against_low_threshold;
+    Alcotest.test_case "pac rejects bad order" `Quick pac_rejects_bad_order;
+    Alcotest.test_case "pac never prunes keepers" `Quick
+      pac_never_prunes_keepers;
+    Alcotest.test_case "no-early-stop matches pre-PR golden" `Quick
+      no_early_stop_matches_pre_pac_golden;
+    Alcotest.test_case "early stop deterministic and cheaper" `Quick
+      early_stop_deterministic_and_cheaper;
   ]
