@@ -1254,6 +1254,208 @@ let bench_synth ?(smoke = false) quick =
     print_endline "[synth] wrote BENCH_synth.json"
   end
 
+(* Scenario benchmark (the `scenarios` mode).
+
+   Decision-based (label-only) oracles and the k-pixel / patch
+   perturbation spaces, on a deterministic mean-threshold corpus built
+   so exactly one of the eight RGB corners (all-ones) flips any single
+   pixel: every location is equally good and only the corner choice
+   matters, which isolates the one structural edge a decision-based
+   Sparse-RS keeps over blind sampling — its exploit step resamples the
+   current pixel's corner {e without repeating it} (7 candidates, one a
+   winner) where the uniform baseline redraws from all 8.  Attacks are
+   driven through named per-image PRNG streams, so every number here is
+   deterministic.
+
+   --smoke (under `dune runtest`) asserts that the decision-mode
+   Sparse-RS attack beats the uniform random baseline's total query
+   count over the corpus, and that every space x oracle-mode sweep
+   produces bit-identical per-image (queries, success) records at batch
+   widths 1 and 16.  The full run measures the same on a larger corpus
+   and writes BENCH_scenarios.json: decision vs score query counts for
+   Sparse-RS (the measured decision-mode overhead), k = 1/2 pixel and
+   2x2 patch sweeps, and the random-baseline comparison. *)
+
+let bench_scenarios ?(smoke = false) quick =
+  ignore quick;
+  let module Sparse_rs = Baselines.Sparse_rs in
+  let module Space = Oppsla.Space in
+  let size, n_images, sweep_images, cap =
+    if smoke then (8, 8000, 12, 64) else (16, 8000, 24, 128)
+  in
+  let num_classes = 2 in
+  let oracle () =
+    Oracle.of_fn ~name:"mean-threshold" ~num_classes (fun x ->
+        let m = Tensor.mean x in
+        let p1 = 1. /. (1. +. exp (-.(40. *. (m -. 0.5)))) in
+        Tensor.of_array [| 2 |] [| 1. -. p1; p1 |])
+  in
+  (* v = 0.5 - 0.3/d^2: setting one pixel to the all-ones corner moves
+     the mean by 0.5/d^2 (a flip), to any other corner by at most
+     0.167/d^2 (no flip). *)
+  let v = 0.5 -. (0.3 /. float_of_int (size * size)) in
+  let image = Tensor.create [| 3; size; size |] v in
+  let true_class = 0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let g0 = Prng.of_int 41 in
+  (* The decision-based floor: redraw a (location, corner) pair
+     uniformly with replacement until the label flips.  Label-only by
+     construction — it consults nothing but the observed one-hot. *)
+  let random_baseline g o =
+    Oracle.set_mode o Oracle.Decision;
+    let config = Oppsla.Gen.config_for_image image in
+    let rec go q =
+      if q >= cap then (false, q)
+      else
+        let pair = Oppsla.Gen.random_pair config g in
+        let s =
+          Oracle.observe o (Oracle.scores o (Oppsla.Sketch.perturb image pair))
+        in
+        if Tensor.argmax s <> true_class then (true, q + 1) else go (q + 1)
+    in
+    go 0
+  in
+  let decision_attack g o =
+    Oracle.set_mode o Oracle.Decision;
+    let config =
+      {
+        (Sparse_rs.default_config ~max_queries:cap) with
+        Sparse_rs.min_explore = 0.0;
+      }
+    in
+    let r = Sparse_rs.attack ~config g o ~image ~true_class in
+    (r.Oppsla.Sketch.adversarial <> None, r.Oppsla.Sketch.queries)
+  in
+  let total name f =
+    let succ = ref 0 and queries = ref 0 in
+    let (), dt =
+      time (fun () ->
+          for i = 0 to n_images - 1 do
+            let g =
+              Prng.named_stream (Prng.copy g0)
+                (Printf.sprintf "%s/%d" name i)
+            in
+            let ok, q = f g (oracle ()) in
+            if ok then incr succ;
+            queries := !queries + q
+          done)
+    in
+    (!succ, !queries, dt)
+  in
+  let rnd_succ, rnd_q, rnd_dt = total "scenarios/random" random_baseline in
+  let srs_succ, srs_q, srs_dt = total "scenarios/sparse-rs" decision_attack in
+  Printf.printf
+    "[scenarios] label-only, %d flat %dx%d images, cap %d: uniform random \
+     %d queries (%d/%d flipped, %.3fs), decision Sparse-RS %d queries \
+     (%d/%d flipped, %.3fs)\n%!"
+    n_images size size cap rnd_q rnd_succ n_images rnd_dt srs_q srs_succ
+    n_images srs_dt;
+  if srs_q >= rnd_q then
+    failwith
+      (Printf.sprintf
+         "bench_scenarios: decision Sparse-RS (%d queries) did not beat the \
+          uniform random baseline (%d queries)"
+         srs_q rnd_q);
+  (* Space x oracle-mode sweeps: per-image (queries, success) records
+     must be bit-identical at batch widths 1 and 16 — the
+     speculative-batching invariant, per scenario cell. *)
+  let spaces = [ Space.Pixel; Space.Kpixel 2; Space.Patch { h = 2; w = 2 } ] in
+  let modes = [ (Oracle.Score, "score"); (Oracle.Decision, "decision") ] in
+  let sweep_results =
+    List.concat_map
+      (fun space ->
+        List.map
+          (fun (mode, mode_name) ->
+            let run batch =
+              Array.init sweep_images (fun i ->
+                  let o = oracle () in
+                  Oracle.set_mode o mode;
+                  let g =
+                    Prng.named_stream (Prng.copy g0)
+                      (Printf.sprintf "scenarios/sweep/%s/%s/%d"
+                         (Space.to_string space) mode_name i)
+                  in
+                  let r =
+                    Sparse_rs.attack_space
+                      ~config:(Sparse_rs.default_config ~max_queries:cap)
+                      ~batch ~space g o ~image ~true_class
+                  in
+                  (r.Sparse_rs.queries, r.Sparse_rs.adversarial <> None))
+            in
+            let r1, dt = time (fun () -> run 1) in
+            if r1 <> run 16 then
+              failwith
+                (Printf.sprintf
+                   "bench_scenarios: %s/%s diverged between batch widths 1 \
+                    and 16"
+                   (Space.to_string space) mode_name);
+            let queries = Array.fold_left (fun a (q, _) -> a + q) 0 r1 in
+            let succ =
+              Array.fold_left (fun a (_, ok) -> a + Bool.to_int ok) 0 r1
+            in
+            (Space.to_string space, mode_name, queries, succ, dt))
+          modes)
+      spaces
+  in
+  List.iter
+    (fun (s, m, q, ok, dt) ->
+      Printf.printf
+        "[scenarios] %-9s %-8s %6d queries, %2d/%d flipped (%.3fs)\n%!" s m q
+        ok sweep_images dt)
+    sweep_results;
+  print_endline
+    "[scenarios] per-image query counts bit-identical at batch widths 1/16 \
+     for every space x oracle cell";
+  if smoke then
+    print_endline
+      "[scenarios] smoke: decision Sparse-RS beat the uniform random \
+       baseline"
+  else begin
+    let ips = if srs_dt > 0. then float_of_int n_images /. srs_dt else 0. in
+    let oc = open_out "BENCH_scenarios.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\n\
+          \  \"workload\": \"Sparse-RS scenario matrix on the \
+           mean-threshold corpus, %d flat %dx%d images (only the all-ones \
+           corner flips), cap %d\",\n\
+          \  \"query_counts_identical\": true,\n\
+          \  \"random_baseline_queries\": %d,\n\
+          \  \"decision_sparse_rs_queries\": %d,\n\
+          \  \"decision_beats_random\": true,\n\
+          \  \"random_baseline_seconds\": %.4f,\n\
+          \  \"decision_sparse_rs_seconds\": %.4f,\n\
+          \  \"decision_images_per_sec\": %.1f,\n\
+          \  \"sweeps\": [\n"
+          n_images size size cap rnd_q srs_q rnd_dt srs_dt ips;
+        let n = List.length sweep_results in
+        List.iteri
+          (fun i (s, m, q, ok, dt) ->
+            Printf.fprintf oc
+              "    {\"space\": %S, \"oracle\": %S, \"total_queries\": %d, \
+               \"successes\": %d, \"sweep_seconds\": %.4f}%s\n"
+              s m q ok dt
+              (if i = n - 1 then "" else ","))
+          sweep_results;
+        output_string oc
+          "  ],\n\
+          \  \"note\": \"all attacks run through named per-image PRNG \
+           streams, so query counts are deterministic; per-image records \
+           are asserted bit-identical at batch widths 1 and 16 for every \
+           space x oracle cell.  Decision mode collapses observations to \
+           one-hot labels without touching metering, so the decision vs \
+           score query gap measures what the richer observation buys the \
+           search, not a different accounting\"\n\
+           }\n");
+    print_endline "[scenarios] wrote BENCH_scenarios.json"
+  end
+
 (* Bench regression gate (the `regress` mode).
 
    --smoke: the gate gates itself against every committed BENCH_*.json —
@@ -1279,6 +1481,7 @@ let bench_regress ?(smoke = false) quick =
       "BENCH_telemetry.json";
       "BENCH_observe.json";
       "BENCH_synth.json";
+      "BENCH_scenarios.json";
     ]
     |> List.filter_map (fun f ->
            if Sys.file_exists f then Some f
@@ -1322,6 +1525,7 @@ let bench_regress ?(smoke = false) quick =
         ("BENCH_telemetry.json", fun () -> bench_telemetry ~smoke:false quick);
         ("BENCH_observe.json", fun () -> bench_observe ~smoke:false quick);
         ("BENCH_synth.json", fun () -> bench_synth ~smoke:false quick);
+        ("BENCH_scenarios.json", fun () -> bench_scenarios ~smoke:false quick);
       ]
       @ (if quick then []
          else [ ("BENCH_cache.json", fun () -> bench_cache ~smoke:false quick) ])
@@ -1583,6 +1787,8 @@ let () =
               timed "telemetry" (fun () -> bench_telemetry ~smoke quick)
           | "observe" -> timed "observe" (fun () -> bench_observe ~smoke quick)
           | "synth" -> timed "synth" (fun () -> bench_synth ~smoke quick)
+          | "scenarios" ->
+              timed "scenarios" (fun () -> bench_scenarios ~smoke quick)
           | "regress" -> timed "regress" (fun () -> bench_regress ~smoke quick)
           | _ -> run_experiment quick domains cache mode)
         modes)

@@ -92,6 +92,48 @@ let class_arg =
   let doc = "Class id the program is synthesized for / attacked in." in
   Arg.(value & opt int 0 & info [ "class"; "c" ] ~doc)
 
+let oracle_arg =
+  let doc =
+    "Oracle threat model: $(b,score) (every query reveals the full score \
+     vector, the paper's setting) or $(b,decision) (label-only top-1 \
+     queries; score-based conditions degrade to label-flip predicates).  \
+     A query costs one unit of budget in either mode."
+  in
+  Arg.(value & opt string "score" & info [ "oracle" ] ~docv:"MODE" ~doc)
+
+let oracle_mode_of_string = function
+  | "score" -> Ok Oracle.Score
+  | "decision" -> Ok Oracle.Decision
+  | other ->
+      Error
+        (Printf.sprintf "unknown oracle mode %S (expected score or decision)"
+           other)
+
+let with_oracle_mode mode_name k =
+  match oracle_mode_of_string mode_name with
+  | Error msg -> `Error (false, msg)
+  | Ok mode -> k mode
+
+let space_arg =
+  let doc =
+    "Perturbation space: $(b,pixel) (the paper's one-pixel 8-corner \
+     space), $(b,kpixel:K) (K distinct pixels, Sparse-RS search) or \
+     $(b,patch:HxW) (an anchored rectangle filled with one corner color, \
+     Sparse-RS search).  Non-pixel spaces attack with Sparse-RS (the \
+     sketch is one-pixel by construction)."
+  in
+  Arg.(value & opt string "pixel" & info [ "space" ] ~docv:"SPACE" ~doc)
+
+let with_space space_name k =
+  match Oppsla.Space.of_string space_name with
+  | None ->
+      `Error
+        ( false,
+          Printf.sprintf
+            "unknown space %S (expected pixel, kpixel[:K] or patch[:HxW])"
+            space_name )
+  | Some space -> k space
+
 let trace_arg =
   let doc =
     "Write a Chrome trace-event JSON file of the run's spans (oracle \
@@ -402,9 +444,11 @@ let attack_cmd =
              file on success.")
   in
   let run dataset arch seed artifacts class_id index program_text target
-      save_ppm batch trace metrics serve snapshot snapshot_interval
-      stall_timeout =
+      save_ppm batch oracle_mode space trace metrics serve snapshot
+      snapshot_interval stall_timeout =
     with_spec dataset @@ fun spec ->
+    with_oracle_mode oracle_mode @@ fun oracle_mode ->
+    with_space space @@ fun space ->
     check_batch batch (fun () ->
         let config = workbench_config artifacts seed in
         let c = Workbench.load_classifier config spec arch in
@@ -428,26 +472,52 @@ let attack_cmd =
           with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
             ~stall_timeout
           @@ fun () ->
-          let program =
-            if program_text = "" then
-              (Workbench.synthesize_programs config c).(class_id)
-            else
-              match Oppsla.Dsl.parse_program program_text with
-              | Ok p -> p
-              | Error e ->
-                  prerr_endline (Oppsla.Dsl.describe_error program_text e);
-                  exit 1
-          in
-          Printf.printf "program: %s\n" (Oppsla.Dsl.print_program program);
           let image, true_class = candidates.(index) in
           let oracle = Workbench.oracle_factory c () in
+          Oracle.set_mode oracle oracle_mode;
           let goal =
             if target < 0 then Oppsla.Sketch.Untargeted
             else Oppsla.Sketch.Targeted target
           in
           let r =
-            Oppsla.Sketch.attack ~goal ~batch oracle program ~image
-              ~true_class
+            match space with
+            | Oppsla.Space.Pixel ->
+                let program =
+                  if program_text = "" then
+                    (Workbench.synthesize_programs config c).(class_id)
+                  else
+                    match Oppsla.Dsl.parse_program program_text with
+                    | Ok p -> p
+                    | Error e ->
+                        prerr_endline
+                          (Oppsla.Dsl.describe_error program_text e);
+                        exit 1
+                in
+                Printf.printf "program: %s\n"
+                  (Oppsla.Dsl.print_program program);
+                Oppsla.Sketch.attack ~goal ~batch oracle program ~image
+                  ~true_class
+            | _ ->
+                (* Non-pixel spaces attack with Sparse-RS; the reported
+                   pair is the perturbed set's first element (the full
+                   set is in the adversarial image itself). *)
+                Printf.printf "space: %s (Sparse-RS search)\n"
+                  (Oppsla.Space.to_string space);
+                let g =
+                  Prng.named_stream (Prng.of_int seed)
+                    (Printf.sprintf "attack-cli/%s" (Oppsla.Space.to_string space))
+                in
+                let m =
+                  Baselines.Sparse_rs.attack_space ~batch ~goal ~space g
+                    oracle ~image ~true_class
+                in
+                {
+                  Oppsla.Sketch.adversarial =
+                    Option.map
+                      (fun (pairs, candidate) -> (List.hd pairs, candidate))
+                      m.Baselines.Sparse_rs.adversarial;
+                  queries = m.Baselines.Sparse_rs.queries;
+                }
           in
           (match r.Oppsla.Sketch.adversarial with
           | Some (pair, adversarial) ->
@@ -483,8 +553,9 @@ let attack_cmd =
       ret
         (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
        $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg
-       $ batch_arg $ trace_arg $ metrics_arg $ serve_metrics_arg
-       $ snapshot_arg $ snapshot_interval_arg $ stall_timeout_arg))
+       $ batch_arg $ oracle_arg $ space_arg $ trace_arg $ metrics_arg
+       $ serve_metrics_arg $ snapshot_arg $ snapshot_interval_arg
+       $ stall_timeout_arg))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a single test image with a program.")
@@ -515,7 +586,10 @@ let analyze_cmd =
 
 let eval_cmd =
   let experiment_arg =
-    let doc = "Experiment to run: fig3, table1, fig4, table2 or all." in
+    let doc =
+      "Experiment to run: fig3, table1, fig4, table2, targeted or all \
+       (targeted is not part of all)."
+    in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed artifacts domains cache batch trace metrics serve snapshot
@@ -548,6 +622,9 @@ let eval_cmd =
       | "table2" ->
           print_endline
             (Report.render_table2 (Experiments.table2 ~scale config))
+      | "targeted" ->
+          print_endline
+            (Report.render_targeted (Experiments.targeted ~scale config))
       | other -> failwith other
     in
     match experiment with
@@ -559,7 +636,7 @@ let eval_cmd =
           [ "fig3"; "table1"; "fig4"; "table2" ];
         print_telemetry_report ();
         `Ok ()
-    | ("fig3" | "table1" | "fig4" | "table2") as e ->
+    | ("fig3" | "table1" | "fig4" | "table2" | "targeted") as e ->
         run_one e;
         print_telemetry_report ();
         `Ok ()

@@ -30,7 +30,9 @@ let () =
   List.iter
     (fun attacker ->
       let records =
-        Runner.run ~seed:7 ~max_queries attacker classifier batch
+        Runner.run ~seed:7 ~max_queries attacker
+          ~oracle_factory:(Workbench.oracle_factory classifier)
+          batch
       in
       Printf.printf "%-12s" attacker.Attackers.name;
       List.iter

@@ -4,61 +4,20 @@
 
      dune exec examples/targeted.exe
 
-   Since the targeted success set is a subset of the untargeted one,
-   success rates per target class sum to at most the untargeted rate;
-   the example prints the per-target breakdown for one classifier. *)
+   Targeted attacks are a first-class experiment ({!Experiments.targeted}
+   rides the same Runner/cache/batcher stack as Figure 3); this example
+   runs it at quick scale and prints the report table.  Since the
+   targeted success set is a subset of the untargeted one, success rates
+   per target class sum to at most the untargeted rate. *)
 
+module Experiments = Evalharness.Experiments
+module Report = Evalharness.Report
 module Workbench = Evalharness.Workbench
 
 let () =
-  let config = Workbench.default_config in
-  let classifier =
-    Workbench.load_classifier config Dataset.synth_cifar "vgg_tiny"
+  let config =
+    { Workbench.default_config with log = (fun m -> print_endline m) }
   in
-  let spec = classifier.spec in
-  let batch =
-    Array.sub classifier.test 0 (min 30 (Array.length classifier.test))
-  in
-  Printf.printf "attacking %d images of %s\n\n" (Array.length batch)
-    classifier.arch;
-
-  (* Untargeted reference. *)
-  let untargeted_successes = ref 0 in
-  Array.iter
-    (fun (image, true_class) ->
-      let r =
-        Oppsla.Sketch.attack
-          (Workbench.oracle_factory classifier ())
-          Oppsla.Condition.const_false_program ~image ~true_class
-      in
-      if r.Oppsla.Sketch.adversarial <> None then incr untargeted_successes)
-    batch;
-  Printf.printf "untargeted: %d/%d successes\n\n" !untargeted_successes
-    (Array.length batch);
-
-  (* Targeted, per target class. *)
-  print_endline "targeted (success / attempts, avg queries on success):";
-  for target = 0 to spec.num_classes - 1 do
-    let successes = ref 0 and queries = ref 0 and attempts = ref 0 in
-    Array.iter
-      (fun (image, true_class) ->
-        if true_class <> target then begin
-          incr attempts;
-          let r =
-            Oppsla.Sketch.attack ~goal:(Oppsla.Sketch.Targeted target)
-              (Workbench.oracle_factory classifier ())
-              Oppsla.Condition.const_false_program ~image ~true_class
-          in
-          if r.Oppsla.Sketch.adversarial <> None then begin
-            incr successes;
-            queries := !queries + r.Oppsla.Sketch.queries
-          end
-        end)
-      batch;
-    Printf.printf "  -> %-12s %2d/%2d%s\n"
-      spec.class_names.(target) !successes !attempts
-      (if !successes > 0 then
-         Printf.sprintf ", avg %.0f queries"
-           (float_of_int !queries /. float_of_int !successes)
-       else "")
-  done
+  let rows = Experiments.targeted ~scale:Experiments.quick_scale config in
+  print_newline ();
+  print_endline (Report.render_targeted rows)

@@ -10,6 +10,7 @@ val program : Oppsla.Condition.program
 
 val attack :
   ?max_queries:int ->
+  ?goal:Oppsla.Sketch.goal ->
   ?cache:Score_cache.t ->
   ?batch:int ->
   Oracle.t ->

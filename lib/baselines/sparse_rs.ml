@@ -10,6 +10,19 @@ let margin scores true_class =
   done;
   Tensor.get_flat scores true_class -. !best_other
 
+(* The margin loss the random search minimizes, generalized to targeted
+   goals: untargeted success is [margin < 0] at the true class, targeted
+   success is [margin > 0] at the target class, so the targeted loss is
+   the negated target margin.  Under a label-only oracle the observed
+   vectors are one-hot and the loss degenerates to the flip indicator
+   (constant on failures), so acceptance never prunes — the search
+   degrades to pure random sampling, which is the honest decision-based
+   variant of the framework. *)
+let loss goal scores ~true_class =
+  match (goal : Oppsla.Sketch.goal) with
+  | Untargeted -> margin scores true_class
+  | Targeted target -> -.margin scores target
+
 (* The published schedule decays the fraction of the pixel set that is
    resampled as the query budget is consumed. *)
 let explore_probability config spent =
@@ -40,52 +53,89 @@ let perturb_set image pairs =
     (fun acc pair -> Oppsla.Sketch.perturb acc pair)
     image pairs
 
-let attack_multi ?config ?(batch = Oppsla.Sketch.default_batch) ~k g oracle
-    ~image ~true_class =
-  let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
-  if k < 1 || k > d1 * d2 then
-    invalid_arg
-      (Printf.sprintf "Sparse_rs.attack_multi: k = %d outside [1, %d]" k
-         (d1 * d2));
-  let config =
-    match config with
-    | Some c -> c
-    | None -> default_config ~max_queries:(Oppsla.Pair.count ~d1 ~d2)
-  in
-  (* A singleton set is exactly a sketch perturbation, so it shares the
-     sketch's corner key space (cross-attacker hits on the same image);
-     larger sets get an order-independent id-list key. *)
-  let cache_key pairs =
-    match pairs with
-    | [ p ] -> Oppsla.Sketch.cache_key p
-    | _ ->
-        let ids = List.map (Oppsla.Pair.id ~d2) pairs |> List.sort compare in
-        Score_cache.Custom
-          ("pairs:" ^ String.concat "," (List.map string_of_int ids))
-  in
+(* The shared random-search engine: a state type with a cache key, a
+   materializer, an initial sample and a proposal kernel.  Both the
+   k-pixel and the patch instantiations run the same accept-iff-loss-
+   does-not-increase loop with the same speculative batching. *)
+let search (type s) ~config ~batch ~goal ~(key : s -> Score_cache.key)
+    ~(materialize : s -> Tensor.t) ~(pairs_of : s -> Oppsla.Pair.t list)
+    ~(initial : Prng.t -> s) ~(propose : g:Prng.t -> spent:int -> s -> s) g
+    oracle ~true_class =
   let spent = ref 0 in
   let batcher = Batcher.create ~width:batch oracle in
-  let candidate_of pairs =
-    { Batcher.key = cache_key pairs; input = (fun () -> perturb_set image pairs) }
+  let candidate_of state =
+    { Batcher.key = key state; input = (fun () -> materialize state) }
   in
-  let query ?speculate pairs =
+  let query ?speculate state =
     if !spent >= config.max_queries then
       raise (Done { adversarial = None; queries = !spent });
     let scores =
-      try Batcher.query batcher ?speculate (candidate_of pairs)
+      try
+        Oracle.observe oracle (Batcher.query batcher ?speculate (candidate_of state))
       with Oracle.Budget_exhausted _ ->
         raise (Done { adversarial = None; queries = !spent })
     in
     incr spent;
     Telemetry.Watchdog.beat ~queries:!spent wd;
-    if Tensor.argmax scores <> true_class then
+    if Oppsla.Sketch.goal_reached goal ~true_class (Tensor.argmax scores) then
       raise
         (Done
            {
-             adversarial = Some (pairs, perturb_set image pairs);
+             adversarial = Some (pairs_of state, materialize state);
              queries = !spent;
            });
-    margin scores true_class
+    loss goal scores ~true_class
+  in
+  (* Speculate assuming every pending proposal is rejected: [base] stays
+     current, the PRNG clone advances exactly as the real stream will on
+     rejection, and the [i]-th future proposal is generated at the query
+     index the sequential path would use.  An acceptance diverges the
+     key stream and the batcher rebuilds — never a correctness event. *)
+  let query_speculating base state =
+    let spec_g = ref None in
+    let speculate i =
+      if i >= config.max_queries - !spent - 1 then None
+      else begin
+        let g' =
+          match !spec_g with
+          | Some g' -> g'
+          | None ->
+              let g' = Prng.copy g in
+              spec_g := Some g';
+              g'
+        in
+        Some (candidate_of (propose ~g:g' ~spent:(!spent + 1 + i) base))
+      end
+    in
+    query ~speculate state
+  in
+  Telemetry.Watchdog.with_loop wd @@ fun () ->
+  try
+    let current = ref (initial g) in
+    let current_loss = ref (query_speculating !current !current) in
+    while true do
+      let proposal = propose ~g ~spent:!spent !current in
+      let l = query_speculating !current proposal in
+      if l <= !current_loss then begin
+        current := proposal;
+        current_loss := l
+      end
+    done;
+    assert false
+  with Done r -> r
+
+let attack_multi ?config ?(batch = Oppsla.Sketch.default_batch)
+    ?(goal = Oppsla.Sketch.Untargeted) ~k g oracle ~image ~true_class =
+  let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
+  if k < 1 || k > d1 * d2 then
+    invalid_arg
+      (Printf.sprintf "Sparse_rs.attack_multi: k = %d outside [1, %d]" k
+         (d1 * d2));
+  let gen = { Oppsla.Gen.d1; d2 } in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> default_config ~max_queries:(Oppsla.Pair.count ~d1 ~d2)
   in
   (* Proposal generation is a pure function of an explicit PRNG and an
      explicit query index, so the batcher can speculate future proposals
@@ -93,26 +143,6 @@ let attack_multi ?config ?(batch = Oppsla.Sketch.default_batch) ~k g oracle
      real state only moves when a proposal is actually generated, which
      keeps the draw sequence — hence everything downstream — bit-identical
      to the sequential path at every batch width. *)
-  let random_loc_excluding ~g excluded =
-    let rec draw () =
-      let loc = Oppsla.Location.make ~row:(Prng.int g d1) ~col:(Prng.int g d2) in
-      if List.exists (Oppsla.Location.equal loc) excluded then draw () else loc
-    in
-    draw ()
-  in
-  let random_set () =
-    let rec build acc n =
-      if n = 0 then acc
-      else begin
-        let loc =
-          random_loc_excluding ~g
-            (List.map (fun (p : Oppsla.Pair.t) -> p.loc) acc)
-        in
-        build (Oppsla.Pair.make ~loc ~corner:(Prng.int g 8) :: acc) (n - 1)
-      end
-    in
-    build [] k
-  in
   (* Resample [count] of the pixels: each selected slot gets either a
      fresh location (exploration) or only a fresh color. *)
   let propose ~g ~spent current =
@@ -138,52 +168,64 @@ let attack_multi ?config ?(batch = Oppsla.Sketch.default_batch) ~k g oracle
           in
           next.(i) <-
             Oppsla.Pair.make
-              ~loc:(random_loc_excluding ~g others)
+              ~loc:(Oppsla.Gen.random_loc_excluding gen g ~excluded:others)
               ~corner:(Prng.int g 8)
         end)
       selected;
     Array.to_list next
   in
-  (* Speculate assuming every pending proposal is rejected: [base] stays
-     current, the PRNG clone advances exactly as the real stream will on
-     rejection, and the [i]-th future proposal is generated at the query
-     index the sequential path would use.  An acceptance diverges the
-     key stream and the batcher rebuilds — never a correctness event. *)
-  let query_speculating base pairs =
-    let spec_g = ref None in
-    let speculate i =
-      if i >= config.max_queries - !spent - 1 then None
-      else begin
-        let g' =
-          match !spec_g with
-          | Some g' -> g'
-          | None ->
-              let g' = Prng.copy g in
-              spec_g := Some g';
-              g'
-        in
-        Some (candidate_of (propose ~g:g' ~spent:(!spent + 1 + i) base))
-      end
-    in
-    query ~speculate pairs
-  in
-  Telemetry.Watchdog.with_loop wd @@ fun () ->
-  try
-    let current = ref (random_set ()) in
-    let current_margin = ref (query_speculating !current !current) in
-    while true do
-      let proposal = propose ~g ~spent:!spent !current in
-      let m = query_speculating !current proposal in
-      if m <= !current_margin then begin
-        current := proposal;
-        current_margin := m
-      end
-    done;
-    assert false
-  with Done r -> r
+  search ~config ~batch ~goal
+    ~key:(Oppsla.Space.set_key ~d2)
+    ~materialize:(perturb_set image)
+    ~pairs_of:Fun.id
+    ~initial:(fun g -> Oppsla.Gen.random_pixel_set gen g ~k)
+    ~propose g oracle ~true_class
 
-let attack ?config ?batch g oracle ~image ~true_class =
-  let r = attack_multi ?config ?batch ~k:1 g oracle ~image ~true_class in
+let attack_patch ?config ?(batch = Oppsla.Sketch.default_batch)
+    ?(goal = Oppsla.Sketch.Untargeted) ~h ~w g oracle ~image ~true_class =
+  let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
+  if h < 1 || w < 1 || h > d1 || w > d2 then
+    invalid_arg
+      (Printf.sprintf "Sparse_rs.attack_patch: %dx%d patch in a %dx%d image" h
+         w d1 d2);
+  let gen = { Oppsla.Gen.d1; d2 } in
+  let anchors = (d1 - h + 1) * (d2 - w + 1) in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> default_config ~max_queries:(8 * anchors)
+  in
+  (* Patch state is (anchor, fill corner).  Exploration re-anchors the
+     patch globally; exploitation keeps the anchor and resamples only
+     the corner (skipping the current one, as in the pixel kernel). *)
+  let propose ~g ~spent (anchor, corner) =
+    let explore = explore_probability config spent in
+    if Prng.uniform g < explore then Oppsla.Gen.random_patch gen g ~h ~w
+    else begin
+      let c = Prng.int g 7 in
+      (anchor, if c >= corner then c + 1 else c)
+    end
+  in
+  search ~config ~batch ~goal
+    ~key:(fun (anchor, corner) -> Oppsla.Space.patch_key ~anchor ~h ~w ~corner)
+    ~materialize:(fun (anchor, corner) ->
+      Oppsla.Space.perturb_patch image ~anchor ~h ~w ~corner)
+    ~pairs_of:(fun (anchor, corner) ->
+      List.map
+        (fun loc -> Oppsla.Pair.make ~loc ~corner)
+        (Oppsla.Location.patch_cells ~anchor ~h ~w))
+    ~initial:(fun g -> Oppsla.Gen.random_patch gen g ~h ~w)
+    ~propose g oracle ~true_class
+
+let attack_space ?config ?batch ?goal ~space g oracle ~image ~true_class =
+  match (space : Oppsla.Space.t) with
+  | Pixel -> attack_multi ?config ?batch ?goal ~k:1 g oracle ~image ~true_class
+  | Kpixel k -> attack_multi ?config ?batch ?goal ~k g oracle ~image ~true_class
+  | Patch { h; w } ->
+      attack_patch ?config ?batch ?goal ~h ~w g oracle ~image ~true_class
+
+let attack ?config ?batch ?goal g oracle ~image ~true_class =
+  let r = attack_multi ?config ?batch ?goal ~k:1 g oracle ~image ~true_class in
   {
     Oppsla.Sketch.adversarial =
       Option.map

@@ -12,7 +12,20 @@
     (location, corner) pairs; following the published schedule, early
     iterations resample the location globally and later iterations
     mostly keep the location and resample the color, with an
-    exploration probability that decays with the query count. *)
+    exploration probability that decays with the query count.
+
+    {b Goals.}  Every attack takes an optional [goal]
+    ({!Oppsla.Sketch.goal}, default [Untargeted]): targeted goals
+    minimize the negated margin at the target class and succeed when the
+    predicted label becomes the target.
+
+    {b Decision-based variant.}  Run the attack against an oracle in
+    {!Oracle.Decision} mode: observed vectors collapse to one-hot labels,
+    the margin loss degenerates to the label-flip indicator (constant on
+    failures), acceptance never prunes, and the search honestly degrades
+    to label-only random sampling over the space — the decision-based
+    member of the Sparse-RS framework.  Query accounting is identical in
+    both modes. *)
 
 type config = {
   max_queries : int;
@@ -26,6 +39,7 @@ val default_config : max_queries:int -> config
 val attack :
   ?config:config ->
   ?batch:int ->
+  ?goal:Oppsla.Sketch.goal ->
   Prng.t ->
   Oracle.t ->
   image:Tensor.t ->
@@ -69,6 +83,7 @@ type multi_result = {
 val attack_multi :
   ?config:config ->
   ?batch:int ->
+  ?goal:Oppsla.Sketch.goal ->
   k:int ->
   Prng.t ->
   Oracle.t ->
@@ -77,3 +92,38 @@ val attack_multi :
   multi_result
 (** [attack_multi ~k] perturbs exactly [k] distinct pixels.  Raises
     [Invalid_argument] if [k < 1] or [k > d1 * d2]. *)
+
+val attack_patch :
+  ?config:config ->
+  ?batch:int ->
+  ?goal:Oppsla.Sketch.goal ->
+  h:int ->
+  w:int ->
+  Prng.t ->
+  Oracle.t ->
+  image:Tensor.t ->
+  true_class:int ->
+  multi_result
+(** Random search over anchored [h x w] rectangles filled with one
+    corner color ({!Oppsla.Space.Patch}).  The state is (anchor, fill
+    corner): exploration re-anchors the patch globally, exploitation
+    keeps the anchor and resamples the corner, under the same decaying
+    schedule.  [config] defaults to [max_queries = 8 * #anchors].  The
+    result's pair list is the patch expanded cell-by-cell (every cell
+    carries the fill corner).  Cache keys live in the ["patch:"]
+    namespace ({!Oppsla.Space.patch_key}).  Raises [Invalid_argument]
+    when the patch does not fit the image. *)
+
+val attack_space :
+  ?config:config ->
+  ?batch:int ->
+  ?goal:Oppsla.Sketch.goal ->
+  space:Oppsla.Space.t ->
+  Prng.t ->
+  Oracle.t ->
+  image:Tensor.t ->
+  true_class:int ->
+  multi_result
+(** Dispatch on the perturbation space: [Pixel] is {!attack_multi}
+    [~k:1], [Kpixel k] is {!attack_multi} [~k], [Patch] is
+    {!attack_patch}. *)

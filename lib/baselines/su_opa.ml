@@ -39,8 +39,8 @@ let nearest_corner_pair ~row ~col cand =
   let corner = (bit cand.(2) * 4) + (bit cand.(3) * 2) + bit cand.(4) in
   Oppsla.Pair.make ~loc:(Oppsla.Location.make ~row ~col) ~corner
 
-let attack ?config ?(batch = Oppsla.Sketch.default_batch) g oracle ~image
-    ~true_class =
+let attack ?config ?(batch = Oppsla.Sketch.default_batch)
+    ?(goal = Oppsla.Sketch.Untargeted) g oracle ~image ~true_class =
   let d1 = Tensor.dim image 1 and d2 = Tensor.dim image 2 in
   let config =
     match config with
@@ -65,21 +65,31 @@ let attack ?config ?(batch = Oppsla.Sketch.default_batch) g oracle ~image
   let found = ref None in
   let finish () = raise (Done { adversarial = !found; queries = !spent }) in
   let check_batch () = if !found <> None then finish () in
-  (* Fitness = true-class score of the perturbed image (minimized). *)
+  (* Fitness = true-class score of the perturbed image (minimized);
+     targeted goals minimize the negated target-class score instead.
+     Scores pass through the oracle's observation point, so under a
+     label-only oracle the fitness degenerates to the flip indicator and
+     DE selection stops discriminating — the honest decision-based
+     degradation (success detection is argmax-based, hence unchanged). *)
   let fitness ?speculate cand =
     if !spent >= config.max_queries then finish ();
     let scores =
-      try Batcher.query batcher ?speculate (candidate_of cand)
+      try Oracle.observe oracle (Batcher.query batcher ?speculate (candidate_of cand))
       with Oracle.Budget_exhausted _ -> finish ()
     in
     incr spent;
     Telemetry.Watchdog.beat ~queries:!spent wd;
-    if !found = None && Tensor.argmax scores <> true_class then begin
+    if
+      !found = None
+      && Oppsla.Sketch.goal_reached goal ~true_class (Tensor.argmax scores)
+    then begin
       let row, col = pixel_of image cand in
       found :=
         Some (nearest_corner_pair ~row ~col cand, build image ~row ~col cand)
     end;
-    Tensor.get_flat scores true_class
+    match goal with
+    | Oppsla.Sketch.Untargeted -> Tensor.get_flat scores true_class
+    | Oppsla.Sketch.Targeted target -> -.Tensor.get_flat scores target
   in
   (* Cap speculation at the local query budget: the [i]-th future
      candidate is only consumable while [spent + 1 + i < max_queries]. *)

@@ -26,12 +26,17 @@ val default_config : max_queries:int -> config
 val attack :
   ?config:config ->
   ?batch:int ->
+  ?goal:Oppsla.Sketch.goal ->
   Prng.t ->
   Oracle.t ->
   image:Tensor.t ->
   true_class:int ->
   Oppsla.Sketch.result
-(** The adversarial pair reported on success is the best-effort corner
+(** [goal] (default [Untargeted]) selects the fitness: the true class's
+    score minimized, or the target class's score maximized (negated
+    minimization), with success via {!Oppsla.Sketch.goal_reached}.
+
+    The adversarial pair reported on success is the best-effort corner
     description of the continuous perturbation (for reporting only; the
     adversarial image itself carries the exact continuous pixel).
 

@@ -3,6 +3,7 @@ type t = {
   run :
     Prng.t ->
     Oracle.t ->
+    goal:Oppsla.Sketch.goal ->
     max_queries:int ->
     batch:int ->
     image:Tensor.t ->
@@ -14,21 +15,21 @@ let oppsla ~programs =
   {
     name = "OPPSLA";
     run =
-      (fun _g oracle ~max_queries ~batch ~image ~true_class ->
+      (fun _g oracle ~goal ~max_queries ~batch ~image ~true_class ->
         if true_class < 0 || true_class >= Array.length programs then
           invalid_arg
             (Printf.sprintf "Attackers.oppsla: no program for class %d"
                true_class);
-        Oppsla.Sketch.attack ~max_queries ~batch oracle programs.(true_class)
-          ~image ~true_class);
+        Oppsla.Sketch.attack ~max_queries ~goal ~batch oracle
+          programs.(true_class) ~image ~true_class);
   }
 
 let oppsla_single program =
   {
     name = "OPPSLA(single)";
     run =
-      (fun _g oracle ~max_queries ~batch ~image ~true_class ->
-        Oppsla.Sketch.attack ~max_queries ~batch oracle program ~image
+      (fun _g oracle ~goal ~max_queries ~batch ~image ~true_class ->
+        Oppsla.Sketch.attack ~max_queries ~goal ~batch oracle program ~image
           ~true_class);
   }
 
@@ -36,31 +37,71 @@ let sketch_false =
   {
     name = "Sketch+False";
     run =
-      (fun _g oracle ~max_queries ~batch ~image ~true_class ->
-        Baselines.Fixed.attack ~max_queries ~batch oracle ~image ~true_class);
+      (fun _g oracle ~goal ~max_queries ~batch ~image ~true_class ->
+        Baselines.Fixed.attack ~max_queries ~goal ~batch oracle ~image
+          ~true_class);
   }
 
 let sparse_rs =
   {
     name = "Sparse-RS";
     run =
-      (fun g oracle ~max_queries ~batch ~image ~true_class ->
+      (fun g oracle ~goal ~max_queries ~batch ~image ~true_class ->
         let config = Baselines.Sparse_rs.default_config ~max_queries in
-        Baselines.Sparse_rs.attack ~config ~batch g oracle ~image ~true_class);
+        Baselines.Sparse_rs.attack ~config ~batch ~goal g oracle ~image
+          ~true_class);
+  }
+
+(* Multi-pixel and patch results are reported through the same
+   single-pair result type the runner consumes (success flag + query
+   count); the reported pair is the set's first element, the full set
+   lives only in the baseline's own result type. *)
+let sparse_rs_space space =
+  {
+    name = Printf.sprintf "Sparse-RS(%s)" (Oppsla.Space.to_string space);
+    run =
+      (fun g oracle ~goal ~max_queries ~batch ~image ~true_class ->
+        let config = Baselines.Sparse_rs.default_config ~max_queries in
+        let r =
+          Baselines.Sparse_rs.attack_space ~config ~batch ~goal ~space g
+            oracle ~image ~true_class
+        in
+        {
+          Oppsla.Sketch.adversarial =
+            Option.map
+              (fun (pairs, candidate) -> (List.hd pairs, candidate))
+              r.Baselines.Sparse_rs.adversarial;
+          queries = r.Baselines.Sparse_rs.queries;
+        });
   }
 
 let su_opa ?(population = 400) () =
   {
     name = "SuOPA";
     run =
-      (fun g oracle ~max_queries ~batch ~image ~true_class ->
+      (fun g oracle ~goal ~max_queries ~batch ~image ~true_class ->
         let config =
           { (Baselines.Su_opa.default_config ~max_queries) with population }
         in
-        Baselines.Su_opa.attack ~config ~batch g oracle ~image ~true_class);
+        Baselines.Su_opa.attack ~config ~batch ~goal g oracle ~image
+          ~true_class);
   }
 
-let run_one ?(batch = Oppsla.Sketch.default_batch) t ~seed ~oracle_factory
-    ~max_queries ~image ~true_class =
+(* The decision-based variant of any attacker: flip the per-image oracle
+   to label-only observation before attacking.  The oracle handle is
+   fresh per image (the runner's contract), so the flip never leaks into
+   other attacks. *)
+let decision t =
+  {
+    name = t.name ^ "/decision";
+    run =
+      (fun g oracle ~goal ~max_queries ~batch ~image ~true_class ->
+        Oracle.set_mode oracle Oracle.Decision;
+        t.run g oracle ~goal ~max_queries ~batch ~image ~true_class);
+  }
+
+let run_one ?(batch = Oppsla.Sketch.default_batch)
+    ?(goal = Oppsla.Sketch.Untargeted) t ~seed ~oracle_factory ~max_queries
+    ~image ~true_class =
   let g = Prng.named_stream (Prng.of_int seed) ("attack/" ^ t.name) in
-  t.run g (oracle_factory ()) ~max_queries ~batch ~image ~true_class
+  t.run g (oracle_factory ()) ~goal ~max_queries ~batch ~image ~true_class

@@ -5,13 +5,17 @@
     ignore the RNG.  [batch] is the speculative candidate chunk width
     every attack forwards to its {!Batcher}; results are bit-identical at
     every width (only wall-clock changes), so it is an engine knob, not
-    an experiment parameter. *)
+    an experiment parameter.  [goal] is the attack goal every attack
+    threads through to its success predicate
+    ({!Oppsla.Sketch.goal_reached}); untargeted unless the experiment
+    says otherwise. *)
 
 type t = {
   name : string;
   run :
     Prng.t ->
     Oracle.t ->
+    goal:Oppsla.Sketch.goal ->
     max_queries:int ->
     batch:int ->
     image:Tensor.t ->
@@ -30,10 +34,26 @@ val sketch_false : t
 (** Sketch+False: the constant-prioritization baseline. *)
 
 val sparse_rs : t
+
+val sparse_rs_space : Oppsla.Space.t -> t
+(** Sparse-RS over an arbitrary perturbation space
+    ({!Baselines.Sparse_rs.attack_space}).  Named
+    ["Sparse-RS(<space>)"].  On success the reported pair is the first
+    element of the perturbed set (the runner only consumes the success
+    flag and query count). *)
+
 val su_opa : ?population:int -> unit -> t
+
+val decision : t -> t
+(** [decision t] is [t] attacking under the label-only threat model: the
+    per-image oracle is flipped to {!Oracle.Decision} mode before the
+    attack, so every observed score vector collapses to the one-hot of
+    its label.  Named ["<name>/decision"].  Query accounting is
+    unchanged by construction — only what the attack can see. *)
 
 val run_one :
   ?batch:int ->
+  ?goal:Oppsla.Sketch.goal ->
   t ->
   seed:int ->
   oracle_factory:(unit -> Oracle.t) ->
@@ -43,4 +63,4 @@ val run_one :
   Oppsla.Sketch.result
 (** Run an attacker on one image with a seed derived from [seed] (so
     randomized attacks are reproducible image-by-image).  [batch]
-    defaults to {!Oppsla.Sketch.default_batch}. *)
+    defaults to {!Oppsla.Sketch.default_batch}; [goal] to [Untargeted]. *)

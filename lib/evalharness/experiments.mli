@@ -114,3 +114,27 @@ type table2_row = {
 val table2 : ?scale:scale -> Workbench.config -> table2_row list
 (** OPPSLA vs Sketch+False vs Sketch+Random vs Sparse-RS on the three
     CIFAR-regime classifiers. *)
+
+(** {1 Targeted attacks}
+
+    The targeted extension of the paper's untargeted protocol: for every
+    class [t], attack every test image whose true class is not [t]
+    ({!Workbench.targeted_samples}) with goal [Targeted t], recording
+    success-by-budget curves like Figure 3.  One cache store per target,
+    shared across attackers (perturbation cache keys are
+    goal-independent). *)
+
+type targeted_row = {
+  classifier : string;
+  attacker : string;
+  target : int;
+  target_name : string;
+  attacked_images : int;
+  cells : fig3_cell list;  (** success rate by budget, as in Figure 3 *)
+  avg_queries : float option;
+  median_queries : float option;
+}
+
+val targeted : ?scale:scale -> Workbench.config -> targeted_row list
+(** Sketch+False and Sparse-RS against vgg_tiny, one row per
+    (attacker, target class). *)

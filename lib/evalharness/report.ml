@@ -332,6 +332,42 @@ let render_islands (o : Oppsla.Islands.outcome) =
     (Oppsla.Dsl.print_program o.Oppsla.Islands.best)
     (Telemetry.Fmt.f2 o.Oppsla.Islands.best_avg_queries)
 
+let render_targeted (rows : Experiments.targeted_row list) =
+  match rows with
+  | [] -> "(no data)"
+  | first :: _ ->
+      let budget_headers =
+        List.map
+          (fun (c : Experiments.fig3_cell) -> Printf.sprintf "<=%d" c.budget)
+          first.Experiments.cells
+      in
+      let headers =
+        [ "classifier"; "attack"; "target"; "#images" ]
+        @ budget_headers
+        @ [ "avg #queries"; "median #queries" ]
+      in
+      let body =
+        List.map
+          (fun (r : Experiments.targeted_row) ->
+            [
+              r.Experiments.classifier;
+              r.Experiments.attacker;
+              Printf.sprintf "%d (%s)" r.Experiments.target
+                r.Experiments.target_name;
+              string_of_int r.Experiments.attacked_images;
+            ]
+            @ List.map
+                (fun (c : Experiments.fig3_cell) -> percent c.success_rate)
+                r.Experiments.cells
+            @ [
+                float_opt r.Experiments.avg_queries;
+                float_opt r.Experiments.median_queries;
+              ])
+          rows
+      in
+      "Targeted attacks - success rate by query budget, per target class\n"
+      ^ table ~headers ~rows:body
+
 let render_table2 (rows : Experiments.table2_row list) =
   let headers =
     [ "classifier"; "approach"; "success"; "avg #queries"; "median #queries" ]

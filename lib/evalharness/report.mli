@@ -15,6 +15,12 @@ val render_table1 : Experiments.table1 -> string
 val render_fig4 : Experiments.fig4 -> string
 val render_table2 : Experiments.table2_row list -> string
 
+val render_targeted : Experiments.targeted_row list -> string
+(** The targeted-attack table: one row per (attacker, target class),
+    success-by-budget cells like Figure 3 plus avg/median queries.  The
+    byte-exact format is pinned by the golden file
+    [test/report_targeted_golden_v1.txt]. *)
+
 val render_pool_stats : Parallel.Pool.stats -> string
 (** One-row table of a domain pool's instrumentation: width, jobs served,
     items processed (and how many were stolen by worker domains), wall

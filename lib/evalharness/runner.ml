@@ -1,7 +1,8 @@
 type record = { true_class : int; success : bool; queries : int }
 
-let run ?domains ?pool ?caches ?(batch = Oppsla.Sketch.default_batch) ~seed
-    ~max_queries (attacker : Attackers.t) classifier samples =
+let run ?domains ?pool ?caches ?(batch = Oppsla.Sketch.default_batch)
+    ?(goal = Oppsla.Sketch.Untargeted) ~seed ~max_queries
+    (attacker : Attackers.t) ~oracle_factory samples =
   (match caches with
   | Some store when Score_cache.store_size store <> Array.length samples ->
       invalid_arg
@@ -20,7 +21,7 @@ let run ?domains ?pool ?caches ?(batch = Oppsla.Sketch.default_batch) ~seed
       Prng.named_stream (Prng.of_int seed)
         (Printf.sprintf "run/%s/%d" attacker.Attackers.name i)
     in
-    let oracle = Workbench.oracle_factory classifier () in
+    let oracle = oracle_factory () in
     (* Attach the image's own slot to the image's own fresh oracle: the
        attacker signature takes only an oracle, so attachment is how the
        cache travels.  Slot i is only ever touched by the one worker
@@ -30,7 +31,8 @@ let run ?domains ?pool ?caches ?(batch = Oppsla.Sketch.default_batch) ~seed
         Oracle.set_cache oracle (Some (Score_cache.image_cache store i))
     | None -> ());
     let r =
-      attacker.Attackers.run g oracle ~max_queries ~batch ~image ~true_class
+      attacker.Attackers.run g oracle ~goal ~max_queries ~batch ~image
+        ~true_class
     in
     {
       true_class;

@@ -19,17 +19,24 @@ val run :
   ?pool:Parallel.Pool.t ->
   ?caches:Score_cache.store ->
   ?batch:int ->
+  ?goal:Oppsla.Sketch.goal ->
   seed:int ->
   max_queries:int ->
   Attackers.t ->
-  Workbench.classifier ->
+  oracle_factory:(unit -> Oracle.t) ->
   (Tensor.t * int) array ->
   record array
 (** Attack every (image, class) pair — over the persistent [pool] when
     given, else over a transient [domains]-wide pool.  Every image gets a
-    fresh oracle, and randomized attackers get a distinct, reproducible
-    RNG per image (derived from [seed] and the image's index), so records
-    do not depend on the parallelism.
+    fresh oracle from [oracle_factory] (for a network-backed classifier,
+    pass {!Workbench.oracle_factory}; tests can hand the runner a toy
+    oracle the same way), and randomized attackers get a distinct,
+    reproducible RNG per image (derived from [seed] and the image's
+    index), so records do not depend on the parallelism.
+
+    [goal] (default [Untargeted]) is forwarded to every attack; targeted
+    runs record success against the target class
+    ({!Oppsla.Sketch.goal_reached}).
 
     [caches] (slot [i] backing sample [i]) is attached to each image's
     fresh oracle via {!Oracle.set_cache}; cache-aware attackers then

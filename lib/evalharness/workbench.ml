@@ -172,6 +172,18 @@ let imagenet_suite config =
 
 let oracle_factory c () = Oracle.of_network c.net
 
+(* The targeted protocol's sample set: attacking an image already
+   classified as the target would succeed in zero queries, so those
+   images are excluded up front (the targeted analogue of the untargeted
+   protocol's correctly-classified filter). *)
+let targeted_samples c ~target =
+  if target < 0 || target >= c.spec.Dataset.num_classes then
+    invalid_arg
+      (Printf.sprintf "Workbench.targeted_samples: class %d outside [0, %d)"
+         target c.spec.Dataset.num_classes);
+  Array.of_list
+    (List.filter (fun (_, cl) -> cl <> target) (Array.to_list c.test))
+
 let parallel_evaluator ?domains ?pool ?caches ?max_queries ?batch c program
     samples =
   match pool with

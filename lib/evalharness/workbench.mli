@@ -55,6 +55,12 @@ val oracle_factory : classifier -> unit -> Oracle.t
 (** Fresh metered oracle per call (thread-safe usage pattern: one oracle
     per image, see {!Parallel}). *)
 
+val targeted_samples : classifier -> target:int -> (Tensor.t * int) array
+(** The classifier's attackable test images whose true class is not
+    [target] — the sample set of a targeted run (images already
+    classified as the target would succeed in zero queries).  Raises
+    [Invalid_argument] for an out-of-range class. *)
+
 val parallel_evaluator :
   ?domains:int ->
   ?pool:Parallel.Pool.t ->

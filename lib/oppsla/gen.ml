@@ -31,6 +31,52 @@ let random_condition config g =
 let random_program config g =
   Condition.program_of_array (Array.init 4 (fun _ -> random_condition config g))
 
+(* Uniform samplers over the perturbation spaces (Space.t).  These are
+   the canonical draw orders: location row-then-col, then the corner.
+   Attackers delegate here so every consumer of a named PRNG stream
+   advances it identically. *)
+let random_loc config g =
+  Location.make ~row:(Prng.int g config.d1) ~col:(Prng.int g config.d2)
+
+let random_loc_excluding config g ~excluded =
+  let rec draw () =
+    let loc = random_loc config g in
+    if List.exists (Location.equal loc) excluded then draw () else loc
+  in
+  draw ()
+
+let random_pair config g =
+  Pair.make ~loc:(random_loc config g) ~corner:(Prng.int g 8)
+
+let random_pixel_set config g ~k =
+  if k < 1 || k > config.d1 * config.d2 then
+    invalid_arg
+      (Printf.sprintf "Gen.random_pixel_set: k = %d outside [1, %d]" k
+         (config.d1 * config.d2));
+  let rec build acc n =
+    if n = 0 then acc
+    else begin
+      let loc =
+        random_loc_excluding config g
+          ~excluded:(List.map (fun (p : Pair.t) -> p.loc) acc)
+      in
+      build (Pair.make ~loc ~corner:(Prng.int g 8) :: acc) (n - 1)
+    end
+  in
+  build [] k
+
+let random_patch config g ~h ~w =
+  if h < 1 || w < 1 || h > config.d1 || w > config.d2 then
+    invalid_arg
+      (Printf.sprintf "Gen.random_patch: %dx%d patch in a %dx%d image" h w
+         config.d1 config.d2);
+  let anchor =
+    Location.make
+      ~row:(Prng.int g (config.d1 - h + 1))
+      ~col:(Prng.int g (config.d2 - w + 1))
+  in
+  (anchor, Prng.int g 8)
+
 (* Node addressing for mutation: slot 0 is the root; slots 1-4 are the
    conditions; 5-8 the function nodes; 9-12 the constant nodes. *)
 let slot_kind slot =

@@ -22,6 +22,30 @@ val random_threshold : config -> Prng.t -> Condition.func -> float
 val random_condition : config -> Prng.t -> Condition.t
 val random_program : config -> Prng.t -> Condition.program
 
+(** {1 Perturbation-space samplers}
+
+    Canonical uniform samplers over the {!Space} candidate sets, with a
+    fixed draw order (location row-then-col, then corner) so every
+    consumer of a named PRNG stream advances it identically. *)
+
+val random_loc : config -> Prng.t -> Location.t
+
+val random_loc_excluding :
+  config -> Prng.t -> excluded:Location.t list -> Location.t
+(** Rejection-samples until the location is outside [excluded]. *)
+
+val random_pair : config -> Prng.t -> Pair.t
+(** A uniform one-pixel candidate: location, then one of the 8 corners. *)
+
+val random_pixel_set : config -> Prng.t -> k:int -> Pair.t list
+(** [k] pairs with distinct locations (corners drawn independently).
+    Raises [Invalid_argument] when [k] is outside [[1, d1 * d2]]. *)
+
+val random_patch : config -> Prng.t -> h:int -> w:int -> Location.t * int
+(** A uniform in-bounds patch candidate: anchor (row, then col, over the
+    valid anchor grid), then the fill corner.  Raises
+    [Invalid_argument] when the patch does not fit. *)
+
 val mutate : config -> Prng.t -> Condition.program -> Condition.program
 (** One uniform node mutation.  Mutating a function node keeps the
     condition's comparison and threshold; mutating a constant node

@@ -39,6 +39,20 @@ let by_center_distance ~d1 ~d2 =
     idx;
   Array.map (fun i -> locs.(i)) idx
 
+let patch_cells ~anchor ~h ~w =
+  List.concat
+    (List.init h (fun dr ->
+         List.init w (fun dc ->
+             { row = anchor.row + dr; col = anchor.col + dc })))
+
+let patch_anchors ~d1 ~d2 ~h ~w =
+  if h < 1 || w < 1 || h > d1 || w > d2 then []
+  else
+    List.concat
+      (List.init
+         (d1 - h + 1)
+         (fun row -> List.init (d2 - w + 1) (fun col -> { row; col })))
+
 let index ~d2 l = (l.row * d2) + l.col
 let of_index ~d2 i = { row = i / d2; col = i mod d2 }
 let equal a b = a.row = b.row && a.col = b.col

@@ -28,6 +28,16 @@ val by_center_distance : d1:int -> d2:int -> t array
     image first), ties broken row-major — the sketch's secondary
     initialization order. *)
 
+val patch_cells : anchor:t -> h:int -> w:int -> t list
+(** The [h * w] locations of the rectangle whose top-left corner is
+    [anchor], in row-major order.  Purely arithmetic — bounds are the
+    caller's concern (see {!patch_anchors}). *)
+
+val patch_anchors : d1:int -> d2:int -> h:int -> w:int -> t list
+(** All anchors for which an [h x w] patch lies entirely inside a
+    [d1 x d2] image, in row-major order; empty when the patch does not
+    fit. *)
+
 val index : d2:int -> t -> int
 (** Row-major flat index. *)
 

@@ -66,13 +66,17 @@ let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
   in
   (* Unmetered by design; see the interface comment.  The clean scores
      share the per-image cache (key [Clean]) so repeated attacks on the
-     same image pay the clean forward pass once. *)
+     same image pay the clean forward pass once.  The cache stores the
+     raw vector; what the attack sees passes through the oracle's
+     observation point, so under a label-only oracle the clean context
+     is the one-hot of the clean label. *)
   let clean_scores =
-    match cache with
-    | None -> Oracle.unmetered_scores oracle image
-    | Some c ->
-        Score_cache.find_or_add c Score_cache.Clean ~compute:(fun () ->
-            Oracle.unmetered_scores oracle image)
+    Oracle.observe oracle
+      (match cache with
+      | None -> Oracle.unmetered_scores oracle image
+      | Some c ->
+          Score_cache.find_or_add c Score_cache.Clean ~compute:(fun () ->
+              Oracle.unmetered_scores oracle image))
   in
   let spent = ref 0 in
   let batcher = Batcher.create ?cache ~width:batch oracle in
@@ -86,8 +90,17 @@ let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
      success, for the result). *)
   let check ?speculate pair =
     if !spent >= limit then raise Out_of_queries;
+    (* [observe] is the threat-model boundary: the batcher resolves the
+       raw score vector (cache and keys are mode-blind), and everything
+       downstream of this point — conditions, [on_query], the success
+       test — only sees what the oracle's mode reveals.  The argmax of a
+       one-hot is the argmax of the raw vector, so success detection is
+       mode-independent; [Score_diff] on one-hot contexts becomes the
+       label-flip indicator. *)
     let scores =
-      try Batcher.query batcher ?speculate (candidate_of pair)
+      try
+        Oracle.observe oracle
+          (Batcher.query batcher ?speculate (candidate_of pair))
       with Oracle.Budget_exhausted _ -> raise Out_of_queries
     in
     incr spent;

@@ -37,6 +37,13 @@ type result = {
   queries : int;  (** oracle queries posed by this attack *)
 }
 
+val goal_reached : goal -> true_class:int -> int -> bool
+(** [goal_reached goal ~true_class predicted]: the success predicate all
+    attacks share — [predicted <> true_class] untargeted,
+    [predicted = target] targeted.  Because the argmax of a one-hot
+    vector is the argmax of the raw vector, this predicate is identical
+    under {!Oracle.Score} and {!Oracle.Decision} observation. *)
+
 val perturb : Tensor.t -> Pair.t -> Tensor.t
 (** [perturb x pair] is [x[l <- p]]: a copy of [x] with the pair's pixel
     overwritten by its corner value. *)

@@ -1,3 +1,5 @@
+type mode = Score | Decision
+
 type t = {
   fn : Tensor.t -> Tensor.t;
   fn_batch : (Tensor.t array -> Tensor.t array) option;
@@ -6,6 +8,7 @@ type t = {
   mutable count : int;
   mutable limit : int option;
   mutable memo : Score_cache.t option;
+  mutable qmode : mode;
 }
 
 exception Budget_exhausted of int
@@ -20,6 +23,7 @@ let m_q_clean = Telemetry.Metrics.counter "oracle.queries.clean"
 let m_q_corner = Telemetry.Metrics.counter "oracle.queries.corner"
 let m_q_custom = Telemetry.Metrics.counter "oracle.queries.custom"
 let m_q_unkeyed = Telemetry.Metrics.counter "oracle.queries.unkeyed"
+let m_q_decision = Telemetry.Metrics.counter "oracle.queries.decision"
 let m_batch_forwards = Telemetry.Metrics.counter "oracle.batch_forwards"
 
 let kind_counter = function
@@ -38,6 +42,7 @@ let of_fn ?budget ?batch_fn ?(name = "fn") ~num_classes fn =
     count = 0;
     limit = budget;
     memo = None;
+    qmode = Score;
   }
 
 let of_network ?budget net =
@@ -71,6 +76,7 @@ let of_network ?budget net =
     count = 0;
     limit = budget;
     memo = None;
+    qmode = Score;
   }
 
 let meter ?kind t =
@@ -79,7 +85,8 @@ let meter ?kind t =
   | _ -> ());
   t.count <- t.count + 1;
   Telemetry.Counter.incr m_q_total;
-  Telemetry.Counter.incr (kind_counter kind)
+  Telemetry.Counter.incr (kind_counter kind);
+  if t.qmode = Decision then Telemetry.Counter.incr m_q_decision
 
 let validated t s =
   if Tensor.numel s <> t.classes then
@@ -162,6 +169,33 @@ let scores_batch t ?cache ~keys ~inputs ~consume () =
 
 let classify t x = Tensor.argmax (scores t x)
 let score_of t x c = Tensor.get_flat (scores t x) c
+
+(* Label-only (top-1) query: meters exactly like [scores] — same counter
+   increment, same [Budget_exhausted] at the same query index — but
+   reveals only the predicted label.  The threat-model switch for the
+   score-based attack stack is [observe] below; [decide] is the direct
+   decision-based query for code written against labels from the start. *)
+let decide t x = Tensor.argmax (scores t x)
+let mode t = t.qmode
+let set_mode t m = t.qmode <- m
+
+let one_hot ~classes label =
+  Tensor.init [| classes |] (fun j -> if j = label then 1.0 else 0.0)
+
+(* The observation point of the threat model.  Caches, the batcher and
+   the metering layer all carry full score tensors internally — that
+   keeps accounting and cache keys bit-identical across modes — and
+   attacks pass every resolved score vector through [observe] before
+   acting on it.  In [Score] mode this is the identity; in [Decision]
+   mode the vector collapses to the one-hot of its argmax, so the only
+   information that survives is the predicted label.  Downstream,
+   score-based conditions degrade gracefully: on one-hot vectors
+   [Score_diff] evaluates to exactly the label-flip indicator (1.0 when
+   the prediction moved off the clean argmax, 0.0 otherwise). *)
+let observe t s =
+  match t.qmode with
+  | Score -> s
+  | Decision -> one_hot ~classes:t.classes (Tensor.argmax s)
 let queries t = t.count
 let reset t = t.count <- 0
 let budget t = t.limit
@@ -179,7 +213,13 @@ let cache t = t.memo
 (* Clones DROP the attached cache (as well as the count): a cache is
    per-image, per-owner mutable state, and the whole point of cloning is
    to fan the oracle out across domains — sharing the table would alias
-   one unsynchronized Hashtbl across workers. *)
+   one unsynchronized Hashtbl across workers.  The query mode is
+   PRESERVED (the [with] copy snapshots it): the mode is part of the
+   threat-model identity of the oracle, not per-image state, and a
+   worker clone answering score vectors while its parent is label-only
+   would silently break the differential guarantees.  The copy is still
+   independent — flipping the clone's mode later never touches the
+   parent. *)
 let clone t = { t with count = 0; memo = None }
 
 let num_classes t = t.classes

@@ -18,6 +18,13 @@
 
 type t
 
+type mode = Score | Decision
+(** The query threat model.  [Score] is the paper's setting: every query
+    reveals the full score vector [N(x) in R^c].  [Decision] is the
+    harder label-only (top-1) setting: a query still costs exactly one
+    unit of budget, but only the predicted label is observable.  The
+    mode changes what {!observe} reveals, never what a query costs. *)
+
 exception Budget_exhausted of int
 (** Carries the budget that was exhausted. *)
 
@@ -44,6 +51,33 @@ val scores : t -> Tensor.t -> Tensor.t
 
 val classify : t -> Tensor.t -> int
 (** [argmax (scores t x)] — also one metered query. *)
+
+val decide : t -> Tensor.t -> int
+(** Label-only (top-1) query: one metered query — same counter
+    increment, same {!Budget_exhausted} at the same query index as
+    {!scores} — that reveals only the predicted label.  Use this when
+    writing decision-based attack code directly; score-based attack code
+    is switched to the label-only threat model wholesale via {!set_mode}
+    [Decision] + {!observe} instead. *)
+
+val mode : t -> mode
+
+val set_mode : t -> mode -> unit
+(** Switch the query threat model.  Affects only {!observe}; metering,
+    caching and batching are mode-blind, so query accounting is
+    bit-identical across modes by construction. *)
+
+val observe : t -> Tensor.t -> Tensor.t
+(** The observation point of the threat model: attacks pass every
+    resolved score vector through [observe] before acting on it.
+    Identity in [Score] mode; in [Decision] mode the vector collapses to
+    the one-hot of its argmax, so only the predicted label survives.  On
+    one-hot vectors the sketch DSL's [Score_diff] condition evaluates to
+    exactly the label-flip indicator (1.0 when the prediction moved off
+    the clean argmax, 0.0 otherwise), which is how score-based
+    conditions degrade gracefully to label-flip predicates.  Caches and
+    the batcher store raw score tensors internally in both modes — keys
+    and accounting never depend on the mode. *)
 
 val score_of : t -> Tensor.t -> int -> float
 (** [score_of t x c] is [(scores t x).(c)] — one metered query. *)
@@ -134,7 +168,14 @@ val clone : t -> t
     ({!Oppsla.Score.evaluate_parallel} re-attaches the correct per-image
     slot explicitly).  Clones meter their budgets independently; parallel
     evaluation of budgeted oracles is therefore per-clone, not global
-    (see {!Oppsla.Score.evaluate_parallel}). *)
+    (see {!Oppsla.Score.evaluate_parallel}).
+
+    The clone contract for the query {!mode} is the opposite of the
+    cache's: the mode is {b preserved}.  A cache is per-image mutable
+    working state (dropped); the mode is the threat-model identity of
+    the oracle (kept), so a worker clone observes exactly what its
+    parent would.  The copy is independent — {!set_mode} on the clone
+    never touches the parent. *)
 
 val num_classes : t -> int
 val name : t -> string

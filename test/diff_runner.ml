@@ -9,6 +9,23 @@
    process — telemetry must be observation-only, with query accounting
    and synthesis traces bit-identical either way.
 
+   Scenario axes (the decision-oracle / perturbation-space matrix):
+   --oracle score|decision and --space pixel|kpixel[:K]|patch[:HxW]
+   select a single attack-level scenario cell, differenced through the
+   full Runner/cache/batcher stack — the reference is always the
+   1-domain, uncached, batch-1 run of the same attacker on the same
+   corpus, and per-image (queries, success) records must be
+   bit-identical under this invocation's --domains/--cache/--batch
+   settings (with a warm-store rerun when the cache is on).
+   --sample-grid N instead samples ~N cells across the full
+   {score, decision} x {pixel, kpixel, patch} x {1, 4 domains} x
+   {cache off, on} x {batch 1, 16} cross-product, stratified so every
+   oracle x space combination is hit; the (domains, cache, batch)
+   coordinates are drawn deterministically from the named PRNG stream
+   "diff/scenario-grid", so the sampled grid is reproducible yet stays
+   inside the wall-clock budget.  Sample-grid runs also difference
+   Score.evaluate and the island model under a decision-mode oracle.
+
    --observe on additionally runs the full live observatory around the
    whole grid: an HTTP metrics server on an ephemeral port plus the
    background runtime sampler ticking every 20 ms.  Both only read the
@@ -30,7 +47,10 @@
    of OCAMLRUNPARAM=b) on the first divergence. *)
 
 module Parallel = Evalharness.Parallel
+module Runner = Evalharness.Runner
+module Attackers = Evalharness.Attackers
 module Score = Oppsla.Score
+module Space = Oppsla.Space
 module Synthesizer = Oppsla.Synthesizer
 
 let size = 4
@@ -64,7 +84,196 @@ let check_identical ctx (seq : Score.evaluation) (par : Score.evaluation) =
     <> Array.map (fun e -> (e.Score.queries, e.Score.success)) par.per_image
   then fail "%s: per-image query counts diverged" ctx
 
+(* Scenario differentials: decision-based oracles and k-pixel / patch
+   perturbation spaces, driven through the full Runner stack. *)
+
+let decision_oracle () =
+  let o = mean_threshold_oracle () in
+  Oracle.set_mode o Oracle.Decision;
+  o
+
+(* A small fixed corpus labelled by the clean-image prediction, so every
+   attack starts from an unflipped image and success means a genuine
+   label flip. *)
+let scenario_samples () =
+  let g = Prng.of_int 913 in
+  let probe = mean_threshold_oracle () in
+  Array.init 6 (fun i ->
+      let x =
+        match i mod 3 with
+        | 0 -> Tensor.create [| 3; size; size |] (0.45 +. Prng.float g 0.1)
+        | 1 -> Tensor.create [| 3; size; size |] 0.30
+        | _ -> Tensor.rand_uniform g ~lo:0.35 ~hi:0.65 [| 3; size; size |]
+      in
+      (x, Oracle.decide probe x))
+
+let mode_name = function
+  | Oracle.Score -> "score"
+  | Oracle.Decision -> "decision"
+
+(* One scenario cell: Sparse-RS over [space], observing through
+   [oracle_mode], with the cell's (domains, cache, batch) coordinates
+   differenced against the 1-domain uncached batch-1 reference.  With
+   the cache on, the warm store is rerun and must reproduce the same
+   records — the memo layer stays invisible to query accounting in both
+   oracle modes. *)
+let scenario_check ~domains ~cache ~batch ~oracle_mode ~space =
+  let samples = scenario_samples () in
+  let attacker =
+    let base = Attackers.sparse_rs_space space in
+    match oracle_mode with
+    | Oracle.Score -> base
+    | Oracle.Decision -> Attackers.decision base
+  in
+  let oracle_factory () = mean_threshold_oracle () in
+  let max_queries = 60 in
+  let strip rs =
+    Array.map (fun r -> (r.Runner.queries, r.Runner.success)) rs
+  in
+  let ctx kind =
+    Printf.sprintf
+      "scenario %s/%s (domains %d, cache %b, batch %d, %s)"
+      (mode_name oracle_mode) (Space.to_string space) domains cache batch kind
+  in
+  let reference =
+    strip
+      (Runner.run ~domains:1 ~batch:1 ~seed:5 ~max_queries attacker
+         ~oracle_factory samples)
+  in
+  let caches =
+    if cache then Some (Score_cache.store (Array.length samples)) else None
+  in
+  let checked =
+    strip
+      (Runner.run ~domains ?caches ~batch ~seed:5 ~max_queries attacker
+         ~oracle_factory samples)
+  in
+  if reference <> checked then
+    fail "%s: per-image (queries, success) diverged" (ctx "checked");
+  (match caches with
+  | Some _ ->
+      let warm =
+        strip
+          (Runner.run ~domains ?caches ~batch ~seed:5 ~max_queries attacker
+             ~oracle_factory samples)
+      in
+      if reference <> warm then
+        fail "%s: per-image (queries, success) diverged" (ctx "warm store")
+  | None -> ());
+  (* The cell must have attacked something: an all-zero-query corpus
+     would mean the differential tested nothing. *)
+  if Array.for_all (fun (q, _) -> q = 0) reference then
+    fail "%s: no queries were spent" (ctx "reference")
+
+(* Decision-mode evaluation differential: Score.evaluate with a
+   label-only oracle must stay bit-identical across cache and pool, just
+   like the score-mode trials in the main grid. *)
+let decision_evaluate_check ~pool ~batch =
+  let gen_config = { Oppsla.Gen.d1 = size; d2 = size } in
+  for trial = 0 to 3 do
+    let g = Prng.of_int (8191 + trial) in
+    let samples = training_set (Prng.split g) (1 + Prng.int g 8) in
+    let program = Oppsla.Gen.random_program gen_config g in
+    let ctx kind = Printf.sprintf "decision evaluate trial %d (%s)" trial kind in
+    let reference = Score.evaluate ~batch:1 (decision_oracle ()) program samples in
+    let caches = Some (Score_cache.store (Array.length samples)) in
+    let cold = Score.evaluate ?caches ~batch (decision_oracle ()) program samples in
+    check_identical (ctx "cached sequential, cold") reference cold;
+    let warm = Score.evaluate ?caches ~batch (decision_oracle ()) program samples in
+    check_identical (ctx "cached sequential, warm") reference warm;
+    let par =
+      Score.evaluate_parallel ~batch ~pool (decision_oracle ()) program samples
+    in
+    check_identical (ctx "parallel") reference par
+  done
+
+(* Decision-mode island differential: the archipelago trace must be
+   pool/batch-invariant under a label-only oracle too. *)
+let decision_islands_check ~pool ~batch =
+  let training = training_set (Prng.of_int 23) 5 in
+  let icfg =
+    {
+      Oppsla.Islands.default_config with
+      Oppsla.Islands.islands = 4;
+      rounds = 3;
+      migration_period = 2;
+      max_queries_per_image = Some 64;
+    }
+  in
+  let run ~use_pool cfg =
+    Oppsla.Islands.synthesize ~config:cfg
+      ?pool:(if use_pool then Some pool else None)
+      (Prng.of_int 23) (decision_oracle ()) ~training
+  in
+  let ref_out = run ~use_pool:false { icfg with Oppsla.Islands.batch = 1 } in
+  let par_out = run ~use_pool:true { icfg with Oppsla.Islands.batch } in
+  if ref_out.Oppsla.Islands.synth_queries <> par_out.Oppsla.Islands.synth_queries
+  then
+    fail "decision islands: query spend diverged (%d <> %d)"
+      ref_out.Oppsla.Islands.synth_queries par_out.Oppsla.Islands.synth_queries;
+  if
+    ref_out.Oppsla.Islands.best_avg_queries
+    <> par_out.Oppsla.Islands.best_avg_queries
+    || not
+         (Oppsla.Condition.equal_program ref_out.Oppsla.Islands.best
+            par_out.Oppsla.Islands.best)
+  then fail "decision islands: best program diverged";
+  List.iter2
+    (fun (x : Oppsla.Islands.entry) (y : Oppsla.Islands.entry) ->
+      if
+        x.Oppsla.Islands.accepted <> y.Oppsla.Islands.accepted
+        || x.Oppsla.Islands.avg_queries <> y.Oppsla.Islands.avg_queries
+        || x.Oppsla.Islands.queries_total <> y.Oppsla.Islands.queries_total
+      then
+        fail "decision islands: trace diverged at round %d island %d"
+          x.Oppsla.Islands.round x.Oppsla.Islands.island)
+    ref_out.Oppsla.Islands.trace par_out.Oppsla.Islands.trace
+
+(* Stratified sample of the scenario cross-product: every oracle x space
+   combination gets [n / 6] cells (at least one), with the (domains,
+   cache, batch) coordinates drawn from a named PRNG stream so the
+   sampled grid is deterministic across runs and machines. *)
+let scenario_grid ~pool n =
+  let combos =
+    [
+      (Oracle.Score, Space.Pixel);
+      (Oracle.Score, Space.Kpixel 2);
+      (Oracle.Score, Space.Patch { h = 2; w = 2 });
+      (Oracle.Decision, Space.Pixel);
+      (Oracle.Decision, Space.Kpixel 2);
+      (Oracle.Decision, Space.Patch { h = 2; w = 2 });
+    ]
+  in
+  let g = Prng.named_stream (Prng.of_int 2026) "diff/scenario-grid" in
+  let per_combo = max 1 (n / List.length combos) in
+  let cells = ref 0 in
+  List.iter
+    (fun (oracle_mode, space) ->
+      for _ = 1 to per_combo do
+        let domains = if Prng.bool g then 1 else 4 in
+        let cache = Prng.bool g in
+        let batch = if Prng.bool g then 1 else 16 in
+        scenario_check ~domains ~cache ~batch ~oracle_mode ~space;
+        incr cells;
+        Printf.printf
+          "diff_runner: scenario cell %s/%s bit-identical (domains %d, \
+           cache %s, batch %d)\n"
+          (mode_name oracle_mode) (Space.to_string space) domains
+          (if cache then "on" else "off")
+          batch
+      done)
+    combos;
+  decision_evaluate_check ~pool ~batch:16;
+  decision_islands_check ~pool ~batch:16;
+  Printf.printf
+    "diff_runner: %d sampled scenario cells + decision-mode evaluation \
+     and island differentials bit-identical\n"
+    !cells
+
 let () =
+  let omode = ref Oracle.Score in
+  let space = ref Space.Pixel in
+  let grid = ref 0 in
   let rec parse domains cache batch trace observe islands = function
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
@@ -93,12 +302,36 @@ let () =
         match int_of_string_opt n with
         | Some k when k >= 1 -> parse domains cache batch trace observe k rest
         | _ -> fail "diff_runner: bad --islands %s" n)
+    | "--oracle" :: v :: rest -> (
+        match v with
+        | "score" ->
+            omode := Oracle.Score;
+            parse domains cache batch trace observe islands rest
+        | "decision" ->
+            omode := Oracle.Decision;
+            parse domains cache batch trace observe islands rest
+        | _ -> fail "diff_runner: bad --oracle %s (expected score|decision)" v)
+    | "--space" :: v :: rest -> (
+        match Space.of_string v with
+        | Some s ->
+            space := s;
+            parse domains cache batch trace observe islands rest
+        | None -> fail "diff_runner: bad --space %s" v)
+    | "--sample-grid" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 ->
+            grid := k;
+            parse domains cache batch trace observe islands rest
+        | _ -> fail "diff_runner: bad --sample-grid %s" n)
     | [] -> (domains, cache, batch, trace, observe, islands)
     | a :: _ -> fail "diff_runner: unknown argument %s" a
   in
   let domains, cache, batch, trace, observe, islands =
     parse 4 false Oppsla.Sketch.default_batch false false 1
       (List.tl (Array.to_list Sys.argv))
+  in
+  let scenario_mode =
+    !grid > 0 || !omode <> Oracle.Score || !space <> Space.Pixel
   in
   (* With --observe on, the metrics server and runtime sampler run live
      around the whole grid.  Both are read-only consumers of the
@@ -136,6 +369,22 @@ let () =
   in
   let gen_config = { Oppsla.Gen.d1 = size; d2 = size } in
   Parallel.Pool.with_pool ~domains (fun pool ->
+      if scenario_mode then
+        (* Scenario mode: --sample-grid runs the stratified cross-product
+           sample; --oracle/--space alone run one cell at this
+           invocation's --domains/--cache/--batch coordinates. *)
+        if !grid > 0 then scenario_grid ~pool !grid
+        else begin
+          scenario_check ~domains ~cache ~batch ~oracle_mode:!omode
+            ~space:!space;
+          Printf.printf
+            "diff_runner: scenario %s/%s bit-identical (domains %d, cache \
+             %s, batch %d)\n"
+            (mode_name !omode) (Space.to_string !space) domains
+            (if cache then "on" else "off")
+            batch
+        end
+      else begin
       (* Evaluation differential.  The uncached sequential run is always
          the reference. *)
       for trial = 0 to 11 do
@@ -348,4 +597,5 @@ let () =
         (if trace then "on" else "off")
         (if observe then "on" else "off")
         islands
-        (if islands > 1 then " + island-model trace" else ""))
+        (if islands > 1 then " + island-model trace" else "")
+      end)

@@ -134,15 +134,16 @@ let oppsla_routes_by_class () =
   let oracle = Helpers.mean_threshold_oracle () in
   let image = Helpers.flat_image ~size:4 0.49 in
   let r =
-    attacker.Attackers.run (Prng.of_int 1) oracle ~max_queries:10 ~batch:1
-      ~image ~true_class:0
+    attacker.Attackers.run (Prng.of_int 1) oracle ~goal:Oppsla.Sketch.Untargeted
+      ~max_queries:10 ~batch:1 ~image ~true_class:0
   in
   Alcotest.(check bool) "class 0 works" true (r.Oppsla.Sketch.adversarial <> None);
   Alcotest.(check bool) "missing class raises" true
     (try
        ignore
-         (attacker.Attackers.run (Prng.of_int 1) oracle ~max_queries:10
-            ~batch:1 ~image ~true_class:5);
+         (attacker.Attackers.run (Prng.of_int 1) oracle
+            ~goal:Oppsla.Sketch.Untargeted ~max_queries:10 ~batch:1 ~image
+            ~true_class:5);
        false
      with Invalid_argument _ -> true)
 

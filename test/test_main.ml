@@ -18,6 +18,7 @@ let () =
       ("synthesizer", Test_synth.suite);
       ("islands", Test_islands.suite);
       ("baselines", Test_baselines.suite);
+      ("scenarios", Test_scenarios.suite);
       ("evalharness", Test_evalharness.suite);
       ("parallel_eval", Test_parallel_eval.suite);
       ("cache_eval", Test_cache_eval.suite);

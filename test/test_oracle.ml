@@ -89,6 +89,49 @@ let clone_independent_and_cacheless () =
   ignore (Oracle.scores c image);
   Alcotest.(check int) "counters are independent" 1 (Oracle.queries o)
 
+let decision_mode_observe () =
+  let o = Helpers.mean_threshold_oracle () in
+  let bright = Helpers.flat_image ~size:4 0.9 in
+  Alcotest.(check int) "decide = argmax" 1 (Oracle.decide o bright);
+  Alcotest.(check int) "decide is metered" 1 (Oracle.queries o);
+  let s = Oracle.scores o bright in
+  Alcotest.(check bool) "score-mode observe is the identity" true
+    (Oracle.observe o s == s);
+  Oracle.set_mode o Oracle.Decision;
+  let h = Oracle.observe o s in
+  Alcotest.(check (float 1e-9)) "winner collapses to 1" 1.0
+    (Tensor.get_flat h 1);
+  Alcotest.(check (float 1e-9)) "loser collapses to 0" 0.0
+    (Tensor.get_flat h 0)
+
+(* The clone contract for decision mode, pinned: the cache (per-image
+   mutable working state) is dropped, the counter restarts, the budget
+   is kept — and the mode (the threat-model identity of the oracle) is
+   PRESERVED, as an independent copy. *)
+let clone_mode_contract () =
+  let o = Helpers.mean_threshold_oracle ~budget:5 () in
+  Oracle.set_mode o Oracle.Decision;
+  Oracle.set_cache o (Some (Score_cache.create ()));
+  ignore (Oracle.scores o image);
+  let c = Oracle.clone o in
+  Alcotest.(check bool) "clone preserves Decision mode" true
+    (Oracle.mode c = Oracle.Decision);
+  Alcotest.(check bool) "clone still drops the cache" true
+    (Oracle.cache c = None);
+  Alcotest.(check int) "clone still resets the counter" 0 (Oracle.queries c);
+  Alcotest.(check (option int)) "clone still keeps the budget" (Some 5)
+    (Oracle.budget c);
+  (* The copy is independent in both directions. *)
+  Oracle.set_mode c Oracle.Score;
+  Alcotest.(check bool) "flipping the clone leaves the parent" true
+    (Oracle.mode o = Oracle.Decision);
+  Oracle.set_mode c Oracle.Decision;
+  Oracle.set_mode o Oracle.Score;
+  Alcotest.(check bool) "flipping the parent leaves the clone" true
+    (Oracle.mode c = Oracle.Decision);
+  Alcotest.(check bool) "score-mode clone stays in score mode" true
+    (Oracle.mode (Oracle.clone o) = Oracle.Score)
+
 let of_network_metadata () =
   let net =
     Nn.Zoo.vgg_tiny (Prng.of_int 3) ~image_size:16 ~num_classes:10
@@ -109,5 +152,9 @@ let suite =
     Alcotest.test_case "of_fn validation" `Quick of_fn_validates_classes;
     Alcotest.test_case "clone: fresh counter, no cache" `Quick
       clone_independent_and_cacheless;
+    Alcotest.test_case "decision mode: decide and observe" `Quick
+      decision_mode_observe;
+    Alcotest.test_case "clone: mode preserved, independent" `Quick
+      clone_mode_contract;
     Alcotest.test_case "of_network metadata" `Quick of_network_metadata;
   ]

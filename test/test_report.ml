@@ -139,6 +139,57 @@ let render_islands_contents () =
   Alcotest.(check bool) "one row per island" true
     (Helpers.contains s "| 0 " && Helpers.contains s "| 1 ")
 
+(* Targeted-attack table: the byte-exact format is pinned by the golden
+   file report_targeted_golden_v1.txt (a test/dune dep).  The rows are a
+   literal fixture — no network, no attack — so the golden only moves
+   when the renderer itself does; regenerate it deliberately (and bump
+   the version suffix) when the format changes on purpose. *)
+let targeted_rows : Experiments.targeted_row list =
+  [
+    {
+      classifier = "vgg_tiny";
+      attacker = "Sketch+False";
+      target = 0;
+      target_name = "airplane";
+      attacked_images = 54;
+      cells =
+        [
+          { Experiments.budget = 50; success_rate = 0.125 };
+          { Experiments.budget = 200; success_rate = 0.25 };
+          { Experiments.budget = 2048; success_rate = 0.5 };
+        ];
+      avg_queries = Some 321.5;
+      median_queries = Some 123.;
+    };
+    {
+      classifier = "vgg_tiny";
+      attacker = "Sparse-RS";
+      target = 1;
+      target_name = "automobile";
+      attacked_images = 54;
+      cells =
+        [
+          { Experiments.budget = 50; success_rate = 0. };
+          { Experiments.budget = 200; success_rate = 0.1 };
+          { Experiments.budget = 2048; success_rate = 0.3333 };
+        ];
+      avg_queries = None;
+      median_queries = None;
+    };
+  ]
+
+let render_targeted_golden () =
+  let expected =
+    In_channel.with_open_bin "report_targeted_golden_v1.txt"
+      In_channel.input_all
+  in
+  Alcotest.(check string) "byte-exact" expected
+    (Report.render_targeted targeted_rows)
+
+let render_targeted_empty () =
+  Alcotest.(check string) "placeholder" "(no data)"
+    (Report.render_targeted [])
+
 let suite =
   [
     Alcotest.test_case "render fig3" `Quick render_fig3_contents;
@@ -147,4 +198,7 @@ let suite =
     Alcotest.test_case "render table1" `Quick render_table1_contents;
     Alcotest.test_case "render fig4" `Quick render_fig4_contents;
     Alcotest.test_case "render table2" `Quick render_table2_contents;
+    Alcotest.test_case "render targeted (golden)" `Quick
+      render_targeted_golden;
+    Alcotest.test_case "render targeted empty" `Quick render_targeted_empty;
   ]
