@@ -16,12 +16,13 @@ let spec_of_name = function
 
 let log_stderr msg = Printf.eprintf "%s\n%!" msg
 
-let workbench_config artifacts seed =
+let workbench_config ?(backend = Nn.Backend.Boxed) artifacts seed =
   {
     Workbench.default_config with
     artifacts_dir = (if artifacts = "" then None else Some artifacts);
     seed;
     log = log_stderr;
+    backend;
   }
 
 (* Shared options *)
@@ -113,6 +114,25 @@ let with_oracle_mode mode_name k =
   match oracle_mode_of_string mode_name with
   | Error msg -> `Error (false, msg)
   | Ok mode -> k mode
+
+let backend_arg =
+  let doc =
+    "Tensor backend for oracle forward passes: $(b,boxed) (the float64 \
+     reference engine) or $(b,f32) (flat float32 Bigarray storage with a \
+     blocked register-tiled GEMM and fused conv epilogues).  Attack \
+     outcomes, success rates and query counts are backend-independent; \
+     f32 trades bit-identical scores (per-score deviation at most 1e-4) \
+     for throughput."
+  in
+  Arg.(value & opt string "boxed" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let with_backend name k =
+  match Nn.Backend.kind_of_string name with
+  | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown backend %S (expected boxed or f32)" name )
+  | Some backend -> k backend
 
 let space_arg =
   let doc =
@@ -218,9 +238,10 @@ let with_spec dataset f =
 (* train *)
 
 let train_cmd =
-  let run dataset arch seed artifacts =
-    with_spec dataset (fun spec ->
-        let config = workbench_config artifacts seed in
+  let run dataset arch seed artifacts backend =
+    with_spec dataset @@ fun spec ->
+    with_backend backend (fun backend ->
+        let config = workbench_config ~backend artifacts seed in
         let c = Workbench.load_classifier config spec arch in
         Printf.printf "%s\n" (Nn.Network.describe c.Workbench.net);
         Printf.printf "test accuracy: %.3f (%d attackable test images)\n"
@@ -229,7 +250,10 @@ let train_cmd =
         `Ok ())
   in
   let term =
-    Term.(ret (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg))
+    Term.(
+      ret
+        (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
+       $ backend_arg))
   in
   Cmd.v
     (Cmd.info "train"
@@ -295,8 +319,9 @@ let synthesize_cmd =
   in
   let run dataset arch seed artifacts class_id iters domains cache batch
       islands checkpoint resume early_stop trace metrics serve snapshot
-      snapshot_interval stall_timeout =
+      snapshot_interval stall_timeout backend =
     with_spec dataset @@ fun spec ->
+    with_backend backend @@ fun backend ->
     check_batch batch @@ fun () ->
     if class_id < 0 || class_id >= spec.Dataset.num_classes then
       `Error
@@ -311,7 +336,7 @@ let synthesize_cmd =
       with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
         ~stall_timeout
       @@ fun () ->
-      let config = workbench_config artifacts seed in
+      let config = workbench_config ~backend artifacts seed in
       let c = Workbench.load_classifier config spec arch in
       if islands > 1 || checkpoint <> "" then begin
         (* Island path: uncached (per-run) synthesis on the class's
@@ -401,7 +426,7 @@ let synthesize_cmd =
        $ class_arg $ iters_arg $ domains_arg $ cache_arg $ batch_arg
        $ islands_arg $ checkpoint_arg $ resume_arg $ early_stop_arg
        $ trace_arg $ metrics_arg $ serve_metrics_arg $ snapshot_arg
-       $ snapshot_interval_arg $ stall_timeout_arg))
+       $ snapshot_interval_arg $ stall_timeout_arg $ backend_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
@@ -445,12 +470,13 @@ let attack_cmd =
   in
   let run dataset arch seed artifacts class_id index program_text target
       save_ppm batch oracle_mode space trace metrics serve snapshot
-      snapshot_interval stall_timeout =
+      snapshot_interval stall_timeout backend =
     with_spec dataset @@ fun spec ->
     with_oracle_mode oracle_mode @@ fun oracle_mode ->
     with_space space @@ fun space ->
+    with_backend backend @@ fun backend ->
     check_batch batch (fun () ->
-        let config = workbench_config artifacts seed in
+        let config = workbench_config ~backend artifacts seed in
         let c = Workbench.load_classifier config spec arch in
         let candidates =
           Array.of_list
@@ -555,7 +581,7 @@ let attack_cmd =
        $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg
        $ batch_arg $ oracle_arg $ space_arg $ trace_arg $ metrics_arg
        $ serve_metrics_arg $ snapshot_arg $ snapshot_interval_arg
-       $ stall_timeout_arg))
+       $ stall_timeout_arg $ backend_arg))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a single test image with a program.")
@@ -564,16 +590,20 @@ let attack_cmd =
 (* analyze *)
 
 let analyze_cmd =
-  let run dataset arch seed artifacts =
-    with_spec dataset (fun spec ->
-        let config = workbench_config artifacts seed in
+  let run dataset arch seed artifacts backend =
+    with_spec dataset @@ fun spec ->
+    with_backend backend (fun backend ->
+        let config = workbench_config ~backend artifacts seed in
         let c = Workbench.load_classifier config spec arch in
         let programs = Workbench.synthesize_programs config c in
         print_endline (Oppsla.Analysis.describe_portfolio programs);
         `Ok ())
   in
   let term =
-    Term.(ret (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg))
+    Term.(
+      ret
+        (const run $ dataset_arg $ arch_arg $ seed_arg $ artifacts_arg
+       $ backend_arg))
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -593,12 +623,13 @@ let eval_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed artifacts domains cache batch trace metrics serve snapshot
-      snapshot_interval stall_timeout experiment =
+      snapshot_interval stall_timeout backend experiment =
     check_batch batch @@ fun () ->
+    with_backend backend @@ fun backend ->
     with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
       ~stall_timeout
     @@ fun () ->
-    let config = workbench_config artifacts seed in
+    let config = workbench_config ~backend artifacts seed in
     let base = Experiments.default_scale in
     let scale =
       {
@@ -650,7 +681,7 @@ let eval_cmd =
         (const run $ seed_arg $ artifacts_arg $ domains_arg $ cache_arg
        $ batch_arg $ trace_arg $ metrics_arg $ serve_metrics_arg
        $ snapshot_arg $ snapshot_interval_arg $ stall_timeout_arg
-       $ experiment_arg))
+       $ backend_arg $ experiment_arg))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")

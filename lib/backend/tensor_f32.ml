@@ -1,0 +1,725 @@
+(* Float32 Bigarray backend: flat unboxed storage plus an explicit shape
+   descriptor (the Manticore flattened-array idiom — data is never
+   nested; shape is metadata on the side).
+
+   Storage is float32 ([Bigarray.Array1], C layout) — half the memory
+   traffic of the boxed float64 path, and off the OCaml heap entirely,
+   so attack workloads stop churning the major heap with per-layer
+   activation arrays.  All arithmetic still happens in float64: with the
+   element kind statically known, [Array1.unsafe_get] compiles to an
+   inline load+convert, and accumulators live in unboxed float64
+   registers.  Only the final store rounds to float32 — which is why the
+   differential contract for this backend is the tolerance policy
+   (argmax/success/query identity, per-logit |Δ| ≤ tol) rather than
+   bit-equality.
+
+   The GEMM keeps the boxed kernel's proven shape — 4x4 register
+   tiling, ascending-k accumulation, L2 column blocking — but packs the
+   active operand panels into float64 scratch first and unrolls the
+   k-loop by four, so the widening conversion runs once per element
+   instead of once per use and the inner loop is pure float64 ALU work.
+   The row range is a first-class parameter so row panels can be
+   dispatched as work items on an idle domain pool
+   ([Domain_pool.Pool.try_map]; inline fallback when the pool is absent,
+   busy or width 1).  Per-element accumulation order is identical on
+   every path, so pooled and inline results are bit-identical to each
+   other. *)
+
+type ba = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { shape : int array; data : ba }
+
+let name = "f32"
+let exact = false
+let fuse = true
+let stats = Tensor_sig.Stats.make name
+
+let product shape = Array.fold_left ( * ) 1 shape
+
+let alloc len : ba = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout len
+
+let create shape =
+  let data = alloc (product shape) in
+  { shape = Array.copy shape; data }
+
+let shape t = Array.copy t.shape
+let numel t = product t.shape
+
+let reshape t shape =
+  if product shape <> numel t then
+    invalid_arg "Tensor_f32.reshape: element count mismatch";
+  { shape = Array.copy shape; data = t.data }
+
+let of_tensor (src : Tensor.t) =
+  let t = create (Tensor.shape src) in
+  let d = t.data and s = src.Tensor.data in
+  for i = 0 to Array.length s - 1 do
+    Bigarray.Array1.unsafe_set d i (Array.unsafe_get s i)
+  done;
+  t
+
+let to_tensor t =
+  let d = t.data in
+  Tensor.init t.shape (fun i -> Bigarray.Array1.unsafe_get d i)
+
+let get_flat t i = Bigarray.Array1.get t.data i
+
+(* Elementwise *)
+
+let relu t =
+  let n = numel t in
+  let out = create t.shape in
+  let s = t.data and d = out.data in
+  for i = 0 to n - 1 do
+    let v = Bigarray.Array1.unsafe_get s i in
+    Bigarray.Array1.unsafe_set d i (if v > 0. then v else 0.)
+  done;
+  out
+
+let add a b =
+  if a.shape <> b.shape then invalid_arg "Tensor_f32.add: shape mismatch";
+  let n = numel a in
+  let out = create a.shape in
+  let ad = a.data and bd = b.data and od = out.data in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set od i
+      (Bigarray.Array1.unsafe_get ad i +. Bigarray.Array1.unsafe_get bd i)
+  done;
+  out
+
+(* GEMM: [od](ooff + i*n + j) += Σ_p ad(i*k + p) * bd(p*n + j) for rows
+   i in [i0, i1).  Float32 operands, float64 accumulation in sixteen
+   register-resident refs, ascending-p order per output element — the
+   same per-element order whatever the row panelling, so pooled and
+   inline runs agree bitwise.
+
+   The float32→float64 widening is hoisted out of the inner loop: the
+   active rows of [ad] and the current column panel of [bd] are packed
+   once into per-domain float64 scratch (the conversion is exact, so
+   packing never changes a bit of the result), because on x86 the
+   convert instruction shares ports with the multiply/add units — left
+   inline it caps the kernel well below the scalar FP peak.  Each packed
+   B element is then reused by every row block, and the inner loop runs
+   pure float64 with the k-loop unrolled by four. *)
+
+let panel_scratch : float array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let f64_scratch key len =
+  let r = Domain.DLS.get key in
+  if Array.length !r < len then r := Array.make len 0.;
+  !r
+
+let arow_scratch : float array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let gemm_rows ?(ooff = 0) ~i0 ~i1 ~k ~n (ad : ba) (bd : ba) (od : ba) =
+  (* Column blocking: a [k * jb] float64 panel of [bd] targets ~1.5 MB
+     so it stays L2-resident while every row block passes over it.
+     Multiple of 4 so only the final block leaves a column remainder. *)
+  let jb = max 16 (196608 / max 1 k land lnot 3) in
+  let rows = i1 - i0 in
+  if rows <= 0 then ()
+  else begin
+    let a64 = f64_scratch arow_scratch (rows * k) in
+    for i = 0 to (rows * k) - 1 do
+      Array.unsafe_set a64 i (Bigarray.Array1.unsafe_get ad ((i0 * k) + i))
+    done;
+    let b64 = f64_scratch panel_scratch (k * min jb n) in
+    let k4 = k / 4 * 4 in
+    let jlo = ref 0 in
+    while !jlo < n do
+      let jhi = min n (!jlo + jb) in
+      let jw = jhi - !jlo in
+      let jbase = !jlo in
+      for p = 0 to k - 1 do
+        let src = (p * n) + jbase and dst = p * jw in
+        for jj = 0 to jw - 1 do
+          Array.unsafe_set b64 (dst + jj)
+            (Bigarray.Array1.unsafe_get bd (src + jj))
+        done
+      done;
+      let i = ref i0 in
+      while !i + 4 <= i1 do
+        let r0 = !i in
+        let a0 = (r0 - i0) * k and a1 = (r0 - i0 + 1) * k
+        and a2 = (r0 - i0 + 2) * k and a3 = (r0 - i0 + 3) * k in
+        let o0 = ooff + (r0 * n)
+        and o1 = ooff + ((r0 + 1) * n)
+        and o2 = ooff + ((r0 + 2) * n)
+        and o3 = ooff + ((r0 + 3) * n) in
+        let j = ref !jlo in
+        while !j + 4 <= jhi do
+          let j0 = !j in
+          let jp = j0 - jbase in
+          let c00 = ref (Bigarray.Array1.unsafe_get od (o0 + j0))
+          and c01 = ref (Bigarray.Array1.unsafe_get od (o0 + j0 + 1))
+          and c02 = ref (Bigarray.Array1.unsafe_get od (o0 + j0 + 2))
+          and c03 = ref (Bigarray.Array1.unsafe_get od (o0 + j0 + 3))
+          and c10 = ref (Bigarray.Array1.unsafe_get od (o1 + j0))
+          and c11 = ref (Bigarray.Array1.unsafe_get od (o1 + j0 + 1))
+          and c12 = ref (Bigarray.Array1.unsafe_get od (o1 + j0 + 2))
+          and c13 = ref (Bigarray.Array1.unsafe_get od (o1 + j0 + 3))
+          and c20 = ref (Bigarray.Array1.unsafe_get od (o2 + j0))
+          and c21 = ref (Bigarray.Array1.unsafe_get od (o2 + j0 + 1))
+          and c22 = ref (Bigarray.Array1.unsafe_get od (o2 + j0 + 2))
+          and c23 = ref (Bigarray.Array1.unsafe_get od (o2 + j0 + 3))
+          and c30 = ref (Bigarray.Array1.unsafe_get od (o3 + j0))
+          and c31 = ref (Bigarray.Array1.unsafe_get od (o3 + j0 + 1))
+          and c32 = ref (Bigarray.Array1.unsafe_get od (o3 + j0 + 2))
+          and c33 = ref (Bigarray.Array1.unsafe_get od (o3 + j0 + 3)) in
+          let p = ref 0 in
+          while !p < k4 do
+            let pp = !p in
+            let v0 = Array.unsafe_get a64 (a0 + pp)
+            and v1 = Array.unsafe_get a64 (a1 + pp)
+            and v2 = Array.unsafe_get a64 (a2 + pp)
+            and v3 = Array.unsafe_get a64 (a3 + pp)
+            and boff = (pp * jw) + jp in
+            let b0 = Array.unsafe_get b64 boff
+            and b1 = Array.unsafe_get b64 (boff + 1)
+            and b2 = Array.unsafe_get b64 (boff + 2)
+            and b3 = Array.unsafe_get b64 (boff + 3) in
+            let w0 = Array.unsafe_get a64 (a0 + pp + 1)
+            and w1 = Array.unsafe_get a64 (a1 + pp + 1)
+            and w2 = Array.unsafe_get a64 (a2 + pp + 1)
+            and w3 = Array.unsafe_get a64 (a3 + pp + 1)
+            and coff = boff + jw in
+            let d0 = Array.unsafe_get b64 coff
+            and d1 = Array.unsafe_get b64 (coff + 1)
+            and d2 = Array.unsafe_get b64 (coff + 2)
+            and d3 = Array.unsafe_get b64 (coff + 3) in
+            c00 := !c00 +. (v0 *. b0) +. (w0 *. d0);
+            c01 := !c01 +. (v0 *. b1) +. (w0 *. d1);
+            c02 := !c02 +. (v0 *. b2) +. (w0 *. d2);
+            c03 := !c03 +. (v0 *. b3) +. (w0 *. d3);
+            c10 := !c10 +. (v1 *. b0) +. (w1 *. d0);
+            c11 := !c11 +. (v1 *. b1) +. (w1 *. d1);
+            c12 := !c12 +. (v1 *. b2) +. (w1 *. d2);
+            c13 := !c13 +. (v1 *. b3) +. (w1 *. d3);
+            c20 := !c20 +. (v2 *. b0) +. (w2 *. d0);
+            c21 := !c21 +. (v2 *. b1) +. (w2 *. d1);
+            c22 := !c22 +. (v2 *. b2) +. (w2 *. d2);
+            c23 := !c23 +. (v2 *. b3) +. (w2 *. d3);
+            c30 := !c30 +. (v3 *. b0) +. (w3 *. d0);
+            c31 := !c31 +. (v3 *. b1) +. (w3 *. d1);
+            c32 := !c32 +. (v3 *. b2) +. (w3 *. d2);
+            c33 := !c33 +. (v3 *. b3) +. (w3 *. d3);
+            let pq = pp + 2 in
+            let v0 = Array.unsafe_get a64 (a0 + pq)
+            and v1 = Array.unsafe_get a64 (a1 + pq)
+            and v2 = Array.unsafe_get a64 (a2 + pq)
+            and v3 = Array.unsafe_get a64 (a3 + pq)
+            and boff = (pq * jw) + jp in
+            let b0 = Array.unsafe_get b64 boff
+            and b1 = Array.unsafe_get b64 (boff + 1)
+            and b2 = Array.unsafe_get b64 (boff + 2)
+            and b3 = Array.unsafe_get b64 (boff + 3) in
+            let w0 = Array.unsafe_get a64 (a0 + pq + 1)
+            and w1 = Array.unsafe_get a64 (a1 + pq + 1)
+            and w2 = Array.unsafe_get a64 (a2 + pq + 1)
+            and w3 = Array.unsafe_get a64 (a3 + pq + 1)
+            and coff = boff + jw in
+            let d0 = Array.unsafe_get b64 coff
+            and d1 = Array.unsafe_get b64 (coff + 1)
+            and d2 = Array.unsafe_get b64 (coff + 2)
+            and d3 = Array.unsafe_get b64 (coff + 3) in
+            c00 := !c00 +. (v0 *. b0) +. (w0 *. d0);
+            c01 := !c01 +. (v0 *. b1) +. (w0 *. d1);
+            c02 := !c02 +. (v0 *. b2) +. (w0 *. d2);
+            c03 := !c03 +. (v0 *. b3) +. (w0 *. d3);
+            c10 := !c10 +. (v1 *. b0) +. (w1 *. d0);
+            c11 := !c11 +. (v1 *. b1) +. (w1 *. d1);
+            c12 := !c12 +. (v1 *. b2) +. (w1 *. d2);
+            c13 := !c13 +. (v1 *. b3) +. (w1 *. d3);
+            c20 := !c20 +. (v2 *. b0) +. (w2 *. d0);
+            c21 := !c21 +. (v2 *. b1) +. (w2 *. d1);
+            c22 := !c22 +. (v2 *. b2) +. (w2 *. d2);
+            c23 := !c23 +. (v2 *. b3) +. (w2 *. d3);
+            c30 := !c30 +. (v3 *. b0) +. (w3 *. d0);
+            c31 := !c31 +. (v3 *. b1) +. (w3 *. d1);
+            c32 := !c32 +. (v3 *. b2) +. (w3 *. d2);
+            c33 := !c33 +. (v3 *. b3) +. (w3 *. d3);
+            p := pp + 4
+          done;
+          while !p < k do
+            let pp = !p in
+            let v0 = Array.unsafe_get a64 (a0 + pp)
+            and v1 = Array.unsafe_get a64 (a1 + pp)
+            and v2 = Array.unsafe_get a64 (a2 + pp)
+            and v3 = Array.unsafe_get a64 (a3 + pp)
+            and boff = (pp * jw) + jp in
+            let b0 = Array.unsafe_get b64 boff
+            and b1 = Array.unsafe_get b64 (boff + 1)
+            and b2 = Array.unsafe_get b64 (boff + 2)
+            and b3 = Array.unsafe_get b64 (boff + 3) in
+            c00 := !c00 +. (v0 *. b0);
+            c01 := !c01 +. (v0 *. b1);
+            c02 := !c02 +. (v0 *. b2);
+            c03 := !c03 +. (v0 *. b3);
+            c10 := !c10 +. (v1 *. b0);
+            c11 := !c11 +. (v1 *. b1);
+            c12 := !c12 +. (v1 *. b2);
+            c13 := !c13 +. (v1 *. b3);
+            c20 := !c20 +. (v2 *. b0);
+            c21 := !c21 +. (v2 *. b1);
+            c22 := !c22 +. (v2 *. b2);
+            c23 := !c23 +. (v2 *. b3);
+            c30 := !c30 +. (v3 *. b0);
+            c31 := !c31 +. (v3 *. b1);
+            c32 := !c32 +. (v3 *. b2);
+            c33 := !c33 +. (v3 *. b3);
+            p := pp + 1
+          done;
+          Bigarray.Array1.unsafe_set od (o0 + j0) !c00;
+          Bigarray.Array1.unsafe_set od (o0 + j0 + 1) !c01;
+          Bigarray.Array1.unsafe_set od (o0 + j0 + 2) !c02;
+          Bigarray.Array1.unsafe_set od (o0 + j0 + 3) !c03;
+          Bigarray.Array1.unsafe_set od (o1 + j0) !c10;
+          Bigarray.Array1.unsafe_set od (o1 + j0 + 1) !c11;
+          Bigarray.Array1.unsafe_set od (o1 + j0 + 2) !c12;
+          Bigarray.Array1.unsafe_set od (o1 + j0 + 3) !c13;
+          Bigarray.Array1.unsafe_set od (o2 + j0) !c20;
+          Bigarray.Array1.unsafe_set od (o2 + j0 + 1) !c21;
+          Bigarray.Array1.unsafe_set od (o2 + j0 + 2) !c22;
+          Bigarray.Array1.unsafe_set od (o2 + j0 + 3) !c23;
+          Bigarray.Array1.unsafe_set od (o3 + j0) !c30;
+          Bigarray.Array1.unsafe_set od (o3 + j0 + 1) !c31;
+          Bigarray.Array1.unsafe_set od (o3 + j0 + 2) !c32;
+          Bigarray.Array1.unsafe_set od (o3 + j0 + 3) !c33;
+          j := j0 + 4
+        done;
+        while !j < jhi do
+          let j0 = !j in
+          let jp = j0 - jbase in
+          let c0 = ref (Bigarray.Array1.unsafe_get od (o0 + j0))
+          and c1 = ref (Bigarray.Array1.unsafe_get od (o1 + j0))
+          and c2 = ref (Bigarray.Array1.unsafe_get od (o2 + j0))
+          and c3 = ref (Bigarray.Array1.unsafe_get od (o3 + j0)) in
+          for p = 0 to k - 1 do
+            let bv = Array.unsafe_get b64 ((p * jw) + jp) in
+            c0 := !c0 +. (Array.unsafe_get a64 (a0 + p) *. bv);
+            c1 := !c1 +. (Array.unsafe_get a64 (a1 + p) *. bv);
+            c2 := !c2 +. (Array.unsafe_get a64 (a2 + p) *. bv);
+            c3 := !c3 +. (Array.unsafe_get a64 (a3 + p) *. bv)
+          done;
+          Bigarray.Array1.unsafe_set od (o0 + j0) !c0;
+          Bigarray.Array1.unsafe_set od (o1 + j0) !c1;
+          Bigarray.Array1.unsafe_set od (o2 + j0) !c2;
+          Bigarray.Array1.unsafe_set od (o3 + j0) !c3;
+          incr j
+        done;
+        i := r0 + 4
+      done;
+      for r = !i to i1 - 1 do
+        let aoff = (r - i0) * k and orow = ooff + (r * n) in
+        for j = !jlo to jhi - 1 do
+          let jp = j - jbase in
+          let acc = ref (Bigarray.Array1.unsafe_get od (orow + j)) in
+          for p = 0 to k - 1 do
+            acc :=
+              !acc
+              +. (Array.unsafe_get a64 (aoff + p)
+                 *. Array.unsafe_get b64 ((p * jw) + jp))
+          done;
+          Bigarray.Array1.unsafe_set od (orow + j) !acc
+        done
+      done;
+      jlo := jhi
+    done
+  end
+
+(* Dispatch a GEMM's row panels onto an idle pool; inline otherwise.
+   Work items write disjoint output row ranges, and per-element
+   accumulation order does not depend on the panelling, so both paths
+   produce bit-identical output. *)
+let gemm_dispatch ?pool ~ooff ~m ~k ~n (ad : ba) (bd : ba) (od : ba) =
+  let inline () = gemm_rows ~ooff ~i0:0 ~i1:m ~k ~n ad bd od in
+  match pool with
+  | Some p when Domain_pool.Pool.size p > 1 && m >= 8 ->
+      let width = Domain_pool.Pool.size p in
+      (* ~2 panels per participant, rows a multiple of 4 so only the
+         last panel leaves a row remainder for the tile loop. *)
+      let rows =
+        max 4 ((((m + (2 * width) - 1) / (2 * width)) + 3) land lnot 3)
+      in
+      let npanels = (m + rows - 1) / rows in
+      let panels =
+        Array.init npanels (fun i -> (i * rows, min m ((i + 1) * rows)))
+      in
+      (match
+         Domain_pool.Pool.try_map p
+           (fun (i0, i1) -> gemm_rows ~ooff ~i0 ~i1 ~k ~n ad bd od)
+           panels
+       with
+      | Some _ -> ()
+      | None -> inline ())
+  | _ -> inline ()
+
+(* Matmul on f32 tensors — the qcheck reference surface for the GEMM
+   kernel ([a : (m, k)], [b : (k, n)]). *)
+let matmul a b =
+  if Array.length a.shape <> 2 || Array.length b.shape <> 2 then
+    invalid_arg "Tensor_f32.matmul: expected rank-2 operands";
+  let m = a.shape.(0) and k = a.shape.(1) in
+  let k' = b.shape.(0) and n = b.shape.(1) in
+  if k <> k' then invalid_arg "Tensor_f32.matmul: inner dimension mismatch";
+  let out = create [| m; n |] in
+  Bigarray.Array1.fill out.data 0.;
+  gemm_rows ~i0:0 ~i1:m ~k ~n a.data b.data out.data;
+  out
+
+(* im2col writing straight into the (reused) panel buffer: same
+   per-tap precomputed in-bounds ranges as the boxed kernel, padding
+   stored as explicit zeros so the panel never needs a re-zeroing
+   pass. *)
+
+let conv_out_dim size k stride pad = ((size + (2 * pad) - k) / stride) + 1
+let div_floor a b = if a >= 0 then a / b else -((-a + b - 1) / b)
+let div_ceil a b = if a >= 0 then (a + b - 1) / b else -(-a / b)
+
+let fill_range (od : ba) pos len =
+  for i = pos to pos + len - 1 do
+    Bigarray.Array1.unsafe_set od i 0.
+  done
+
+let im2col_into ~stride ~pad ~kh ~kw ~in_c ~h ~w ~oh ~ow ~xoff (xd : ba)
+    (od : ba) =
+  for ic = 0 to in_c - 1 do
+    for ky = 0 to kh - 1 do
+      let oy_lo = max 0 (div_ceil (pad - ky) stride)
+      and oy_hi = min (oh - 1) (div_floor (h - 1 + pad - ky) stride) in
+      for kx = 0 to kw - 1 do
+        let row = (((ic * kh) + ky) * kw) + kx in
+        let ox_lo = max 0 (div_ceil (pad - kx) stride)
+        and ox_hi = min (ow - 1) (div_floor (w - 1 + pad - kx) stride) in
+        let rbase = row * (oh * ow) in
+        if oy_lo > oy_hi || ox_lo > ox_hi then
+          fill_range od rbase (oh * ow)
+        else begin
+          for oy = 0 to oy_lo - 1 do
+            fill_range od (rbase + (oy * ow)) ow
+          done;
+          for oy = oy_hi + 1 to oh - 1 do
+            fill_range od (rbase + (oy * ow)) ow
+          done;
+          for oy = oy_lo to oy_hi do
+            let iy = (oy * stride) - pad + ky in
+            let orow = rbase + (oy * ow)
+            and xrow = xoff + (((ic * h) + iy) * w) - pad + kx in
+            fill_range od orow ox_lo;
+            fill_range od (orow + ox_hi + 1) (ow - ox_hi - 1);
+            if stride = 1 then
+              for ox = ox_lo to ox_hi do
+                Bigarray.Array1.unsafe_set od (orow + ox)
+                  (Bigarray.Array1.unsafe_get xd (xrow + ox))
+              done
+            else
+              for ox = ox_lo to ox_hi do
+                Bigarray.Array1.unsafe_set od (orow + ox)
+                  (Bigarray.Array1.unsafe_get xd (xrow + (ox * stride)))
+              done
+          done
+        end
+      done
+    done
+  done
+
+(* Single-image im2col to a fresh panel — the qcheck layout-test
+   surface. *)
+let im2col ~stride ~pad ~kh ~kw x =
+  if Array.length x.shape <> 3 then
+    invalid_arg "Tensor_f32.im2col: expected a CHW tensor";
+  let in_c = x.shape.(0) and h = x.shape.(1) and w = x.shape.(2) in
+  let oh = conv_out_dim h kh stride pad and ow = conv_out_dim w kw stride pad in
+  if oh <= 0 || ow <= 0 then
+    invalid_arg "Tensor_f32.im2col: kernel larger than padded input";
+  let out = create [| in_c * kh * kw; oh * ow |] in
+  im2col_into ~stride ~pad ~kh ~kw ~in_c ~h ~w ~oh ~ow ~xoff:0 x.data out.data;
+  out
+
+(* Per-domain reusable panel scratch, mirroring the boxed engine's. *)
+let col_scratch : ba ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (alloc 0))
+
+let scratch len =
+  let r = Domain.DLS.get col_scratch in
+  if Bigarray.Array1.dim !r < len then r := alloc len;
+  !r
+
+(* The shared normalization kernel: per-(image, channel)-plane mean and
+   1/sqrt(var + eps) in float64, then scale/shift (and optionally the
+   relu clamp) on the store.  Reading [src] and writing [dst] plane by
+   plane makes in-place use ([src == dst], the fused conv epilogue)
+   produce exactly the bits of the out-of-place unfused call: rounding
+   happens at the same single store either way, and
+   [round(max 0 v) = max 0 (round v)] for round-to-nearest, so folding
+   the clamp before the store changes nothing either. *)
+let norm_planes ~relu ~c ~plane (gd : ba) (bd : ba) ~eps ~nplanes (src : ba)
+    (dst : ba) =
+  let m = float_of_int plane in
+  for p = 0 to nplanes - 1 do
+    let off = p * plane and ch = p mod c in
+    let acc = ref 0. in
+    for i = 0 to plane - 1 do
+      acc := !acc +. Bigarray.Array1.unsafe_get src (off + i)
+    done;
+    let mean = !acc /. m in
+    let vacc = ref 0. in
+    for i = 0 to plane - 1 do
+      let d = Bigarray.Array1.unsafe_get src (off + i) -. mean in
+      vacc := !vacc +. (d *. d)
+    done;
+    let istd = 1. /. sqrt ((!vacc /. m) +. eps) in
+    let gam = Bigarray.Array1.unsafe_get gd ch
+    and bet = Bigarray.Array1.unsafe_get bd ch in
+    for i = 0 to plane - 1 do
+      let xhat = (Bigarray.Array1.unsafe_get src (off + i) -. mean) *. istd in
+      let v = (gam *. xhat) +. bet in
+      Bigarray.Array1.unsafe_set dst (off + i)
+        (if relu && v <= 0. then 0. else v)
+    done
+  done
+
+let channel_norm_batch ~gamma ~beta ~eps x =
+  if Array.length x.shape <> 4 then
+    invalid_arg "Tensor_f32.channel_norm_batch: expected an NCHW tensor";
+  let nb = x.shape.(0) and c = x.shape.(1) in
+  let plane = x.shape.(2) * x.shape.(3) in
+  if gamma.shape.(0) <> c || beta.shape.(0) <> c then
+    invalid_arg "Tensor_f32.channel_norm_batch: gamma/beta arity mismatch";
+  let out = create x.shape in
+  norm_planes ~relu:false ~c ~plane gamma.data beta.data ~eps
+    ~nplanes:(nb * c) x.data out.data;
+  out
+
+let relu_inplace (d : ba) n =
+  for i = 0 to n - 1 do
+    let v = Bigarray.Array1.unsafe_get d i in
+    if v <= 0. then Bigarray.Array1.unsafe_set d i 0.
+  done
+
+let conv2d_batch ?pool ~stride ~pad ~weight ~bias ?norm ?(relu = false) x =
+  if Array.length x.shape <> 4 || Array.length weight.shape <> 4 then
+    invalid_arg "Tensor_f32.conv2d_batch: expected NCHW input and OIHW weight";
+  let n = x.shape.(0)
+  and in_c = x.shape.(1)
+  and h = x.shape.(2)
+  and w = x.shape.(3) in
+  let out_c = weight.shape.(0)
+  and win_c = weight.shape.(1)
+  and kh = weight.shape.(2)
+  and kw = weight.shape.(3) in
+  if in_c <> win_c then
+    invalid_arg "Tensor_f32.conv2d_batch: channel mismatch";
+  let oh = conv_out_dim h kh stride pad and ow = conv_out_dim w kw stride pad in
+  if oh <= 0 || ow <= 0 then
+    invalid_arg "Tensor_f32.conv2d_batch: kernel larger than padded input";
+  let kk = in_c * kh * kw and cols = oh * ow in
+  let image = in_c * h * w in
+  let t0 = Unix.gettimeofday () in
+  let patches = scratch (kk * cols) in
+  let out = create [| n; out_c; oh; ow |] in
+  let od = out.data and bd = bias.data and wd = weight.data in
+  let ostride = out_c * cols in
+  for img = 0 to n - 1 do
+    im2col_into ~stride ~pad ~kh ~kw ~in_c ~h ~w ~oh ~ow ~xoff:(img * image)
+      x.data patches;
+    let obase = img * ostride in
+    (* Seed output rows with the bias so the GEMM accumulates on top —
+       one store per element instead of a zero pass plus an add pass. *)
+    for oc = 0 to out_c - 1 do
+      let b = Bigarray.Array1.unsafe_get bd oc in
+      fill_range od (obase + (oc * cols)) cols |> ignore;
+      if b <> 0. then
+        for i = obase + (oc * cols) to obase + (oc * cols) + cols - 1 do
+          Bigarray.Array1.unsafe_set od i b
+        done
+    done;
+    gemm_dispatch ?pool ~ooff:obase ~m:out_c ~k:kk ~n:cols wd patches od
+  done;
+  Telemetry.Counter.add stats.Tensor_sig.Stats.panels n;
+  Telemetry.Counter.add stats.Tensor_sig.Stats.flops (2 * n * out_c * kk * cols);
+  (* Fused epilogue: normalize and clamp in place on the cache-hot conv
+     output — no intermediate tensors, one pass instead of three. *)
+  (match norm with
+  | Some (gamma, beta, eps) ->
+      Telemetry.Counter.incr stats.Tensor_sig.Stats.fusion_hits;
+      norm_planes ~relu ~c:out_c ~plane:cols gamma.data beta.data ~eps
+        ~nplanes:(n * out_c) od od
+  | None ->
+      if relu then begin
+        Telemetry.Counter.incr stats.Tensor_sig.Stats.fusion_hits;
+        relu_inplace od (n * ostride)
+      end);
+  Telemetry.Histogram.observe stats.Tensor_sig.Stats.seconds
+    (Unix.gettimeofday () -. t0);
+  out
+
+let dense_batch ~weight ~bias x =
+  if Array.length x.shape <> 2 || Array.length weight.shape <> 2 then
+    invalid_arg "Tensor_f32.dense_batch: expected rank-2 input and weight";
+  let n = x.shape.(0) and k = x.shape.(1) in
+  let out_dim = weight.shape.(0) in
+  if weight.shape.(1) <> k || bias.shape.(0) <> out_dim then
+    invalid_arg "Tensor_f32.dense_batch: dimension mismatch";
+  let t0 = Unix.gettimeofday () in
+  let out = create [| n; out_dim |] in
+  let xd = x.data and wd = weight.data and bd = bias.data and od = out.data in
+  for img = 0 to n - 1 do
+    let xoff = img * k and ooff = img * out_dim in
+    for j = 0 to out_dim - 1 do
+      let woff = j * k in
+      let acc = ref 0. in
+      for p = 0 to k - 1 do
+        acc :=
+          !acc
+          +. (Bigarray.Array1.unsafe_get wd (woff + p)
+             *. Bigarray.Array1.unsafe_get xd (xoff + p))
+      done;
+      Bigarray.Array1.unsafe_set od (ooff + j)
+        (!acc +. Bigarray.Array1.unsafe_get bd j)
+    done
+  done;
+  Telemetry.Counter.add stats.Tensor_sig.Stats.flops (2 * n * out_dim * k);
+  Telemetry.Histogram.observe stats.Tensor_sig.Stats.seconds
+    (Unix.gettimeofday () -. t0);
+  out
+
+(* Pooling over NCHW: plane-by-plane scans (the plane of index [p]
+   belongs to image [p / c]); windows are fully in-bounds by the
+   [conv_out_dim] contract. *)
+
+let pool_dims name ~stride ~size x =
+  if Array.length x.shape <> 4 then
+    invalid_arg ("Tensor_f32." ^ name ^ ": expected an NCHW tensor");
+  let h = x.shape.(2) and w = x.shape.(3) in
+  let oh = conv_out_dim h size stride 0 and ow = conv_out_dim w size stride 0 in
+  if oh <= 0 || ow <= 0 then
+    invalid_arg ("Tensor_f32." ^ name ^ ": window too large");
+  (x.shape.(0), x.shape.(1), h, w, oh, ow)
+
+let max_pool2d_batch ~stride ~size x =
+  let n, c, h, w, oh, ow = pool_dims "max_pool2d_batch" ~stride ~size x in
+  let out = create [| n; c; oh; ow |] in
+  let xd = x.data and od = out.data in
+  for p = 0 to (n * c) - 1 do
+    let xbase = p * h * w and obase = p * oh * ow in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let best = ref neg_infinity in
+        let base = xbase + ((oy * stride) * w) + (ox * stride) in
+        for ky = 0 to size - 1 do
+          let rowb = base + (ky * w) in
+          for kx = 0 to size - 1 do
+            let v = Bigarray.Array1.unsafe_get xd (rowb + kx) in
+            if v > !best then best := v
+          done
+        done;
+        Bigarray.Array1.unsafe_set od (obase + (oy * ow) + ox) !best
+      done
+    done
+  done;
+  out
+
+let avg_pool2d_batch ~stride ~size x =
+  let n, c, h, w, oh, ow = pool_dims "avg_pool2d_batch" ~stride ~size x in
+  let out = create [| n; c; oh; ow |] in
+  let inv = 1. /. float_of_int (size * size) in
+  let xd = x.data and od = out.data in
+  for p = 0 to (n * c) - 1 do
+    let xbase = p * h * w and obase = p * oh * ow in
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref 0. in
+        let base = xbase + ((oy * stride) * w) + (ox * stride) in
+        for ky = 0 to size - 1 do
+          let rowb = base + (ky * w) in
+          for kx = 0 to size - 1 do
+            acc := !acc +. Bigarray.Array1.unsafe_get xd (rowb + kx)
+          done
+        done;
+        Bigarray.Array1.unsafe_set od (obase + (oy * ow) + ox) (!acc *. inv)
+      done
+    done
+  done;
+  out
+
+let global_avg_pool_batch x =
+  if Array.length x.shape <> 4 then
+    invalid_arg "Tensor_f32.global_avg_pool_batch: expected an NCHW tensor";
+  let n = x.shape.(0) and c = x.shape.(1) in
+  let plane = x.shape.(2) * x.shape.(3) in
+  let inv = 1. /. float_of_int plane in
+  let out = create [| n; c |] in
+  let xd = x.data and od = out.data in
+  for p = 0 to (n * c) - 1 do
+    let off = p * plane in
+    let acc = ref 0. in
+    for i = 0 to plane - 1 do
+      acc := !acc +. Bigarray.Array1.unsafe_get xd (off + i)
+    done;
+    Bigarray.Array1.unsafe_set od p (!acc *. inv)
+  done;
+  out
+
+let concat_channels_batch ts =
+  match ts with
+  | [] -> invalid_arg "Tensor_f32.concat_channels_batch: empty list"
+  | first :: _ ->
+      List.iter
+        (fun t ->
+          if Array.length t.shape <> 4 then
+            invalid_arg "Tensor_f32.concat_channels_batch: expected NCHW")
+        ts;
+      let n = first.shape.(0)
+      and h = first.shape.(2)
+      and w = first.shape.(3) in
+      List.iter
+        (fun t ->
+          if t.shape.(0) <> n || t.shape.(2) <> h || t.shape.(3) <> w then
+            invalid_arg "Tensor_f32.concat_channels_batch: shape mismatch")
+        ts;
+      let total_c = List.fold_left (fun acc t -> acc + t.shape.(1)) 0 ts in
+      let plane = h * w in
+      let out = create [| n; total_c; h; w |] in
+      for img = 0 to n - 1 do
+        let base = img * total_c * plane in
+        let off = ref 0 in
+        List.iter
+          (fun t ->
+            let len = t.shape.(1) * plane in
+            Bigarray.Array1.blit
+              (Bigarray.Array1.sub t.data (img * len) len)
+              (Bigarray.Array1.sub out.data (base + !off) len);
+            off := !off + len)
+          ts
+      done;
+      out
+
+let softmax_rows l =
+  if Array.length l.shape <> 2 then
+    invalid_arg "Tensor_f32.softmax_rows: expected an (n, classes) matrix";
+  let n = l.shape.(0) and classes = l.shape.(1) in
+  let out = create [| n; classes |] in
+  let ld = l.data and od = out.data in
+  for img = 0 to n - 1 do
+    let off = img * classes in
+    let m = ref (Bigarray.Array1.unsafe_get ld off) in
+    for j = 1 to classes - 1 do
+      let v = Bigarray.Array1.unsafe_get ld (off + j) in
+      if v > !m then m := v
+    done;
+    let z = ref 0. in
+    for j = 0 to classes - 1 do
+      let e = exp (Bigarray.Array1.unsafe_get ld (off + j) -. !m) in
+      Bigarray.Array1.unsafe_set od (off + j) e;
+      z := !z +. e
+    done;
+    let inv = 1. /. !z in
+    for j = 0 to classes - 1 do
+      Bigarray.Array1.unsafe_set od (off + j)
+        (inv *. Bigarray.Array1.unsafe_get od (off + j))
+    done
+  done;
+  out

@@ -1,0 +1,22 @@
+(** Float32 [Bigarray] backend: flat unboxed storage + shape descriptor,
+    blocked register-tiled GEMM (float64 accumulation, float32 rounding
+    only at the store), im2col into a reused per-domain panel buffer,
+    fused conv→norm→relu, and opportunistic row-panel dispatch on a
+    domain pool.  Not bit-identical to the boxed reference ([exact =
+    false]); differentials use the tolerance policy instead. *)
+
+include Tensor_sig.S
+
+val matmul : t -> t -> t
+(** [matmul a b] with [a : (m, k)] and [b : (k, n)] runs the blocked
+    GEMM kernel on fresh operands — the property-test surface for
+    comparing against a naive float64 reference. *)
+
+val im2col :
+  stride:int -> pad:int -> kh:int -> kw:int -> t -> t
+(** Single-image im2col of a CHW tensor to a fresh
+    [(in_c*kh*kw, oh*ow)] panel — the property-test surface for the
+    block layout (padding positions must read back as explicit 0s). *)
+
+val get_flat : t -> int -> float
+(** Row-major flat read, for tests. *)

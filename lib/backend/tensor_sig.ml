@@ -1,0 +1,94 @@
+(* The TENSOR signature the nn plan compiler is functorized over.
+
+   A backend supplies batched (NCHW) inference kernels over an abstract
+   activation type.  Two implementations exist: [Tensor_boxed] (the
+   reference — delegates to the [Tensor] kernels the layer engine runs
+   on, so a compiled boxed plan is bit-identical to the layer engine by
+   construction) and [Tensor_f32] (flat [Bigarray] float32 storage with
+   an explicit shape descriptor — the Manticore flat-data-plus-shape
+   idiom — a blocked register-tiled GEMM, and fused conv→norm→relu).
+
+   Weights enter a plan as ordinary float64 [Tensor.t]s and are
+   converted once at compile time via [of_tensor]; activations cross the
+   boundary the same way, so callers above the plan never see backend
+   storage. *)
+
+module type S = sig
+  type t
+  (** A batched activation (or converted weight): flat backend storage
+      plus a shape descriptor.  Never nested. *)
+
+  val name : string
+  (** Short backend id, also the metric-name segment ("boxed", "f32"). *)
+
+  val exact : bool
+  (** True when the backend's kernels are bit-identical to the boxed
+      reference path; false relaxes the differential contract to the
+      tolerance policy (argmax/success/query identity + |Δ| ≤ tol). *)
+
+  val fuse : bool
+  (** True when the plan compiler may fuse conv→norm→relu into the
+      [conv2d_batch] call.  Backends where fusion is off still accept
+      the [?norm]/[?relu] arguments (they compose the unfused kernels),
+      so the signature stays total. *)
+
+  val of_tensor : Tensor.t -> t
+  val to_tensor : t -> Tensor.t
+  val shape : t -> int array
+  val reshape : t -> int array -> t
+
+  val relu : t -> t
+  val add : t -> t -> t
+
+  val conv2d_batch :
+    ?pool:Domain_pool.Pool.t ->
+    stride:int ->
+    pad:int ->
+    weight:t ->
+    bias:t ->
+    ?norm:t * t * float ->
+    ?relu:bool ->
+    t ->
+    t
+  (** Batched convolution over NCHW input; [weight] is
+      [|out_c; in_c; kh; kw|], [bias] is [|out_c|].  [?norm:(gamma,
+      beta, eps)] and [?relu:true] request the fused
+      conv→channel-norm→relu epilogue; the result must equal the unfused
+      composition [relu (channel_norm_batch (conv ...))] exactly (the
+      fusion saves passes and intermediates, never changes rounding).
+      [?pool] lets the backend dispatch GEMM row panels as work items on
+      an idle domain pool ({!Domain_pool.Pool.try_map}); backends fall
+      back to the single-domain kernel when the pool is absent, busy or
+      width 1. *)
+
+  val dense_batch : weight:t -> bias:t -> t -> t
+  val max_pool2d_batch : stride:int -> size:int -> t -> t
+  val avg_pool2d_batch : stride:int -> size:int -> t -> t
+  val global_avg_pool_batch : t -> t
+  val channel_norm_batch : gamma:t -> beta:t -> eps:float -> t -> t
+  val concat_channels_batch : t list -> t
+  val softmax_rows : t -> t
+end
+
+(* Per-backend GEMM instrumentation, shared by every implementation:
+   the Report "backend" section renders one row per backend that ran.
+   MFLOP/s = gemm_flops / gemm_seconds.sum. *)
+module Stats = struct
+  type t = {
+    flops : Telemetry.Counter.t;  (* nominal 2*m*k*n multiply-adds *)
+    panels : Telemetry.Counter.t;  (* im2col panel fills (one per image) *)
+    fusion_hits : Telemetry.Counter.t;  (* fused conv epilogues executed *)
+    seconds : Telemetry.Histogram.t;  (* wall seconds per conv/dense call *)
+  }
+
+  let make backend =
+    {
+      flops = Telemetry.Metrics.counter ("backend." ^ backend ^ ".gemm_flops");
+      panels = Telemetry.Metrics.counter ("backend." ^ backend ^ ".panels");
+      fusion_hits =
+        Telemetry.Metrics.counter ("backend." ^ backend ^ ".fusion_hits");
+      seconds =
+        Telemetry.Metrics.histogram ~buckets:Telemetry.Metrics.time_buckets
+          ("backend." ^ backend ^ ".gemm_seconds");
+    }
+end

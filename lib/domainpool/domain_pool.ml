@@ -45,6 +45,10 @@ module Pool = struct
     steals : int Atomic.t;
     mutable jobs_served : int;
     mutable busy : float;
+    in_flight : bool Atomic.t;
+        (* true while a parallel job is published; the opportunistic
+           [try_map] entry point bails out (instead of deadlocking or
+           clobbering [current]) when the pool is already busy. *)
   }
 
   let rec worker_loop t last_gen =
@@ -83,6 +87,7 @@ module Pool = struct
         steals = Atomic.make 0;
         jobs_served = 0;
         busy = 0.;
+        in_flight = Atomic.make false;
       }
     in
     t.workers <-
@@ -136,28 +141,11 @@ module Pool = struct
     Telemetry.Histogram.observe h_job_seconds dt;
     Telemetry.Histogram.observe h_job_tasks (float_of_int n)
 
-  let map t f xs =
-    if t.stop then invalid_arg "Domain_pool.Pool.map: pool is shut down";
-    Telemetry.Trace.span "pool.map" ~cat:"pool"
-      ~args:(fun () ->
-        [
-          ("tasks", Telemetry.Trace.Int (Array.length xs));
-          ("domains", Telemetry.Trace.Int t.total);
-        ])
-    @@ fun () ->
-    let n = Array.length xs in
-    if n = 0 then [||]
-    else if t.total = 1 || n = 1 then begin
-      let t0 = Unix.gettimeofday () in
-      Telemetry.Gauge.set g_job_inflight (float_of_int n);
-      (* Inline fast path: exceptions from [f] propagate directly, and a
-         raise on item [i] abandons items after [i] just like the
-         parallel path does. *)
-      let r = Array.map f xs in
-      finish_job t t0 n;
-      r
-    end
-    else begin
+  (* The parallel job body, shared by [map] (which treats a busy pool as
+     a caller bug) and [try_map] (which declines).  The caller has
+     already claimed [t.in_flight]. *)
+  let run_parallel t f xs n =
+    begin
       let t0 = Unix.gettimeofday () in
       Telemetry.Gauge.set g_job_inflight (float_of_int n);
       let results = Array.make n None in
@@ -228,6 +216,53 @@ module Pool = struct
                   assert false)
             results
     end
+
+  let map t f xs =
+    if t.stop then invalid_arg "Domain_pool.Pool.map: pool is shut down";
+    Telemetry.Trace.span "pool.map" ~cat:"pool"
+      ~args:(fun () ->
+        [
+          ("tasks", Telemetry.Trace.Int (Array.length xs));
+          ("domains", Telemetry.Trace.Int t.total);
+        ])
+    @@ fun () ->
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else if t.total = 1 || n = 1 then begin
+      let t0 = Unix.gettimeofday () in
+      Telemetry.Gauge.set g_job_inflight (float_of_int n);
+      (* Inline fast path: exceptions from [f] propagate directly, and a
+         raise on item [i] abandons items after [i] just like the
+         parallel path does.  No [in_flight] claim: the inline path is
+         trivially re-entrant. *)
+      let r = Array.map f xs in
+      finish_job t t0 n;
+      r
+    end
+    else if not (Atomic.compare_and_set t.in_flight false true) then
+      invalid_arg
+        "Domain_pool.Pool.map: pool is already running a job (map is not \
+         re-entrant; use try_map for opportunistic work)"
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set t.in_flight false)
+        (fun () -> run_parallel t f xs n)
+
+  let try_map t f xs =
+    let n = Array.length xs in
+    if t.stop || t.total = 1 || n < 2 then None
+    else if not (Atomic.compare_and_set t.in_flight false true) then None
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set t.in_flight false)
+        (fun () ->
+          Telemetry.Trace.span "pool.try_map" ~cat:"pool"
+            ~args:(fun () ->
+              [
+                ("tasks", Telemetry.Trace.Int n);
+                ("domains", Telemetry.Trace.Int t.total);
+              ])
+            (fun () -> Some (run_parallel t f xs n)))
 end
 
 let map ?domains f xs =

@@ -53,7 +53,19 @@ module Pool : sig
   val map : t -> ('a -> 'b) -> 'a array -> 'b array
   (** Order-preserving parallel map over the pool's domains.  Raises
       [Invalid_argument] if the pool was shut down (rejecting new work
-      beats hanging on dead workers). *)
+      beats hanging on dead workers), or if a parallel job is already in
+      flight (re-entering [map] from a mapped function would deadlock;
+      that misuse now fails loudly instead). *)
+
+  val try_map : t -> ('a -> 'b) -> 'a array -> 'b array option
+  (** Opportunistic {!map}: claims the pool atomically and runs the job
+      if — and only if — no parallel job is currently in flight.
+      Returns [None] (and does nothing) when the pool is busy, shut
+      down, poolless ([size t = 1]) or the input has fewer than 2
+      elements; callers are expected to fall back to an inline loop.
+      This is the entry point for nested data parallelism (e.g. the f32
+      GEMM's row panels): inner work items ride an idle pool but never
+      block on one that is already mapping above them. *)
 
   val stats : t -> stats
   (** Cumulative instrumentation since [create]. *)

@@ -175,6 +175,42 @@ let parse_file path =
   close_in ic;
   parse_json s
 
+(* The baseline registry: every BENCH_*.json the bench suite writes and
+   the repo commits.  A bench mode that gains a baseline file must be
+   added here — the gates ([bench regress] and [tools/regress --smoke])
+   resolve THIS list and fail by name on anything missing, instead of
+   silently gating over whatever files happen to exist. *)
+let registered_baselines =
+  [
+    "BENCH_parallel.json";
+    "BENCH_cache.json";
+    "BENCH_batch.json";
+    "BENCH_telemetry.json";
+    "BENCH_observe.json";
+    "BENCH_synth.json";
+    "BENCH_scenarios.json";
+    "BENCH_backend.json";
+  ]
+
+exception Missing_baseline of string list
+
+let locate_baselines () =
+  let found, missing =
+    List.fold_left
+      (fun (found, missing) f ->
+        (* Under `dune runtest` bench actions run in _build/default/bench/
+           with the committed baselines staged one level up; direct
+           invocations run at the repo root. *)
+        if Sys.file_exists f then (f :: found, missing)
+        else
+          let up = Filename.concat Filename.parent_dir_name f in
+          if Sys.file_exists up then (up :: found, missing)
+          else (found, f :: missing))
+      ([], []) registered_baselines
+  in
+  if missing <> [] then raise (Missing_baseline (List.rev missing));
+  List.rev found
+
 (* Flattening: every numeric leaf becomes ("path.to[2].leaf", value). *)
 
 let flatten (j : json) : (string * float) list =

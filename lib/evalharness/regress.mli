@@ -29,6 +29,22 @@ val parse_json : string -> json
 
 val parse_file : string -> json
 
+val registered_baselines : string list
+(** The canonical committed-baseline set, one [BENCH_*.json] per bench
+    mode that writes one.  Bench modes register here; the gates resolve
+    this list rather than globbing, so a missing committed file is a
+    loud named failure instead of a silent skip. *)
+
+exception Missing_baseline of string list
+(** Raised by {!locate_baselines} with every registered baseline that
+    could not be found. *)
+
+val locate_baselines : unit -> string list
+(** Resolve {!registered_baselines} against the current directory, then
+    one level up (the [dune runtest] staging layout).  Returns the
+    resolved paths in registry order; raises {!Missing_baseline} naming
+    the absentees if any registered file is found in neither place. *)
+
 val flatten : json -> (string * float) list
 (** Every numeric leaf as a dotted/indexed path:
     [{"runs": [{"s": 1.5}]}] yields [[("runs[0].s", 1.5)]]. *)

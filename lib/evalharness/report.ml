@@ -176,6 +176,51 @@ let render_batch_stats (s : Batcher.stats) =
           ];
         ]
 
+(* Per-backend tensor-engine summary, from the registry counters every
+   backend maintains ({!Tensor_sig.Stats}): one row per backend that
+   actually ran a GEMM this process.  MFLOP/s is nominal multiply-add
+   work over kernel wall seconds. *)
+let render_backend () =
+  let row name =
+    let c leaf =
+      Telemetry.Counter.get
+        (Telemetry.Metrics.counter ("backend." ^ name ^ "." ^ leaf))
+    in
+    let flops = c "gemm_flops" in
+    if flops = 0 then None
+    else
+      let s =
+        Telemetry.Histogram.snapshot
+          (Telemetry.Metrics.histogram ("backend." ^ name ^ ".gemm_seconds"))
+      in
+      let seconds = s.Telemetry.Histogram.sum in
+      let mflops =
+        if seconds > 0. then
+          Telemetry.Fmt.f1 (float_of_int flops /. seconds /. 1e6)
+        else "-"
+      in
+      Some
+        [
+          name;
+          mflops;
+          string_of_int (c "panels");
+          string_of_int (c "fusion_hits");
+          Telemetry.Fmt.f2 seconds;
+        ]
+  in
+  let rows =
+    List.filter_map row (List.map Nn.Backend.kind_name Nn.Backend.all_kinds)
+  in
+  if rows = [] then None
+  else
+    Some
+      ("Tensor backends\n"
+      ^ table
+          ~headers:
+            [ "backend"; "GEMM MFLOP/s"; "im2col panels"; "fusion hits";
+              "kernel (s)" ]
+          ~rows)
+
 (* Attack-outcome quantiles, straight from the registry histograms the
    sketch maintains.  Rendered only when at least one attack succeeded,
    so runs that never attacked print nothing. *)
@@ -278,6 +323,7 @@ let render_telemetry ?pool ?cache ?batch () =
         Option.map render_pool_stats pool;
         Option.map render_cache_stats cache;
         Option.map render_batch_stats batch;
+        render_backend ();
         render_attack_quantiles ();
         render_watchdog ();
         render_sampler ();

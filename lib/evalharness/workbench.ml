@@ -5,6 +5,7 @@ type classifier = {
   test : (Tensor.t * int) array;
   test_accuracy : float;
   synth_sets : (Tensor.t * int) array array;
+  backend : Nn.Backend.kind;
 }
 
 type config = {
@@ -15,6 +16,7 @@ type config = {
   synth_per_class : int;
   epochs : int;
   log : string -> unit;
+  backend : Nn.Backend.kind;
 }
 
 let default_config =
@@ -26,6 +28,7 @@ let default_config =
     synth_per_class = 10;
     epochs = 8;
     log = (fun _ -> ());
+    backend = Nn.Backend.Boxed;
   }
 
 let cifar_architectures = [ "vgg_tiny"; "resnet_tiny"; "googlenet_tiny" ]
@@ -160,7 +163,7 @@ let load_classifier config spec arch =
     (Printf.sprintf "[workbench] %s/%s: test acc %.3f (%d/%d attackable)"
        spec.name arch test_accuracy (Array.length test)
        (Array.length test_all));
-  { arch; net; spec; test; test_accuracy; synth_sets }
+  { arch; net; spec; test; test_accuracy; synth_sets; backend = config.backend }
 
 let cifar_suite config =
   List.map (load_classifier config Dataset.synth_cifar) cifar_architectures
@@ -170,7 +173,8 @@ let imagenet_suite config =
     (load_classifier config Dataset.synth_imagenet)
     imagenet_architectures
 
-let oracle_factory c () = Oracle.of_network c.net
+let oracle_factory (c : classifier) () =
+  Oracle.of_network ~backend:c.backend c.net
 
 (* The targeted protocol's sample set: attacking an image already
    classified as the target would succeed in zero queries, so those

@@ -20,6 +20,8 @@ type classifier = {
   test_accuracy : float;  (** on the unfiltered test set *)
   synth_sets : (Tensor.t * int) array array;
       (** per-class synthesis training sets (correctly classified only) *)
+  backend : Nn.Backend.kind;
+      (** tensor engine its oracles score with (from {!config}) *)
 }
 
 type config = {
@@ -31,11 +33,17 @@ type config = {
   synth_per_class : int;  (** synthesis training images per class *)
   epochs : int;
   log : string -> unit;
+  backend : Nn.Backend.kind;
+      (** tensor engine for oracle forward passes ([Boxed] reference or
+          the [F32] Bigarray plan); affects wall-clock only — query
+          accounting and attack outcomes are engine-independent within
+          {!Nn.Backend.score_tol} *)
 }
 
 val default_config : config
 (** artifacts in ["_artifacts"], seed 42, 60/16 train/test per class,
-    10 synthesis images per class, 8 epochs, silent log. *)
+    10 synthesis images per class, 8 epochs, silent log, boxed
+    backend. *)
 
 val cifar_architectures : string list
 (** [vgg_tiny; resnet_tiny; googlenet_tiny] — the CIFAR-regime trio. *)
@@ -53,7 +61,8 @@ val imagenet_suite : config -> classifier list
 
 val oracle_factory : classifier -> unit -> Oracle.t
 (** Fresh metered oracle per call (thread-safe usage pattern: one oracle
-    per image, see {!Parallel}). *)
+    per image, see {!Parallel}), scoring through the classifier's
+    [backend]. *)
 
 val targeted_samples : classifier -> target:int -> (Tensor.t * int) array
 (** The classifier's attackable test images whose true class is not

@@ -1,0 +1,167 @@
+(* Plan compiler: translate a trained [Network.t] once into a flat list
+   of backend kernel steps — weights converted to backend storage up
+   front via [B.of_tensor], conv→norm→relu collapsed into the fused
+   conv epilogue where the backend allows ([B.fuse]) and the layer graph
+   has the adjacency — then run the plan on whole batches without
+   touching the [Layer] representation again.
+
+   [Make (Tensor_boxed)] reproduces [Network.scores_batch] bit-for-bit
+   (same kernels, same order); [Make (Tensor_f32)] is the float32
+   Bigarray engine, equal under the tolerance policy ([score_tol]). *)
+
+let score_tol = 1e-4
+
+type kind = Boxed | F32
+
+let kind_name = function Boxed -> "boxed" | F32 -> "f32"
+
+let kind_of_string = function
+  | "boxed" -> Some Boxed
+  | "f32" -> Some F32
+  | _ -> None
+
+let all_kinds = [ Boxed; F32 ]
+
+module Make (B : Tensor_sig.S) = struct
+  type step =
+    | Conv of {
+        stride : int;
+        pad : int;
+        weight : B.t;
+        bias : B.t;
+        norm : (B.t * B.t * float) option;
+        relu : bool;
+      }
+    | Dense of { weight : B.t; bias : B.t }
+    | Relu
+    | Max_pool of { size : int; stride : int }
+    | Avg_pool of { size : int; stride : int }
+    | Global_avg_pool
+    | Flatten
+    | Norm of { gamma : B.t; beta : B.t }
+    | Residual of { body : step list; projection : step list option }
+    | Inception of step list list
+    | Dense_block of step list list
+
+  type plan = { net_name : string; steps : step list }
+
+  let backend_name = B.name
+  let exact = B.exact
+
+  let rec steps_of_layer l =
+    match Layer.view l with
+    | Layer.V_seq layers -> List.concat_map steps_of_layer layers
+    | Layer.V_conv { stride; pad; weight; bias } ->
+        [
+          Conv
+            {
+              stride;
+              pad;
+              weight = B.of_tensor weight;
+              bias = B.of_tensor bias;
+              norm = None;
+              relu = false;
+            };
+        ]
+    | Layer.V_dense { weight; bias } ->
+        [ Dense { weight = B.of_tensor weight; bias = B.of_tensor bias } ]
+    | Layer.V_relu -> [ Relu ]
+    | Layer.V_max_pool { size; stride } -> [ Max_pool { size; stride } ]
+    | Layer.V_avg_pool { size; stride } -> [ Avg_pool { size; stride } ]
+    | Layer.V_global_avg_pool -> [ Global_avg_pool ]
+    | Layer.V_flatten -> [ Flatten ]
+    | Layer.V_norm { gamma; beta } ->
+        [ Norm { gamma = B.of_tensor gamma; beta = B.of_tensor beta } ]
+    | Layer.V_residual { body; projection } ->
+        [
+          Residual
+            {
+              body = steps_of_layer body;
+              projection = Option.map steps_of_layer projection;
+            };
+        ]
+    | Layer.V_inception branches ->
+        [ Inception (List.map steps_of_layer branches) ]
+    | Layer.V_dense_block convs ->
+        [ Dense_block (List.map steps_of_layer convs) ]
+
+  (* Fusion: conv;norm;relu / conv;norm / conv;relu collapse into the
+     conv step's epilogue.  Only when the backend opts in — the result
+     must equal the unfused composition exactly, a property
+     [test_backend] pins per backend. *)
+  let rec fuse_list = function
+    | Conv ({ norm = None; relu = false; _ } as c)
+      :: Norm { gamma; beta }
+      :: Relu :: tl ->
+        Conv { c with norm = Some (gamma, beta, Layer.norm_eps); relu = true }
+        :: fuse_list tl
+    | Conv ({ norm = None; relu = false; _ } as c) :: Norm { gamma; beta } :: tl
+      ->
+        Conv { c with norm = Some (gamma, beta, Layer.norm_eps) } :: fuse_list tl
+    | Conv ({ relu = false; _ } as c) :: Relu :: tl ->
+        Conv { c with relu = true } :: fuse_list tl
+    | s :: tl -> fuse_step s :: fuse_list tl
+    | [] -> []
+
+  and fuse_step = function
+    | Residual { body; projection } ->
+        Residual
+          { body = fuse_list body; projection = Option.map fuse_list projection }
+    | Inception branches -> Inception (List.map fuse_list branches)
+    | Dense_block convs -> Dense_block (List.map fuse_list convs)
+    | s -> s
+
+  let compile (net : Network.t) =
+    let steps = steps_of_layer net.Network.stack in
+    let steps = if B.fuse then fuse_list steps else steps in
+    { net_name = net.Network.name; steps }
+
+  let rec run ?pool steps x =
+    List.fold_left (fun acc s -> run_step ?pool s acc) x steps
+
+  and run_step ?pool s x =
+    match s with
+    | Conv { stride; pad; weight; bias; norm; relu } ->
+        B.conv2d_batch ?pool ~stride ~pad ~weight ~bias ?norm ~relu x
+    | Dense { weight; bias } -> B.dense_batch ~weight ~bias x
+    | Relu -> B.relu x
+    | Max_pool { size; stride } -> B.max_pool2d_batch ~stride ~size x
+    | Avg_pool { size; stride } -> B.avg_pool2d_batch ~stride ~size x
+    | Global_avg_pool -> B.global_avg_pool_batch x
+    | Flatten ->
+        let s = B.shape x in
+        let n = s.(0) and total = Array.fold_left ( * ) 1 s in
+        B.reshape x [| n; total / n |]
+    | Norm { gamma; beta } ->
+        B.channel_norm_batch ~gamma ~beta ~eps:Layer.norm_eps x
+    | Residual { body; projection } ->
+        let skip =
+          match projection with None -> x | Some p -> run ?pool p x
+        in
+        B.add (run ?pool body x) skip
+    | Inception branches ->
+        B.concat_channels_batch (List.map (fun b -> run ?pool b x) branches)
+    | Dense_block convs ->
+        List.fold_left
+          (fun feat conv ->
+            B.concat_channels_batch [ feat; run ?pool conv feat ])
+          x convs
+
+  let forward ?pool plan x =
+    Telemetry.Trace.span "backend.forward_batch" ~cat:"tensor"
+      ~args:(fun () ->
+        [
+          ("backend", Telemetry.Trace.Str B.name);
+          ("net", Telemetry.Trace.Str plan.net_name);
+        ])
+      (fun () -> run ?pool plan.steps x)
+
+  let logits_batch ?pool plan xs =
+    B.to_tensor (forward ?pool plan (B.of_tensor xs))
+
+  let scores_batch ?pool plan xs =
+    B.to_tensor (B.softmax_rows (forward ?pool plan (B.of_tensor xs)))
+end
+
+module Boxed_engine = Make (Tensor_boxed)
+module F32_engine = Make (Tensor_f32)

@@ -1,0 +1,45 @@
+(** Plan compiler over pluggable tensor backends.
+
+    [Make (B)] translates a {!Network.t} once into a list of [B] kernel
+    steps (weights converted to backend storage at compile time,
+    conv→norm→relu fused into the conv epilogue when [B.fuse]) and runs
+    whole batches through it.  The boxed instance is bit-identical to
+    {!Network.scores_batch}; the f32 instance matches under the
+    tolerance policy: identical argmax, success and query counts, and
+    per-logit deviation at most {!score_tol}. *)
+
+val score_tol : float
+(** Per-score absolute tolerance (1e-4) for cross-backend differentials
+    on softmax outputs of non-[exact] backends. *)
+
+(** Backend selection token, threaded from the CLI ([--backend
+    boxed|f32]) through Workbench and Oracle. *)
+type kind = Boxed | F32
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+
+module Make (B : Tensor_sig.S) : sig
+  type plan
+
+  val backend_name : string
+  val exact : bool
+  (** Mirrors [B.name] / [B.exact]. *)
+
+  val compile : Network.t -> plan
+  (** Translate the network's current parameters into backend storage.
+      The plan snapshots weights: recompile after any parameter
+      update. *)
+
+  val logits_batch : ?pool:Domain_pool.Pool.t -> plan -> Tensor.t -> Tensor.t
+  (** NCHW batch in, [[|n; classes|]] logits out.  [?pool] lets the
+      backend dispatch GEMM row panels onto an idle domain pool (safe to
+      pass a pool that is mid-[map]: the backend falls back inline). *)
+
+  val scores_batch : ?pool:Domain_pool.Pool.t -> plan -> Tensor.t -> Tensor.t
+  (** Softmax of each {!logits_batch} row. *)
+end
+
+module Boxed_engine : module type of Make (Tensor_boxed)
+module F32_engine : module type of Make (Tensor_f32)

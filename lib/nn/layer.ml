@@ -233,25 +233,17 @@ let rec forward_batch layer x =
             ("in_dim", Telemetry.Trace.Int (Tensor.dim d.dw.value 1));
             ("out_dim", Telemetry.Trace.Int (Tensor.dim d.dw.value 0));
           ])
-      @@ fun () ->
-      let y = Tensor.matmul_nt x d.dw.value in
-      let n = Tensor.dim y 0 and out_dim = Tensor.dim y 1 in
-      let yd = y.Tensor.data and bd = d.db.value.Tensor.data in
-      for img = 0 to n - 1 do
-        let off = img * out_dim in
-        for j = 0 to out_dim - 1 do
-          yd.(off + j) <- yd.(off + j) +. bd.(j)
-        done
-      done;
-      y
+      @@ fun () -> Tensor.dense_batch x ~weight:d.dw.value ~bias:d.db.value
   | Relu _ -> Tensor.relu x
   | Max_pool p ->
-      let y, _ = Tensor.max_pool2d ~stride:p.mstride ~size:p.msize (fuse_nc x) in
-      unfuse_nc x y
-  | Avg_pool p -> unfuse_nc x (Tensor.avg_pool2d ~stride:p.astride ~size:p.asize (fuse_nc x))
+      check_nchw x;
+      Tensor.max_pool2d_batch ~stride:p.mstride ~size:p.msize x
+  | Avg_pool p ->
+      check_nchw x;
+      Tensor.avg_pool2d_batch ~stride:p.astride ~size:p.asize x
   | Global_avg_pool _ ->
-      let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
-      Tensor.reshape (Tensor.global_avg_pool (fuse_nc x)) [| n; c |]
+      check_nchw x;
+      Tensor.global_avg_pool_batch x
   | Flatten _ ->
       let n = Tensor.dim x 0 in
       Tensor.reshape x [| n; Tensor.numel x / n |]
@@ -272,51 +264,18 @@ let rec forward_batch layer x =
           Tensor.concat_channels_batch [ feat; y ])
         x b.convs
 
-(* Pooling and global averaging act per channel plane, so an NCHW batch
-   folds to [(n*c); h; w], runs the single-image kernel, and unfolds. *)
-and fuse_nc x =
+and check_nchw x =
   if Tensor.ndim x <> 4 then
-    invalid_arg "Layer.forward_batch: expected an NCHW tensor";
-  let s = Tensor.shape x in
-  Tensor.reshape x [| s.(0) * s.(1); s.(2); s.(3) |]
+    invalid_arg "Layer.forward_batch: expected an NCHW tensor"
 
-and unfuse_nc x y =
-  let s = Tensor.shape x and p = Tensor.shape y in
-  Tensor.reshape y [| s.(0); s.(1); p.(1); p.(2) |]
-
+(* Same per-plane reductions as [forward_norm], plane by plane; the
+   kernel lives in {!Tensor.channel_norm_batch} so every tensor backend
+   normalizes with the identical arithmetic. *)
 and forward_norm_batch n x =
   if Tensor.ndim x <> 4 then
     invalid_arg "Layer.channel_norm: expected an NCHW tensor";
-  let nb = Tensor.dim x 0
-  and c = Tensor.dim x 1
-  and h = Tensor.dim x 2
-  and w = Tensor.dim x 3 in
-  let m = float_of_int (h * w) in
-  let y = Tensor.zeros [| nb; c; h; w |] in
-  let xd = x.Tensor.data and yd = y.Tensor.data in
-  (* Same per-plane reductions as [forward_norm], plane by plane; the
-     channel of plane [p] is [p mod c]. *)
-  for plane = 0 to (nb * c) - 1 do
-    let off = plane * h * w and ch = plane mod c in
-    let acc = ref 0. in
-    for i = 0 to (h * w) - 1 do
-      acc := !acc +. Array.unsafe_get xd (off + i)
-    done;
-    let mean = !acc /. m in
-    let vacc = ref 0. in
-    for i = 0 to (h * w) - 1 do
-      let d = Array.unsafe_get xd (off + i) -. mean in
-      vacc := !vacc +. (d *. d)
-    done;
-    let istd = 1. /. sqrt ((!vacc /. m) +. norm_eps) in
-    let gam = Tensor.get_flat n.gamma.value ch
-    and bet = Tensor.get_flat n.beta.value ch in
-    for i = 0 to (h * w) - 1 do
-      let xhat = (Array.unsafe_get xd (off + i) -. mean) *. istd in
-      Array.unsafe_set yd (off + i) ((gam *. xhat) +. bet)
-    done
-  done;
-  y
+  Tensor.channel_norm_batch ~gamma:n.gamma.value ~beta:n.beta.value
+    ~eps:norm_eps x
 
 (* Cache management *)
 
@@ -339,6 +298,40 @@ let rec clear_caches = function
   | Dense_block b -> List.iter clear_caches b.convs
 
 let children = function Seq layers -> layers | layer -> [ layer ]
+
+(* Structural view for plan compilers (see {!Backend}): exposes each
+   layer's kind and current parameter tensors without the training
+   caches or the representation itself. *)
+
+type view =
+  | V_conv of { stride : int; pad : int; weight : Tensor.t; bias : Tensor.t }
+  | V_dense of { weight : Tensor.t; bias : Tensor.t }
+  | V_relu
+  | V_max_pool of { size : int; stride : int }
+  | V_avg_pool of { size : int; stride : int }
+  | V_global_avg_pool
+  | V_flatten
+  | V_norm of { gamma : Tensor.t; beta : Tensor.t }
+  | V_residual of { body : t; projection : t option }
+  | V_inception of t list
+  | V_seq of t list
+  | V_dense_block of t list
+
+let view = function
+  | Conv c ->
+      V_conv
+        { stride = c.stride; pad = c.pad; weight = c.cw.value; bias = c.cb.value }
+  | Dense d -> V_dense { weight = d.dw.value; bias = d.db.value }
+  | Relu _ -> V_relu
+  | Max_pool p -> V_max_pool { size = p.msize; stride = p.mstride }
+  | Avg_pool p -> V_avg_pool { size = p.asize; stride = p.astride }
+  | Global_avg_pool _ -> V_global_avg_pool
+  | Flatten _ -> V_flatten
+  | Norm n -> V_norm { gamma = n.gamma.value; beta = n.beta.value }
+  | Residual { body; projection } -> V_residual { body; projection }
+  | Inception i -> V_inception i.branches
+  | Seq layers -> V_seq layers
+  | Dense_block b -> V_dense_block b.convs
 
 (* Backward *)
 

@@ -81,6 +81,34 @@ val children : t -> t list
     other layer) — lets benchmarks time a network layer by layer without
     access to the representation. *)
 
+val norm_eps : float
+(** The variance floor used by {!channel_norm} (1e-5).  Exposed so plan
+    compilers ({!Backend}) normalize with the identical constant. *)
+
+(** One-level structural view of a layer: its kind plus the current
+    parameter tensors, without training caches.  Composite layers expose
+    their sub-layers as [t]s so consumers recurse via {!view}.  This is
+    what plan compilers ({!Backend.Make}) translate into backend
+    kernels. *)
+type view =
+  | V_conv of { stride : int; pad : int; weight : Tensor.t; bias : Tensor.t }
+  | V_dense of { weight : Tensor.t; bias : Tensor.t }
+  | V_relu
+  | V_max_pool of { size : int; stride : int }
+  | V_avg_pool of { size : int; stride : int }
+  | V_global_avg_pool
+  | V_flatten
+  | V_norm of { gamma : Tensor.t; beta : Tensor.t }
+  | V_residual of { body : t; projection : t option }
+  | V_inception of t list  (** branch stacks *)
+  | V_seq of t list
+  | V_dense_block of t list  (** the per-step conv stacks *)
+
+val view : t -> view
+(** Parameter tensors in the view are the layer's live [Param.t] values
+    (not copies): compile plans after training, or recompile when the
+    parameters change. *)
+
 val backward : t -> Tensor.t -> Tensor.t
 (** [backward layer dout] must follow a [forward ~train:true] on the same
     layer.  Returns [dx] and accumulates parameter gradients. *)

@@ -37,32 +37,10 @@ let logits_batch t xs =
       ])
     (fun () -> Layer.forward_batch t.stack xs)
 
-let scores_batch t xs =
-  let l = logits_batch t xs in
-  let n = Tensor.dim l 0 and classes = Tensor.dim l 1 in
-  let out = Tensor.zeros [| n; classes |] in
-  let ld = l.Tensor.data and od = out.Tensor.data in
-  (* Row-wise softmax with the exact operation order of
-     [Tensor.softmax] (max, exp-shift, sum, scale by 1/z) so each row is
-     bit-equal to the single-image score vector. *)
-  for img = 0 to n - 1 do
-    let off = img * classes in
-    let m = ref ld.(off) in
-    for j = 1 to classes - 1 do
-      if ld.(off + j) > !m then m := ld.(off + j)
-    done;
-    let z = ref 0. in
-    for j = 0 to classes - 1 do
-      let e = exp (ld.(off + j) -. !m) in
-      od.(off + j) <- e;
-      z := !z +. e
-    done;
-    let inv = 1. /. !z in
-    for j = 0 to classes - 1 do
-      od.(off + j) <- inv *. od.(off + j)
-    done
-  done;
-  out
+(* Row-wise softmax with the exact operation order of [Tensor.softmax]
+   (max, exp-shift, sum, scale by 1/z) so each row is bit-equal to the
+   single-image score vector. *)
+let scores_batch t xs = Tensor.softmax_rows (logits_batch t xs)
 
 (* Single-image inference delegates to the batched engine at width 1, so
    the whole system exercises one forward-pass implementation. *)

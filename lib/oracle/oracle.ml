@@ -45,7 +45,20 @@ let of_fn ?budget ?batch_fn ?(name = "fn") ~num_classes fn =
     qmode = Score;
   }
 
-let of_network ?budget net =
+let of_network ?budget ?(backend = Nn.Backend.Boxed) ?pool net =
+  (* Backend selection: [Boxed] keeps the layer engine's own batched
+     path (the reference — nothing new between the oracle and the
+     network); [F32] compiles the network once into a float32 Bigarray
+     plan and scores every batch through it.  Query accounting is
+     backend-independent by construction — the meter sits above this
+     function. *)
+  let scores_nchw =
+    match backend with
+    | Nn.Backend.Boxed -> fun batch -> Nn.Network.scores_batch net batch
+    | Nn.Backend.F32 ->
+        let plan = Nn.Backend.F32_engine.compile net in
+        fun batch -> Nn.Backend.F32_engine.scores_batch ?pool plan batch
+  in
   let fn_batch xs =
     let n = Array.length xs in
     if n = 0 then [||]
@@ -61,15 +74,20 @@ let of_network ?budget net =
             invalid_arg "Oracle.of_network: mixed shapes in one batch";
           Array.blit x.Tensor.data 0 batch.Tensor.data (i * image) image)
         xs;
-      let out = Nn.Network.scores_batch net batch in
+      let out = scores_nchw batch in
       let classes = Tensor.dim out 1 in
       Array.init n (fun i ->
           Tensor.init [| classes |] (fun j ->
               Tensor.get_flat out ((i * classes) + j)))
     end
   in
+  let fn =
+    match backend with
+    | Nn.Backend.Boxed -> Nn.Network.scores net
+    | Nn.Backend.F32 -> fun x -> (fn_batch [| x |]).(0)
+  in
   {
-    fn = Nn.Network.scores net;
+    fn;
     fn_batch = Some fn_batch;
     oracle_name = net.Nn.Network.name;
     classes = net.Nn.Network.num_classes;

@@ -28,11 +28,21 @@ type mode = Score | Decision
 exception Budget_exhausted of int
 (** Carries the budget that was exhausted. *)
 
-val of_network : ?budget:int -> Nn.Network.t -> t
+val of_network :
+  ?budget:int ->
+  ?backend:Nn.Backend.kind ->
+  ?pool:Domain_pool.Pool.t ->
+  Nn.Network.t ->
+  t
 (** Network-backed oracle.  Batched queries ({!eval_batch},
-    {!scores_batch}, {!Batcher}) run through
-    {!Nn.Network.scores_batch} — one im2col+GEMM forward pass for the
-    whole chunk. *)
+    {!scores_batch}, {!Batcher}) run through one im2col+GEMM forward
+    pass for the whole chunk.  [?backend] (default [Boxed]) selects the
+    tensor engine: [Boxed] is {!Nn.Network.scores_batch} itself, [F32]
+    compiles the network once into the float32 Bigarray plan
+    ({!Nn.Backend.F32_engine}) — identical argmax/success/query
+    behaviour within {!Nn.Backend.score_tol} per score.  [?pool] (f32
+    only) lets the GEMM dispatch row panels onto an idle domain pool;
+    query accounting is independent of both knobs. *)
 
 val of_fn :
   ?budget:int ->

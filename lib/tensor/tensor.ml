@@ -360,6 +360,25 @@ let matmul_nt a b =
   done;
   out
 
+(* Batched dense layer: rows of [x] are images, [weight] is
+   [out_dim; in_dim], [bias] is added per output element AFTER the
+   matmul_nt reduction.  Hoisted out of the layer engine so every tensor
+   backend (boxed and unboxed alike) shares one definition of the
+   dense-layer arithmetic; row [i] is bit-equal to
+   [add (matvec weight x_i) bias]. *)
+let dense_batch x ~weight ~bias =
+  let y = matmul_nt x weight in
+  let n = y.shape.(0) and out_dim = y.shape.(1) in
+  if bias.shape.(0) <> out_dim then fail_shape "dense_batch" weight.shape bias.shape;
+  let yd = y.data and bd = bias.data in
+  for img = 0 to n - 1 do
+    let off = img * out_dim in
+    for j = 0 to out_dim - 1 do
+      yd.(off + j) <- yd.(off + j) +. bd.(j)
+    done
+  done;
+  y
+
 let matvec a x =
   check_rank "matvec" a 2;
   check_rank "matvec" x 1;
@@ -799,6 +818,67 @@ let global_avg_pool_backward ~x_shape dout =
   let inv = 1. /. float_of_int (h * w) in
   init x_shape (fun i -> dout.data.(i / (h * w)) *. inv)
 
+(* Batched (NCHW) pooling: pooling acts per channel plane, so an NCHW
+   batch folds to [(n*c); h; w], runs the single-image kernel, and
+   unfolds.  Hoisted here from the layer engine so alternative tensor
+   backends compose the identical kernels. *)
+
+let nchw name x =
+  check_rank name x 4;
+  (x.shape.(0), x.shape.(1), x.shape.(2), x.shape.(3))
+
+let fold_nc name x =
+  let n, c, h, w = nchw name x in
+  (n, c, reshape x [| n * c; h; w |])
+
+let max_pool2d_batch ?stride ~size x =
+  let n, c, folded = fold_nc "max_pool2d_batch" x in
+  let y, _ = max_pool2d ?stride ~size folded in
+  reshape y [| n; c; y.shape.(1); y.shape.(2) |]
+
+let avg_pool2d_batch ?stride ~size x =
+  let n, c, folded = fold_nc "avg_pool2d_batch" x in
+  let y = avg_pool2d ?stride ~size folded in
+  reshape y [| n; c; y.shape.(1); y.shape.(2) |]
+
+let global_avg_pool_batch x =
+  let n, c, folded = fold_nc "global_avg_pool_batch" x in
+  reshape (global_avg_pool folded) [| n; c |]
+
+(* Batched per-channel normalization over an NCHW tensor: each (image,
+   channel) plane is standardized by its own mean and variance, then
+   scaled/shifted by the per-channel [gamma]/[beta].  The plane of index
+   [p] belongs to channel [p mod c].  Reductions run in ascending index
+   order, so each image's planes are bit-equal to the single-image
+   normalization. *)
+let channel_norm_batch ~gamma ~beta ~eps x =
+  let nb, c, h, w = nchw "channel_norm_batch" x in
+  if gamma.shape.(0) <> c || beta.shape.(0) <> c then
+    fail_shape "channel_norm_batch" x.shape gamma.shape;
+  let m = float_of_int (h * w) in
+  let y = zeros [| nb; c; h; w |] in
+  let xd = x.data and yd = y.data in
+  for plane = 0 to (nb * c) - 1 do
+    let off = plane * h * w and ch = plane mod c in
+    let acc = ref 0. in
+    for i = 0 to (h * w) - 1 do
+      acc := !acc +. Array.unsafe_get xd (off + i)
+    done;
+    let mean = !acc /. m in
+    let vacc = ref 0. in
+    for i = 0 to (h * w) - 1 do
+      let d = Array.unsafe_get xd (off + i) -. mean in
+      vacc := !vacc +. (d *. d)
+    done;
+    let istd = 1. /. sqrt ((!vacc /. m) +. eps) in
+    let gam = gamma.data.(ch) and bet = beta.data.(ch) in
+    for i = 0 to (h * w) - 1 do
+      let xhat = (Array.unsafe_get xd (off + i) -. mean) *. istd in
+      Array.unsafe_set yd (off + i) ((gam *. xhat) +. bet)
+    done
+  done;
+  y
+
 (* Softmax and losses *)
 
 let softmax t =
@@ -807,6 +887,33 @@ let softmax t =
   let exps = map (fun v -> exp (v -. m)) t in
   let z = sum exps in
   scale (1. /. z) exps
+
+(* Row-wise softmax over an [n; classes] matrix with the exact operation
+   order of [softmax] (max, exp-shift, sum, scale by 1/z) so each row is
+   bit-equal to the single-vector score computation. *)
+let softmax_rows l =
+  check_rank "softmax_rows" l 2;
+  let n = l.shape.(0) and classes = l.shape.(1) in
+  let out = zeros [| n; classes |] in
+  let ld = l.data and od = out.data in
+  for img = 0 to n - 1 do
+    let off = img * classes in
+    let m = ref ld.(off) in
+    for j = 1 to classes - 1 do
+      if ld.(off + j) > !m then m := ld.(off + j)
+    done;
+    let z = ref 0. in
+    for j = 0 to classes - 1 do
+      let e = exp (ld.(off + j) -. !m) in
+      od.(off + j) <- e;
+      z := !z +. e
+    done;
+    let inv = 1. /. !z in
+    for j = 0 to classes - 1 do
+      od.(off + j) <- inv *. od.(off + j)
+    done
+  done;
+  out
 
 let log_softmax t =
   check_rank "log_softmax" t 1;

@@ -128,6 +128,13 @@ val matmul_nt : t -> t -> t
     Row [i] of the result is bit-equal to [matvec b a_i] — used by the
     batched dense layer so batching cannot perturb single-image scores. *)
 
+val dense_batch : t -> weight:t -> bias:t -> t
+(** [dense_batch x ~weight ~bias] for [x : (n, in_dim)],
+    [weight : (out_dim, in_dim)] and [bias : (out_dim)] is the batched
+    dense layer [x weightᵀ + bias : (n, out_dim)].  Row [i] is bit-equal
+    to [add (matvec weight x_i) bias]; the single definition is shared by
+    the layer engine and every pluggable tensor backend. *)
+
 val matvec : t -> t -> t
 (** [matvec a x] for [a : (m, k)] and [x : (k)] is [(m)]. *)
 
@@ -205,10 +212,31 @@ val global_avg_pool : t -> t
 
 val global_avg_pool_backward : x_shape:int array -> t -> t
 
+val max_pool2d_batch : ?stride:int -> size:int -> t -> t
+(** Batched (NCHW) {!max_pool2d} without switches: pooling acts per
+    channel plane, so the batch folds to [(n*c); h; w], runs the
+    single-image kernel and unfolds. *)
+
+val avg_pool2d_batch : ?stride:int -> size:int -> t -> t
+(** Batched (NCHW) {!avg_pool2d}. *)
+
+val global_avg_pool_batch : t -> t
+(** Batched (NCHW) {!global_avg_pool}, producing [|n; c|]. *)
+
+val channel_norm_batch : gamma:t -> beta:t -> eps:float -> t -> t
+(** Per-plane standardization of an NCHW tensor: each (image, channel)
+    plane is normalized by its own mean and [1/sqrt(var + eps)], then
+    scaled and shifted by the per-channel [gamma]/[beta].  Image [i] of
+    the result is bit-equal to normalizing image [i] alone. *)
+
 (** {1 Softmax and losses} *)
 
 val softmax : t -> t
 (** Numerically stable softmax over a rank-1 tensor. *)
+
+val softmax_rows : t -> t
+(** Row-wise {!softmax} over an [(n, classes)] matrix; each row is
+    bit-equal to [softmax row]. *)
 
 val log_softmax : t -> t
 

@@ -26,6 +26,14 @@
    inside the wall-clock budget.  Sample-grid runs also difference
    Score.evaluate and the island model under a decision-mode oracle.
 
+   Backend axis: --backend boxed|f32 runs the tensor-backend
+   differential instead — raw scores under the tolerance policy (boxed
+   plan bit-identical to the layer engine; f32 within
+   [Nn.Backend.score_tol] per logit with argmax identity) and attack
+   records through the full Runner stack against the boxed sequential
+   reference, at this invocation's --domains/--cache/--batch
+   coordinates.
+
    --observe on additionally runs the full live observatory around the
    whole grid: an HTTP metrics server on an ephemeral port plus the
    background runtime sampler ticking every 20 ms.  Both only read the
@@ -229,6 +237,137 @@ let decision_islands_check ~pool ~batch =
           x.Oppsla.Islands.round x.Oppsla.Islands.island)
     ref_out.Oppsla.Islands.trace par_out.Oppsla.Islands.trace
 
+(* Backend differential: the pluggable tensor backend must be invisible
+   to query accounting and, on raw scores, obey the tolerance policy —
+   the boxed engine's compiled plan is asserted bit-identical to the
+   layer-walking engine, while the f32 engine must agree on every
+   argmax and keep each logit within [Nn.Backend.score_tol].  The
+   attack-record arm then runs the same Sparse-RS corpus through a
+   Runner on the checked backend at this cell's (domains, cache, batch)
+   coordinates against the boxed batch-1 sequential reference:
+   per-image (queries, success) records must be bit-identical, because
+   metering sits above the scoring engine and both backends agree on
+   every decision the attack observes. *)
+
+let backend_net () =
+  let g = Prng.of_int 321 in
+  let width = 8 and classes = 4 in
+  Nn.Network.create ~name:"diff_backend"
+    ~input_shape:[| 3; size; size |] ~num_classes:classes
+    [
+      Nn.Layer.conv2d g ~pad:1 ~in_c:3 ~out_c:width ~k:3 ();
+      Nn.Layer.channel_norm ~channels:width;
+      Nn.Layer.relu ();
+      Nn.Layer.conv2d g ~pad:1 ~in_c:width ~out_c:width ~k:3 ();
+      Nn.Layer.relu ();
+      Nn.Layer.flatten ();
+      Nn.Layer.dense g ~in_dim:(width * size * size) ~out_dim:classes ();
+    ]
+
+let backend_check ~domains ~cache ~batch ~backend =
+  let net = backend_net () in
+  let samples =
+    let g = Prng.of_int 515 in
+    Array.init 6 (fun _ ->
+        let x = Tensor.rand_uniform (Prng.split g) [| 3; size; size |] in
+        (x, Nn.Network.classify net x))
+  in
+  let classes = 4 in
+  let pack1 x =
+    let xb = Tensor.zeros [| 1; 3; size; size |] in
+    Array.blit x.Tensor.data 0 xb.Tensor.data 0 (Tensor.numel x);
+    xb
+  in
+  let engine_scores =
+    match backend with
+    | Nn.Backend.Boxed ->
+        let plan = Nn.Backend.Boxed_engine.compile net in
+        fun x -> Nn.Backend.Boxed_engine.scores_batch plan (pack1 x)
+    | Nn.Backend.F32 ->
+        let plan = Nn.Backend.F32_engine.compile net in
+        fun x -> Nn.Backend.F32_engine.scores_batch plan (pack1 x)
+  in
+  let bname = Nn.Backend.kind_name backend in
+  let argmax t off =
+    let best = ref 0 in
+    for c = 1 to classes - 1 do
+      if Tensor.get_flat t (off + c) > Tensor.get_flat t (off + !best) then
+        best := c
+    done;
+    !best
+  in
+  Array.iteri
+    (fun i (x, _) ->
+      let sb = Nn.Network.scores net x in
+      let se = engine_scores x in
+      (match backend with
+      | Nn.Backend.Boxed ->
+          (* Same-backend: the compiled plan is the same float64 kernels
+             in the same order — bit-equality, not tolerance. *)
+          for c = 0 to classes - 1 do
+            if Tensor.get_flat se c <> Tensor.get_flat sb c then
+              fail
+                "backend %s: image %d class %d: plan score %.17g <> layer \
+                 score %.17g (must be bit-identical)"
+                bname i c (Tensor.get_flat se c) (Tensor.get_flat sb c)
+          done
+      | Nn.Backend.F32 ->
+          for c = 0 to classes - 1 do
+            let d =
+              abs_float (Tensor.get_flat se c -. Tensor.get_flat sb c)
+            in
+            if d > Nn.Backend.score_tol then
+              fail
+                "backend %s: image %d class %d: |score delta| %.3e exceeds \
+                 tolerance %.0e"
+                bname i c d Nn.Backend.score_tol
+          done);
+      if argmax se 0 <> argmax sb 0 then
+        fail "backend %s: image %d: argmax diverged" bname i)
+    samples;
+  (* Attack-record arm. *)
+  let attacker = Attackers.sparse_rs_space Space.Pixel in
+  let max_queries = 60 in
+  let strip rs =
+    Array.map (fun r -> (r.Runner.queries, r.Runner.success)) rs
+  in
+  let reference =
+    strip
+      (Runner.run ~domains:1 ~batch:1 ~seed:9 ~max_queries attacker
+         ~oracle_factory:(fun () -> Oracle.of_network net)
+         samples)
+  in
+  let caches =
+    if cache then Some (Score_cache.store (Array.length samples)) else None
+  in
+  let checked =
+    strip
+      (Runner.run ~domains ?caches ~batch ~seed:9 ~max_queries attacker
+         ~oracle_factory:(fun () -> Oracle.of_network ~backend net)
+         samples)
+  in
+  if reference <> checked then
+    fail
+      "backend %s (domains %d, cache %b, batch %d): per-image (queries, \
+       success) diverged from the boxed sequential reference"
+      bname domains cache batch;
+  (match caches with
+  | Some _ ->
+      let warm =
+        strip
+          (Runner.run ~domains ?caches ~batch ~seed:9 ~max_queries attacker
+             ~oracle_factory:(fun () -> Oracle.of_network ~backend net)
+             samples)
+      in
+      if reference <> warm then
+        fail
+          "backend %s (domains %d, cache %b, batch %d): warm-store records \
+           diverged"
+          bname domains cache batch
+  | None -> ());
+  if Array.for_all (fun (q, _) -> q = 0) reference then
+    fail "backend %s: no queries were spent" bname
+
 (* Stratified sample of the scenario cross-product: every oracle x space
    combination gets [n / 6] cells (at least one), with the (domains,
    cache, batch) coordinates drawn from a named PRNG stream so the
@@ -274,6 +413,7 @@ let () =
   let omode = ref Oracle.Score in
   let space = ref Space.Pixel in
   let grid = ref 0 in
+  let bknd = ref None in
   let rec parse domains cache batch trace observe islands = function
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
@@ -317,6 +457,12 @@ let () =
             space := s;
             parse domains cache batch trace observe islands rest
         | None -> fail "diff_runner: bad --space %s" v)
+    | "--backend" :: v :: rest -> (
+        match Nn.Backend.kind_of_string v with
+        | Some k ->
+            bknd := Some k;
+            parse domains cache batch trace observe islands rest
+        | None -> fail "diff_runner: bad --backend %s (expected boxed|f32)" v)
     | "--sample-grid" :: n :: rest -> (
         match int_of_string_opt n with
         | Some k when k >= 1 ->
@@ -369,6 +515,19 @@ let () =
   in
   let gen_config = { Oppsla.Gen.d1 = size; d2 = size } in
   Parallel.Pool.with_pool ~domains (fun pool ->
+      match !bknd with
+      | Some backend ->
+          (* Backend mode: one cross-backend cell at this invocation's
+             --domains/--cache/--batch coordinates. *)
+          backend_check ~domains ~cache ~batch ~backend;
+          Printf.printf
+            "diff_runner: backend %s records bit-identical, scores within \
+             tolerance (domains %d, cache %s, batch %d)\n"
+            (Nn.Backend.kind_name backend)
+            domains
+            (if cache then "on" else "off")
+            batch
+      | None ->
       if scenario_mode then
         (* Scenario mode: --sample-grid runs the stratified cross-product
            sample; --oracle/--space alone run one cell at this

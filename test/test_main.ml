@@ -7,6 +7,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("exporter", Test_exporter.suite);
       ("tensor", Test_tensor.suite);
+      ("backend", Test_backend.suite);
       ("nn", Test_nn.suite);
       ("dataset", Test_dataset.suite);
       ("oracle", Test_oracle.suite);

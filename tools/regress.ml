@@ -37,6 +37,24 @@ let () =
   let check label ok = if not ok then (incr failures; Printf.printf "FAIL %s\n" label) in
   if smoke then begin
     if files = [] then usage ();
+    (* Registry coverage: the smoke gate must see every registered
+       baseline (and nothing unregistered — new BENCH writers register
+       in Evalharness.Regress.registered_baselines).  A missing
+       committed file is a named failure, never a silent skip. *)
+    let basenames = List.map Filename.basename files in
+    List.iter
+      (fun reg ->
+        check
+          (Printf.sprintf "registered baseline %s is committed and gated" reg)
+          (List.mem reg basenames))
+      Evalharness.Regress.registered_baselines;
+    List.iter
+      (fun b ->
+        check
+          (Printf.sprintf
+             "%s is registered in Evalharness.Regress.registered_baselines" b)
+          (List.mem b Evalharness.Regress.registered_baselines))
+      basenames;
     List.iter
       (fun file ->
         let metrics =
