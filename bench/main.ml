@@ -1044,6 +1044,185 @@ let bench_observe ?(smoke = false) quick =
     print_endline "[observe] wrote BENCH_observe.json"
   end
 
+(* Journal overhead benchmark (the `journal` mode).
+
+   Same workload shape as bench_observe, A/B'd against the
+   query-provenance journal: a bare sweep vs the same sweep with a
+   JSONL journal recording every charged oracle query.  Asserts the
+   journal is observation-only — bit-identical per-image query counts —
+   and *complete*: the finalized journal must load strictly (framing +
+   per-record checksums), carry exactly one record per charged query,
+   attribute every record to the "sketch" charge site, and cover every
+   image index.
+
+   --smoke (under `dune runtest`) asserts identity + completeness with
+   a generous overhead tripwire; the full run writes BENCH_journal.json
+   against the <3% target. *)
+
+let bench_journal ?(smoke = false) quick =
+  ignore quick;
+  if Telemetry.Journal.enabled () then
+    failwith
+      "bench_journal: a journal is already active (drop --journal when \
+       running the journal bench)";
+  let g = Prng.of_int 29 in
+  let image_size, n_images, num_classes, max_queries, reps =
+    if smoke then (8, 2, 4, 48, 2) else (16, 4, 10, 640, 5)
+  in
+  let net = Nn.Zoo.vgg_tiny (Prng.split g) ~image_size ~num_classes in
+  let samples =
+    Array.init n_images (fun _ ->
+        let image =
+          Tensor.rand_uniform (Prng.split g) [| 3; image_size; image_size |]
+        in
+        let scores = Nn.Network.scores net image in
+        let target = ref 0 in
+        for c = 1 to num_classes - 1 do
+          if Tensor.get_flat scores c < Tensor.get_flat scores !target then
+            target := c
+        done;
+        (image, Nn.Network.classify net image, !target))
+  in
+  let sweep () =
+    Array.mapi
+      (fun i (image, true_class, target) ->
+        Telemetry.Journal.with_image i @@ fun () ->
+        let r =
+          Oppsla.Sketch.attack ~max_queries
+            ~goal:(Oppsla.Sketch.Targeted target)
+            ~cache:(Score_cache.create ()) ~batch:16 (Oracle.of_network net)
+            Oppsla.Condition.const_false_program ~image ~true_class
+        in
+        r.Oppsla.Sketch.queries)
+      samples
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Journaled arm: each rep writes (and finalizes) a fresh journal at
+     the same path, so the timing includes open/close and the last
+     rep's file is the one audited. *)
+  let journal_path = Filename.temp_file "oppsla_bench_journal" ".jsonl" in
+  let journaled_sweep () =
+    Telemetry.Journal.set_run_id "bench-journal";
+    Telemetry.Journal.to_file journal_path;
+    Fun.protect ~finally:Telemetry.Journal.close sweep
+  in
+  (* The two arms alternate rep by rep (bare, journaled, bare, ...)
+     rather than running as two back-to-back blocks: the journal's true
+     cost is on the order of single milliseconds per sweep, so minutes
+     of scheduler/load drift between blocks would otherwise dominate
+     the A/B.  Best-of per arm over interleaved reps samples both arms
+     under the same conditions; one untimed warmup rep pays the
+     compilation/page-cache costs for both. *)
+  ignore (sweep ());
+  let bare_counts = ref [||] and bare_dt = ref infinity in
+  let journaled_counts = ref [||] and journaled_dt = ref infinity in
+  for _ = 1 to reps do
+    let c, d = time sweep in
+    bare_counts := c;
+    if d < !bare_dt then bare_dt := d;
+    let c, d = time journaled_sweep in
+    journaled_counts := c;
+    if d < !journaled_dt then journaled_dt := d
+  done;
+  let bare_counts, bare_dt = (!bare_counts, !bare_dt) in
+  let journaled_counts, journaled_dt = (!journaled_counts, !journaled_dt) in
+  if journaled_counts <> bare_counts then
+    failwith
+      "bench_journal: the journal changed the per-image query counts (the \
+       journal must be observation-only)";
+  let total_queries = Array.fold_left ( + ) 0 bare_counts in
+  let j =
+    match Evalharness.Audit.load_strict journal_path with
+    | j -> j
+    | exception Evalharness.Audit.Invalid m ->
+        failwith ("bench_journal: finalized journal failed audit: " ^ m)
+  in
+  let records = j.Evalharness.Audit.records in
+  if List.length records <> total_queries then
+    failwith
+      (Printf.sprintf
+         "bench_journal: journal has %d records for %d charged queries \
+          (every charge must be journaled exactly once)"
+         (List.length records) total_queries);
+  List.iter
+    (fun r ->
+      if r.Evalharness.Audit.site <> "sketch" then
+        failwith
+          (Printf.sprintf "bench_journal: record charged to site %S, not sketch"
+             r.Evalharness.Audit.site);
+      if r.Evalharness.Audit.image < 0 || r.Evalharness.Audit.image >= n_images
+      then
+        failwith
+          (Printf.sprintf "bench_journal: record has image %d outside [0, %d)"
+             r.Evalharness.Audit.image n_images))
+    records;
+  let covered =
+    List.sort_uniq compare
+      (List.map (fun r -> r.Evalharness.Audit.image) records)
+  in
+  if List.length covered <> n_images then
+    failwith "bench_journal: journal does not cover every image index";
+  Sys.remove journal_path;
+  let overhead =
+    if bare_dt > 0. then (journaled_dt -. bare_dt) /. bare_dt else 0.
+  in
+  Printf.printf
+    "[journal] %d images, cap %d, batch 16: %.3fs bare, %.3fs journaled \
+     (%+.2f%% overhead), %d records for %d charges\n%!"
+    n_images max_queries bare_dt journaled_dt (100. *. overhead)
+    (List.length records) total_queries;
+  print_endline
+    "[journal] query counts bit-identical with the journal on and off; \
+     finalized journal passes strict audit";
+  if smoke then begin
+    (* Milliseconds-scale smoke sweeps make the fixed open/close cost
+       dominate; this bound is a runaway tripwire, not an overhead
+       claim (the full run asserts <3%). *)
+    if overhead > 4.0 then
+      failwith
+        (Printf.sprintf
+           "bench_journal: smoke overhead %.0f%% exceeds the 400%% tripwire \
+            bound"
+           (100. *. overhead))
+  end
+  else begin
+    if overhead > 0.03 then
+      failwith
+        (Printf.sprintf "bench_journal: overhead %.2f%% exceeds the 3%% target"
+           (100. *. overhead));
+    let oc = open_out "BENCH_journal.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\n\
+          \  \"workload\": \"Sketch+False on vgg_tiny, %d %dx%d images, cap \
+           %d, batch 16, cache on\",\n\
+          \  \"query_counts_identical\": true,\n\
+          \  \"records_match_charges\": true,\n\
+          \  \"bare_seconds\": %.4f,\n\
+          \  \"journaled_seconds\": %.4f,\n\
+          \  \"overhead_fraction\": %.4f,\n\
+          \  \"overhead_target\": 0.03,\n\
+          \  \"journal_records\": %d,\n\
+          \  \"queries_metered\": %d,\n\
+          \  \"note\": \"best-of-%d sweeps per arm; the journaled arm opens, \
+           writes and finalizes a checksummed JSONL provenance journal (one \
+           record per charged oracle query) per sweep.  The journal is \
+           observation-only: per-image query counts are asserted \
+           bit-identical across both arms, and the finalized journal must \
+           pass a strict offline audit with exactly one record per charge\"\n\
+           }\n"
+          n_images image_size image_size max_queries bare_dt journaled_dt
+          (Float.max 0. overhead)
+          (List.length records) total_queries reps);
+    print_endline "[journal] wrote BENCH_journal.json"
+  end
+
 (* Island-synthesis benchmark (the `synth` mode).
 
    A/B of PAC early stopping on the island-model synthesizer: the same
@@ -1873,6 +2052,7 @@ let bench_regress ?(smoke = false) quick =
         ("BENCH_batch.json", fun () -> bench_batch ~smoke:false quick);
         ("BENCH_telemetry.json", fun () -> bench_telemetry ~smoke:false quick);
         ("BENCH_observe.json", fun () -> bench_observe ~smoke:false quick);
+        ("BENCH_journal.json", fun () -> bench_journal ~smoke:false quick);
         ("BENCH_synth.json", fun () -> bench_synth ~smoke:false quick);
         ("BENCH_scenarios.json", fun () -> bench_scenarios ~smoke:false quick);
         ("BENCH_backend.json", fun () -> bench_backend ~smoke:false quick);
@@ -2105,12 +2285,14 @@ let () =
         Option.value (float_flag "--snapshot-interval")
           ~default:Telemetry.Obs.default.Telemetry.Obs.snapshot_interval_s;
       stall_timeout_s = float_flag "--stall-timeout";
+      journal = flag "--journal";
+      run_id = flag "--run-id";
     }
   in
   let value_flags =
     [
       "--domains"; "--trace"; "--metrics"; "--serve-metrics"; "--snapshot";
-      "--snapshot-interval"; "--stall-timeout";
+      "--snapshot-interval"; "--stall-timeout"; "--journal"; "--run-id";
     ]
   in
   let modes =
@@ -2140,6 +2322,7 @@ let () =
           | "telemetry" ->
               timed "telemetry" (fun () -> bench_telemetry ~smoke quick)
           | "observe" -> timed "observe" (fun () -> bench_observe ~smoke quick)
+          | "journal" -> timed "journal" (fun () -> bench_journal ~smoke quick)
           | "synth" -> timed "synth" (fun () -> bench_synth ~smoke quick)
           | "scenarios" ->
               timed "scenarios" (fun () -> bench_scenarios ~smoke quick)

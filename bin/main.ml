@@ -205,12 +205,31 @@ let stall_timeout_arg =
   Arg.(
     value & opt (some float) None & info [ "stall-timeout" ] ~docv:"SEC" ~doc)
 
+let journal_arg =
+  let doc =
+    "Write a query-provenance journal (JSONL, one checksummed record \
+     per charged oracle query: run id, charge site, image index, cache \
+     key, oracle mode, cache hit, batcher chunk, backend) to $(docv).  \
+     Audit offline with tools/audit.exe — two journals of the same \
+     attack under different --domains/--cache/--batch/--backend \
+     settings must carry bit-identical per-image charge sequences.  \
+     Observation-only: results and query counts are unchanged."
+  in
+  Arg.(value & opt string "" & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let run_id_arg =
+  let doc =
+    "Run identifier stamped into the journal header and the post-mortem \
+     bundle directory name (default: a timestamp-pid string)."
+  in
+  Arg.(value & opt string "" & info [ "run-id" ] ~docv:"ID" ~doc)
+
 (* Bracket a command with the observability stack (shared with the bench
    via Telemetry.Obs): open the trace file before any instrumented code
    runs, serve /metrics and run the sampler while the command does, and
    flush trace + metrics even when the command raises. *)
 let with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
-    ~stall_timeout f =
+    ~stall_timeout ~journal ~run_id f =
   let nonempty s = if s = "" then None else Some s in
   Telemetry.Obs.with_observability ~log:log_stderr
     {
@@ -220,6 +239,8 @@ let with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
       snapshot = nonempty snapshot;
       snapshot_interval_s = snapshot_interval;
       stall_timeout_s = stall_timeout;
+      journal = nonempty journal;
+      run_id = nonempty run_id;
     }
     f
 
@@ -319,7 +340,7 @@ let synthesize_cmd =
   in
   let run dataset arch seed artifacts class_id iters domains cache batch
       islands checkpoint resume early_stop trace metrics serve snapshot
-      snapshot_interval stall_timeout backend =
+      snapshot_interval stall_timeout journal run_id backend =
     with_spec dataset @@ fun spec ->
     with_backend backend @@ fun backend ->
     check_batch batch @@ fun () ->
@@ -334,7 +355,7 @@ let synthesize_cmd =
       `Error (false, "--resume requires --checkpoint FILE")
     else begin
       with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
-        ~stall_timeout
+        ~stall_timeout ~journal ~run_id
       @@ fun () ->
       let config = workbench_config ~backend artifacts seed in
       let c = Workbench.load_classifier config spec arch in
@@ -426,7 +447,8 @@ let synthesize_cmd =
        $ class_arg $ iters_arg $ domains_arg $ cache_arg $ batch_arg
        $ islands_arg $ checkpoint_arg $ resume_arg $ early_stop_arg
        $ trace_arg $ metrics_arg $ serve_metrics_arg $ snapshot_arg
-       $ snapshot_interval_arg $ stall_timeout_arg $ backend_arg))
+       $ snapshot_interval_arg $ stall_timeout_arg $ journal_arg
+       $ run_id_arg $ backend_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
@@ -470,7 +492,7 @@ let attack_cmd =
   in
   let run dataset arch seed artifacts class_id index program_text target
       save_ppm batch oracle_mode space trace metrics serve snapshot
-      snapshot_interval stall_timeout backend =
+      snapshot_interval stall_timeout journal run_id backend =
     with_spec dataset @@ fun spec ->
     with_oracle_mode oracle_mode @@ fun oracle_mode ->
     with_space space @@ fun space ->
@@ -496,7 +518,7 @@ let attack_cmd =
                 (Array.length candidates) )
         else begin
           with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
-            ~stall_timeout
+            ~stall_timeout ~journal ~run_id
           @@ fun () ->
           let image, true_class = candidates.(index) in
           let oracle = Workbench.oracle_factory c () in
@@ -581,7 +603,7 @@ let attack_cmd =
        $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg
        $ batch_arg $ oracle_arg $ space_arg $ trace_arg $ metrics_arg
        $ serve_metrics_arg $ snapshot_arg $ snapshot_interval_arg
-       $ stall_timeout_arg $ backend_arg))
+       $ stall_timeout_arg $ journal_arg $ run_id_arg $ backend_arg))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a single test image with a program.")
@@ -623,11 +645,11 @@ let eval_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed artifacts domains cache batch trace metrics serve snapshot
-      snapshot_interval stall_timeout backend experiment =
+      snapshot_interval stall_timeout journal run_id backend experiment =
     check_batch batch @@ fun () ->
     with_backend backend @@ fun backend ->
     with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
-      ~stall_timeout
+      ~stall_timeout ~journal ~run_id
     @@ fun () ->
     let config = workbench_config ~backend artifacts seed in
     let base = Experiments.default_scale in
@@ -681,7 +703,7 @@ let eval_cmd =
         (const run $ seed_arg $ artifacts_arg $ domains_arg $ cache_arg
        $ batch_arg $ trace_arg $ metrics_arg $ serve_metrics_arg
        $ snapshot_arg $ snapshot_interval_arg $ stall_timeout_arg
-       $ backend_arg $ experiment_arg))
+       $ journal_arg $ run_id_arg $ backend_arg $ experiment_arg))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")

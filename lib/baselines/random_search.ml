@@ -24,6 +24,7 @@ let synthesize ?(samples = 210) ?max_queries_per_image ?caches ?batch
      training set, so this is the coarse outer-progress signal (the
      per-query beats in Sketch.attack cover the inner loop). *)
   let wd = Telemetry.Watchdog.loop "baseline.random_search" in
+  Telemetry.Journal.with_site "baseline/random_search" @@ fun () ->
   Telemetry.Watchdog.with_loop wd @@ fun () ->
   for i = 1 to samples do
     let program = Oppsla.Gen.random_program gen_config g in

@@ -109,6 +109,7 @@ let search (type s) ~config ~batch ~goal ~(key : s -> Score_cache.key)
     in
     query ~speculate state
   in
+  Telemetry.Journal.with_default_site "baseline/sparse_rs" @@ fun () ->
   Telemetry.Watchdog.with_loop wd @@ fun () ->
   try
     let current = ref (initial g) in
@@ -218,6 +219,12 @@ let attack_patch ?config ?(batch = Oppsla.Sketch.default_batch)
     ~propose g oracle ~true_class
 
 let attack_space ?config ?batch ?goal ~space g oracle ~image ~true_class =
+  (* One dimensional series per search space — cardinality is bounded by
+     the space grammar (pixel, kpixel:k, patch:hxw actually used). *)
+  Telemetry.Counter.incr
+    (Telemetry.Metrics.counter
+       ~labels:[ ("space", Oppsla.Space.to_string space) ]
+       "baseline.sparse_rs.attacks");
   match (space : Oppsla.Space.t) with
   | Pixel -> attack_multi ?config ?batch ?goal ~k:1 g oracle ~image ~true_class
   | Kpixel k -> attack_multi ?config ?batch ?goal ~k g oracle ~image ~true_class

@@ -133,6 +133,7 @@ let attack ?config ?(batch = Oppsla.Sketch.default_batch)
     in
     r1, r2, r3
   in
+  Telemetry.Journal.with_default_site "baseline/su_opa" @@ fun () ->
   Telemetry.Watchdog.with_loop wd @@ fun () ->
   try
     (* The initial population is drawn before any query, so its fitness

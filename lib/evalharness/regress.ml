@@ -190,6 +190,7 @@ let registered_baselines =
     "BENCH_synth.json";
     "BENCH_scenarios.json";
     "BENCH_backend.json";
+    "BENCH_journal.json";
   ]
 
 exception Missing_baseline of string list

@@ -17,6 +17,7 @@ let run ?domains ?pool ?caches ?(batch = Oppsla.Sketch.default_batch)
   let wd = Telemetry.Watchdog.loop "runner.attack" in
   let attack_one (i, (image, true_class)) =
     Telemetry.Watchdog.beat ~image:i wd;
+    Telemetry.Journal.with_image i @@ fun () ->
     let g =
       Prng.named_stream (Prng.of_int seed)
         (Printf.sprintf "run/%s/%d" attacker.Attackers.name i)

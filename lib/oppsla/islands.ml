@@ -131,6 +131,19 @@ let wd_run = Telemetry.Watchdog.loop "islands.run"
    idempotent across resumes and repeated runs in one process. *)
 let wd_chain k = Telemetry.Watchdog.loop (Printf.sprintf "islands.chain%d" k)
 
+(* Dimensional step counter: one series per island, so the Prometheus
+   exporter can show per-chain progress.  Low cardinality by
+   construction — one label value per configured island. *)
+let m_steps_by k =
+  Telemetry.Metrics.counter
+    ~labels:[ ("island", string_of_int k) ]
+    "islands.steps.by"
+
+(* Journal charge-site tag for island [k]'s chain: charges incurred by
+   chain evaluations are attributed to "islands/<k>" regardless of which
+   inner machinery (sketch, score evaluators) spends them. *)
+let chain_site k f = Telemetry.Journal.with_site (Printf.sprintf "islands/%d" k) f
+
 (* ----- checkpoint serialization ----- *)
 
 let fnv1a64 s =
@@ -235,6 +248,8 @@ let write_checkpoint ~config ~root_id ~training_n ~rounds_done ~synth_queries
   Printf.fprintf oc "checksum %016Lx\n" (fnv1a64 body);
   close_out oc;
   Sys.rename tmp file;
+  Telemetry.Postmortem.note_checkpoint
+    (Printf.sprintf "%s (rounds_done %d)" file rounds_done);
   Telemetry.Counter.incr m_checkpoints
 
 type loaded = {
@@ -520,6 +535,7 @@ let synthesize ?(config = default_config) ?pool ?caches ?(resume = false) g
     in
     trace_rev := e :: !trace_rev;
     Telemetry.Counter.incr m_steps;
+    Telemetry.Counter.incr (m_steps_by st.k);
     if accepted then Telemetry.Counter.incr m_accepted;
     if pruned then Telemetry.Counter.incr m_pruned;
     Telemetry.Watchdog.beat ~iteration:round ~queries:!synth_queries
@@ -591,6 +607,7 @@ let synthesize ?(config = default_config) ?pool ?caches ?(resume = false) g
     | Some b -> !synth_queries < b
   in
   let seed st =
+    chain_site st.k @@ fun () ->
     Telemetry.Watchdog.with_loop (wd_chain st.k) @@ fun () ->
     st.current <- Gen.random_program gen_config st.rng;
     let e = evaluate_full st.current in
@@ -602,6 +619,7 @@ let synthesize ?(config = default_config) ?pool ?caches ?(resume = false) g
     record ~round:0 st st.current st.current_avg true false
   in
   let step ~round st =
+    chain_site st.k @@ fun () ->
     Telemetry.Watchdog.with_loop (wd_chain st.k) @@ fun () ->
     let slot = Prng.int st.rng 13 in
     let proposal = Gen.mutate_slot gen_config st.rng st.current ~slot in

@@ -73,6 +73,7 @@ let evaluate ?max_queries ?goal ?caches ?batch oracle program samples =
     (Array.mapi
        (fun i (image, true_class) ->
          Telemetry.Watchdog.beat ~image:i wd_attack;
+         Telemetry.Journal.with_image i @@ fun () ->
          Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch oracle
            program ~image ~true_class)
        samples)
@@ -80,6 +81,11 @@ let evaluate ?max_queries ?goal ?caches ?batch oracle program samples =
 let evaluate_parallel ?max_queries ?goal ?caches ?batch ~pool oracle program
     samples =
   check_caches "Score.evaluate_parallel" caches oracle samples;
+  (* Journal context is domain-local; a pool worker starts with an empty
+     one.  Capture the caller's charge-site tag here and re-apply it in
+     the worker so parallel charges attribute identically to sequential
+     ones. *)
+  let site = Telemetry.Journal.site () in
   of_results
     (Domain_pool.Pool.map pool
        (fun (i, (image, true_class)) ->
@@ -87,6 +93,8 @@ let evaluate_parallel ?max_queries ?goal ?caches ?batch ~pool oracle program
             own slot is re-attached explicitly, so a cache is only ever
             touched by the one domain attacking its image. *)
          Telemetry.Watchdog.beat ~image:i wd_attack;
+         Telemetry.Journal.with_site site @@ fun () ->
+         Telemetry.Journal.with_image i @@ fun () ->
          Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch
            (Oracle.clone oracle) program ~image ~true_class)
        (Array.mapi (fun i s -> (i, s)) samples))
@@ -148,13 +156,19 @@ let evaluate_pac ?max_queries ?goal ?caches ?batch ?pool ~pac ~threshold ~order
   in
   if pac.stage <= 0 then invalid_arg "Score.evaluate_pac: stage must be positive";
   let results = Array.make n None in
+  (* Same capture as [evaluate_parallel]: [fill] may run in a pool
+     worker whose journal context is empty. *)
+  let site = Telemetry.Journal.site () in
   let fill k =
     let i = order.(k) in
     let image, true_class = samples.(i) in
     Telemetry.Watchdog.beat ~image:i wd_attack;
     let o = match pool with None -> oracle | Some _ -> Oracle.clone oracle in
-    (i, Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch o program
-          ~image ~true_class)
+    ( i,
+      Telemetry.Journal.with_site site @@ fun () ->
+      Telemetry.Journal.with_image i @@ fun () ->
+      Sketch.attack ?max_queries ?goal ?cache:(slot caches i) ?batch o program
+        ~image ~true_class )
   in
   let run_stage lo hi =
     match pool with

@@ -199,7 +199,12 @@ let attack ?max_queries ?(goal = Untargeted) ?cache ?(batch = default_batch)
             ("batch", Telemetry.Trace.Int batch);
           ])
     (fun () ->
-      let r = Telemetry.Watchdog.with_loop wd_attack run in
+      (* Journal charge site: "sketch" unless an outer tag (synth, an
+         island chain) already claimed the charges. *)
+      let r =
+        Telemetry.Journal.with_default_site "sketch" @@ fun () ->
+        Telemetry.Watchdog.with_loop wd_attack run
+      in
       outcome := Some r;
       let q = float_of_int r.queries in
       (match r.adversarial with

@@ -146,6 +146,7 @@ let synthesize ?(config = default_config) ?pool ?caches g oracle ~training =
             pruned := true;
             `Cut p.Score.lower_bound
   in
+  Telemetry.Journal.with_default_site "synth" @@ fun () ->
   Telemetry.Watchdog.with_loop wd_synth @@ fun () ->
   let current = ref (Gen.random_program gen_config g) in
   let current_avg = ref (eval_counted !current) in

@@ -22,11 +22,21 @@
 
 type candidate = { key : Score_cache.key; input : unit -> Tensor.t }
 
+(* One buffered answer: the key it was prepared under, the resolved
+   score vector, whether the cache already held it, and its slot
+   position inside the speculative chunk (journal provenance). *)
+type slot = {
+  skey : Score_cache.key;
+  score : Tensor.t;
+  shit : bool;
+  spos : int;
+}
+
 type t = {
   oracle : Oracle.t;
   cache : Score_cache.t option;
   width : int;
-  mutable buf : (Score_cache.key * Tensor.t) list; (* head = next expected *)
+  mutable buf : slot list; (* head = next expected *)
 }
 
 type stats = {
@@ -117,11 +127,14 @@ let prepare t chunk =
   Telemetry.Histogram.observe h_chunk_width
     (float_of_int (Array.length chunk));
   let resolved = Array.make (Array.length chunk) None in
+  let hits = Array.make (Array.length chunk) false in
   (match t.cache with
   | None -> ()
   | Some c ->
       Array.iteri
-        (fun i cand -> resolved.(i) <- Score_cache.find_counted c cand.key)
+        (fun i cand ->
+          resolved.(i) <- Score_cache.find_counted c cand.key;
+          hits.(i) <- resolved.(i) <> None)
         chunk);
   let missing = ref [] in
   for i = Array.length chunk - 1 downto 0 do
@@ -150,13 +163,21 @@ let prepare t chunk =
   end;
   t.buf <-
     Array.to_list
-      (Array.mapi (fun i cand -> (cand.key, Option.get resolved.(i))) chunk)
+      (Array.mapi
+         (fun i cand ->
+           {
+             skey = cand.key;
+             score = Option.get resolved.(i);
+             shit = hits.(i);
+             spos = i;
+           })
+         chunk)
 
 let no_speculation : int -> candidate option = fun _ -> None
 
 let query t ?(speculate = no_speculation) cand =
   (match t.buf with
-  | (k, _) :: _ when k = cand.key -> bump g_buffer_hits 1
+  | { skey; _ } :: _ when skey = cand.key -> bump g_buffer_hits 1
   | _ ->
       drop_buffer t;
       let chunk = ref [ cand ] and filled = ref 1 and stop = ref false in
@@ -170,11 +191,15 @@ let query t ?(speculate = no_speculation) cand =
       prepare t (Array.of_list (List.rev !chunk)));
   match t.buf with
   | [] -> assert false
-  | (_, s) :: rest ->
+  | { skey = _; score; shit; spos } :: rest ->
       (* Metering happens here — at consumption, never at preparation —
          so the counter advances in the attacker's true query order and
-         Budget_exhausted fires at the sequential path's exact index. *)
-      Oracle.meter ~kind:(Score_cache.key_kind cand.key) t.oracle;
+         Budget_exhausted fires at the sequential path's exact index.
+         The slot's hit flag and chunk position ride along as journal
+         provenance. *)
+      Oracle.meter
+        ~kind:(Score_cache.key_kind cand.key)
+        ~ckey:cand.key ~hit:shit ~chunk:spos t.oracle;
       bump g_queries 1;
       t.buf <- rest;
-      s
+      score

@@ -5,10 +5,15 @@ type t = {
   fn_batch : (Tensor.t array -> Tensor.t array) option;
   oracle_name : string;
   classes : int;
+  backend_kind : string;  (* "boxed" / "f32" / "fn" — journal provenance *)
   mutable count : int;
   mutable limit : int option;
   mutable memo : Score_cache.t option;
   mutable qmode : mode;
+  (* Cached handle on the dimensional series
+     [oracle.queries.by{backend=...,mode=...}]: re-resolved on
+     [set_mode] so the hot metering path stays one atomic incr. *)
+  mutable m_by : Telemetry.Counter.t;
 }
 
 exception Budget_exhausted of int
@@ -32,6 +37,13 @@ let kind_counter = function
   | Some "custom" -> m_q_custom
   | Some _ | None -> m_q_unkeyed
 
+let mode_label = function Score -> "score" | Decision -> "decision"
+
+let by_counter ~backend qmode =
+  Telemetry.Metrics.counter
+    ~labels:[ ("backend", backend); ("mode", mode_label qmode) ]
+    "oracle.queries.by"
+
 let of_fn ?budget ?batch_fn ?(name = "fn") ~num_classes fn =
   if num_classes <= 0 then invalid_arg "Oracle.of_fn: num_classes <= 0";
   {
@@ -39,10 +51,12 @@ let of_fn ?budget ?batch_fn ?(name = "fn") ~num_classes fn =
     fn_batch = batch_fn;
     oracle_name = name;
     classes = num_classes;
+    backend_kind = "fn";
     count = 0;
     limit = budget;
     memo = None;
     qmode = Score;
+    m_by = by_counter ~backend:"fn" Score;
   }
 
 let of_network ?budget ?(backend = Nn.Backend.Boxed) ?pool net =
@@ -91,20 +105,38 @@ let of_network ?budget ?(backend = Nn.Backend.Boxed) ?pool net =
     fn_batch = Some fn_batch;
     oracle_name = net.Nn.Network.name;
     classes = net.Nn.Network.num_classes;
+    backend_kind = Nn.Backend.kind_name backend;
     count = 0;
     limit = budget;
     memo = None;
     qmode = Score;
+    m_by = by_counter ~backend:(Nn.Backend.kind_name backend) Score;
   }
 
-let meter ?kind t =
+(* The single funnel every charged query passes through.  [kind] is the
+   per-key-kind counter split; [ckey]/[hit]/[chunk] are journal
+   provenance (the cache key, whether the score came from the memo
+   layer, the batcher slot position) — consulted only when the journal
+   sink is open, so the disabled path costs one extra atomic load. *)
+let meter ?kind ?ckey ?hit ?chunk t =
   (match t.limit with
   | Some b when t.count >= b -> raise (Budget_exhausted b)
   | _ -> ());
   t.count <- t.count + 1;
   Telemetry.Counter.incr m_q_total;
   Telemetry.Counter.incr (kind_counter kind);
-  if t.qmode = Decision then Telemetry.Counter.incr m_q_decision
+  Telemetry.Counter.incr t.m_by;
+  if t.qmode = Decision then Telemetry.Counter.incr m_q_decision;
+  if Telemetry.Journal.enabled () then
+    Telemetry.Journal.record
+      ~key:
+        (match ckey with
+        | Some k -> Score_cache.key_to_string k
+        | None -> "unkeyed")
+      ~kind:(Option.value kind ~default:"unkeyed")
+      ~mode:(mode_label t.qmode)
+      ~hit:(Option.value hit ~default:false)
+      ?chunk ~backend:t.backend_kind ()
 
 let validated t s =
   if Tensor.numel s <> t.classes then
@@ -119,9 +151,13 @@ let scores t x =
 
 (* The metering-above-cache invariant lives here: the query is charged
    (and Budget_exhausted raised) before the cache is consulted, so hits
-   and misses are indistinguishable to the query accounting. *)
+   and misses are indistinguishable to the query accounting.  The
+   journal's hit flag comes from an uncounted membership probe, gated
+   on the sink being open — it never touches the hit/miss statistics
+   the cache reports. *)
 let scores_memo t cache ~key ~input =
-  meter ~kind:(Score_cache.key_kind key) t;
+  let hit = Telemetry.Journal.enabled () && Score_cache.mem cache key in
+  meter ~kind:(Score_cache.key_kind key) ~ckey:key ~hit t;
   Score_cache.find_or_add cache key ~compute:(fun () ->
       validated t (t.fn (input ())))
 
@@ -146,6 +182,7 @@ let scores_batch t ?cache ~keys ~inputs ~consume () =
      touching the query counter.  Cache hits leave the batch before the
      forward pass; misses are evaluated in one batched call and stored. *)
   let resolved = Array.make n None in
+  let hits = Array.make n false in
   (match cache with
   | None -> ()
   | Some c ->
@@ -153,7 +190,9 @@ let scores_batch t ?cache ~keys ~inputs ~consume () =
         (fun i key ->
           match key with
           | None -> ()
-          | Some k -> resolved.(i) <- Score_cache.find_counted c k)
+          | Some k ->
+              resolved.(i) <- Score_cache.find_counted c k;
+              hits.(i) <- resolved.(i) <> None)
         keys);
   let missing = ref [] in
   for i = n - 1 downto 0 do
@@ -179,7 +218,9 @@ let scores_batch t ?cache ~keys ~inputs ~consume () =
   let continue_ = ref true in
   while !continue_ && !consumed < n do
     let i = !consumed in
-    meter ?kind:(Option.map Score_cache.key_kind keys.(i)) t;
+    meter
+      ?kind:(Option.map Score_cache.key_kind keys.(i))
+      ?ckey:keys.(i) ~hit:hits.(i) ~chunk:i t;
     consumed := i + 1;
     continue_ := consume i (Option.get resolved.(i))
   done;
@@ -195,7 +236,12 @@ let score_of t x c = Tensor.get_flat (scores t x) c
    decision-based query for code written against labels from the start. *)
 let decide t x = Tensor.argmax (scores t x)
 let mode t = t.qmode
-let set_mode t m = t.qmode <- m
+
+let set_mode t m =
+  t.qmode <- m;
+  t.m_by <- by_counter ~backend:t.backend_kind m
+
+let backend_name t = t.backend_kind
 
 let one_hot ~classes label =
   Tensor.init [| classes |] (fun j -> if j = label then 1.0 else 0.0)

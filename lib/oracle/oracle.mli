@@ -92,13 +92,21 @@ val observe : t -> Tensor.t -> Tensor.t
 val score_of : t -> Tensor.t -> int -> float
 (** [score_of t x c] is [(scores t x).(c)] — one metered query. *)
 
-val meter : ?kind:string -> t -> unit
+val meter :
+  ?kind:string -> ?ckey:Score_cache.key -> ?hit:bool -> ?chunk:int -> t -> unit
 (** The metering half of {!scores} on its own: raise {!Budget_exhausted}
     if the budget is spent, otherwise charge one query.  Exposed so
     caching layers can keep metering {e above} the cache; never call it
     without answering the query it charges for.  [kind] (a
     {!Score_cache.key_kind} label) only routes the telemetry per-kind
-    counter [oracle.queries.<kind>]; it never affects accounting. *)
+    counter [oracle.queries.<kind>]; it never affects accounting.
+
+    [ckey], [hit] and [chunk] are query-journal provenance — the cache
+    key behind the charge, whether the memo layer already held the
+    answer, and the batcher slot position.  They are only consulted
+    when the journal sink is open and never affect accounting: a
+    journaled run charges the same queries at the same indices as a
+    bare one (the [journal] bench asserts this). *)
 
 val scores_memo :
   t ->
@@ -189,6 +197,13 @@ val clone : t -> t
 
 val num_classes : t -> int
 val name : t -> string
+
+val backend_name : t -> string
+(** The scoring engine behind this oracle — ["boxed"] / ["f32"] for
+    network oracles, ["fn"] for closures — as recorded in journal
+    provenance and the [oracle.queries.by{backend=...,mode=...}]
+    dimensional series.  Metering is backend-independent; this is
+    observability only. *)
 
 val unmetered_classify : t -> Tensor.t -> int
 (** Classification that does NOT count as a query.  Reserved for

@@ -8,6 +8,18 @@ let key_kind = function
   | Corner _ -> "corner"
   | Custom _ -> "custom"
 
+(* Canonical string form, used as the journal's provenance key.  Custom
+   keys pass through verbatim — the space layers already build them in
+   a canonical "rgb:..."/"pairs:..."/"patch:..." format. *)
+(* String concatenation, not Printf: this renders once per charged
+   query when the provenance journal is open. *)
+let key_to_string = function
+  | Clean -> "clean"
+  | Corner { row; col; corner } ->
+      "corner:" ^ string_of_int row ^ "," ^ string_of_int col ^ ","
+      ^ string_of_int corner
+  | Custom s -> s
+
 (* Process-wide mirrors of the per-instance counters below: each cache
    instance is owned by one domain (per-image ownership), but the
    consolidated telemetry view sums across all instances and domains,

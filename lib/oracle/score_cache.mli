@@ -52,6 +52,11 @@ val key_kind : key -> string
     files per-key-kind query counters under
     ([oracle.queries.<kind>]). *)
 
+val key_to_string : key -> string
+(** Canonical string form — the query journal's provenance key:
+    ["clean"], ["corner:<row>,<col>,<corner>"], or the [Custom]
+    payload verbatim (the space layers build those canonically). *)
+
 type t
 
 type stats = {

@@ -175,7 +175,39 @@ let register name wanted make =
           h)
 
 module Metrics = struct
-  let counter name =
+  (* Prometheus label-value escaping: backslash, double quote and
+     newline are the three characters the text exposition format
+     escapes inside label values. *)
+  let label_escape v =
+    let b = Buffer.create (String.length v + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  (* A labeled series' registry key IS its exposition form —
+     [name{k="v",k2="v2"}] with keys sorted and values escaped — so the
+     same (name, labels) pair always resolves to the same handle and
+     the exporter can render the key's label block verbatim. *)
+  let labeled_name name labels =
+    match labels with
+    | [] -> name
+    | labels ->
+        let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+        let fields =
+          List.map
+            (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (label_escape v))
+            labels
+        in
+        Printf.sprintf "%s{%s}" name (String.concat "," fields)
+
+  let counter ?(labels = []) name =
+    let name = labeled_name name labels in
     register name
       (function C c -> Some c | _ -> None)
       (fun () ->
@@ -183,7 +215,8 @@ module Metrics = struct
         Hashtbl.replace registry name (C c);
         c)
 
-  let gauge name =
+  let gauge ?(labels = []) name =
+    let name = labeled_name name labels in
     register name
       (function G g -> Some g | _ -> None)
       (fun () ->
@@ -197,7 +230,8 @@ module Metrics = struct
   let time_buckets =
     [| 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100. |]
 
-  let histogram ?(buckets = default_buckets) name =
+  let histogram ?(buckets = default_buckets) ?(labels = []) name =
+    let name = labeled_name name labels in
     register name
       (function H h -> Some h | _ -> None)
       (fun () ->
@@ -217,7 +251,7 @@ module Metrics = struct
       Printf.sprintf "%.0f" v
     else Printf.sprintf "%.17g" v
 
-  let json_escape s =
+  let json_escape_slow s =
     let b = Buffer.create (String.length s + 8) in
     String.iter
       (fun c ->
@@ -232,6 +266,21 @@ module Metrics = struct
         | c -> Buffer.add_char b c)
       s;
     Buffer.contents b
+
+  (* Fast path: most escaped strings (metric names, cache keys, charge
+     sites) contain nothing to escape — return them unchanged rather
+     than copying through a buffer. *)
+  let json_escape s =
+    let n = String.length s in
+    let rec clean i =
+      i >= n
+      ||
+      match String.unsafe_get s i with
+      | '"' | '\\' -> false
+      | c when Char.code c < 0x20 -> false
+      | _ -> clean (i + 1)
+    in
+    if clean 0 then s else json_escape_slow s
 
   let dump_json () =
     let metrics = sorted_metrics () in
@@ -296,6 +345,56 @@ module Metrics = struct
           registry)
 end
 
+(* Flight recorder: a bounded in-memory ring of the last N rendered
+   span/instant event lines.  Writers claim a slot with one
+   fetch-and-add and store the line; a torn read (two writers lapping
+   the ring between claim and store) can at worst surface a stale line,
+   never corrupt memory — acceptable for a post-mortem artifact.  The
+   ring is fed by [Trace] (every emitted event) and [Watchdog.beat]
+   (heartbeat context), and dumped by the post-mortem bundle on stall
+   or crash. *)
+module Ring = struct
+  let slots : string array ref = ref [||]
+  let cursor = Atomic.make 0
+  let active = Atomic.make false
+
+  let enabled () = Atomic.get active
+
+  let configure n =
+    if n <= 0 then invalid_arg "Telemetry.Ring.configure: size must be positive";
+    slots := Array.make n "";
+    Atomic.set cursor 0;
+    Atomic.set active true
+
+  let stop () = Atomic.set active false
+
+  let record line =
+    if Atomic.get active then begin
+      let s = !slots in
+      let n = Array.length s in
+      if n > 0 then s.(Atomic.fetch_and_add cursor 1 mod n) <- line
+    end
+
+  (* Oldest-to-newest snapshot of the resident lines.  Racy against
+     concurrent writers by design: a line may be missed or duplicated
+     across the wrap boundary, but every returned string is a complete
+     event line. *)
+  let dump () =
+    let s = !slots in
+    let n = Array.length s in
+    if n = 0 then []
+    else begin
+      let c = Atomic.get cursor in
+      let first = max 0 (c - n) in
+      let out = ref [] in
+      for i = c - 1 downto first do
+        let line = s.(i mod n) in
+        if line <> "" then out := line :: !out
+      done;
+      !out
+    end
+end
+
 module Trace = struct
   type arg = Int of int | Float of float | Bool of bool | Str of string
 
@@ -354,31 +453,48 @@ module Trace = struct
         in
         Printf.sprintf ", \"args\": {%s}" (String.concat ", " fields)
 
+  (* One event rendered as a complete JSON object (no trailing comma):
+     the sink appends [",\n"], the flight-recorder ring stores the line
+     as-is. *)
+  let render_event ~name ~cat ~ph ~ts ?dur ?scope args =
+    let dur =
+      match dur with
+      | None -> ""
+      | Some d -> Printf.sprintf ", \"dur\": %.3f" d
+    in
+    let scope =
+      match scope with
+      | None -> ""
+      | Some s -> Printf.sprintf ", \"s\": \"%s\"" s
+    in
+    Printf.sprintf
+      "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": \
+       %.3f%s, \"pid\": %d, \"tid\": %d%s%s}"
+      (Metrics.json_escape name) (Metrics.json_escape cat) ph ts dur pid
+      (Domain.self () :> int)
+      scope (render_args args)
+
   let emit ~name ~cat ~ph ~ts ?dur ?scope args =
+    let line = render_event ~name ~cat ~ph ~ts ?dur ?scope args in
+    Ring.record line;
     Mutex.lock sink_mutex;
     (match !sink with
     | None -> ()
     | Some oc ->
-        let dur =
-          match dur with
-          | None -> ""
-          | Some d -> Printf.sprintf ", \"dur\": %.3f" d
-        in
-        let scope =
-          match scope with
-          | None -> ""
-          | Some s -> Printf.sprintf ", \"s\": \"%s\"" s
-        in
-        Printf.fprintf oc
-          "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": \
-           %.3f%s, \"pid\": %d, \"tid\": %d%s%s},\n"
-          (Metrics.json_escape name) (Metrics.json_escape cat) ph ts dur pid
-          (Domain.self () :> int)
-          scope (render_args args));
+        output_string oc line;
+        output_string oc ",\n");
+    Mutex.unlock sink_mutex
+
+  (* Flush the sink channel without closing it: the stall/crash paths
+     call this so a process that dies right after never leaves a
+     half-buffered trace behind. *)
+  let flush () =
+    Mutex.lock sink_mutex;
+    (match !sink with None -> () | Some oc -> Stdlib.flush oc);
     Mutex.unlock sink_mutex
 
   let span ?(cat = "oppsla") ?args name f =
-    if not (Atomic.get active) then f ()
+    if not (Atomic.get active || Ring.enabled ()) then f ()
     else begin
       let t0 = Clock.now_us () in
       let finish () =
@@ -397,7 +513,7 @@ module Trace = struct
     end
 
   let instant ?(cat = "oppsla") ?args name =
-    if Atomic.get active then
+    if Atomic.get active || Ring.enabled () then
       let args = match args with None -> [] | Some a -> a () in
       emit ~name ~cat ~ph:"i" ~ts:(Clock.now_us ()) ~scope:"t" args
 

@@ -33,6 +33,11 @@ let float_repr v =
   else if v = Float.neg_infinity then "-Inf"
   else Core.Metrics.json_float v
 
+(* Prometheus label-value escaping, re-exported from the registry (the
+   registry escapes values when it builds a labeled series' key, so the
+   key's label block is already exposition-ready). *)
+let escape_label_value = Core.Metrics.label_escape
+
 let of_registry () =
   Core.Metrics.sorted_metrics ()
   |> List.map (fun (name, m) ->
@@ -41,33 +46,66 @@ let of_registry () =
          | Core.G g -> Gauge (name, Core.Gauge.get g)
          | Core.H h -> Histogram (name, Core.Histogram.snapshot h))
 
+(* A labeled registry key is [name{k="v",...}] with values already
+   escaped; split it into the sanitized base name and the literal label
+   block so dimensional series render as one family. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (sanitize_name name, "")
+  | Some i ->
+      ( sanitize_name (String.sub name 0 i),
+        String.sub name i (String.length name - i) )
+
+(* Merge an extra [le] label into a (possibly empty) label block for
+   histogram bucket lines. *)
+let with_le labels le =
+  let le_field = Printf.sprintf "le=\"%s\"" le in
+  if labels = "" then Printf.sprintf "{%s}" le_field
+  else
+    Printf.sprintf "%s,%s}"
+      (String.sub labels 0 (String.length labels - 1))
+      le_field
+
 let render metrics =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  (* One # TYPE comment per family: labeled series of one base name
+     share a single comment (they sort adjacently, so the family stays
+     contiguous in the exposition). *)
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      line "# TYPE %s %s" name kind
+    end
+  in
   List.iter
     (fun m ->
       match m with
       | Counter (name, v) ->
-          let name = sanitize_name name in
-          line "# TYPE %s counter" name;
-          line "%s %d" name v
+          let name, labels = split_labels name in
+          type_line name "counter";
+          line "%s%s %d" name labels v
       | Gauge (name, v) ->
-          let name = sanitize_name name in
-          line "# TYPE %s gauge" name;
-          line "%s %s" name (float_repr v)
+          let name, labels = split_labels name in
+          type_line name "gauge";
+          line "%s%s %s" name labels (float_repr v)
       | Histogram (name, s) ->
-          let name = sanitize_name name in
-          line "# TYPE %s histogram" name;
+          let name, labels = split_labels name in
+          type_line name "histogram";
           let cum = ref 0 in
           Array.iteri
             (fun i upper ->
               cum := !cum + s.Core.Histogram.counts.(i);
-              line "%s_bucket{le=\"%s\"} %d" name (float_repr upper) !cum)
+              line "%s_bucket%s %d" name
+                (with_le labels (float_repr upper))
+                !cum)
             s.Core.Histogram.uppers;
           (* +Inf bucket is cumulative over everything, i.e. the count. *)
-          line "%s_bucket{le=\"+Inf\"} %d" name s.Core.Histogram.count;
-          line "%s_sum %s" name (float_repr s.Core.Histogram.sum);
-          line "%s_count %d" name s.Core.Histogram.count)
+          line "%s_bucket%s %d" name (with_le labels "+Inf")
+            s.Core.Histogram.count;
+          line "%s_sum%s %s" name labels (float_repr s.Core.Histogram.sum);
+          line "%s_count%s %d" name labels s.Core.Histogram.count)
     metrics;
   Buffer.contents b
 

@@ -12,6 +12,8 @@ type config = {
   snapshot : string option;  (* --snapshot FILE: JSONL registry ticks *)
   snapshot_interval_s : float;  (* --snapshot-interval SEC *)
   stall_timeout_s : float option;  (* --stall-timeout SEC: abort stalls *)
+  journal : string option;  (* --journal FILE: query-provenance JSONL *)
+  run_id : string option;  (* --run-id ID: journal/post-mortem identity *)
 }
 
 let default =
@@ -22,11 +24,13 @@ let default =
     snapshot = None;
     snapshot_interval_s = 1.0;
     stall_timeout_s = None;
+    journal = None;
+    run_id = None;
   }
 
 let active c =
   c.trace <> None || c.metrics <> None || c.serve_port <> None
-  || c.snapshot <> None || c.stall_timeout_s <> None
+  || c.snapshot <> None || c.stall_timeout_s <> None || c.journal <> None
 
 (* Stall threshold for /healthz and the sampler: --stall-timeout when
    given (which also makes a stall fatal), a permissive default
@@ -72,7 +76,39 @@ type t = {
   config : config;
 }
 
+(* Default run id: wall-clock seconds since the epoch plus the pid —
+   unique enough across restarts for journal headers and post-mortem
+   directory names, with no state file required. *)
+let generate_run_id () =
+  Printf.sprintf "%.0f-%d" (Unix.gettimeofday ()) (Unix.getpid ())
+
+(* On any uncaught exception in an observed run, drop the post-mortem
+   bundle before the process dies, then report the exception exactly as
+   the runtime default would have. *)
+let install_crash_handler () =
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      (try
+         Core.Trace.flush ();
+         Journal.flush ();
+         match
+           Postmortem.dump ~reason:("uncaught: " ^ Printexc.to_string exn) ()
+         with
+         | Some dir -> Printf.eprintf "[obs] post-mortem bundle: %s\n%!" dir
+         | None -> ()
+       with _ -> ());
+      Printf.eprintf "Fatal error: exception %s\n%s%!" (Printexc.to_string exn)
+        (Printexc.raw_backtrace_to_string bt))
+
+(* Flight-recorder depth: enough to hold the spans and heartbeats of
+   the last few attack iterations without measurable footprint. *)
+let ring_size = 512
+
 let start ?(log = ignore) config =
+  Journal.set_run_id
+    (match config.run_id with Some id -> id | None -> generate_run_id ());
+  Core.Ring.configure ring_size;
+  install_crash_handler ();
+  (match config.journal with Some f -> Journal.to_file f | None -> ());
   (match config.trace with Some f -> Core.Trace.to_file f | None -> ());
   let server =
     Option.map
@@ -106,6 +142,8 @@ let stop t =
   (match t.sampler with Some s -> Sampler.stop s | None -> ());
   (match t.server with Some s -> Http_server.stop s | None -> ());
   Core.Trace.close ();
+  Journal.close ();
+  Core.Ring.stop ();
   match t.config.metrics with
   | Some f -> Core.Metrics.write_json f
   | None -> ()

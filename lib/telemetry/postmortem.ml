@@ -1,0 +1,106 @@
+(* Post-mortem bundle: when a run dies involuntarily — the watchdog's
+   fatal stall (exit 3) or an uncaught exception — the process drops a
+   self-contained diagnostic directory before exiting:
+
+     _artifacts/postmortem-<runid>/
+       info.json          run id, reason, uptime, stalled loops,
+                          journal path, registered checkpoint
+       ring.jsonl         the flight-recorder ring (last N span/instant
+                          events, including watchdog heartbeats)
+       registry.json      full metrics registry snapshot
+       journal_tail.jsonl the last few query-provenance records
+
+   Everything read here is observation-only state (the ring, the
+   registry, the journal's in-memory tail, the watchdog slots), so a
+   dump can run from any context — the sampler thread, an exception
+   handler — without perturbing or deadlocking the attack stack. *)
+
+let checkpoint_ref = ref None
+let checkpoint_mutex = Mutex.create ()
+
+(* The island-model synthesizer registers its checkpoint file here so a
+   post-mortem names the resume point alongside the wreckage. *)
+let note_checkpoint path =
+  Mutex.lock checkpoint_mutex;
+  checkpoint_ref := Some path;
+  Mutex.unlock checkpoint_mutex
+
+let checkpoint () =
+  Mutex.lock checkpoint_mutex;
+  let p = !checkpoint_ref in
+  Mutex.unlock checkpoint_mutex;
+  p
+
+let dumped = Atomic.make false
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file path body =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc body)
+
+let info_json ~reason =
+  let esc = Core.Metrics.json_escape in
+  let opt = function
+    | None -> "null"
+    | Some s -> Printf.sprintf "\"%s\"" (esc s)
+  in
+  let stalled =
+    Watchdog.snapshot ()
+    |> List.filter (fun (s : Watchdog.status) -> s.Watchdog.active > 0)
+    |> List.map (fun (s : Watchdog.status) ->
+           Printf.sprintf
+             "{\"loop\": \"%s\", \"idle_s\": %s, \"beats\": %d, \
+              \"image\": %d, \"iteration\": %d, \"queries\": %d}"
+             (esc s.Watchdog.name)
+             (Core.Metrics.json_float s.Watchdog.idle_s)
+             s.Watchdog.beats
+             (Option.value s.Watchdog.image ~default:(-1))
+             (Option.value s.Watchdog.iteration ~default:(-1))
+             (Option.value s.Watchdog.queries ~default:(-1)))
+  in
+  Printf.sprintf
+    "{\n  \"run_id\": \"%s\",\n  \"reason\": \"%s\",\n  \"ts_us\": %s,\n\
+    \  \"journal\": %s,\n  \"checkpoint\": %s,\n  \"active_loops\": [%s]\n}\n"
+    (esc (Journal.run_id ()))
+    (esc reason)
+    (Core.Metrics.json_float (Core.Clock.now_us ()))
+    (opt (Journal.current_path ()))
+    (opt (checkpoint ()))
+    (String.concat ", " stalled)
+
+(* Dump the bundle once per process (the first fatal event wins) and
+   return its directory.  Never raises: a failing dump must not mask
+   the original fatality. *)
+let dump ?(dir = "_artifacts") ~reason () =
+  if not (Atomic.compare_and_set dumped false true) then None
+  else
+    try
+      Core.Trace.flush ();
+      Journal.flush ();
+      let bundle =
+        Filename.concat dir ("postmortem-" ^ Journal.run_id ())
+      in
+      mkdir_p bundle;
+      write_file (Filename.concat bundle "info.json") (info_json ~reason);
+      write_file
+        (Filename.concat bundle "ring.jsonl")
+        (String.concat "\n" (Core.Ring.dump ()) ^ "\n");
+      write_file
+        (Filename.concat bundle "registry.json")
+        (Core.Metrics.dump_json ());
+      write_file
+        (Filename.concat bundle "journal_tail.jsonl")
+        (String.concat "\n" (Journal.tail ()) ^ "\n");
+      Some bundle
+    with _ -> None
+
+(* Tests only: allow a fresh dump in the same process. *)
+let reset () = Atomic.set dumped false

@@ -140,6 +140,15 @@ let sample_locked t =
   if fresh <> [] && t.config.abort_on_stall then begin
     Printf.eprintf "[watchdog] aborting: --stall-timeout exceeded by %s\n%!"
       (String.concat ", " (List.map (fun s -> s.Watchdog.name) fresh));
+    (* Flush the live sinks and drop the post-mortem bundle BEFORE
+       exiting: the stall path must never leave a truncated trace or
+       journal behind, and the bundle (ring, registry, journal tail,
+       checkpoint info) is the only evidence a wedged run gets. *)
+    Core.Trace.flush ();
+    Journal.flush ();
+    (match Postmortem.dump ~reason:"stall" () with
+    | Some dir -> Printf.eprintf "[watchdog] post-mortem bundle: %s\n%!" dir
+    | None -> ());
     exit 3
   end
 

@@ -8,4 +8,6 @@ module Watchdog = Watchdog
 module Exporter = Exporter
 module Sampler = Sampler
 module Http_server = Http_server
+module Journal = Journal
+module Postmortem = Postmortem
 module Obs = Obs

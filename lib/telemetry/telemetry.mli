@@ -91,14 +91,24 @@ end
 (** {1 The registry} *)
 
 module Metrics : sig
-  val counter : string -> Counter.t
+  val counter : ?labels:(string * string) list -> string -> Counter.t
   (** Register (or fetch, if already registered) the counter named
       [name].  Raises [Invalid_argument] if the name is registered as a
-      different metric kind. *)
+      different metric kind.
 
-  val gauge : string -> Gauge.t
+      [labels] attaches low-cardinality dimensions (backend, oracle
+      mode, space, island): the registry key becomes the Prometheus
+      series identity [name{k="v",...}] with keys sorted and values
+      escaped, so the same (name, labels) pair always resolves to the
+      same handle and the exporter renders one dimensional series per
+      label combination.  Callers on hot paths must cache the handle —
+      registration takes the registry mutex. *)
 
-  val histogram : ?buckets:float array -> string -> Histogram.t
+  val gauge : ?labels:(string * string) list -> string -> Gauge.t
+
+  val histogram :
+    ?buckets:float array -> ?labels:(string * string) list -> string ->
+    Histogram.t
   (** [buckets] are inclusive upper bounds, strictly ascending (default
       {!default_buckets}); ignored when the histogram already exists.
       Raises [Invalid_argument] on an empty or non-ascending array, or
@@ -160,6 +170,36 @@ module Trace : sig
   (** Run [f] with tracing temporarily disabled (the differential
       checker computes its untraced reference this way without closing
       the sink). *)
+
+  val flush : unit -> unit
+  (** Flush the open sink without closing it.  The stall/crash paths
+      call this so an aborting process never leaves a half-buffered
+      trace behind; a no-op when tracing is off. *)
+end
+
+(** {1 Flight recorder}
+
+    A bounded in-memory ring of the last N rendered span/instant event
+    lines (including watchdog heartbeats), enabled by the {!Obs}
+    bracket and dumped into the post-mortem bundle on stall or crash.
+    Lock-free: a write is one fetch-and-add plus an array store. *)
+
+module Ring : sig
+  val enabled : unit -> bool
+
+  val configure : int -> unit
+  (** Allocate an [n]-slot ring and start recording.  Raises
+      [Invalid_argument] when [n <= 0]. *)
+
+  val stop : unit -> unit
+
+  val record : string -> unit
+  (** Store one pre-rendered event line (no-op when disabled). *)
+
+  val dump : unit -> string list
+  (** Resident lines, oldest first.  Racy against concurrent writers
+      by design (a post-mortem artifact): a line may be missed across
+      the wrap boundary, but every returned line is complete. *)
 end
 
 (** {1 Shared numeric formatting}
@@ -246,6 +286,11 @@ module Exporter : sig
       ([[a-zA-Z0-9_:]], no leading digit): dots and other illegal
       characters become underscores. *)
 
+  val escape_label_value : string -> string
+  (** Prometheus label-value escaping: backslash, double quote and
+      newline.  Applied by the registry when a labeled series' key is
+      built, so rendered label blocks are already exposition-ready. *)
+
   val of_registry : unit -> metric list
   (** Snapshot the registry (name-sorted, atomic loads only). *)
 
@@ -324,6 +369,99 @@ module Http_server : sig
       the observe bench and the differential runner. *)
 end
 
+(** {1 Query-provenance journal}
+
+    Records every {e charged} oracle query as one checksummed JSONL
+    record at the metering point, so the charge sequence — the
+    bit-identity every optimization layer must preserve — persists as
+    an offline-auditable artifact ([tools/audit.exe] diffs two
+    journals).  See [journal.ml] for the file format. *)
+
+module Journal : sig
+  val enabled : unit -> bool
+  (** One atomic load; nothing else runs when no sink is open. *)
+
+  val to_file : string -> unit
+  (** Open [path ^ ".tmp"] as the journal sink, write the versioned
+      header and start recording.  {!close} finalizes atomically by
+      renaming onto [path].  Raises [Invalid_argument] if a journal is
+      already active. *)
+
+  val close : unit -> unit
+  (** Append the footer (record count), close the sink and rename the
+      [.tmp] file onto the final path.  Idempotent. *)
+
+  val flush : unit -> unit
+  (** Flush the open sink without closing it (stall/crash paths). *)
+
+  val run_id : unit -> string
+  val set_run_id : string -> unit
+
+  val current_path : unit -> string option
+  (** Where journal bytes currently live: the [.tmp] file while the
+      sink is open, [None] otherwise. *)
+
+  val record :
+    key:string -> kind:string -> mode:string -> hit:bool -> ?chunk:int ->
+    backend:string -> unit -> unit
+  (** Emit one charge record (no-op when disabled).  Called by
+      [Oracle.meter] — the single funnel every charged query passes
+      through.  [chunk] is the batcher slot position (-1 when the
+      charge was not batched); site and image come from the
+      domain-local context below. *)
+
+  val with_site : string -> (unit -> 'a) -> 'a
+  (** Tag charges issued by [f] (on this domain) with a charge site. *)
+
+  val with_default_site : string -> (unit -> 'a) -> 'a
+  (** Like {!with_site} but only when no site is currently set: the
+      sketch executor also runs under the synthesizer and the island
+      chains, whose outer tags take precedence. *)
+
+  val with_image : int -> (unit -> 'a) -> 'a
+  (** Tag charges issued by [f] (on this domain) with an image index. *)
+
+  val site : unit -> string
+  (** The current domain's charge-site tag ("unattributed" outside any
+      {!with_site}); evaluators capture it before fanning work out to
+      pool workers, whose domain-local context starts empty. *)
+
+  val image : unit -> int
+
+  val tail : unit -> string list
+  (** The last few record lines, oldest first, from memory (post-mortem
+      bundles survive lost channel buffers this way). *)
+
+  val render_record :
+    seq:int -> site:string -> image:int -> key:string -> kind:string ->
+    mode:string -> hit:bool -> chunk:int -> backend:string -> string
+  (** Render one record line exactly as the sink writes it (checksummed;
+      exposed for the round-trip property tests and the auditor). *)
+
+  val fnv64_hex : string -> string
+  (** FNV-1a 64-bit hash as 16 lowercase hex digits — the record
+      checksum function, shared with the offline auditor. *)
+end
+
+(** {1 Post-mortem bundles} *)
+
+module Postmortem : sig
+  val dump : ?dir:string -> reason:string -> unit -> string option
+  (** Write the post-mortem bundle
+      ([<dir>/postmortem-<runid>/]: [info.json], [ring.jsonl],
+      [registry.json], [journal_tail.jsonl]) and return its directory.
+      At most one bundle per process (the first fatal event wins —
+      [None] thereafter); never raises.  [dir] defaults to
+      ["_artifacts"]. *)
+
+  val note_checkpoint : string -> unit
+  (** Register the most recent synthesis checkpoint file so the bundle
+      names the resume point. *)
+
+  val reset : unit -> unit
+  (** Allow a fresh dump in this process (tests only). *)
+end
+
 (** {1 CLI observability bracket} *)
 
 module Obs : sig
@@ -334,6 +472,8 @@ module Obs : sig
     snapshot : string option;  (** [--snapshot FILE] *)
     snapshot_interval_s : float;  (** [--snapshot-interval SEC] *)
     stall_timeout_s : float option;  (** [--stall-timeout SEC] *)
+    journal : string option;  (** [--journal FILE] *)
+    run_id : string option;  (** [--run-id ID] *)
   }
 
   val default : config
@@ -351,12 +491,16 @@ module Obs : sig
   type t
 
   val start : ?log:(string -> unit) -> config -> t
-  (** Open the trace sink, start the HTTP server ([serve_port]) and the
-      sampler (when a scrape endpoint, snapshot file or stall timeout
-      asks for one; [stall_timeout_s] makes stalls abort the process). *)
+  (** Set the run id, enable the flight-recorder ring, install the
+      crash handler (post-mortem bundle on uncaught exception), open
+      the journal and trace sinks, start the HTTP server
+      ([serve_port]) and the sampler (when a scrape endpoint, snapshot
+      file or stall timeout asks for one; [stall_timeout_s] makes
+      stalls abort the process with exit 3 after dumping the bundle). *)
 
   val stop : t -> unit
-  (** Stop sampler then server, close the trace, write [--metrics]. *)
+  (** Stop sampler then server, close the trace and journal (atomic
+      finalize), stop the ring, write [--metrics]. *)
 
   val with_observability : ?log:(string -> unit) -> config -> (unit -> 'a) -> 'a
   (** [start]/[stop] bracket, exception-safe; a no-op (beyond calling

@@ -52,7 +52,22 @@ let beat ?image ?iteration ?queries t =
   (match iteration with Some i -> Atomic.set t.iteration i | None -> ());
   (match queries with Some q -> Atomic.set t.queries q | None -> ());
   Atomic.set t.last_beat_us (Core.Clock.now_us ());
-  ignore (Atomic.fetch_and_add t.beats 1)
+  ignore (Atomic.fetch_and_add t.beats 1);
+  (* Feed the flight recorder so a post-mortem ring dump carries the
+     last heartbeat's span context (which loop, which image/iteration,
+     how many queries).  Gated on the ring being live — the beat stays
+     a handful of atomic stores otherwise. *)
+  if Core.Ring.enabled () then
+    Core.Ring.record
+      (Core.Trace.render_event ~name:"watchdog.beat" ~cat:"watchdog" ~ph:"i"
+         ~ts:(Core.Clock.now_us ()) ~scope:"t"
+         (List.filter_map Fun.id
+            [
+              Some ("loop", Core.Trace.Str t.name);
+              Option.map (fun i -> ("image", Core.Trace.Int i)) image;
+              Option.map (fun i -> ("iteration", Core.Trace.Int i)) iteration;
+              Option.map (fun q -> ("queries", Core.Trace.Int q)) queries;
+            ]))
 
 let enter t =
   ignore (Atomic.fetch_and_add t.active 1);

@@ -368,6 +368,199 @@ let backend_check ~domains ~cache ~batch ~backend =
   if Array.for_all (fun (q, _) -> q = 0) reference then
     fail "backend %s: no queries were spent" bname
 
+(* Journal differential: the query-provenance journal must prove the
+   metering invariant offline.  The cell runs the same Sparse-RS corpus
+   twice — the 1-domain uncached batch-1 boxed reference, then this
+   invocation's (domains, cache, batch, backend) coordinates — each arm
+   writing its own journal, and the offline auditor must find the
+   per-image charge sequences bit-identical.  This is the same
+   invariant the live differentials check, proved from the journal
+   files alone (no re-execution): what tools/audit.exe does across
+   processes, run in-process here.  With [keep], the two journals are
+   left at PREFIX.ref.jsonl / PREFIX.chk.jsonl so a dune cell can chain
+   the real tools/audit.exe binary over them. *)
+let journal_check ~domains ~cache ~batch ~backend ~keep =
+  let net = backend_net () in
+  let samples =
+    let g = Prng.of_int 515 in
+    Array.init 6 (fun _ ->
+        let x = Tensor.rand_uniform (Prng.split g) [| 3; size; size |] in
+        (x, Nn.Network.classify net x))
+  in
+  let attacker = Attackers.sparse_rs_space Space.Pixel in
+  let max_queries = 60 in
+  let bname = Nn.Backend.kind_name backend in
+  let journaled path ~run_id f =
+    Telemetry.Journal.set_run_id run_id;
+    Telemetry.Journal.to_file path;
+    Fun.protect ~finally:Telemetry.Journal.close f
+  in
+  let ref_path, chk_path =
+    match keep with
+    | Some prefix -> (prefix ^ ".ref.jsonl", prefix ^ ".chk.jsonl")
+    | None ->
+        ( Filename.temp_file "oppsla_diff_journal_ref" ".jsonl",
+          Filename.temp_file "oppsla_diff_journal_chk" ".jsonl" )
+  in
+  journaled ref_path ~run_id:"diff-ref" (fun () ->
+      ignore
+        (Runner.run ~domains:1 ~batch:1 ~seed:9 ~max_queries attacker
+           ~oracle_factory:(fun () -> Oracle.of_network net)
+           samples));
+  let caches =
+    if cache then Some (Score_cache.store (Array.length samples)) else None
+  in
+  journaled chk_path ~run_id:"diff-chk" (fun () ->
+      ignore
+        (Runner.run ~domains ?caches ~batch ~seed:9 ~max_queries attacker
+           ~oracle_factory:(fun () -> Oracle.of_network ~backend net)
+           samples));
+  let load p =
+    match Evalharness.Audit.load_strict p with
+    | j -> j
+    | exception Evalharness.Audit.Invalid m ->
+        fail "diff_runner: journal %s failed audit: %s" p m
+  in
+  let jr = load ref_path and jc = load chk_path in
+  if jr.Evalharness.Audit.records = [] then
+    fail "diff_runner: reference journal is empty (the cell tested nothing)";
+  let c = Evalharness.Audit.compare_journals jr jc in
+  if not (Evalharness.Audit.identical c) then begin
+    prerr_string (Evalharness.Audit.render ~left:ref_path ~right:chk_path c);
+    fail
+      "diff_runner: journal charge sequences diverged (domains %d, cache %b, \
+       batch %d, backend %s)"
+      domains cache batch bname
+  end;
+  if keep = None then begin
+    Sys.remove ref_path;
+    Sys.remove chk_path
+  end;
+  Printf.printf
+    "diff_runner: journal charge sequences bit-identical offline (domains \
+     %d, cache %s, batch %d, backend %s, %d vs %d records)%s\n"
+    domains
+    (if cache then "on" else "off")
+    batch bname c.Evalharness.Audit.left_total c.Evalharness.Audit.right_total
+    (match keep with
+    | Some p -> Printf.sprintf " — kept %s.{ref,chk}.jsonl" p
+    | None -> "")
+
+(* Stall injection: --stall-selftest forks this executable with
+   --stall-inject, which arms a fatal (exit 3) stall watchdog with a
+   short timeout, journals a charge, beats once and wedges.  The parent
+   asserts the child exited 3 and left a complete post-mortem bundle:
+   info.json naming the stall and the wedged loop, a flight-recorder
+   ring dump containing the last heartbeat's span context, a registry
+   snapshot, and a journal tail whose records still parse and checksum. *)
+
+let inject_run_id = "stall-selftest"
+let inject_loop = "stall.inject"
+
+let stall_inject () =
+  let _obs =
+    Telemetry.Obs.start
+      {
+        Telemetry.Obs.default with
+        Telemetry.Obs.stall_timeout_s = Some 0.4;
+        snapshot_interval_s = 0.05;
+        journal = Some "stall_inject_journal.jsonl";
+        run_id = Some inject_run_id;
+      }
+  in
+  Telemetry.Journal.with_site "stall/inject" (fun () ->
+      Telemetry.Journal.with_image 7 (fun () ->
+          Telemetry.Journal.record ~key:"corner:1,2,3" ~kind:"corner"
+            ~mode:"score" ~hit:false ~backend:"boxed" ()));
+  let wd = Telemetry.Watchdog.loop inject_loop in
+  Telemetry.Watchdog.with_loop wd (fun () ->
+      Telemetry.Watchdog.beat ~image:7 ~iteration:1 ~queries:1 wd;
+      (* Wedge: the sampler must abort this sleep with exit 3. *)
+      Unix.sleepf 30.);
+  fail "diff_runner: stall injection was never aborted"
+
+let stall_selftest () =
+  let exe = Sys.executable_name in
+  let pid =
+    Unix.create_process exe
+      [| exe; "--stall-inject" |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 3 -> ()
+  | Unix.WEXITED n ->
+      fail "diff_runner: stall injection exited %d (wanted the stall exit 3)" n
+  | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+      fail "diff_runner: stall injection died on signal %d" s);
+  let bundle = Filename.concat "_artifacts" ("postmortem-" ^ inject_run_id) in
+  let read name =
+    let path = Filename.concat bundle name in
+    if not (Sys.file_exists path) then
+      fail "diff_runner: post-mortem bundle is missing %s" path;
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let contains_sub ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let info = read "info.json" in
+  if not (contains_sub ~sub:{|"reason": "stall"|} info) then
+    fail "diff_runner: info.json does not record the stall reason: %s" info;
+  if not (contains_sub ~sub:inject_loop info) then
+    fail "diff_runner: info.json does not name the wedged loop: %s" info;
+  if not (contains_sub ~sub:"stall_inject_journal.jsonl" info) then
+    fail "diff_runner: info.json does not point at the journal: %s" info;
+  let ring = read "ring.jsonl" in
+  if not (contains_sub ~sub:"watchdog.beat" ring) then
+    fail "diff_runner: ring dump has no heartbeat events";
+  if
+    not
+      (contains_sub ~sub:(Printf.sprintf {|"loop": "%s"|} inject_loop) ring
+      && contains_sub ~sub:{|"image": 7|} ring)
+  then
+    fail
+      "diff_runner: ring dump is missing the last heartbeat's span context \
+       (loop + image)";
+  let registry = read "registry.json" in
+  if String.length registry = 0 then
+    fail "diff_runner: registry.json snapshot is empty";
+  let tail = read "journal_tail.jsonl" in
+  let lines =
+    String.split_on_char '\n' tail |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then fail "diff_runner: journal tail is empty";
+  List.iter
+    (fun line ->
+      match Evalharness.Audit.parse_record line with
+      | r ->
+          if r.Evalharness.Audit.site <> "stall/inject" then
+            fail "diff_runner: journal tail record has site %S"
+              r.Evalharness.Audit.site
+      | exception Evalharness.Audit.Invalid m ->
+          fail "diff_runner: journal tail record failed audit: %s" m)
+    lines;
+  (* Clean up the wreckage the child left in the working directory. *)
+  List.iter
+    (fun f -> if Sys.file_exists f then Sys.remove f)
+    [
+      Filename.concat bundle "info.json";
+      Filename.concat bundle "ring.jsonl";
+      Filename.concat bundle "registry.json";
+      Filename.concat bundle "journal_tail.jsonl";
+      "stall_inject_journal.jsonl.tmp";
+    ];
+  (try Unix.rmdir bundle with Unix.Unix_error _ -> ());
+  (try Unix.rmdir "_artifacts" with Unix.Unix_error _ -> ());
+  print_endline
+    "diff_runner: stall injection exited 3 with a complete post-mortem \
+     bundle (ring heartbeat context + parsing journal tail + registry + \
+     info)"
+
 (* Stratified sample of the scenario cross-product: every oracle x space
    combination gets [n / 6] cells (at least one), with the (domains,
    cache, batch) coordinates drawn from a named PRNG stream so the
@@ -414,6 +607,9 @@ let () =
   let space = ref Space.Pixel in
   let grid = ref 0 in
   let bknd = ref None in
+  let jrnl = ref false in
+  let jkeep = ref None in
+  let stall = ref `None in
   let rec parse domains cache batch trace observe islands = function
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
@@ -463,6 +659,24 @@ let () =
             bknd := Some k;
             parse domains cache batch trace observe islands rest
         | None -> fail "diff_runner: bad --backend %s (expected boxed|f32)" v)
+    | "--journal" :: v :: rest -> (
+        match v with
+        | "on" ->
+            jrnl := true;
+            parse domains cache batch trace observe islands rest
+        | "off" ->
+            jrnl := false;
+            parse domains cache batch trace observe islands rest
+        | _ -> fail "diff_runner: bad --journal %s (expected on|off)" v)
+    | "--journal-keep" :: p :: rest ->
+        jkeep := Some p;
+        parse domains cache batch trace observe islands rest
+    | "--stall-selftest" :: rest ->
+        stall := `Selftest;
+        parse domains cache batch trace observe islands rest
+    | "--stall-inject" :: rest ->
+        stall := `Inject;
+        parse domains cache batch trace observe islands rest
     | "--sample-grid" :: n :: rest -> (
         match int_of_string_opt n with
         | Some k when k >= 1 ->
@@ -476,6 +690,18 @@ let () =
     parse 4 false Oppsla.Sketch.default_batch false false 1
       (List.tl (Array.to_list Sys.argv))
   in
+  (match !stall with
+  | `Inject -> stall_inject ()
+  | `Selftest ->
+      stall_selftest ();
+      exit 0
+  | `None -> ());
+  if !jrnl then begin
+    journal_check ~domains ~cache ~batch
+      ~backend:(Option.value !bknd ~default:Nn.Backend.Boxed)
+      ~keep:!jkeep;
+    exit 0
+  end;
   let scenario_mode =
     !grid > 0 || !omode <> Oracle.Score || !space <> Space.Pixel
   in

@@ -157,6 +157,118 @@ let qcheck_cumulative_buckets =
                 (List.length values))
            rendered)
 
+(* {1 Label escaping and dimensional series}
+
+   The text exposition format escapes exactly three characters inside
+   label values: backslash, double quote, newline.  The registry
+   applies the escaping when it builds a labeled series' key, so the
+   golden render here goes through [Metrics.counter ~labels] like
+   production call sites do. *)
+
+let label_escape_cases () =
+  let check input expected =
+    Alcotest.(check string)
+      (String.escaped input)
+      expected
+      (Telemetry.Exporter.escape_label_value input)
+  in
+  check "plain" "plain";
+  check "back\\slash" {|back\\slash|};
+  check "qu\"ote" {|qu\"ote|};
+  check "new\nline" {|new\nline|};
+  check "tab\tand}brace{" "tab\tand}brace{";
+  check "\\\"\n" {|\\\"\n|}
+
+let labeled_golden_render () =
+  let snapshot =
+    {
+      Telemetry.Histogram.uppers = [| 1.; 2. |];
+      counts = [| 1; 2 |];
+      overflow = 1;
+      count = 4;
+      sum = 9.5;
+    }
+  in
+  let rendered =
+    Telemetry.Exporter.render
+      [
+        Telemetry.Exporter.Counter
+          ({|oracle.queries{backend="f32",mode="score"}|}, 3);
+        Telemetry.Exporter.Counter
+          ({|oracle.queries{backend="boxed",mode="score"}|}, 1);
+        Telemetry.Exporter.Histogram ({|attack.lat{space="pixel"}|}, snapshot);
+      ]
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE oracle_queries counter";
+        "oracle_queries{backend=\"f32\",mode=\"score\"} 3";
+        "oracle_queries{backend=\"boxed\",mode=\"score\"} 1";
+        "# TYPE attack_lat histogram";
+        "attack_lat_bucket{space=\"pixel\",le=\"1\"} 1";
+        "attack_lat_bucket{space=\"pixel\",le=\"2\"} 3";
+        "attack_lat_bucket{space=\"pixel\",le=\"+Inf\"} 4";
+        "attack_lat_sum{space=\"pixel\"} 9.5";
+        "attack_lat_count{space=\"pixel\"} 4";
+        "";
+      ]
+  in
+  Alcotest.(check string) "labeled exposition" expected rendered
+
+let registry_labels_round_trip () =
+  let base = fresh "dim" in
+  let c1 =
+    Telemetry.Metrics.counter ~labels:[ ("mode", "score"); ("backend", "f32") ]
+      base
+  in
+  (* Same labels in a different order must resolve to the same handle
+     (keys are sorted when the registry key is built). *)
+  let c1' =
+    Telemetry.Metrics.counter ~labels:[ ("backend", "f32"); ("mode", "score") ]
+      base
+  in
+  Alcotest.(check bool) "label order is canonicalized" true (c1 == c1');
+  let c2 =
+    Telemetry.Metrics.counter
+      ~labels:[ ("backend", "boxed"); ("mode", "score") ]
+      base
+  in
+  Telemetry.Counter.add c1 7;
+  Telemetry.Counter.add c2 2;
+  let body = Telemetry.Exporter.prometheus () in
+  let sane = Telemetry.Exporter.sanitize_name base in
+  Alcotest.(check bool) "f32 series rendered" true
+    (contains_sub
+       ~sub:(Printf.sprintf {|%s{backend="f32",mode="score"} 7|} sane)
+       body);
+  Alcotest.(check bool) "boxed series rendered" true
+    (contains_sub
+       ~sub:(Printf.sprintf {|%s{backend="boxed",mode="score"} 2|} sane)
+       body);
+  (* One TYPE comment for the whole family, not one per labeled series. *)
+  let type_line = Printf.sprintf "# TYPE %s counter" sane in
+  let occurrences =
+    String.split_on_char '\n' body
+    |> List.filter (fun l -> l = type_line)
+    |> List.length
+  in
+  Alcotest.(check int) "one TYPE comment per family" 1 occurrences
+
+let registry_label_values_escaped () =
+  let base = fresh "esc" in
+  let c =
+    Telemetry.Metrics.counter ~labels:[ ("path", "a\\b\"c\nd") ] base
+  in
+  Telemetry.Counter.incr c;
+  let body = Telemetry.Exporter.prometheus () in
+  Alcotest.(check bool) "escaped label value rendered" true
+    (contains_sub
+       ~sub:
+         (Printf.sprintf {|%s{path="a\\b\"c\nd"} 1|}
+            (Telemetry.Exporter.sanitize_name base))
+       body)
+
 (* {1 HTTP round-trip}
 
    A live server on an ephemeral port, scraped through the same client
@@ -190,6 +302,78 @@ let http_round_trip () =
       let status, _ = Telemetry.Http_server.fetch ~port "/nope" in
       Alcotest.(check int) "unknown path is 404" 404 status)
 
+(* Raw GET keeping the full response text, so the header tests can see
+   what {!Telemetry.Http_server.fetch} (status + body only) hides. *)
+let raw_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let b = Buffer.create 1024 in
+      let chunk = Bytes.create 1024 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes b chunk 0 n;
+            drain ()
+      in
+      drain ();
+      Buffer.contents b)
+
+let header_of response name =
+  String.split_on_char '\n' response
+  |> List.find_map (fun l ->
+         let l = String.trim l in
+         let prefix = name ^ ": " in
+         if
+           String.length l > String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix
+         then Some (String.sub l (String.length prefix)
+                      (String.length l - String.length prefix))
+         else None)
+
+let body_of response =
+  (* Headers end at the first blank line. *)
+  let rec find i =
+    if i + 4 > String.length response then String.length response
+    else if String.sub response i 4 = "\r\n\r\n" then i + 4
+    else find (i + 1)
+  in
+  let start = find 0 in
+  String.sub response start (String.length response - start)
+
+let http_headers () =
+  let server = Telemetry.Http_server.start ~stall_after_s:60. ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Http_server.stop server)
+    (fun () ->
+      let port = Telemetry.Http_server.port server in
+      let check_headers path ~content_type =
+        let response = raw_get ~port path in
+        Alcotest.(check (option string))
+          (path ^ " Content-Type") (Some content_type)
+          (header_of response "Content-Type");
+        let body = body_of response in
+        Alcotest.(check (option string))
+          (path ^ " Content-Length matches body")
+          (Some (string_of_int (String.length body)))
+          (header_of response "Content-Length")
+      in
+      check_headers "/snapshot.json" ~content_type:"application/json";
+      check_headers "/healthz" ~content_type:"application/json";
+      check_headers "/metrics"
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8";
+      let response = raw_get ~port "/not-a-route" in
+      Alcotest.(check bool) "404 status line" true
+        (contains_sub ~sub:"HTTP/1.1 404 Not Found" response);
+      Alcotest.(check (option string)) "404 Content-Type"
+        (Some "text/plain")
+        (header_of response "Content-Type"))
+
 let healthz_stall_and_recovery () =
   (* stall_after_s = 0: any active loop that is not beating this very
      microsecond counts as stalled, so entering without beating flips
@@ -222,7 +406,14 @@ let suite =
     Alcotest.test_case "of_registry reflects values" `Quick
       of_registry_reflects_values;
     QCheck_alcotest.to_alcotest qcheck_cumulative_buckets;
+    Alcotest.test_case "label-value escaping" `Quick label_escape_cases;
+    Alcotest.test_case "labeled golden exposition" `Quick labeled_golden_render;
+    Alcotest.test_case "registry labels round-trip" `Quick
+      registry_labels_round_trip;
+    Alcotest.test_case "registry label values escaped" `Quick
+      registry_label_values_escaped;
     Alcotest.test_case "HTTP round-trip" `Quick http_round_trip;
+    Alcotest.test_case "HTTP headers" `Quick http_headers;
     Alcotest.test_case "healthz stall and recovery" `Quick
       healthz_stall_and_recovery;
   ]

@@ -6,6 +6,7 @@ let () =
       ("prng", Test_prng.suite);
       ("telemetry", Test_telemetry.suite);
       ("exporter", Test_exporter.suite);
+      ("journal", Test_journal.suite);
       ("tensor", Test_tensor.suite);
       ("backend", Test_backend.suite);
       ("nn", Test_nn.suite);
