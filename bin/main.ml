@@ -224,12 +224,25 @@ let run_id_arg =
   in
   Arg.(value & opt string "" & info [ "run-id" ] ~docv:"ID" ~doc)
 
+let profile_arg =
+  let doc =
+    "Attach the runtime-events profiler for the duration of the \
+     command: GC pause histograms per domain \
+     (gc.pause_seconds{domain,gc}), promotion/allocation counters and \
+     domain lifecycle events folded into the metrics registry, GC \
+     pauses emitted into the --trace stream (they line up under \
+     application spans in Perfetto), and a pause summary in the \
+     telemetry report.  Observation-only: results and query counts \
+     are bit-identical with the profiler on or off."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 (* Bracket a command with the observability stack (shared with the bench
    via Telemetry.Obs): open the trace file before any instrumented code
    runs, serve /metrics and run the sampler while the command does, and
    flush trace + metrics even when the command raises. *)
 let with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
-    ~stall_timeout ~journal ~run_id f =
+    ~stall_timeout ~journal ~run_id ~profile ~backend f =
   let nonempty s = if s = "" then None else Some s in
   Telemetry.Obs.with_observability ~log:log_stderr
     {
@@ -241,6 +254,8 @@ let with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
       stall_timeout_s = stall_timeout;
       journal = nonempty journal;
       run_id = nonempty run_id;
+      profile;
+      backend_label = Nn.Backend.kind_name backend;
     }
     f
 
@@ -340,7 +355,7 @@ let synthesize_cmd =
   in
   let run dataset arch seed artifacts class_id iters domains cache batch
       islands checkpoint resume early_stop trace metrics serve snapshot
-      snapshot_interval stall_timeout journal run_id backend =
+      snapshot_interval stall_timeout journal run_id profile backend =
     with_spec dataset @@ fun spec ->
     with_backend backend @@ fun backend ->
     check_batch batch @@ fun () ->
@@ -355,7 +370,7 @@ let synthesize_cmd =
       `Error (false, "--resume requires --checkpoint FILE")
     else begin
       with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
-        ~stall_timeout ~journal ~run_id
+        ~stall_timeout ~journal ~run_id ~profile ~backend
       @@ fun () ->
       let config = workbench_config ~backend artifacts seed in
       let c = Workbench.load_classifier config spec arch in
@@ -448,7 +463,7 @@ let synthesize_cmd =
        $ islands_arg $ checkpoint_arg $ resume_arg $ early_stop_arg
        $ trace_arg $ metrics_arg $ serve_metrics_arg $ snapshot_arg
        $ snapshot_interval_arg $ stall_timeout_arg $ journal_arg
-       $ run_id_arg $ backend_arg))
+       $ run_id_arg $ profile_arg $ backend_arg))
   in
   Cmd.v
     (Cmd.info "synthesize"
@@ -492,7 +507,7 @@ let attack_cmd =
   in
   let run dataset arch seed artifacts class_id index program_text target
       save_ppm batch oracle_mode space trace metrics serve snapshot
-      snapshot_interval stall_timeout journal run_id backend =
+      snapshot_interval stall_timeout journal run_id profile backend =
     with_spec dataset @@ fun spec ->
     with_oracle_mode oracle_mode @@ fun oracle_mode ->
     with_space space @@ fun space ->
@@ -518,7 +533,7 @@ let attack_cmd =
                 (Array.length candidates) )
         else begin
           with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
-            ~stall_timeout ~journal ~run_id
+            ~stall_timeout ~journal ~run_id ~profile ~backend
           @@ fun () ->
           let image, true_class = candidates.(index) in
           let oracle = Workbench.oracle_factory c () in
@@ -603,7 +618,8 @@ let attack_cmd =
        $ class_arg $ index_arg $ program_arg $ target_arg $ save_ppm_arg
        $ batch_arg $ oracle_arg $ space_arg $ trace_arg $ metrics_arg
        $ serve_metrics_arg $ snapshot_arg $ snapshot_interval_arg
-       $ stall_timeout_arg $ journal_arg $ run_id_arg $ backend_arg))
+       $ stall_timeout_arg $ journal_arg $ run_id_arg $ profile_arg
+       $ backend_arg))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a single test image with a program.")
@@ -645,11 +661,12 @@ let eval_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed artifacts domains cache batch trace metrics serve snapshot
-      snapshot_interval stall_timeout journal run_id backend experiment =
+      snapshot_interval stall_timeout journal run_id profile backend
+      experiment =
     check_batch batch @@ fun () ->
     with_backend backend @@ fun backend ->
     with_telemetry ~trace ~metrics ~serve ~snapshot ~snapshot_interval
-      ~stall_timeout ~journal ~run_id
+      ~stall_timeout ~journal ~run_id ~profile ~backend
     @@ fun () ->
     let config = workbench_config ~backend artifacts seed in
     let base = Experiments.default_scale in
@@ -703,7 +720,8 @@ let eval_cmd =
         (const run $ seed_arg $ artifacts_arg $ domains_arg $ cache_arg
        $ batch_arg $ trace_arg $ metrics_arg $ serve_metrics_arg
        $ snapshot_arg $ snapshot_interval_arg $ stall_timeout_arg
-       $ journal_arg $ run_id_arg $ backend_arg $ experiment_arg))
+       $ journal_arg $ run_id_arg $ profile_arg $ backend_arg
+       $ experiment_arg))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run the paper's experiments and print reports.")
@@ -711,7 +729,7 @@ let eval_cmd =
 
 let () =
   let info =
-    Cmd.info "oppsla" ~version:"1.0.0"
+    Cmd.info "oppsla" ~version:Telemetry.Exporter.build_version
       ~doc:"One pixel adversarial attacks via sketched programs"
   in
   exit (Cmd.eval (Cmd.group info [ train_cmd; synthesize_cmd; attack_cmd; analyze_cmd; eval_cmd ]))

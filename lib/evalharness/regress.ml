@@ -191,6 +191,7 @@ let registered_baselines =
     "BENCH_scenarios.json";
     "BENCH_backend.json";
     "BENCH_journal.json";
+    "BENCH_profile.json";
   ]
 
 exception Missing_baseline of string list

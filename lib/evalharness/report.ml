@@ -310,10 +310,54 @@ let render_sampler () =
               ];
             ])
 
+(* GC pause attribution from the runtime profiler (--profile): one row
+   per (domain, minor/major) family plus %-of-wall-clock in GC, the
+   denominator being the profiler's attached time. *)
+let render_profiler () =
+  match Telemetry.Profiler.summary () with
+  | [] -> None
+  | stats ->
+      let active = Telemetry.Profiler.active_seconds () in
+      let rows =
+        List.map
+          (fun (s : Telemetry.Profiler.gc_stat) ->
+            [
+              string_of_int s.Telemetry.Profiler.domain;
+              s.Telemetry.Profiler.kind;
+              string_of_int s.Telemetry.Profiler.pauses;
+              Telemetry.Fmt.f2 (s.Telemetry.Profiler.total_s *. 1e3);
+              Telemetry.Fmt.f2 (s.Telemetry.Profiler.p50_s *. 1e6);
+              Telemetry.Fmt.f2 (s.Telemetry.Profiler.p99_s *. 1e6);
+              (if active > 0. then
+                 Telemetry.Fmt.percent (s.Telemetry.Profiler.total_s /. active)
+               else "-");
+            ])
+          stats
+      in
+      let in_gc =
+        List.fold_left
+          (fun acc (s : Telemetry.Profiler.gc_stat) ->
+            acc +. s.Telemetry.Profiler.total_s)
+          0. stats
+      in
+      Some
+        (Printf.sprintf
+           "GC pauses (runtime profiler, %.1fs attached, %s of wall in GC)\n"
+           active
+           (if active > 0. then Telemetry.Fmt.percent (in_gc /. active)
+            else "-")
+        ^ table
+            ~headers:
+              [
+                "domain"; "gc"; "pauses"; "total (ms)"; "p50 (us)";
+                "p99 (us)"; "% wall";
+              ]
+            ~rows)
+
 (* Consolidated run-telemetry section.  Sub-tables always appear in the
-   same order (pool, cache, batch, quantiles, watchdog, sampler)
-   regardless of argument order at the call site, so reports from
-   different runs line up when diffed.  Returns "" when there is
+   same order (pool, cache, batch, quantiles, watchdog, sampler,
+   profiler) regardless of argument order at the call site, so reports
+   from different runs line up when diffed.  Returns "" when there is
    nothing to report — callers print nothing rather than a dangling
    header for runs with no instrumentation active. *)
 let render_telemetry ?pool ?cache ?batch () =
@@ -327,6 +371,7 @@ let render_telemetry ?pool ?cache ?batch () =
         render_attack_quantiles ();
         render_watchdog ();
         render_sampler ();
+        render_profiler ();
       ]
   in
   match sections with

@@ -402,6 +402,7 @@ module Trace = struct
      [sink] and its mutex serialize event emission across domains. *)
   let active = Atomic.make false
   let sink : out_channel option ref = ref None
+  let sink_path : string option ref = ref None
   let sink_mutex = Mutex.create ()
   let pid = Unix.getpid ()
 
@@ -417,8 +418,17 @@ module Trace = struct
         let oc = open_out path in
         output_string oc "[\n";
         sink := Some oc;
+        sink_path := Some path;
         Atomic.set active true;
         Mutex.unlock sink_mutex
+
+  (* Path of the open sink, if any: the post-mortem writer reads the
+     tail of the live trace file through this. *)
+  let current_path () =
+    Mutex.lock sink_mutex;
+    let p = !sink_path in
+    Mutex.unlock sink_mutex;
+    p
 
   let close () =
     Mutex.lock sink_mutex;
@@ -432,7 +442,8 @@ module Trace = struct
            accept truncated traces, so a crashed run still loads). *)
         output_string oc "{}]\n";
         close_out oc;
-        sink := None);
+        sink := None;
+        sink_path := None);
     Mutex.unlock sink_mutex
 
   let render_arg = function
@@ -456,7 +467,10 @@ module Trace = struct
   (* One event rendered as a complete JSON object (no trailing comma):
      the sink appends [",\n"], the flight-recorder ring stores the line
      as-is. *)
-  let render_event ~name ~cat ~ph ~ts ?dur ?scope args =
+  (* [?tid] overrides the track id: the runtime-events profiler emits GC
+     pauses from its observer systhread but must land them on the track
+     of the domain that actually paused. *)
+  let render_event ~name ~cat ~ph ~ts ?dur ?scope ?tid args =
     let dur =
       match dur with
       | None -> ""
@@ -467,15 +481,17 @@ module Trace = struct
       | None -> ""
       | Some s -> Printf.sprintf ", \"s\": \"%s\"" s
     in
+    let tid =
+      match tid with Some t -> t | None -> (Domain.self () :> int)
+    in
     Printf.sprintf
       "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": \
        %.3f%s, \"pid\": %d, \"tid\": %d%s%s}"
       (Metrics.json_escape name) (Metrics.json_escape cat) ph ts dur pid
-      (Domain.self () :> int)
-      scope (render_args args)
+      tid scope (render_args args)
 
-  let emit ~name ~cat ~ph ~ts ?dur ?scope args =
-    let line = render_event ~name ~cat ~ph ~ts ?dur ?scope args in
+  let emit ~name ~cat ~ph ~ts ?dur ?scope ?tid args =
+    let line = render_event ~name ~cat ~ph ~ts ?dur ?scope ?tid args in
     Ring.record line;
     Mutex.lock sink_mutex;
     (match !sink with

@@ -110,3 +110,21 @@ let render metrics =
   Buffer.contents b
 
 let prometheus () = render (of_registry ())
+
+(* Standard-idiom build-info gauge: constant 1 with identifying labels,
+   so a scrape can join performance series against the build that
+   produced them.  The version string is the CLI's --version; keep the
+   two in lock-step. *)
+let build_version = "1.0.0"
+
+let set_build_info ?(backend = "boxed") () =
+  Core.Gauge.set
+    (Core.Metrics.gauge
+       ~labels:
+         [
+           ("version", build_version);
+           ("backend", backend);
+           ("ocaml", Sys.ocaml_version);
+         ]
+       "oppsla_build_info")
+    1.0

@@ -14,6 +14,8 @@ type config = {
   stall_timeout_s : float option;  (* --stall-timeout SEC: abort stalls *)
   journal : string option;  (* --journal FILE: query-provenance JSONL *)
   run_id : string option;  (* --run-id ID: journal/post-mortem identity *)
+  profile : bool;  (* --profile: attach the runtime-events profiler *)
+  backend_label : string;  (* oppsla_build_info's backend label *)
 }
 
 let default =
@@ -26,11 +28,14 @@ let default =
     stall_timeout_s = None;
     journal = None;
     run_id = None;
+    profile = false;
+    backend_label = "boxed";
   }
 
 let active c =
   c.trace <> None || c.metrics <> None || c.serve_port <> None
   || c.snapshot <> None || c.stall_timeout_s <> None || c.journal <> None
+  || c.profile
 
 (* Stall threshold for /healthz and the sampler: --stall-timeout when
    given (which also makes a stall fatal), a permissive default
@@ -73,6 +78,7 @@ let strip_flags args ~flags =
 type t = {
   server : Http_server.t option;
   sampler : Sampler.t option;
+  profiler : Profiler.t option;
   config : config;
 }
 
@@ -108,6 +114,7 @@ let start ?(log = ignore) config =
     (match config.run_id with Some id -> id | None -> generate_run_id ());
   Core.Ring.configure ring_size;
   install_crash_handler ();
+  Exporter.set_build_info ~backend:config.backend_label ();
   (match config.journal with Some f -> Journal.to_file f | None -> ());
   (match config.trace with Some f -> Core.Trace.to_file f | None -> ());
   let server =
@@ -134,13 +141,16 @@ let start ?(log = ignore) config =
            })
     else None
   in
-  { server; sampler; config }
+  let profiler = if config.profile then Some (Profiler.start ()) else None in
+  { server; sampler; profiler; config }
 
 let stop t =
   (* Sampler first (it reads the registry and watchdog), then the
-     server, then flush the file sinks. *)
+     server, then the profiler (it emits into the trace stream, which
+     must still be open for its final drain), then the file sinks. *)
   (match t.sampler with Some s -> Sampler.stop s | None -> ());
   (match t.server with Some s -> Http_server.stop s | None -> ());
+  (match t.profiler with Some p -> Profiler.stop p | None -> ());
   Core.Trace.close ();
   Journal.close ();
   Core.Ring.stop ();

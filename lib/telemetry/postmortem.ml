@@ -6,9 +6,15 @@
        info.json          run id, reason, uptime, stalled loops,
                           journal path, registered checkpoint
        ring.jsonl         the flight-recorder ring (last N span/instant
-                          events, including watchdog heartbeats)
+                          events, including watchdog heartbeats and,
+                          under the profiler, GC pause events)
        registry.json      full metrics registry snapshot
        journal_tail.jsonl the last few query-provenance records
+       gc.json            Gc.quick_stat at death + the profiler's
+                          per-domain pause summary (distinguishes a GC
+                          death-spiral from a wedged loop)
+       trace_tail.jsonl   the last lines of the live trace file, when
+                          tracing was on
 
    Everything read here is observation-only state (the ring, the
    registry, the journal's in-memory tail, the watchdog slots), so a
@@ -76,6 +82,67 @@ let info_json ~reason =
     (opt (checkpoint ()))
     (String.concat ", " stalled)
 
+let gc_json () =
+  let g = Gc.quick_stat () in
+  let jf = Core.Metrics.json_float in
+  let stats =
+    Profiler.summary ()
+    |> List.map (fun (s : Profiler.gc_stat) ->
+           Printf.sprintf
+             "{\"domain\": %d, \"gc\": \"%s\", \"pauses\": %d, \
+              \"total_s\": %s, \"p50_s\": %s, \"p99_s\": %s}"
+             s.Profiler.domain s.Profiler.kind s.Profiler.pauses
+             (jf s.Profiler.total_s) (jf s.Profiler.p50_s)
+             (jf s.Profiler.p99_s))
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"quick_stat\": {\"minor_words\": %s, \"promoted_words\": %s, \
+     \"major_words\": %s, \"minor_collections\": %d, \
+     \"major_collections\": %d, \"compactions\": %d, \"heap_words\": \
+     %d, \"top_heap_words\": %d},\n\
+    \  \"profiler_active_seconds\": %s,\n\
+    \  \"pauses\": [%s]\n\
+     }\n"
+    (jf g.Gc.minor_words) (jf g.Gc.promoted_words) (jf g.Gc.major_words)
+    g.Gc.minor_collections g.Gc.major_collections g.Gc.compactions
+    g.Gc.heap_words g.Gc.top_heap_words
+    (jf (Profiler.active_seconds ()))
+    (String.concat ", " stats)
+
+(* The last lines of the live trace file: seek near the end, drop the
+   first (possibly partial) line.  Read-only against the sink's path;
+   the caller has already flushed. *)
+let trace_tail_lines = 256
+
+let trace_tail () =
+  match Core.Trace.current_path () with
+  | None -> ""
+  | Some path -> (
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let len = in_channel_length ic in
+            let window = min len 262144 in
+            seek_in ic (len - window);
+            let buf = really_input_string ic window in
+            let lines = String.split_on_char '\n' buf in
+            let lines =
+              if window < len then
+                match lines with _ :: rest -> rest | [] -> []
+              else lines
+            in
+            let n = List.length lines in
+            let lines =
+              if n > trace_tail_lines then
+                List.filteri (fun i _ -> i >= n - trace_tail_lines) lines
+              else lines
+            in
+            String.concat "\n" lines ^ "\n")
+      with _ -> "")
+
 (* Dump the bundle once per process (the first fatal event wins) and
    return its directory.  Never raises: a failing dump must not mask
    the original fatality. *)
@@ -99,6 +166,8 @@ let dump ?(dir = "_artifacts") ~reason () =
       write_file
         (Filename.concat bundle "journal_tail.jsonl")
         (String.concat "\n" (Journal.tail ()) ^ "\n");
+      write_file (Filename.concat bundle "gc.json") (gc_json ());
+      write_file (Filename.concat bundle "trace_tail.jsonl") (trace_tail ());
       Some bundle
     with _ -> None
 

@@ -168,11 +168,21 @@ let run t =
      of the configured one. *)
   let rec wait deadline_us =
     let remaining = (deadline_us -. Core.Clock.now_us ()) /. 1e6 in
-    if remaining > 0. then
+    if remaining <= 0. then `Deadline
+    else
       match Unix.select [ t.wake_r ] [] [] remaining with
       | [], _, _ -> wait deadline_us  (* timeout or spurious: re-check *)
-      | _ -> ()  (* woken by [stop]; return and observe the flag *)
+      | _ -> `Woken  (* woken by [stop]; return and observe the flag *)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait deadline_us
+  in
+  (* Scheduled-vs-actual tick skew: how late past its deadline each
+     timed tick actually fired.  GC pauses and scheduler pressure
+     stretch the select sleep, which silently distorts every per-tick
+     rate the sampler derives — so the distortion itself is recorded.
+     Stop-wakeups are excluded (they fire early by design). *)
+  let jitter =
+    Core.Metrics.histogram ~buckets:Core.Metrics.time_buckets
+      "sampler.tick_jitter_seconds"
   in
   let rec loop () =
     let stop =
@@ -182,7 +192,12 @@ let run t =
       s
     in
     if not stop then begin
-      wait (Core.Clock.now_us () +. (t.config.interval_s *. 1e6));
+      let deadline = Core.Clock.now_us () +. (t.config.interval_s *. 1e6) in
+      (match wait deadline with
+      | `Deadline ->
+          Core.Histogram.observe jitter
+            (Float.max 0. ((Core.Clock.now_us () -. deadline) /. 1e6))
+      | `Woken -> ());
       sample_now t;
       loop ()
     end

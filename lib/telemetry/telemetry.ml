@@ -7,6 +7,7 @@ include Core
 module Watchdog = Watchdog
 module Exporter = Exporter
 module Sampler = Sampler
+module Profiler = Profiler
 module Http_server = Http_server
 module Journal = Journal
 module Postmortem = Postmortem

@@ -175,6 +175,11 @@ module Trace : sig
   (** Flush the open sink without closing it.  The stall/crash paths
       call this so an aborting process never leaves a half-buffered
       trace behind; a no-op when tracing is off. *)
+
+  val current_path : unit -> string option
+  (** Path of the open trace sink, [None] when tracing is off.  The
+      post-mortem writer copies the tail of the live trace through
+      this. *)
 end
 
 (** {1 Flight recorder}
@@ -301,6 +306,75 @@ module Exporter : sig
 
   val prometheus : unit -> string
   (** [render (of_registry ())]. *)
+
+  val build_version : string
+  (** The version label {!set_build_info} exposes (kept in lock-step
+      with the CLI's [--version]). *)
+
+  val set_build_info : ?backend:string -> unit -> unit
+  (** Register the standard-idiom [oppsla_build_info] gauge: constant
+      value 1 with [version], [backend] and [ocaml] labels, so scrapes
+      can join performance series against the build that produced
+      them.  Idempotent per label combination; called by the {!Obs}
+      bracket with the active backend. *)
+end
+
+(** {1 Runtime-events profiler}
+
+    Live GC profiling over OCaml 5's [Runtime_events] ring, consumed
+    from a dedicated systhread of the spawning domain (never a domain
+    of its own: a parked observer domain drags every stop-the-world
+    minor collection through a cross-domain barrier).  Pauses are
+    folded into the registry as labeled families —
+    [gc.pause_seconds{domain,gc}] histograms,
+    [gc.minor_{promoted,allocated}_words{domain}] counters,
+    [gc.domain_{spawns,terminations}.total] — and, when tracing or the
+    flight-recorder ring is on, emitted as Chrome-trace complete
+    events on the paused domain's track (clock-calibrated against
+    {!Clock.now_us} via a user event written before each poll), so GC
+    pauses line up under application spans in Perfetto and post-mortem
+    bundles show whether a stall was GC.  Observation-only: query
+    counts and success flags are bit-identical with the profiler on
+    ([test/diff_runner.ml --profile on] and [bench profile] both
+    enforce this). *)
+
+module Profiler : sig
+  type t
+
+  val start : ?interval_s:float -> unit -> t
+  (** Start the runtime-events ring (resuming it if a previous profiler
+      paused it), open a self-process cursor and spawn the polling
+      systhread ([interval_s] defaults to 25ms; the ring buffers
+      between polls, and dropped events on overflow are counted in
+      [profiler.lost_events.total]).  Raises [Invalid_argument] if a
+      profiler is already running (the ring is process-wide). *)
+
+  val stop : t -> unit
+  (** Join the poller, drain the ring one final time, free the cursor
+      and pause event collection (so a bare benchmark arm sees zero
+      residual overhead).  Idempotent. *)
+
+  val running : unit -> bool
+
+  val active_seconds : unit -> float
+  (** Wall seconds the profiler has been attached (the
+      [profiler.active_seconds] gauge) — the denominator for
+      %-time-in-GC. *)
+
+  type gc_stat = {
+    domain : int;  (** runtime-events ring id of the paused domain *)
+    kind : string;  (** ["minor"] or ["major"] *)
+    pauses : int;
+    total_s : float;
+    p50_s : float;
+    p99_s : float;
+  }
+
+  val summary : unit -> gc_stat list
+  (** Per-(domain, kind) pause summary rebuilt from the registry's
+      [gc.pause_seconds] families (empty when the profiler never ran),
+      usable from any thread, after {!stop}, and inside the
+      post-mortem writer. *)
 end
 
 (** {1 Background sampler} *)
@@ -474,6 +548,8 @@ module Obs : sig
     stall_timeout_s : float option;  (** [--stall-timeout SEC] *)
     journal : string option;  (** [--journal FILE] *)
     run_id : string option;  (** [--run-id ID] *)
+    profile : bool;  (** [--profile]: attach the runtime profiler *)
+    backend_label : string;  (** [oppsla_build_info]'s backend label *)
   }
 
   val default : config
@@ -493,14 +569,16 @@ module Obs : sig
   val start : ?log:(string -> unit) -> config -> t
   (** Set the run id, enable the flight-recorder ring, install the
       crash handler (post-mortem bundle on uncaught exception), open
-      the journal and trace sinks, start the HTTP server
-      ([serve_port]) and the sampler (when a scrape endpoint, snapshot
-      file or stall timeout asks for one; [stall_timeout_s] makes
-      stalls abort the process with exit 3 after dumping the bundle). *)
+      the journal and trace sinks, register the build-info gauge,
+      start the HTTP server ([serve_port]), the sampler (when a scrape
+      endpoint, snapshot file or stall timeout asks for one;
+      [stall_timeout_s] makes stalls abort the process with exit 3
+      after dumping the bundle), and the runtime profiler
+      ([profile]). *)
 
   val stop : t -> unit
-  (** Stop sampler then server, close the trace and journal (atomic
-      finalize), stop the ring, write [--metrics]. *)
+  (** Stop sampler then server then profiler, close the trace and
+      journal (atomic finalize), stop the ring, write [--metrics]. *)
 
   val with_observability : ?log:(string -> unit) -> config -> (unit -> 'a) -> 'a
   (** [start]/[stop] bracket, exception-safe; a no-op (beyond calling

@@ -34,6 +34,11 @@
    reference, at this invocation's --domains/--cache/--batch
    coordinates.
 
+   --profile on runs the profiler differential instead: the same
+   Sparse-RS corpus bare and then with the Runtime_events profiler
+   attached, asserting bit-identical per-image (queries, success)
+   records and that the observer actually polled the event ring.
+
    --observe on additionally runs the full live observatory around the
    whole grid: an HTTP metrics server on an ephemeral port plus the
    background runtime sampler ticking every 20 ms.  Both only read the
@@ -446,6 +451,62 @@ let journal_check ~domains ~cache ~batch ~backend ~keep =
     | Some p -> Printf.sprintf " — kept %s.{ref,chk}.jsonl" p
     | None -> "")
 
+(* Profiler differential: the Runtime_events profiler must be
+   observation-only.  The same Sparse-RS corpus runs twice at this
+   invocation's (domains, cache, batch) coordinates — bare, then with
+   the profiler's cursor and observer systhread live — and the
+   per-image (queries, success) records must be bit-identical.  The
+   profiled arm must also really have observed the run: at least one
+   consumer poll must have drained the ring. *)
+let profile_check ~domains ~cache ~batch =
+  if Telemetry.Profiler.running () then
+    fail "diff_runner: profiler already attached before the profile cell";
+  let net = backend_net () in
+  let samples =
+    let g = Prng.of_int 515 in
+    Array.init 6 (fun _ ->
+        let x = Tensor.rand_uniform (Prng.split g) [| 3; size; size |] in
+        (x, Nn.Network.classify net x))
+  in
+  let attacker = Attackers.sparse_rs_space Space.Pixel in
+  let max_queries = 60 in
+  let run () =
+    let caches =
+      if cache then Some (Score_cache.store (Array.length samples)) else None
+    in
+    Array.map
+      (fun r -> (r.Runner.queries, r.Runner.success))
+      (Runner.run ~domains ?caches ~batch ~seed:9 ~max_queries attacker
+         ~oracle_factory:(fun () -> Oracle.of_network net)
+         samples)
+  in
+  let reference = run () in
+  let polls () =
+    Telemetry.Counter.get (Telemetry.Metrics.counter "profiler.polls.total")
+  in
+  let polls_before = polls () in
+  let p = Telemetry.Profiler.start () in
+  let profiled =
+    Fun.protect ~finally:(fun () -> Telemetry.Profiler.stop p) run
+  in
+  if reference <> profiled then
+    fail
+      "diff_runner: per-image (queries, success) diverged with the profiler \
+       attached (domains %d, cache %b, batch %d — the profiler must be \
+       observation-only)"
+      domains cache batch;
+  if polls () <= polls_before then
+    fail "diff_runner: the profiled arm never polled the event ring";
+  if Array.for_all (fun (q, _) -> q = 0) reference then
+    fail "diff_runner: profile cell spent no queries (tested nothing)";
+  Printf.printf
+    "diff_runner: profiler observation-only, records bit-identical (domains \
+     %d, cache %s, batch %d, %d ring polls)\n"
+    domains
+    (if cache then "on" else "off")
+    batch
+    (polls () - polls_before)
+
 (* Stall injection: --stall-selftest forks this executable with
    --stall-inject, which arms a fatal (exit 3) stall watchdog with a
    short timeout, journals a charge, beats once and wedges.  The parent
@@ -544,6 +605,19 @@ let stall_selftest () =
       | exception Evalharness.Audit.Invalid m ->
           fail "diff_runner: journal tail record failed audit: %s" m)
     lines;
+  let gc = read "gc.json" in
+  if not (contains_sub ~sub:{|"quick_stat"|} gc) then
+    fail "diff_runner: gc.json has no quick_stat snapshot: %s" gc;
+  if not (contains_sub ~sub:{|"minor_collections"|} gc) then
+    fail "diff_runner: gc.json quick_stat is missing minor_collections: %s" gc;
+  if not (contains_sub ~sub:{|"pauses"|} gc) then
+    fail "diff_runner: gc.json is missing the profiler pause table: %s" gc;
+  (* The injector configures no trace sink, so the tail must exist but
+     carry no events — a missing file would mean dump skipped it. *)
+  let trace_tail = read "trace_tail.jsonl" in
+  if String.trim trace_tail <> "" then
+    fail "diff_runner: trace tail should be empty without a trace sink: %s"
+      trace_tail;
   (* Clean up the wreckage the child left in the working directory. *)
   List.iter
     (fun f -> if Sys.file_exists f then Sys.remove f)
@@ -552,6 +626,8 @@ let stall_selftest () =
       Filename.concat bundle "ring.jsonl";
       Filename.concat bundle "registry.json";
       Filename.concat bundle "journal_tail.jsonl";
+      Filename.concat bundle "gc.json";
+      Filename.concat bundle "trace_tail.jsonl";
       "stall_inject_journal.jsonl.tmp";
     ];
   (try Unix.rmdir bundle with Unix.Unix_error _ -> ());
@@ -559,7 +635,7 @@ let stall_selftest () =
   print_endline
     "diff_runner: stall injection exited 3 with a complete post-mortem \
      bundle (ring heartbeat context + parsing journal tail + registry + \
-     info)"
+     info + gc snapshot + empty trace tail)"
 
 (* Stratified sample of the scenario cross-product: every oracle x space
    combination gets [n / 6] cells (at least one), with the (domains,
@@ -609,6 +685,7 @@ let () =
   let bknd = ref None in
   let jrnl = ref false in
   let jkeep = ref None in
+  let prof = ref false in
   let stall = ref `None in
   let rec parse domains cache batch trace observe islands = function
     | "--domains" :: n :: rest -> (
@@ -671,6 +748,15 @@ let () =
     | "--journal-keep" :: p :: rest ->
         jkeep := Some p;
         parse domains cache batch trace observe islands rest
+    | "--profile" :: v :: rest -> (
+        match v with
+        | "on" ->
+            prof := true;
+            parse domains cache batch trace observe islands rest
+        | "off" ->
+            prof := false;
+            parse domains cache batch trace observe islands rest
+        | _ -> fail "diff_runner: bad --profile %s (expected on|off)" v)
     | "--stall-selftest" :: rest ->
         stall := `Selftest;
         parse domains cache batch trace observe islands rest
@@ -700,6 +786,10 @@ let () =
     journal_check ~domains ~cache ~batch
       ~backend:(Option.value !bknd ~default:Nn.Backend.Boxed)
       ~keep:!jkeep;
+    exit 0
+  end;
+  if !prof then begin
+    profile_check ~domains ~cache ~batch;
     exit 0
   end;
   let scenario_mode =

@@ -269,6 +269,40 @@ let registry_label_values_escaped () =
             (Telemetry.Exporter.sanitize_name base))
        body)
 
+(* {1 Build-info gauge}
+
+   [Exporter.set_build_info] publishes a constant-1 gauge whose labels
+   carry the version, backend and compiler — the standard Prometheus
+   idiom for joining build metadata onto every other series.  The
+   exposition line is pinned exactly (label keys sort alphabetically
+   when the registry builds the series key). *)
+
+let build_info_exposition () =
+  Telemetry.Exporter.set_build_info ~backend:"f32" ();
+  let body = Telemetry.Exporter.prometheus () in
+  let expected =
+    Printf.sprintf
+      {|oppsla_build_info{backend="f32",ocaml="%s",version="%s"} 1|}
+      Sys.ocaml_version Telemetry.Exporter.build_version
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "exposition pins %S" expected)
+    true
+    (contains_sub ~sub:(expected ^ "\n") body);
+  Alcotest.(check bool) "family has a gauge TYPE comment" true
+    (contains_sub ~sub:"# TYPE oppsla_build_info gauge" body);
+  (* Re-publishing with another backend updates that series to 1 too —
+     the gauge stays constant-valued per label set. *)
+  Telemetry.Exporter.set_build_info ~backend:"boxed" ();
+  let body = Telemetry.Exporter.prometheus () in
+  Alcotest.(check bool) "second backend series rendered" true
+    (contains_sub
+       ~sub:
+         (Printf.sprintf
+            {|oppsla_build_info{backend="boxed",ocaml="%s",version="%s"} 1|}
+            Sys.ocaml_version Telemetry.Exporter.build_version)
+       body)
+
 (* {1 HTTP round-trip}
 
    A live server on an ephemeral port, scraped through the same client
@@ -412,6 +446,8 @@ let suite =
       registry_labels_round_trip;
     Alcotest.test_case "registry label values escaped" `Quick
       registry_label_values_escaped;
+    Alcotest.test_case "build-info gauge exposition" `Quick
+      build_info_exposition;
     Alcotest.test_case "HTTP round-trip" `Quick http_round_trip;
     Alcotest.test_case "HTTP headers" `Quick http_headers;
     Alcotest.test_case "healthz stall and recovery" `Quick

@@ -22,6 +22,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("scenarios", Test_scenarios.suite);
       ("evalharness", Test_evalharness.suite);
+      ("traceprof", Test_traceprof.suite);
       ("parallel_eval", Test_parallel_eval.suite);
       ("cache_eval", Test_cache_eval.suite);
       ("batch_eval", Test_batch_eval.suite);

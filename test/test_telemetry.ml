@@ -313,6 +313,33 @@ let quantile_first_bucket_lower_edge_is_zero () =
   Alcotest.(check (float 1e-9)) "p50 interpolates from 0" 5.
     (Telemetry.Histogram.quantile h 0.5)
 
+let quantile_single_bucket () =
+  (* Degenerate one-bucket histogram: every quantile interpolates
+     inside [0, bound] by rank. *)
+  let h = Telemetry.Metrics.histogram ~buckets:[| 8. |] (fresh "qsingle") in
+  for _ = 1 to 4 do
+    Telemetry.Histogram.observe h 1.
+  done;
+  Alcotest.(check (float 1e-9)) "p100 is the bound" 8.
+    (Telemetry.Histogram.quantile h 1.);
+  Alcotest.(check (float 1e-9)) "p50 interpolates from 0" 4.
+    (Telemetry.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p0 is the lower edge" 0.
+    (Telemetry.Histogram.quantile h 0.)
+
+let quantile_all_overflow () =
+  (* Every observation past the last bound: the registry kept no exact
+     values, so every quantile (including p0) clamps to that bound. *)
+  let h = Telemetry.Metrics.histogram ~buckets:[| 1.; 2. |] (fresh "qover") in
+  List.iter (Telemetry.Histogram.observe h) [ 10.; 100.; 1000. ];
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q=%g clamps to the last bound" q)
+        2.
+        (Telemetry.Histogram.quantile h q))
+    [ 0.; 0.5; 0.99; 1. ]
+
 let quantile_overflow_clamps () =
   let h = Telemetry.Metrics.histogram ~buckets:[| 1.; 2. |] (fresh "qclamp") in
   Telemetry.Histogram.observe h 0.5;
@@ -322,6 +349,62 @@ let quantile_overflow_clamps () =
      last finite bound, since the registry keeps no values past it. *)
   Alcotest.(check (float 1e-9)) "p99 clamps to the last bound" 2.
     (Telemetry.Histogram.quantile h 0.99)
+
+(* {1 Runtime profiler} *)
+
+(* Allocate enough to force minor collections regardless of the heap
+   configuration, then force one so the test never races the
+   allocator. *)
+let churn () =
+  let r = ref [] in
+  for i = 0 to 200_000 do
+    r := (i, float_of_int i) :: !r;
+    if i mod 20_000 = 0 then r := []
+  done;
+  ignore (Sys.opaque_identity !r);
+  Gc.minor ()
+
+let profiler_records_pauses () =
+  let p = Telemetry.Profiler.start ~interval_s:0.005 () in
+  Alcotest.(check bool) "running" true (Telemetry.Profiler.running ());
+  (try
+     ignore (Telemetry.Profiler.start ());
+     Alcotest.fail "second concurrent profiler should raise"
+   with Invalid_argument _ -> ());
+  churn ();
+  Telemetry.Profiler.stop p;
+  Telemetry.Profiler.stop p;  (* idempotent *)
+  Alcotest.(check bool) "stopped" false (Telemetry.Profiler.running ());
+  Alcotest.(check bool) "active_seconds > 0" true
+    (Telemetry.Profiler.active_seconds () > 0.);
+  let summary = Telemetry.Profiler.summary () in
+  Alcotest.(check bool) "saw minor pauses" true
+    (List.exists
+       (fun s ->
+         s.Telemetry.Profiler.kind = "minor"
+         && s.Telemetry.Profiler.pauses > 0)
+       summary);
+  List.iter
+    (fun (s : Telemetry.Profiler.gc_stat) ->
+      Alcotest.(check bool) "total_s >= 0" true (s.Telemetry.Profiler.total_s >= 0.);
+      Alcotest.(check bool) "p50 <= p99" true
+        (s.Telemetry.Profiler.p50_s <= s.Telemetry.Profiler.p99_s))
+    summary
+
+let profiler_emits_gc_trace_events () =
+  let lines =
+    with_trace_file (fun () ->
+        let p = Telemetry.Profiler.start ~interval_s:0.005 () in
+        (* First churn lands before the clock calibration event is
+           necessarily consumed; the sleep lets a poll calibrate, so
+           the second churn's pauses must reach the trace. *)
+        churn ();
+        Thread.delay 0.05;
+        churn ();
+        Telemetry.Profiler.stop p)
+  in
+  Alcotest.(check bool) "gc.minor events in trace" true
+    (List.exists (fun l -> field_string l "name" = Some "gc.minor") lines)
 
 (* {1 Watchdog} *)
 
@@ -509,6 +592,14 @@ let suite =
       quantile_first_bucket_lower_edge_is_zero;
     Alcotest.test_case "quantile clamps past the last bound" `Quick
       quantile_overflow_clamps;
+    Alcotest.test_case "quantile of single-bucket histogram" `Quick
+      quantile_single_bucket;
+    Alcotest.test_case "quantile with all observations overflowed" `Quick
+      quantile_all_overflow;
+    Alcotest.test_case "profiler records GC pauses" `Quick
+      profiler_records_pauses;
+    Alcotest.test_case "profiler emits GC trace events" `Quick
+      profiler_emits_gc_trace_events;
     Alcotest.test_case "watchdog snapshot and stall" `Quick
       watchdog_snapshot_and_stall;
     Alcotest.test_case "watchdog with_loop is exception-safe" `Quick

@@ -1,0 +1,254 @@
+(* Offline trace analytics (Evalharness.Traceprof): tolerant parsing of
+   truncated and interleaved trace files, exact span-stack
+   reconstruction, a pinned analysis of the committed golden trace
+   (self/total times, critical path, folded stacks), and a qcheck
+   round-trip — render a generated span forest in the sink's JSON
+   format, parse it back, and the analyzer must recover the model's
+   self-time totals exactly. *)
+
+module T = Evalharness.Traceprof
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let checkf msg want got =
+  if Float.abs (want -. got) > 1e-6 then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg want got
+
+let ev ?(cat = "t") ?(ph = "X") ?(tid = 0) ~name ~ts ~dur () =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \
+     \"dur\": %.3f, \"pid\": 1, \"tid\": %d},"
+    name cat ph ts dur tid
+
+let stat a name =
+  match List.find_opt (fun s -> s.T.stat_name = name) a.T.stats with
+  | Some s -> s
+  | None -> Alcotest.failf "no stats for span %s" name
+
+(* {1 Tolerant parsing} *)
+
+(* A crashed writer leaves no terminator and a half-written tail; noise
+   lines and framing must not break the parse or hide the good
+   events. *)
+let truncated_and_noisy_parse () =
+  let body =
+    String.concat "\n"
+      [
+        "[";
+        ev ~name:"a" ~ts:0. ~dur:100. ();
+        "not json at all";
+        ev ~name:"b" ~ts:10. ~dur:20. ();
+        "{\"name\": \"half-written";
+      ]
+  in
+  let p = T.parse_string body in
+  checki "skipped lines" 2 p.T.skipped;
+  checki "parsed events" 2 (List.length p.T.events);
+  let a = T.analyze p in
+  checkf "a self" 80. (stat a "a").T.self_us;
+  checkf "b self" 20. (stat a "b").T.self_us
+
+(* Interleaved multi-track emission: spans are written at their end
+   times, so domains interleave arbitrarily and children precede
+   parents.  Reconstruction must still nest per track. *)
+let interleaved_multi_tid () =
+  let body =
+    String.concat "\n"
+      [
+        ev ~name:"inner" ~tid:1 ~ts:150. ~dur:100. ();
+        ev ~name:"inner" ~tid:0 ~ts:50. ~dur:100. ();
+        ev ~name:"outer" ~tid:1 ~ts:100. ~dur:400. ();
+        ev ~name:"outer" ~tid:0 ~ts:0. ~dur:300. ();
+      ]
+  in
+  let a = T.analyze (T.parse_string body) in
+  checki "two tracks" 2 (List.length a.T.tracks);
+  List.iter
+    (fun (tr : T.track) ->
+      match tr.T.roots with
+      | [ r ] ->
+          check
+            (Printf.sprintf "track %d root is outer" tr.T.tid)
+            true
+            (r.T.sname = "outer" && List.length r.T.children = 1)
+      | _ -> Alcotest.failf "track %d: expected one root" tr.T.tid)
+    a.T.tracks;
+  checkf "outer self" 500. (stat a "outer").T.self_us;
+  checkf "inner self" 200. (stat a "inner").T.self_us;
+  (* Wall spans [0, 500]; the busiest track is tid 1 (400us busy). *)
+  checkf "wall" 500. a.T.wall_us;
+  checkf "attributed" 400. a.T.attributed_us
+
+(* {1 Golden trace} *)
+
+(* The committed golden artifact pins the whole analysis: exact
+   self/total attribution (including a recursive re-entry and a
+   clipped GC pause), the fan-out-following critical path, and the
+   folded-stack rendering. *)
+let golden_path =
+  (* runtest actions run in _build/default/test with the golden staged
+     alongside the test binary. *)
+  if Sys.file_exists "traceprof_golden_v1.trace" then
+    "traceprof_golden_v1.trace"
+  else Filename.concat "test" "traceprof_golden_v1.trace"
+
+let golden_analysis () =
+  let p = T.parse_file golden_path in
+  checki "no skipped lines" 0 p.T.skipped;
+  checki "events" 10 (List.length p.T.events);
+  let a = T.analyze p in
+  checkf "wall" 2000. a.T.wall_us;
+  checkf "attributed" 2000. a.T.attributed_us;
+  checkf "coverage" 1. a.T.coverage;
+  let self name = (stat a name).T.self_us
+  and total name = (stat a name).T.total_us
+  and count name = (stat a name).T.count in
+  checkf "root self" 400. (self "root");
+  checkf "root total" 2000. (total "root");
+  checkf "setup self" 200. (self "setup");
+  checkf "teardown self" 200. (self "teardown");
+  checkf "pool.map self" 1200. (self "pool.map");
+  (* Two jobs on the worker track; the first loses a 30us GC pause,
+     the second a 100us sub call. *)
+  checki "job count" 2 (count "job");
+  checkf "job self" 920. (self "job");
+  checkf "job total" 1050. (total "job");
+  checkf "gc self" 30. (self "gc.minor");
+  (* sub re-enters itself: total counts only the outermost interval,
+     self accumulates both frames. *)
+  checki "sub count" 2 (count "sub");
+  checkf "sub total" 100. (total "sub");
+  checkf "sub self" 100. (self "sub")
+
+let golden_critical_path () =
+  let a = T.analyze (T.parse_file golden_path) in
+  let c =
+    match T.critical_path a with
+    | Some c -> c
+    | None -> Alcotest.fail "no critical path"
+  in
+  check "root name" true (c.T.root_name = "root");
+  checki "root tid" 0 c.T.root_tid;
+  checkf "root dur" 2000. c.T.root_us;
+  let step name =
+    match List.find_opt (fun s -> s.T.step = name) c.T.steps with
+    | Some s -> s.T.us
+    | None -> Alcotest.failf "no critical step %s" name
+  in
+  (* The pool.map interval jumps to the worker track: 1050us of worker
+     spans decompose (920 job + 30 gc + 100 sub), 150us of fan-out
+     overhead and idle stay charged to pool.map. *)
+  checkf "step root" 400. (step "root");
+  checkf "step setup" 200. (step "setup");
+  checkf "step teardown" 200. (step "teardown");
+  checkf "step job" 920. (step "job");
+  checkf "step gc" 30. (step "gc.minor");
+  checkf "step sub" 100. (step "sub");
+  checkf "step pool idle" 150. (step "pool.map");
+  let sum = List.fold_left (fun acc s -> acc +. s.T.us) 0. c.T.steps in
+  checkf "steps sum to root" c.T.root_us sum;
+  (* Rendering carries the pinned rows. *)
+  let stats_txt = T.render_stats a and crit_txt = T.render_critical c in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  check "stats table has pool.map row" true
+    (contains ~sub:"pool.map" stats_txt);
+  check "critical table has job row" true (contains ~sub:"job" crit_txt)
+
+let golden_folded_stacks () =
+  let a = T.analyze (T.parse_file golden_path) in
+  let folded = T.folded_lines a in
+  let expect =
+    [
+      ("domain0;root", 400);
+      ("domain0;root;setup", 200);
+      ("domain0;root;pool.map", 1200);
+      ("domain0;root;teardown", 200);
+      ("domain1;job", 920);
+      ("domain1;job;gc.minor", 30);
+      ("domain1;job;sub", 60);
+      ("domain1;job;sub;sub", 40);
+    ]
+  in
+  checki "folded stack count" (List.length expect) (List.length folded);
+  List.iter
+    (fun (stack, n) ->
+      let line = Printf.sprintf "%s %d" stack n in
+      check
+        (Printf.sprintf "folded has %S" line)
+        true
+        (List.mem line folded))
+    expect
+
+(* {1 Round-trip property} *)
+
+(* Generate a span forest with a known layout, render it in the sink's
+   JSON format in emission order (spans are written at their ends), and
+   the analyzer must recover the model's per-name self-time totals
+   exactly.  Top-level span i of a track occupies
+   [1000i, 1000i + 900]; child j inside it occupies
+   [1000i + 100j + 50, 1000i + 100j + 90], so parent self is
+   900 - 40 * children. *)
+let qcheck_roundtrip =
+  let names = [| "alpha"; "beta"; "gamma"; "delta" |] in
+  QCheck.Test.make ~name:"traceprof round-trips generated span forests"
+    ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 6)
+           (pair (int_range 0 3) (int_range 0 5)))
+        (list_of_size Gen.(int_range 0 6)
+           (pair (int_range 0 3) (int_range 0 5))))
+    (fun (track0, track1) ->
+      let expected = Hashtbl.create 8 in
+      let add name us =
+        Hashtbl.replace expected name
+          (us +. Option.value ~default:0. (Hashtbl.find_opt expected name))
+      in
+      let lines = ref [] in
+      let emit_track tid spans =
+        List.iteri
+          (fun i (name_ix, n_children) ->
+            let base = float_of_int (1000 * i) in
+            let parent = names.(name_ix) in
+            add parent (900. -. (40. *. float_of_int n_children));
+            for j = 0 to n_children - 1 do
+              let child = names.((name_ix + j + 1) mod 4) in
+              add child 40.;
+              lines :=
+                ev ~tid ~name:child
+                  ~ts:(base +. float_of_int ((100 * j) + 50))
+                  ~dur:40. ()
+                :: !lines
+            done;
+            lines := ev ~tid ~name:parent ~ts:base ~dur:900. () :: !lines)
+          spans
+      in
+      emit_track 0 track0;
+      emit_track 1 track1;
+      let body = String.concat "\n" ("[" :: !lines) in
+      let a = T.analyze (T.parse_string body) in
+      Hashtbl.fold
+        (fun name want ok ->
+          ok
+          &&
+          match List.find_opt (fun s -> s.T.stat_name = name) a.T.stats with
+          | Some s -> Float.abs (s.T.self_us -. want) < 1e-6
+          | None -> false)
+        expected true)
+
+let suite =
+  [
+    Alcotest.test_case "truncated and noisy parse" `Quick
+      truncated_and_noisy_parse;
+    Alcotest.test_case "interleaved multi-track reconstruction" `Quick
+      interleaved_multi_tid;
+    Alcotest.test_case "golden trace analysis" `Quick golden_analysis;
+    Alcotest.test_case "golden critical path" `Quick golden_critical_path;
+    Alcotest.test_case "golden folded stacks" `Quick golden_folded_stacks;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]
